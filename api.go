@@ -1,0 +1,244 @@
+// Package simdstudy is a full reproduction, in pure Go, of "Use of SIMD
+// Vector Operations to Accelerate Application Code Performance on
+// Low-Powered ARM and Intel Platforms" (IPDPS Workshops / IPPS 2013).
+//
+// The paper compares hand-written NEON and SSE2 intrinsic kernels against
+// gcc auto-vectorization across ten ARM and Intel platforms using five
+// OpenCV image processing benchmarks. Go has no SIMD intrinsics, so this
+// library substitutes bit-exact software emulation of both intrinsic sets
+// (with dynamic instruction accounting), a gcc-4.6-style auto-vectorization
+// model over a loop IR, and a calibrated timing model of the ten platforms
+// (pipeline + cache hierarchy + memory bandwidth). See DESIGN.md for the
+// full system inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// This package is the public facade: it re-exports the image substrate, the
+// OpenCV-like kernel library, the intrinsic emulation layers, the platform
+// catalogue, the timing model and the experiment harness used by the
+// examples and the benchmark suite.
+package simdstudy
+
+import (
+	"io"
+
+	"simdstudy/internal/asmgen"
+	"simdstudy/internal/cv"
+	"simdstudy/internal/harness"
+	"simdstudy/internal/image"
+	"simdstudy/internal/neon"
+	"simdstudy/internal/platform"
+	"simdstudy/internal/sse2"
+	"simdstudy/internal/timing"
+	"simdstudy/internal/trace"
+	"simdstudy/internal/vec"
+	"simdstudy/internal/vectorizer"
+)
+
+// --- Image substrate ---
+
+// Mat is a single-channel image (see internal/image).
+type Mat = image.Mat
+
+// Resolution is an image size; the paper uses four (0.3 to 8 Mpx).
+type Resolution = image.Resolution
+
+// Image element types.
+const (
+	U8  = image.U8
+	S16 = image.S16
+	F32 = image.F32
+)
+
+// The paper's four camera resolutions.
+var (
+	Res03MP = image.Res03MP
+	Res1MP  = image.Res1MP
+	Res5MP  = image.Res5MP
+	Res8MP  = image.Res8MP
+)
+
+// Resolutions lists the paper's image sizes smallest first.
+func Resolutions() []Resolution { return image.Resolutions }
+
+// NewMat allocates a zeroed image.
+func NewMat(width, height int, kind image.Type) *Mat { return image.NewMat(width, height, kind) }
+
+// Synthetic generates the deterministic synthetic photograph used in place
+// of the paper's camera images.
+func Synthetic(res Resolution, seed uint64) *Mat { return image.Synthetic(res, seed) }
+
+// SyntheticF32 generates a float image for the conversion benchmark.
+func SyntheticF32(res Resolution, seed uint64) *Mat { return image.SyntheticF32(res, seed) }
+
+// Burst generates the paper's 5-image workload for one resolution.
+func Burst(res Resolution, n int) []*Mat { return image.Burst(res, n) }
+
+// WritePGM / ReadPGM encode and decode the uncompressed image format used
+// by the tooling.
+var (
+	WritePGM = image.WritePGM
+	ReadPGM  = image.ReadPGM
+)
+
+// RGBImage is a 3-channel interleaved color image, the input to the
+// RGB-to-gray kernel (which exercises NEON's structured vld3 loads).
+type RGBImage = image.RGB
+
+// NewRGB allocates a zeroed color image.
+func NewRGB(width, height int) *RGBImage { return image.NewRGB(width, height) }
+
+// SyntheticRGB generates a deterministic synthetic color image.
+func SyntheticRGB(res Resolution, seed uint64) *RGBImage { return image.SyntheticRGB(res, seed) }
+
+// WritePPM / ReadPPM encode and decode interleaved color images.
+var (
+	WritePPM = image.WritePPM
+	ReadPPM  = image.ReadPPM
+)
+
+// --- Kernel library (the OpenCV core/imgproc analogue) ---
+
+// Ops is the kernel library configured for one ISA; see internal/cv.
+type Ops = cv.Ops
+
+// ISA selects the intrinsic family of the hand-optimized paths.
+type ISA = cv.ISA
+
+// Supported ISAs.
+const (
+	ISAScalar = cv.ISAScalar
+	ISANEON   = cv.ISANEON
+	ISASSE2   = cv.ISASSE2
+)
+
+// ThreshType selects the thresholding rule (OpenCV THRESH_*).
+type ThreshType = cv.ThreshType
+
+// Threshold types; the paper's benchmark 2 uses ThreshTrunc.
+const (
+	ThreshBinary    = cv.ThreshBinary
+	ThreshBinaryInv = cv.ThreshBinaryInv
+	ThreshTrunc     = cv.ThreshTrunc
+	ThreshToZero    = cv.ThreshToZero
+	ThreshToZeroInv = cv.ThreshToZeroInv
+)
+
+// NewOps returns the kernel library for an ISA, recording dynamic
+// instructions into t (which may be nil).
+func NewOps(isa ISA, t *trace.Counter) *Ops { return cv.NewOps(isa, t) }
+
+// NewTrace returns an empty dynamic instruction counter.
+func NewTrace() *trace.Counter { return &trace.Counter{} }
+
+// Trace is a dynamic instruction counter.
+type Trace = trace.Counter
+
+// --- Intrinsic emulation layers (for writing custom kernels) ---
+
+// V128 is a 128-bit SIMD register value (XMM / NEON Q).
+type V128 = vec.V128
+
+// V64 is a 64-bit SIMD register value (MMX / NEON D).
+type V64 = vec.V64
+
+// NEONUnit is the emulated NEON execution unit.
+type NEONUnit = neon.Unit
+
+// SSE2Unit is the emulated SSE2 execution unit.
+type SSE2Unit = sse2.Unit
+
+// NewNEON returns a NEON unit recording into t (may be nil).
+func NewNEON(t *trace.Counter) *NEONUnit { return neon.New(t) }
+
+// NewSSE2 returns an SSE2 unit recording into t (may be nil).
+func NewSSE2(t *trace.Counter) *SSE2Unit { return sse2.New(t) }
+
+// --- Platforms and timing ---
+
+// Platform is one Table I platform plus its model calibration.
+type Platform = platform.Platform
+
+// Platforms returns the paper's ten Table I platforms.
+func Platforms() []Platform { return platform.Paper() }
+
+// AllPlatforms additionally includes the extrapolated Cortex-A15.
+func AllPlatforms() []Platform { return platform.All() }
+
+// PlatformByName finds a platform by (sub)string match.
+func PlatformByName(name string) (Platform, error) { return platform.ByName(name) }
+
+// Impl selects AUTO (compiler) or HAND (intrinsics) builds.
+type Impl = timing.Impl
+
+// Build implementations compared by the paper.
+const (
+	Auto = timing.Auto
+	Hand = timing.Hand
+)
+
+// Estimate is a modeled execution of one benchmark run.
+type Estimate = timing.Estimate
+
+// BenchNames lists the five paper benchmarks.
+func BenchNames() []string { return timing.BenchNames }
+
+// EstimateRun models one benchmark execution on a platform.
+func EstimateRun(p Platform, bench string, res Resolution, impl Impl) (Estimate, error) {
+	return timing.EstimateRun(p, bench, res, impl)
+}
+
+// Speedup returns the HAND-over-AUTO factor (the paper's figures).
+func Speedup(p Platform, bench string, res Resolution) (float64, error) {
+	return timing.Speedup(p, bench, res)
+}
+
+// EnergyEstimate is a modeled energy cost (the paper's future-work
+// extension: performance per watt).
+type EnergyEstimate = timing.EnergyEstimate
+
+// EstimateEnergy models the energy of one benchmark run.
+func EstimateEnergy(p Platform, bench string, res Resolution, impl Impl) (EnergyEstimate, error) {
+	return timing.EstimateEnergy(p, bench, res, impl)
+}
+
+// --- Vectorizer reporting ---
+
+// VectorizeTarget selects the code generation ISA for the compiler model.
+type VectorizeTarget = vectorizer.Target
+
+// Compiler model targets.
+const (
+	TargetNEON = vectorizer.TargetNEON
+	TargetSSE2 = vectorizer.TargetSSE2
+)
+
+// VectorizeDecision is one loop's auto-vectorization outcome.
+type VectorizeDecision = vectorizer.Decision
+
+// VectorizeDecisions reports the compiler model's per-pass decisions for a
+// benchmark.
+func VectorizeDecisions(bench string, target VectorizeTarget) ([]VectorizeDecision, error) {
+	return timing.Decisions(bench, target)
+}
+
+// --- Experiments ---
+
+// Grid holds AUTO/HAND results for one benchmark over sizes x platforms.
+type Grid = harness.Grid
+
+// RunGrid evaluates a benchmark across platforms and sizes.
+func RunGrid(bench string, platforms []Platform, sizes []Resolution) (*Grid, error) {
+	return harness.RunGrid(bench, platforms, sizes)
+}
+
+// VerifyBenchmark executes the real emulated kernels over the 5-image
+// burst, cross-checking hand-SIMD output against scalar output.
+func VerifyBenchmark(bench string, res Resolution) (int, error) {
+	return harness.Verify(bench, res)
+}
+
+// RenderTable1 prints the Table I platform catalogue.
+func RenderTable1(w io.Writer, platforms []Platform) { harness.RenderTable1(w, platforms) }
+
+// SectionVComparison renders the paper's Section V assembly analysis for
+// an ISA.
+func SectionVComparison(isa ISA) (string, error) { return asmgen.Comparison(isa) }

@@ -1,0 +1,41 @@
+// Command asmdump regenerates the paper's Section V assembly analysis:
+// the hand-optimized intrinsic loop versus the auto-vectorized build of
+// the float-to-short conversion benchmark, with per-pixel instruction
+// accounting.
+//
+// Usage:
+//
+//	asmdump            # NEON comparison (the paper's listing)
+//	asmdump -isa sse2  # the equivalent x86 analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simdstudy/internal/asmgen"
+	"simdstudy/internal/cv"
+)
+
+func main() {
+	isaName := flag.String("isa", "neon", "instruction set to analyze: neon or sse2")
+	flag.Parse()
+
+	var isa cv.ISA
+	switch *isaName {
+	case "neon":
+		isa = cv.ISANEON
+	case "sse2":
+		isa = cv.ISASSE2
+	default:
+		fmt.Fprintf(os.Stderr, "asmdump: unknown ISA %q (want neon or sse2)\n", *isaName)
+		os.Exit(1)
+	}
+	out, err := asmgen.Comparison(isa)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asmdump:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,65 @@
+// Command figuregen regenerates the paper's speed-up figures.
+//
+// Usage:
+//
+//	figuregen -figure 2        # Figure 2: convert float to short speedups
+//	figuregen -figure 0        # all figures (2-6)
+//	figuregen -figure 4 -csv   # machine-readable series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"simdstudy/internal/harness"
+	"simdstudy/internal/image"
+	"simdstudy/internal/platform"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "figure number (2-6), 0 for all")
+	csv := flag.Bool("csv", false, "emit CSV instead of the ASCII chart")
+	extended := flag.Bool("extended", false, "include extrapolated platforms (Cortex-A15)")
+	flag.Parse()
+
+	platforms := platform.Paper()
+	if *extended {
+		platforms = platform.All()
+	}
+
+	var numbers []int
+	if *figure == 0 {
+		for n := range harness.FigureForBench {
+			numbers = append(numbers, n)
+		}
+		sort.Ints(numbers)
+	} else {
+		if _, ok := harness.FigureForBench[*figure]; !ok {
+			fmt.Fprintf(os.Stderr, "figuregen: no figure %d (the speed-up figures are 2-6)\n", *figure)
+			os.Exit(1)
+		}
+		numbers = []int{*figure}
+	}
+
+	var grids []*harness.Grid
+	for _, n := range numbers {
+		g, err := harness.RunGrid(harness.FigureForBench[n], platforms, image.Resolutions)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figuregen:", err)
+			os.Exit(1)
+		}
+		grids = append(grids, g)
+		if *csv {
+			g.RenderCSV(os.Stdout)
+		} else {
+			g.RenderFigure(os.Stdout, n)
+			fmt.Println()
+		}
+	}
+	if !*csv && len(numbers) > 1 {
+		// The abstract's summary sentence, with measured numbers.
+		harness.RenderAbstractSummary(os.Stdout, grids)
+	}
+}

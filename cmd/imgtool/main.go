@@ -1,0 +1,87 @@
+// Command imgtool generates and inspects the synthetic benchmark images
+// that stand in for the paper's camera photographs.
+//
+// Usage:
+//
+//	imgtool -gen -size 640x480 -seed 1 -out frame.pgm
+//	imgtool -info frame.pgm
+//	imgtool -gen -burst 5 -size 1280x960 -out frames   # frames-1.pgm ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simdstudy/internal/image"
+)
+
+func main() {
+	gen := flag.Bool("gen", false, "generate a synthetic image")
+	info := flag.String("info", "", "print statistics for a PGM file")
+	sizeName := flag.String("size", "640x480", "image size")
+	seed := flag.Uint64("seed", 1, "generator seed (distinct seeds give the burst images)")
+	burst := flag.Int("burst", 1, "number of burst frames to generate")
+	out := flag.String("out", "frame.pgm", "output file (or prefix when -burst > 1)")
+	flag.Parse()
+
+	switch {
+	case *info != "":
+		f, err := os.Open(*info)
+		fail(err)
+		defer f.Close()
+		m, err := image.ReadPGM(f)
+		fail(err)
+		var min, max uint8 = 255, 0
+		var sum int
+		for _, v := range m.U8Pix {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			sum += int(v)
+		}
+		fmt.Printf("%s: %dx%d %v, %d pixels, min %d max %d mean %.1f\n",
+			*info, m.Width, m.Height, m.Kind, m.Pixels(), min, max,
+			float64(sum)/float64(m.Pixels()))
+	case *gen:
+		var res image.Resolution
+		found := false
+		for _, r := range image.Resolutions {
+			if r.Name == *sizeName {
+				res, found = r, true
+			}
+		}
+		if !found {
+			fail(fmt.Errorf("unknown size %q (paper sizes: 640x480, 1280x960, 2592x1920, 3264x2448)", *sizeName))
+		}
+		if *burst == 1 {
+			writeOne(res, *seed, *out)
+			return
+		}
+		for i := 0; i < *burst; i++ {
+			writeOne(res, uint64(i+1), fmt.Sprintf("%s-%d.pgm", *out, i+1))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeOne(res image.Resolution, seed uint64, path string) {
+	m := image.Synthetic(res, seed)
+	f, err := os.Create(path)
+	fail(err)
+	defer f.Close()
+	fail(image.WritePGM(f, m))
+	fmt.Printf("wrote %s (%dx%d, %d bytes raw)\n", path, m.Width, m.Height, m.Bytes())
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imgtool:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command simdbench runs a single benchmark configuration through the
+// study: it models AUTO and HAND execution on a chosen platform and size,
+// optionally verifying the emulated kernels' outputs, and prints the full
+// breakdown (instructions/pixel, DRAM bytes/pixel, compute vs memory
+// cycles) behind the headline numbers.
+//
+// Usage:
+//
+//	simdbench -platform atom -bench ConvertFloatShort -size 3264x2448
+//	simdbench -platform tegra -bench GauBlu -size 640x480 -verify
+//	simdbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"simdstudy/internal/harness"
+	"simdstudy/internal/image"
+	"simdstudy/internal/platform"
+	"simdstudy/internal/timing"
+	"simdstudy/internal/vectorizer"
+)
+
+func main() {
+	platName := flag.String("platform", "", "platform name or substring (empty = all)")
+	benchName := flag.String("bench", "ConvertFloatShort", "benchmark: "+strings.Join(timing.BenchNames, ", "))
+	sizeName := flag.String("size", "3264x2448", "image size: 640x480, 1280x960, 2592x1920 or 3264x2448")
+	verify := flag.Bool("verify", false, "execute the emulated kernels and cross-check outputs")
+	energy := flag.Bool("energy", false, "also print the energy-per-image extension")
+	list := flag.Bool("list", false, "list platforms and benchmarks, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Platforms:")
+		for _, p := range platform.All() {
+			note := ""
+			if p.Extrapolated {
+				note = "  (extrapolated, beyond Table I)"
+			}
+			fmt.Printf("  %-28s %s%s\n", p.Name, p.Codename, note)
+		}
+		fmt.Println("Benchmarks:")
+		for _, b := range timing.BenchNames {
+			fmt.Printf("  %s\n", b)
+		}
+		return
+	}
+
+	var res image.Resolution
+	found := false
+	for _, r := range image.Resolutions {
+		if r.Name == *sizeName {
+			res, found = r, true
+		}
+	}
+	if !found {
+		fail(fmt.Errorf("unknown size %q", *sizeName))
+	}
+	ok := false
+	for _, b := range timing.BenchNames {
+		if b == *benchName {
+			ok = true
+		}
+	}
+	if !ok {
+		fail(fmt.Errorf("unknown benchmark %q", *benchName))
+	}
+
+	var plats []platform.Platform
+	if *platName == "" {
+		plats = platform.Paper()
+	} else {
+		p, err := platform.ByName(*platName)
+		fail(err)
+		plats = []platform.Platform{p}
+	}
+
+	if *verify {
+		vres := image.Resolution{Width: 322, Height: 242, Name: "322x242"}
+		n, err := harness.Verify(*benchName, vres)
+		fail(err)
+		fmt.Printf("verified: hand-SIMD output matches scalar on %d images\n\n", n)
+	}
+
+	fmt.Printf("%s on %s (%d runs averaged in the paper's protocol)\n\n", *benchName, res.Name, harness.Runs)
+	fmt.Printf("%-26s %-6s %10s %9s %9s %9s %8s\n",
+		"Platform", "build", "seconds", "insns/px", "B/px", "cyc/px", "speedup")
+	for _, p := range plats {
+		auto, err := timing.EstimateRun(p, *benchName, res, timing.Auto)
+		fail(err)
+		hand, err := timing.EstimateRun(p, *benchName, res, timing.Hand)
+		fail(err)
+		fmt.Printf("%-26s %-6s %10.5f %9.2f %9.2f %9.2f %8s\n",
+			p.Name, "AUTO", auto.Seconds, auto.InstrPerPixel, auto.BytesPerPixel, auto.CyclesPerPixel, "")
+		fmt.Printf("%-26s %-6s %10.5f %9.2f %9.2f %9.2f %7.2fx\n",
+			"", "HAND", hand.Seconds, hand.InstrPerPixel, hand.BytesPerPixel, hand.CyclesPerPixel,
+			auto.Seconds/hand.Seconds)
+	}
+
+	if *energy {
+		fmt.Println("\nEnergy per image (extension: the paper's future work):")
+		rows, err := timing.EnergyTable(*benchName, plats, res)
+		fail(err)
+		timing.RenderEnergyTable(os.Stdout, *benchName, res, rows)
+	}
+
+	// Per-pass vectorizer decisions for the chosen benchmark.
+	fmt.Println("\nAuto-vectorizer decisions (gcc 4.6 model):")
+	for _, target := range []vectorizer.Target{vectorizer.TargetNEON, vectorizer.TargetSSE2} {
+		ds, err := timing.Decisions(*benchName, target)
+		fail(err)
+		for _, d := range ds {
+			fmt.Print("  " + d.Explain())
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simdbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Command tablegen regenerates the paper's tables.
+//
+// Usage:
+//
+//	tablegen -table 1          # Table I: platform catalogue
+//	tablegen -table 2          # Table II: float-to-short conversion times
+//	tablegen -table 3          # Table III: benchmarks 2-5 at 8 Mpx
+//	tablegen -table 4          # extension: energy per image (future work)
+//	tablegen -table 2 -csv     # machine-readable output
+//	tablegen -table 2 -verify  # also execute the emulated kernels and
+//	                           # cross-check HAND vs scalar outputs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simdstudy/internal/harness"
+	"simdstudy/internal/image"
+	"simdstudy/internal/platform"
+	"simdstudy/internal/timing"
+)
+
+func main() {
+	table := flag.Int("table", 2, "table number to regenerate (1, 2 or 3)")
+	csv := flag.Bool("csv", false, "emit CSV instead of the paper layout")
+	verify := flag.Bool("verify", false, "execute emulated kernels and cross-check outputs")
+	extended := flag.Bool("extended", false, "include extrapolated platforms (Cortex-A15)")
+	flag.Parse()
+
+	platforms := platform.Paper()
+	if *extended {
+		platforms = platform.All()
+	}
+
+	switch *table {
+	case 1:
+		harness.RenderTable1(os.Stdout, platforms)
+	case 2:
+		if *verify {
+			runVerify("ConvertFloatShort")
+		}
+		g, err := harness.RunGrid("ConvertFloatShort", platforms, image.Resolutions)
+		fail(err)
+		if *csv {
+			g.RenderCSV(os.Stdout)
+		} else {
+			g.RenderTable2(os.Stdout)
+		}
+	case 3:
+		sizes := []image.Resolution{image.Res8MP}
+		var grids []*harness.Grid
+		for _, bench := range []string{"BinThr", "GauBlu", "SobFil", "EdgDet"} {
+			if *verify {
+				runVerify(bench)
+			}
+			g, err := harness.RunGrid(bench, platforms, sizes)
+			fail(err)
+			grids = append(grids, g)
+		}
+		if *csv {
+			for _, g := range grids {
+				g.RenderCSV(os.Stdout)
+			}
+		} else {
+			harness.RenderTable3(os.Stdout, grids)
+		}
+	case 4:
+		// Extension (paper Section VI future work): performance per watt.
+		for _, bench := range []string{"ConvertFloatShort", "EdgDet"} {
+			rows, err := timing.EnergyTable(bench, platforms, image.Res8MP)
+			fail(err)
+			timing.RenderEnergyTable(os.Stdout, bench, image.Res8MP, rows)
+			fmt.Println()
+		}
+	default:
+		fail(fmt.Errorf("unknown table %d (paper tables 1-3, extension table 4)", *table))
+	}
+}
+
+func runVerify(bench string) {
+	// A reduced resolution keeps emulated verification quick while still
+	// exercising SIMD bodies and scalar tails.
+	res := image.Resolution{Width: 322, Height: 242, Name: "322x242"}
+	n, err := harness.Verify(bench, res)
+	fail(err)
+	fmt.Fprintf(os.Stderr, "verified %s: hand-SIMD output matches scalar on %d images\n", bench, n)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+// Custom-kernel: write a new SIMD kernel directly against the public
+// NEON and SSE2 intrinsic APIs — here, image alpha blending
+// (dst = (a*alpha + b*(256-alpha)) >> 8) — validate both against a scalar
+// reference, and compare their dynamic instruction mixes, exactly the
+// methodology the paper applies to the OpenCV kernels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simdstudy"
+)
+
+// blendScalar is the reference implementation.
+func blendScalar(a, b []uint8, alpha uint16, dst []uint8) {
+	inv := 256 - alpha
+	for i := range dst {
+		dst[i] = uint8((uint16(a[i])*alpha + uint16(b[i])*inv) >> 8)
+	}
+}
+
+// blendNEON blends 8 pixels per iteration with widening multiply-
+// accumulate, the same shape as the study's Gaussian row filter.
+func blendNEON(u *simdstudy.NEONUnit, a, b []uint8, alpha uint16, dst []uint8) {
+	wa := u.VdupNU8(uint8(alpha))
+	wb := u.VdupNU8(uint8(256 - alpha))
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		acc := u.VmullU8(u.Vld1U8(a[i:]), wa)
+		acc = u.VmlalU8(acc, u.Vld1U8(b[i:]), wb)
+		u.Vst1U8(dst[i:], u.VrshrnNU16(acc, 8))
+		u.Overhead(2, 1, 0)
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = uint8((uint16(a[i])*alpha + uint16(b[i])*(256-alpha)) >> 8)
+	}
+}
+
+// blendSSE2 blends 8 pixels per iteration via unpack + pmullw.
+func blendSSE2(u *simdstudy.SSE2Unit, a, b []uint8, alpha uint16, dst []uint8) {
+	zero := u.SetzeroSi128()
+	wa := u.Set1Epi16(int16(alpha))
+	wb := u.Set1Epi16(int16(256 - alpha))
+	half := u.Set1Epi16(1 << 7)
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		va := u.UnpackloEpi8(u.LoadlEpi64U8(a[i:]), zero)
+		vb := u.UnpackloEpi8(u.LoadlEpi64U8(b[i:]), zero)
+		acc := u.AddEpi16(u.MulloEpi16(va, wa), u.MulloEpi16(vb, wb))
+		acc = u.SrliEpi16(u.AddEpi16(acc, half), 8)
+		u.StorelEpi64U8(dst[i:], u.PackusEpi16(acc, acc))
+		u.Overhead(2, 1, 0)
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = uint8((uint16(a[i])*alpha + uint16(b[i])*(256-alpha)) >> 8)
+	}
+}
+
+func main() {
+	res := simdstudy.Resolution{Width: 512, Height: 384, Name: "512x384"}
+	imgA := simdstudy.Synthetic(res, 1)
+	imgB := simdstudy.Synthetic(res, 2)
+	const alpha = 96 // 37.5% of A
+
+	want := make([]uint8, res.Pixels())
+	blendScalar(imgA.U8Pix, imgB.U8Pix, alpha, want)
+
+	// NEON.
+	trN := simdstudy.NewTrace()
+	neonOut := make([]uint8, res.Pixels())
+	blendNEON(simdstudy.NewNEON(trN), imgA.U8Pix, imgB.U8Pix, alpha, neonOut)
+
+	// SSE2.
+	trS := simdstudy.NewTrace()
+	sseOut := make([]uint8, res.Pixels())
+	blendSSE2(simdstudy.NewSSE2(trS), imgA.U8Pix, imgB.U8Pix, alpha, sseOut)
+
+	// Validate: NEON's vrshrn rounds where the scalar shift truncates, so
+	// allow 1 LSB there; SSE2's explicit +half matches NEON.
+	check := func(name string, got []uint8, tol int) {
+		worst := 0
+		for i := range want {
+			d := int(want[i]) - int(got[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst > tol {
+			log.Fatalf("%s: differs from scalar by up to %d LSB", name, worst)
+		}
+		fmt.Printf("%-5s matches the scalar reference within %d LSB\n", name, worst)
+	}
+	check("NEON", neonOut, 1)
+	check("SSE2", sseOut, 1)
+
+	px := float64(res.Pixels())
+	fmt.Printf("\ninstruction mix per pixel (%d pixels):\n", res.Pixels())
+	fmt.Printf("  scalar : ~7 ops/px (2 loads, 2 muls, add, shift, store)\n")
+	fmt.Printf("  NEON   : %.2f instrs/px (%.2f on the vector pipe)\n",
+		float64(trN.Total())/px, float64(trN.SIMDTotal())/px)
+	fmt.Printf("  SSE2   : %.2f instrs/px (%.2f on the vector pipe)\n",
+		float64(trS.Total())/px, float64(trS.SIMDTotal())/px)
+	fmt.Printf("\nNEON needs fewer instructions than SSE2 here because vmlal fuses the\n")
+	fmt.Printf("widening multiply-accumulate that SSE2 spells as unpack+pmullw+paddw —\n")
+	fmt.Printf("one of the ISA asymmetries the paper's Section II-C catalogues.\n")
+}

@@ -1,0 +1,88 @@
+// Smartphone camera pipeline: the workload the paper's introduction
+// motivates. A burst of 8 Mpx frames flows through the full mobile
+// imaging chain — denoise (Gaussian blur), gradient extraction (Sobel),
+// edge map (threshold) — and the study's timing model compares how the
+// in-order Intel Atom D510 and the Samsung Galaxy S3's Exynos 4412 handle
+// it with and without hand-written SIMD, including the energy framing
+// (GFLOPS/Watt tiers) from the paper's motivation section.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simdstudy"
+)
+
+// pipeline is the per-frame camera chain in paper benchmarks.
+var pipeline = []string{"GauBlu", "SobFil", "EdgDet"}
+
+func main() {
+	const frames = 5 // one camera burst, as in the paper's protocol
+	res := simdstudy.Res8MP
+
+	// Functional pass: actually run one frame through the emulated NEON
+	// pipeline at reduced size to show the kernels compose.
+	small := simdstudy.Resolution{Width: 640, Height: 480, Name: "640x480"}
+	frame := simdstudy.Synthetic(small, 1)
+	o := simdstudy.NewOps(simdstudy.ISANEON, nil)
+	blurred := simdstudy.NewMat(small.Width, small.Height, simdstudy.U8)
+	grad := simdstudy.NewMat(small.Width, small.Height, simdstudy.S16)
+	edges := simdstudy.NewMat(small.Width, small.Height, simdstudy.U8)
+	if err := o.GaussianBlur(frame, blurred); err != nil {
+		log.Fatal(err)
+	}
+	if err := o.SobelFilter(blurred, grad, 1, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := o.DetectEdges(blurred, edges, 100); err != nil {
+		log.Fatal(err)
+	}
+	lit := 0
+	for _, v := range edges.U8Pix {
+		if v != 0 {
+			lit++
+		}
+	}
+	fmt.Printf("functional check: %dx%d frame -> blur -> sobel -> edges (%d edge pixels)\n\n",
+		small.Width, small.Height, lit)
+
+	// Modeled burst timing on the two contrasted platforms.
+	atom, err := simdstudy.PlatformByName("Atom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s3, err := simdstudy.PlatformByName("Samsung Exynos 4412")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, p := range []simdstudy.Platform{atom, s3} {
+		var autoTotal, handTotal float64
+		for _, stage := range pipeline {
+			a, err := simdstudy.EstimateRun(p, stage, res, simdstudy.Auto)
+			if err != nil {
+				log.Fatal(err)
+			}
+			h, err := simdstudy.EstimateRun(p, stage, res, simdstudy.Hand)
+			if err != nil {
+				log.Fatal(err)
+			}
+			autoTotal += a.Seconds
+			handTotal += h.Seconds
+		}
+		autoBurst := autoTotal * frames
+		handBurst := handTotal * frames
+		fmt.Printf("%s (%.2f GHz, %s):\n", p.Name, p.ClockGHz, p.Memory)
+		fmt.Printf("  %d-frame 8 Mpx burst, AUTO build: %6.2f s (%.1f fps)\n",
+			frames, autoBurst, frames/autoBurst)
+		fmt.Printf("  %d-frame 8 Mpx burst, HAND build: %6.2f s (%.1f fps)\n",
+			frames, handBurst, frames/handBurst)
+		fmt.Printf("  hand-written SIMD is worth %.2fx — the same silicon, %.0f%% less time\n\n",
+			autoBurst/handBurst, 100*(1-handBurst/autoBurst))
+	}
+
+	fmt.Println("The paper's motivation: SIMD cuts instruction count and data movement,")
+	fmt.Println("so on power-constrained mobile parts the HAND build finishes the burst")
+	fmt.Println("sooner at similar power, directly improving energy per frame.")
+}

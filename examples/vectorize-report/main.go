@@ -1,0 +1,45 @@
+// Vectorize-report: the paper's Section V analysis, programmatically.
+// For every benchmark inner loop and both compiler targets, print the
+// gcc-4.6-model's vectorization decision and diagnostic, then render the
+// side-by-side assembly comparison for the convert benchmark.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simdstudy"
+)
+
+func main() {
+	fmt.Println("Auto-vectorization decisions (gcc 4.6 -O3 -ftree-vectorize model)")
+	fmt.Println("==================================================================")
+	for _, bench := range simdstudy.BenchNames() {
+		fmt.Printf("\n%s:\n", bench)
+		for _, target := range []simdstudy.VectorizeTarget{simdstudy.TargetNEON, simdstudy.TargetSSE2} {
+			decisions, err := simdstudy.VectorizeDecisions(bench, target)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, d := range decisions {
+				fmt.Print("  " + d.Explain())
+			}
+		}
+	}
+
+	fmt.Println("\nSection V: hand intrinsics vs auto-vectorized assembly (convert)")
+	fmt.Println("=================================================================")
+	for _, isa := range []simdstudy.ISA{simdstudy.ISANEON, simdstudy.ISASSE2} {
+		out, err := simdstudy.SectionVComparison(isa)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+
+	fmt.Println("Summary: across the five benchmarks the compiler model hits every")
+	fmt.Println("blocker class the paper cites — libcalls (cvRound/lrint), missing")
+	fmt.Println("integer vcond patterns (threshold), unknown mutual alignment")
+	fmt.Println("(horizontal filter taps), and saturating-arithmetic idioms (edge")
+	fmt.Println("magnitude) — which is why hand-written intrinsics still won in 2013.")
+}

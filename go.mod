@@ -1,0 +1,3 @@
+module simdstudy
+
+go 1.22

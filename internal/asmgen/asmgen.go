@@ -1,0 +1,146 @@
+// Package asmgen regenerates the paper's Section V analysis: annotated
+// pseudo-assembly listings of the hand-optimized intrinsic loop versus the
+// auto-vectorized (scalar fallback) loop for the float-to-short conversion
+// benchmark, together with the instruction-per-pixel accounting that
+// explains the observed speedups.
+//
+// The hand listing is reconstructed from the actual instruction sequence
+// recorded by the NEON/SSE2 emulation layers while running the real kernel;
+// the AUTO listing is derived from the vectorizer model's scalar profile.
+package asmgen
+
+import (
+	"fmt"
+	"strings"
+
+	"simdstudy/internal/cv"
+	"simdstudy/internal/image"
+	"simdstudy/internal/kernels"
+	"simdstudy/internal/trace"
+	"simdstudy/internal/vectorizer"
+)
+
+// neonAnnotations maps the recorded convert-loop mnemonics to the intrinsic
+// source lines from the paper's listing.
+var neonAnnotations = map[string]string{
+	"vld1.32":      "float32x4_t src128 = vld1q_f32((const float32_t*)(src + x))",
+	"vcvt.s32.f32": "int32x4_t src_int128 = vcvtq_s32_f32(src128)",
+	"vqmovn.s32":   "int16x4_t src_int64 = vqmovn_s32(src_int128)",
+	"vorr":         "int16x8_t res_int128 = vcombine_s16(src0_int64, src1_int64)  ; lowered to vorr, as the paper observes",
+	"vst1.16":      "vst1q_s16((int16_t*)dst + x, res_int128)",
+}
+
+var sseAnnotations = map[string]string{
+	"movups":   "__m128 src128 = _mm_loadu_ps(src + x)",
+	"cvtps2dq": "__m128i src_int128 = _mm_cvtps_epi32(src128)",
+	"packssdw": "src1_int128 = _mm_packs_epi32(src_int128, src1_int128)",
+	"movdqu":   "_mm_storeu_si128((__m128i*)(dst + x), src1_int128)",
+}
+
+// HandConvertListing reconstructs the hand-optimized loop body by running
+// one vector iteration of the real kernel under sequence capture.
+func HandConvertListing(isa cv.ISA) (string, error) {
+	tr := trace.Counter{SeqCap: 64}
+	o := cv.NewOps(isa, &tr)
+	res := image.Resolution{Width: 8, Height: 1}
+	src := image.SyntheticF32(res, 1)
+	dst := image.NewMat(8, 1, image.S16)
+	if err := o.ConvertF32ToS16(src, dst); err != nil {
+		return "", err
+	}
+	ann := neonAnnotations
+	title := "Intrinsic Optimized ARM (NEON) Assembly"
+	if isa == cv.ISASSE2 {
+		ann = sseAnnotations
+		title = "Intrinsic Optimized x86 (SSE2) Assembly"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "/* %s — one loop iteration, 8 pixels */\n", title)
+	for _, op := range tr.Sequence() {
+		if a, ok := ann[op.Name]; ok {
+			fmt.Fprintf(&sb, "    %-16s ; %s\n", op.Name, a)
+		} else {
+			fmt.Fprintf(&sb, "    %-16s ; loop bookkeeping (%s)\n", op.Name, op.Class)
+		}
+	}
+	fmt.Fprintf(&sb, "\n; totals: %d instructions / 8 pixels (%.2f per pixel)\n",
+		tr.Total(), float64(tr.Total())/8)
+	return sb.String(), nil
+}
+
+// autoARMBody is the paper's auto-vectorized ARM listing shape: gcc fails
+// to block the loop and emits a single-element VFP load, a promotion to
+// double, and a libcall to lrint per pixel.
+var autoARMBody = []string{
+	"vldmia r6!, {s15}          ; single-element VFP load of src[x]",
+	"vcvt.f64.f32 d16, s15      ; promote float to double for lrint",
+	"vmov r0, r1, d16           ; move double into core registers (softfp ABI)",
+	"bl <lrint>                 ; libcall: round to nearest integer",
+	"add.w r2, r0, #32768       ; saturate_cast<short> clamp begins",
+	"uxth r3, r0",
+	"cmp r2, r8",
+	"bls.n <in_range>",
+	"cmp r0, #0 ; ite gt / movgt/movle  ; clamp to SHRT_MAX / SHRT_MIN",
+	"strh.w r3, [r5], #2        ; store one short",
+	"adds r4, #1 / cmp r4, r7 / bne.n <loop>  ; per-pixel loop control",
+}
+
+var autoX86Body = []string{
+	"movss xmm0, [rsi+rax*4]    ; single-element load of src[x]",
+	"cvtss2sd xmm0, xmm0        ; promote to double (cvRound takes double)",
+	"cvtsd2si ecx, xmm0         ; _mm_cvtsd_si32: round to nearest-even",
+	"lea edx, [rcx+32768]       ; saturate_cast<short> clamp",
+	"cmp edx, 65535 / cmova ... ; clamp to SHRT_MAX / SHRT_MIN",
+	"mov [rdi+rax*2], cx        ; store one short",
+	"add rax, 1 / cmp rax, r8 / jne <loop>  ; per-pixel loop control",
+}
+
+// AutoConvertListing renders the AUTO build's loop body for the convert
+// benchmark on the given target, with the vectorizer's diagnostic and the
+// modeled per-pixel instruction profile.
+func AutoConvertListing(target vectorizer.Target) string {
+	d := vectorizer.Analyze(kernels.Convert32f16s(), target)
+	body := autoARMBody
+	title := "Auto-vectorized ARM Assembly (gcc -O3 -mfpu=neon -ftree-vectorize)"
+	if target == vectorizer.TargetSSE2 {
+		body = autoX86Body
+		title = "Auto-vectorized x86 Assembly (gcc -O3 -msse -msse2)"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "/* %s */\n", title)
+	fmt.Fprintf(&sb, "; vectorizer: %s\n", d.Reason)
+	for _, line := range body {
+		fmt.Fprintf(&sb, "    %s\n", line)
+	}
+	fmt.Fprintf(&sb, "\n; modeled cost: %.1f instructions per pixel (vs 14/8 = 1.75 hand)\n",
+		d.ScalarIter.Total())
+	return sb.String()
+}
+
+// Comparison renders the full Section V side-by-side analysis for one
+// target ISA.
+func Comparison(isa cv.ISA) (string, error) {
+	target := vectorizer.TargetNEON
+	if isa == cv.ISASSE2 {
+		target = vectorizer.TargetSSE2
+	}
+	hand, err := HandConvertListing(isa)
+	if err != nil {
+		return "", err
+	}
+	auto := AutoConvertListing(target)
+	var sb strings.Builder
+	sb.WriteString(hand)
+	sb.WriteString("\n")
+	sb.WriteString(auto)
+	sb.WriteString("\n")
+	d := vectorizer.Analyze(kernels.Convert32f16s(), target)
+	ratio := d.ScalarIter.Total() / (14.0 / 8)
+	if isa == cv.ISASSE2 {
+		ratio = d.ScalarIter.Total() / (12.0 / 8)
+	}
+	fmt.Fprintf(&sb, "; the auto build retires %.1fx more instructions per pixel before\n", ratio)
+	fmt.Fprintf(&sb, "; accounting for the per-pixel libcall and scalar FP latencies —\n")
+	fmt.Fprintf(&sb, "; the mechanism behind the large observed speedups (Section V).\n")
+	return sb.String(), nil
+}

@@ -1,0 +1,38 @@
+package cache
+
+import "testing"
+
+func benchHierarchy(b *testing.B) *Hierarchy {
+	h, err := NewHierarchy(
+		Config{Name: "L1", SizeBytes: 32 * 1024, LineBytes: 64, Ways: 4},
+		Config{Name: "L2", SizeBytes: 1024 * 1024, LineBytes: 64, Ways: 8},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// BenchmarkStreamingAccess measures the simulator on the benchmark
+// harness's dominant pattern: sequential byte-granular streaming.
+func BenchmarkStreamingAccess(b *testing.B) {
+	h := benchHierarchy(b)
+	b.SetBytes(1)
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i), 1, false)
+	}
+}
+
+// BenchmarkSevenTapRowAccess replays the Gaussian vertical pass pattern:
+// seven row streams touched per output pixel.
+func BenchmarkSevenTapRowAccess(b *testing.B) {
+	h := benchHierarchy(b)
+	const w = 3264
+	for i := 0; i < b.N; i++ {
+		x := i % w
+		for k := 0; k < 7; k++ {
+			h.Access(uint64(k*w+x), 1, false)
+		}
+		h.Access(uint64(1<<24+x), 1, true)
+	}
+}

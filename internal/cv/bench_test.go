@@ -1,0 +1,101 @@
+package cv
+
+import (
+	"testing"
+
+	"simdstudy/internal/image"
+)
+
+// Host-side microbenchmarks of each kernel per path (emulation cost).
+
+func benchKernel(b *testing.B, isa ISA, run func(o *Ops) error) {
+	o := NewOps(isa, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchRes = image.Resolution{Width: 320, Height: 240}
+
+func BenchmarkConvert(b *testing.B) {
+	src := image.SyntheticF32(benchRes, 1)
+	dst := image.NewMat(benchRes.Width, benchRes.Height, image.S16)
+	run := func(o *Ops) error { return o.ConvertF32ToS16(src, dst) }
+	b.Run("scalar", func(b *testing.B) { benchKernel(b, ISAScalar, run) })
+	b.Run("neon", func(b *testing.B) { benchKernel(b, ISANEON, run) })
+	b.Run("sse2", func(b *testing.B) { benchKernel(b, ISASSE2, run) })
+}
+
+func BenchmarkThreshold(b *testing.B) {
+	src := image.Synthetic(benchRes, 1)
+	dst := image.NewMat(benchRes.Width, benchRes.Height, image.U8)
+	run := func(o *Ops) error { return o.Threshold(src, dst, 128, 255, ThreshTrunc) }
+	b.Run("scalar", func(b *testing.B) { benchKernel(b, ISAScalar, run) })
+	b.Run("neon", func(b *testing.B) { benchKernel(b, ISANEON, run) })
+	b.Run("sse2", func(b *testing.B) { benchKernel(b, ISASSE2, run) })
+}
+
+func BenchmarkGaussian(b *testing.B) {
+	src := image.Synthetic(benchRes, 1)
+	dst := image.NewMat(benchRes.Width, benchRes.Height, image.U8)
+	run := func(o *Ops) error { return o.GaussianBlur(src, dst) }
+	b.Run("scalar", func(b *testing.B) { benchKernel(b, ISAScalar, run) })
+	b.Run("neon", func(b *testing.B) { benchKernel(b, ISANEON, run) })
+	b.Run("sse2", func(b *testing.B) { benchKernel(b, ISASSE2, run) })
+}
+
+func BenchmarkSobel(b *testing.B) {
+	src := image.Synthetic(benchRes, 1)
+	dst := image.NewMat(benchRes.Width, benchRes.Height, image.S16)
+	run := func(o *Ops) error { return o.SobelFilter(src, dst, 1, 0) }
+	b.Run("scalar", func(b *testing.B) { benchKernel(b, ISAScalar, run) })
+	b.Run("neon", func(b *testing.B) { benchKernel(b, ISANEON, run) })
+	b.Run("sse2", func(b *testing.B) { benchKernel(b, ISASSE2, run) })
+}
+
+func BenchmarkEdges(b *testing.B) {
+	src := image.Synthetic(benchRes, 1)
+	dst := image.NewMat(benchRes.Width, benchRes.Height, image.U8)
+	run := func(o *Ops) error { return o.DetectEdges(src, dst, 100) }
+	b.Run("scalar", func(b *testing.B) { benchKernel(b, ISAScalar, run) })
+	b.Run("neon", func(b *testing.B) { benchKernel(b, ISANEON, run) })
+	b.Run("sse2", func(b *testing.B) { benchKernel(b, ISASSE2, run) })
+}
+
+func BenchmarkMedian(b *testing.B) {
+	src := image.Synthetic(benchRes, 1)
+	dst := image.NewMat(benchRes.Width, benchRes.Height, image.U8)
+	run := func(o *Ops) error { return o.MedianBlur3x3(src, dst) }
+	b.Run("scalar", func(b *testing.B) { benchKernel(b, ISAScalar, run) })
+	b.Run("neon", func(b *testing.B) { benchKernel(b, ISANEON, run) })
+	b.Run("sse2", func(b *testing.B) { benchKernel(b, ISASSE2, run) })
+}
+
+func BenchmarkRGBToGray(b *testing.B) {
+	src := image.SyntheticRGB(benchRes, 1)
+	dst := image.NewMat(benchRes.Width, benchRes.Height, image.U8)
+	run := func(o *Ops) error { return o.RGBToGray(src, dst) }
+	b.Run("scalar", func(b *testing.B) { benchKernel(b, ISAScalar, run) })
+	b.Run("neon", func(b *testing.B) { benchKernel(b, ISANEON, run) })
+}
+
+func BenchmarkResizeHalf(b *testing.B) {
+	src := image.Synthetic(benchRes, 1)
+	dst := image.NewMat(benchRes.Width/2, benchRes.Height/2, image.U8)
+	run := func(o *Ops) error { return o.ResizeHalf(src, dst) }
+	b.Run("scalar", func(b *testing.B) { benchKernel(b, ISAScalar, run) })
+	b.Run("neon", func(b *testing.B) { benchKernel(b, ISANEON, run) })
+	b.Run("sse2", func(b *testing.B) { benchKernel(b, ISASSE2, run) })
+}
+
+func BenchmarkCanny(b *testing.B) {
+	src := image.Synthetic(benchRes, 1)
+	dst := image.NewMat(benchRes.Width, benchRes.Height, image.U8)
+	run := func(o *Ops) error { return o.Canny(src, dst, 100, 300) }
+	b.Run("scalar", func(b *testing.B) { benchKernel(b, ISAScalar, run) })
+	b.Run("neon", func(b *testing.B) { benchKernel(b, ISANEON, run) })
+	b.Run("sse2", func(b *testing.B) { benchKernel(b, ISASSE2, run) })
+}

@@ -1,0 +1,91 @@
+package cv
+
+import (
+	"fmt"
+
+	"simdstudy/internal/image"
+	"simdstudy/internal/trace"
+)
+
+// BT.601 luma weights in 8.8 fixed point (sum exactly 256), the classic
+// coefficients of ARM's own NEON RGB-to-gray example and of OpenCV's
+// 8-bit cvtColor path:
+//
+//	gray = (77*R + 150*G + 29*B + 128) >> 8
+const (
+	grayR     = 77
+	grayG     = 150
+	grayB     = 29
+	grayShift = 8
+)
+
+// RGBToGray converts an interleaved RGB image to 8-bit grayscale — the
+// color-conversion workload the paper's related work reports a 9.5x NEON
+// speedup for (Pulli et al., the Tegra OpenCV study).
+//
+// The hand path exists only for NEON: its structured vld3.8 load
+// deinterleaves the color planes in one instruction, which SSE2 has no
+// counterpart for — OpenCV 2.4 shipped no SSE2 cvtColor(RGB2GRAY) kernel
+// either, so on Intel the operation runs scalar, faithfully.
+func (o *Ops) RGBToGray(src *image.RGB, dst *image.Mat) error {
+	if err := requireKind(dst, image.U8, "RGBToGray dst"); err != nil {
+		return err
+	}
+	if src.Width != dst.Width || src.Height != dst.Height {
+		return fmt.Errorf("cv: shape mismatch %dx%d vs %dx%d",
+			src.Width, src.Height, dst.Width, dst.Height)
+	}
+	if o.UseOptimized() && o.isa == ISANEON {
+		o.rgbToGrayNEON(src, dst)
+		return nil
+	}
+	o.rgbToGrayScalar(src, dst)
+	return nil
+}
+
+func grayPixel(r, g, b uint8) uint8 {
+	return uint8((uint32(r)*grayR + uint32(g)*grayG + uint32(b)*grayB + 1<<(grayShift-1)) >> grayShift)
+}
+
+func (o *Ops) rgbToGrayScalar(src *image.RGB, dst *image.Mat) {
+	n := dst.Pixels()
+	for i := 0; i < n; i++ {
+		dst.U8Pix[i] = grayPixel(src.Pix[3*i], src.Pix[3*i+1], src.Pix[3*i+2])
+	}
+	if o.T != nil {
+		// Per pixel: three byte loads, three multiplies, two adds, a
+		// shift-round and a store.
+		o.T.RecordN("ldrb(rgb)", trace.ScalarLoad, uint64(3*n), 1)
+		o.T.RecordN("mul(luma)", trace.ScalarALU, uint64(3*n), 0)
+		o.T.RecordN("add/shr", trace.ScalarALU, uint64(3*n), 0)
+		o.T.RecordN("strb", trace.ScalarStore, uint64(n), 1)
+		o.scalarOverhead(uint64(n))
+	}
+}
+
+// rgbToGrayNEON processes 8 pixels per iteration: one vld3.8 deinterleave,
+// a widening multiply and two widening multiply-accumulates against the
+// luma weights, a rounding narrow, and one store.
+func (o *Ops) rgbToGrayNEON(src *image.RGB, dst *image.Mat) {
+	u := o.n
+	wr := u.VdupNU8(grayR)
+	wg := u.VdupNU8(grayG)
+	wb := u.VdupNU8(grayB)
+	n := dst.Pixels()
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		planes := u.Vld3U8(src.Pix[3*i:])
+		acc := u.VmullU8(planes[0], wr)
+		acc = u.VmlalU8(acc, planes[1], wg)
+		acc = u.VmlalU8(acc, planes[2], wb)
+		u.Vst1U8(dst.U8Pix[i:], u.VrshrnNU16(acc, grayShift))
+		u.Overhead(2, 1, 0)
+	}
+	for ; i < n; i++ {
+		dst.U8Pix[i] = grayPixel(src.Pix[3*i], src.Pix[3*i+1], src.Pix[3*i+2])
+		if o.T != nil {
+			o.T.RecordN("gray(tail)", trace.ScalarALU, 9, 0)
+			o.scalarOverhead(1)
+		}
+	}
+}

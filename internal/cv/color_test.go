@@ -1,0 +1,127 @@
+package cv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"simdstudy/internal/image"
+	"simdstudy/internal/trace"
+)
+
+func TestRGBToGrayNEONMatchesScalar(t *testing.T) {
+	res := image.Resolution{Width: 67, Height: 23} // odd width exercises the tail
+	src := image.SyntheticRGB(res, 1)
+	want := image.NewMat(res.Width, res.Height, image.U8)
+	got := image.NewMat(res.Width, res.Height, image.U8)
+	if err := NewOps(ISAScalar, nil).RGBToGray(src, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewOps(ISANEON, nil).RGBToGray(src, got); err != nil {
+		t.Fatal(err)
+	}
+	if !want.EqualTo(got) {
+		t.Fatalf("NEON gray differs in %d pixels", want.DiffCount(got, 0))
+	}
+	// SSE2 has no hand path (no structured loads); it must fall back to
+	// the scalar result exactly.
+	sse := image.NewMat(res.Width, res.Height, image.U8)
+	if err := NewOps(ISASSE2, nil).RGBToGray(src, sse); err != nil {
+		t.Fatal(err)
+	}
+	if !want.EqualTo(sse) {
+		t.Fatal("SSE2 fallback differs from scalar")
+	}
+}
+
+func TestRGBToGraySemantics(t *testing.T) {
+	src := image.NewRGB(4, 1)
+	src.Set(0, 0, 255, 255, 255) // white -> 255 (weights sum to 256)
+	src.Set(1, 0, 0, 0, 0)       // black -> 0
+	src.Set(2, 0, 255, 0, 0)     // pure red -> round(255*77/256 + .5)
+	src.Set(3, 0, 0, 255, 0)     // pure green
+	dst := image.NewMat(4, 1, image.U8)
+	if err := NewOps(ISAScalar, nil).RGBToGray(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.U8Pix[0] != 255 || dst.U8Pix[1] != 0 {
+		t.Errorf("white/black: %d %d", dst.U8Pix[0], dst.U8Pix[1])
+	}
+	if dst.U8Pix[2] != uint8((255*77+128)>>8) {
+		t.Errorf("red luma: %d", dst.U8Pix[2])
+	}
+	if dst.U8Pix[3] != uint8((255*150+128)>>8) {
+		t.Errorf("green luma: %d", dst.U8Pix[3])
+	}
+	// Green dominates luma, per BT.601.
+	if dst.U8Pix[3] <= dst.U8Pix[2] {
+		t.Error("green must contribute more luma than red")
+	}
+}
+
+func TestRGBToGrayErrors(t *testing.T) {
+	o := NewOps(ISAScalar, nil)
+	src := image.NewRGB(4, 4)
+	if err := o.RGBToGray(src, image.NewMat(4, 4, image.S16)); err == nil {
+		t.Error("S16 dst should fail")
+	}
+	if err := o.RGBToGray(src, image.NewMat(2, 2, image.U8)); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+func TestRGBToGrayInstructionCounts(t *testing.T) {
+	res := image.Resolution{Width: 64, Height: 16}
+	src := image.SyntheticRGB(res, 2)
+	dst := image.NewMat(res.Width, res.Height, image.U8)
+
+	var hand trace.Counter
+	if err := NewOps(ISANEON, &hand).RGBToGray(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	// 8 pixels/iter: vld3 + vmull + 2 vmlal + vrshrn + vst1 + 3 overhead,
+	// plus the three hoisted weight broadcasts.
+	iters := uint64(res.Width * res.Height / 8)
+	if got := hand.Total(); got != 9*iters+3 {
+		t.Errorf("NEON gray: %d instrs, want %d (9 per 8 px + 3 dups)", got, 9*iters+3)
+	}
+	if hand.Opcode("vld3.8") != iters {
+		t.Error("one structured load per iteration")
+	}
+
+	var scalar trace.Counter
+	o := NewOps(ISANEON, &scalar)
+	o.SetUseOptimized(false)
+	if err := o.RGBToGray(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if scalar.Total() <= hand.Total() {
+		t.Error("scalar must retire more instructions than NEON")
+	}
+}
+
+// Property: gray output is bounded by the channel-wise min and max, for
+// every path (convexity of the normalized weights).
+func TestQuickGrayConvexity(t *testing.T) {
+	f := func(seed uint64) bool {
+		res := image.Resolution{Width: 23, Height: 7}
+		src := image.SyntheticRGB(res, seed)
+		for _, isa := range []ISA{ISAScalar, ISANEON} {
+			dst := image.NewMat(res.Width, res.Height, image.U8)
+			if err := NewOps(isa, nil).RGBToGray(src, dst); err != nil {
+				return false
+			}
+			for i := 0; i < dst.Pixels(); i++ {
+				r, g, b := src.Pix[3*i], src.Pix[3*i+1], src.Pix[3*i+2]
+				lo, hi := min(r, min(g, b)), max(r, max(g, b))
+				v := dst.U8Pix[i]
+				if int(v) < int(lo)-1 || int(v) > int(hi)+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

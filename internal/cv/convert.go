@@ -1,0 +1,132 @@
+package cv
+
+import (
+	"simdstudy/internal/image"
+	"simdstudy/internal/sat"
+	"simdstudy/internal/trace"
+)
+
+// ConvertF32ToS16 is the paper's first benchmark: OpenCV's cvt_32f16s,
+// converting float pixels to signed shorts with saturation
+// (saturate_cast<short>(float)).
+//
+// Rounding follows the platform conventions of OpenCV 2.4:
+//
+//   - the SSE2 scalar and vector paths round to nearest-even (cvtsd2si /
+//     cvtps2dq under default MXCSR), so scalar and hand-SIMD agree exactly;
+//   - the ARM scalar path uses the (int)(v +- 0.5) fallback (half away from
+//     zero), while the hand NEON path uses vcvt.s32.f32 which truncates —
+//     a genuine, documented divergence of the real NEON port that shows up
+//     as off-by-one results on fractional pixels.
+func (o *Ops) ConvertF32ToS16(src, dst *image.Mat) error {
+	if err := requireKind(src, image.F32, "ConvertF32ToS16 src"); err != nil {
+		return err
+	}
+	if err := requireKind(dst, image.S16, "ConvertF32ToS16 dst"); err != nil {
+		return err
+	}
+	if err := sameShape(src, dst); err != nil {
+		return err
+	}
+	if o.UseOptimized() {
+		switch o.isa {
+		case ISANEON:
+			o.convertNEON(src, dst)
+			return nil
+		case ISASSE2:
+			o.convertSSE2(src, dst)
+			return nil
+		}
+	}
+	o.convertScalar(src, dst)
+	return nil
+}
+
+// convertScalar is the unoptimized OpenCV loop:
+//
+//	for (; x < size.width; x++) dst[x] = saturate_cast<short>(src[x]);
+func (o *Ops) convertScalar(src, dst *image.Mat) {
+	s, d := src.F32Pix, dst.S16Pix
+	n := len(s)
+	for i := 0; i < n; i++ {
+		d[i] = sat.NarrowInt32ToInt16(o.cvRound(s[i]))
+	}
+	if o.T != nil {
+		// Per-pixel cost of the scalar loop as compiled at -O3 without
+		// vectorization: load, round+convert (a scalar FP op plus a
+		// conversion; on ARM the cvRound inlines to VFP ops), two-branch
+		// clamp folded to ALU ops, store.
+		o.T.RecordN("ldr(f32)", trace.ScalarLoad, uint64(n), 4)
+		o.T.RecordN("round", trace.ScalarFP, uint64(n), 0)
+		o.T.RecordN("cvt(f2i)", trace.ScalarCvt, uint64(n), 0)
+		o.T.RecordN("clamp", trace.ScalarALU, uint64(2*n), 0)
+		o.T.RecordN("strh(s16)", trace.ScalarStore, uint64(n), 2)
+		o.scalarOverhead(uint64(n))
+	}
+}
+
+// cvRound mirrors OpenCV's cvRound for the configured platform family.
+func (o *Ops) cvRound(v float32) int32 {
+	if o.isa == ISASSE2 {
+		return sat.RoundHalfToEvenIndefinite(float64(v))
+	}
+	return sat.RoundHalfAwayFromZero(float64(v))
+}
+
+// convertNEON is the paper's hand-optimized NEON loop, transcribed from its
+// Section III-A listing: 8 pixels per iteration, 8 NEON instructions plus 6
+// bookkeeping instructions.
+func (o *Ops) convertNEON(src, dst *image.Mat) {
+	s, d := src.F32Pix, dst.S16Pix
+	width := len(s)
+	u := o.n
+	x := 0
+	for ; x <= width-8; x += 8 {
+		src128 := u.Vld1qF32(s[x:])
+		srcInt128 := u.VcvtqS32F32(src128)
+		src0Int64 := u.VqmovnS32(srcInt128)
+		src128 = u.Vld1qF32(s[x+4:])
+		srcInt128 = u.VcvtqS32F32(src128)
+		src1Int64 := u.VqmovnS32(srcInt128)
+		resInt128 := u.VcombineS16(src0Int64, src1Int64)
+		u.Vst1qS16(d[x:], resInt128)
+		// Section V counts 6 non-SIMD instructions per iteration: two
+		// address adds, a register move, a compare and branch, and the
+		// base-pointer update.
+		u.Overhead(3, 1, 2)
+	}
+	// Scalar epilogue for the remainder, truncating like vcvt so the whole
+	// image is consistent with the vector path.
+	for ; x < width; x++ {
+		d[x] = sat.NarrowInt32ToInt16(sat.Float32ToInt32Truncate(s[x]))
+		if o.T != nil {
+			o.T.RecordN("vldr/vcvt/strh(tail)", trace.ScalarCvt, 1, 0)
+			o.scalarOverhead(1)
+		}
+	}
+}
+
+// convertSSE2 is the paper's hand-optimized SSE2 loop, transcribed from its
+// Section III-A listing: 8 pixels per iteration, 6 SSE2 instructions.
+func (o *Ops) convertSSE2(src, dst *image.Mat) {
+	s, d := src.F32Pix, dst.S16Pix
+	width := len(s)
+	u := o.s
+	x := 0
+	for ; x <= width-8; x += 8 {
+		src128 := u.LoaduPs(s[x:])
+		srcInt128 := u.CvtpsEpi32(src128)
+		src128 = u.LoaduPs(s[x+4:])
+		src1Int128 := u.CvtpsEpi32(src128)
+		src1Int128 = u.PacksEpi32(srcInt128, src1Int128)
+		u.StoreuSi128S16(d[x:], src1Int128)
+		u.Overhead(3, 1, 2)
+	}
+	for ; x < width; x++ {
+		d[x] = sat.NarrowInt32ToInt16(sat.RoundHalfToEvenIndefinite(float64(s[x])))
+		if o.T != nil {
+			o.T.RecordN("cvtss2si/clamp(tail)", trace.ScalarCvt, 1, 0)
+			o.scalarOverhead(1)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package cv is a from-scratch reimplementation of the OpenCV core and
+// imgproc routines benchmarked by the paper: saturating float-to-short
+// conversion, binary image thresholding, Gaussian blur, Sobel filtering and
+// edge detection.
+//
+// Every operation has two code paths, mirroring the paper's methodology:
+//
+//   - a scalar path, the portable C++-equivalent source the compiler sees
+//     (and the input to the auto-vectorization model in internal/vectorizer);
+//   - a hand-optimized SIMD path written against the NEON or SSE2 intrinsic
+//     emulation layer, transcribed from the paper's listings where given.
+//
+// Like OpenCV, the SIMD path is toggled with SetUseOptimized; when off (or
+// when the Ops has ISA ISAScalar), operations fall back to scalar code.
+// Dynamic instruction traces are recorded into the attached trace.Counter.
+package cv
+
+import (
+	"fmt"
+
+	"simdstudy/internal/image"
+	"simdstudy/internal/neon"
+	"simdstudy/internal/sse2"
+	"simdstudy/internal/trace"
+)
+
+// ISA selects which intrinsic family the hand-optimized paths use.
+type ISA int
+
+// Supported instruction-set families.
+const (
+	ISAScalar ISA = iota // no SIMD: always scalar
+	ISANEON              // ARMv7 Advanced SIMD
+	ISASSE2              // Intel SSE2
+)
+
+// String names the ISA.
+func (i ISA) String() string {
+	switch i {
+	case ISAScalar:
+		return "scalar"
+	case ISANEON:
+		return "neon"
+	case ISASSE2:
+		return "sse2"
+	}
+	return fmt.Sprintf("isa(%d)", int(i))
+}
+
+// Ops is a handle to the library configured for one ISA, analogous to an
+// OpenCV build compiled for one target. Methods are not safe for concurrent
+// use of a single Ops; the paper's harness is single-threaded.
+type Ops struct {
+	isa          ISA
+	useOptimized bool
+
+	T *trace.Counter
+	n *neon.Unit
+	s *sse2.Unit
+}
+
+// NewOps returns an Ops for the given ISA, recording dynamic instructions
+// into t (which may be nil). SIMD optimizations start enabled, as in
+// OpenCV builds with SSE2/NEON baked in.
+func NewOps(isa ISA, t *trace.Counter) *Ops {
+	return &Ops{
+		isa:          isa,
+		useOptimized: true,
+		T:            t,
+		n:            neon.New(t),
+		s:            sse2.New(t),
+	}
+}
+
+// SetUseOptimized toggles the hand-optimized SIMD code paths, the
+// equivalent of cv::setUseOptimized(bool).
+func (o *Ops) SetUseOptimized(on bool) { o.useOptimized = on }
+
+// UseOptimized reports whether SIMD paths are active.
+func (o *Ops) UseOptimized() bool { return o.useOptimized && o.isa != ISAScalar }
+
+// ISA returns the configured instruction set.
+func (o *Ops) ISA() ISA { return o.isa }
+
+// scalarOverhead records per-iteration scalar loop bookkeeping (index
+// increment, compare, branch) into the trace.
+func (o *Ops) scalarOverhead(iters uint64) {
+	if o.T == nil {
+		return
+	}
+	o.T.RecordN("add(index)", trace.AddrCalc, iters, 0)
+	o.T.RecordN("cmp+b(loop)", trace.Branch, iters, 0)
+}
+
+func sameShape(a, b *image.Mat) error {
+	if a.Width != b.Width || a.Height != b.Height {
+		return fmt.Errorf("cv: shape mismatch %dx%d vs %dx%d", a.Width, a.Height, b.Width, b.Height)
+	}
+	return nil
+}
+
+func requireKind(m *image.Mat, k image.Type, what string) error {
+	if m.Kind != k {
+		return fmt.Errorf("cv: %s requires %v image, got %v", what, k, m.Kind)
+	}
+	return nil
+}

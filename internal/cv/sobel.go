@@ -1,0 +1,359 @@
+package cv
+
+import (
+	"fmt"
+
+	"simdstudy/internal/image"
+	"simdstudy/internal/trace"
+)
+
+// SobelFilter computes the first derivative of a U8 image into an S16 image
+// using the separable 3x3 Sobel operator, the paper's benchmark 4. dx=1,dy=0
+// selects the horizontal gradient ([-1 0 1] differentiator with [1 2 1]
+// cross-smoothing); dx=0,dy=1 the vertical. Borders are replicated.
+func (o *Ops) SobelFilter(src, dst *image.Mat, dx, dy int) error {
+	if err := requireKind(src, image.U8, "SobelFilter src"); err != nil {
+		return err
+	}
+	if err := requireKind(dst, image.S16, "SobelFilter dst"); err != nil {
+		return err
+	}
+	if err := sameShape(src, dst); err != nil {
+		return err
+	}
+	switch {
+	case dx == 1 && dy == 0, dx == 0 && dy == 1:
+	default:
+		return fmt.Errorf("cv: SobelFilter supports (dx,dy) of (1,0) or (0,1), got (%d,%d)", dx, dy)
+	}
+	tmp := image.NewMat(src.Width, src.Height, image.S16)
+	if o.UseOptimized() {
+		switch o.isa {
+		case ISANEON:
+			if dx == 1 {
+				o.sobelDiffHNEON(src, tmp)
+				o.sobelSmoothVNEON(tmp, dst)
+			} else {
+				o.sobelSmoothHNEON(src, tmp)
+				o.sobelDiffVNEON(tmp, dst)
+			}
+			return nil
+		case ISASSE2:
+			if dx == 1 {
+				o.sobelDiffHSSE2(src, tmp)
+				o.sobelSmoothVSSE2(tmp, dst)
+			} else {
+				o.sobelSmoothHSSE2(src, tmp)
+				o.sobelDiffVSSE2(tmp, dst)
+			}
+			return nil
+		}
+	}
+	if dx == 1 {
+		o.sobelDiffHScalar(src, tmp)
+		o.sobelSmoothVScalar(tmp, dst)
+	} else {
+		o.sobelSmoothHScalar(src, tmp)
+		o.sobelDiffVScalar(tmp, dst)
+	}
+	return nil
+}
+
+// --- Scalar reference pieces. SIMD paths call these for borders so all
+// paths agree bit-for-bit. ---
+
+// diffHPixel is src[x+1]-src[x-1] with replicated borders.
+func diffHPixel(row []uint8, w, x int) int16 {
+	return int16(row[clampIdx(x+1, w)]) - int16(row[clampIdx(x-1, w)])
+}
+
+// smoothHPixel is src[x-1]+2*src[x]+src[x+1] with replicated borders.
+func smoothHPixel(row []uint8, w, x int) int16 {
+	return int16(row[clampIdx(x-1, w)]) + 2*int16(row[x]) + int16(row[clampIdx(x+1, w)])
+}
+
+// smoothVPixel is tmp[y-1]+2*tmp[y]+tmp[y+1] on the S16 plane.
+func smoothVPixel(pix []int16, w, h, x, y int) int16 {
+	return pix[clampIdx(y-1, h)*w+x] + 2*pix[y*w+x] + pix[clampIdx(y+1, h)*w+x]
+}
+
+// diffVPixel is tmp[y+1]-tmp[y-1] on the S16 plane.
+func diffVPixel(pix []int16, w, h, x, y int) int16 {
+	return pix[clampIdx(y+1, h)*w+x] - pix[clampIdx(y-1, h)*w+x]
+}
+
+func (o *Ops) sobelRowCost(pixels uint64, taps int) {
+	if o.T == nil {
+		return
+	}
+	o.T.RecordN("ldr(tap)", trace.ScalarLoad, uint64(taps)*pixels, 1)
+	o.T.RecordN("add/sub", trace.ScalarALU, uint64(taps)*pixels, 0)
+	o.T.RecordN("str(s16)", trace.ScalarStore, pixels, 2)
+	o.scalarOverhead(pixels)
+}
+
+func (o *Ops) sobelDiffHScalar(src, tmp *image.Mat) {
+	w, h := src.Width, src.Height
+	for y := 0; y < h; y++ {
+		row := src.U8Pix[y*w : (y+1)*w]
+		out := tmp.S16Pix[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			out[x] = diffHPixel(row, w, x)
+		}
+	}
+	o.sobelRowCost(uint64(w*h), 2)
+}
+
+func (o *Ops) sobelSmoothHScalar(src, tmp *image.Mat) {
+	w, h := src.Width, src.Height
+	for y := 0; y < h; y++ {
+		row := src.U8Pix[y*w : (y+1)*w]
+		out := tmp.S16Pix[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			out[x] = smoothHPixel(row, w, x)
+		}
+	}
+	o.sobelRowCost(uint64(w*h), 3)
+}
+
+func (o *Ops) sobelSmoothVScalar(tmp, dst *image.Mat) {
+	w, h := tmp.Width, tmp.Height
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dst.S16Pix[y*w+x] = smoothVPixel(tmp.S16Pix, w, h, x, y)
+		}
+	}
+	o.sobelRowCost(uint64(w*h), 3)
+}
+
+func (o *Ops) sobelDiffVScalar(tmp, dst *image.Mat) {
+	w, h := tmp.Width, tmp.Height
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dst.S16Pix[y*w+x] = diffVPixel(tmp.S16Pix, w, h, x, y)
+		}
+	}
+	o.sobelRowCost(uint64(w*h), 2)
+}
+
+func (o *Ops) sobelTailCost(pixels uint64) {
+	if o.T == nil || pixels == 0 {
+		return
+	}
+	o.T.RecordN("sobel(tail)", trace.ScalarALU, 5*pixels, 0)
+	o.scalarOverhead(pixels)
+}
+
+// --- NEON ---
+
+// sobelDiffHNEON: 8 pixels/iter via one widening subtract.
+func (o *Ops) sobelDiffHNEON(src, tmp *image.Mat) {
+	w, h := src.Width, src.Height
+	u := o.n
+	edge := 0
+	for y := 0; y < h; y++ {
+		row := src.U8Pix[y*w : (y+1)*w]
+		out := tmp.S16Pix[y*w : (y+1)*w]
+		x := 0
+		for ; x < 1 && x < w; x++ {
+			out[x] = diffHPixel(row, w, x)
+			edge++
+		}
+		for ; x+8 <= w-1; x += 8 {
+			d := u.VsublU8(u.Vld1U8(row[x+1:]), u.Vld1U8(row[x-1:]))
+			u.Vst1qS16(out[x:], d)
+			u.Overhead(2, 1, 0)
+		}
+		for ; x < w; x++ {
+			out[x] = diffHPixel(row, w, x)
+			edge++
+		}
+	}
+	o.sobelTailCost(uint64(edge))
+}
+
+// sobelSmoothHNEON: 8 pixels/iter: widening add of the outer taps plus two
+// widening adds of the centre.
+func (o *Ops) sobelSmoothHNEON(src, tmp *image.Mat) {
+	w, h := src.Width, src.Height
+	u := o.n
+	edge := 0
+	for y := 0; y < h; y++ {
+		row := src.U8Pix[y*w : (y+1)*w]
+		out := tmp.S16Pix[y*w : (y+1)*w]
+		x := 0
+		for ; x < 1 && x < w; x++ {
+			out[x] = smoothHPixel(row, w, x)
+			edge++
+		}
+		for ; x+8 <= w-1; x += 8 {
+			centre := u.Vld1U8(row[x:])
+			acc := u.VaddlU8(u.Vld1U8(row[x-1:]), u.Vld1U8(row[x+1:]))
+			acc = u.VaddwU8(acc, centre)
+			acc = u.VaddwU8(acc, centre)
+			u.Vst1qS16(out[x:], acc)
+			u.Overhead(2, 1, 0)
+		}
+		for ; x < w; x++ {
+			out[x] = smoothHPixel(row, w, x)
+			edge++
+		}
+	}
+	o.sobelTailCost(uint64(edge))
+}
+
+// sobelSmoothVNEON: 8 pixels/iter on S16 rows: add outer rows, add centre
+// shifted left by one.
+func (o *Ops) sobelSmoothVNEON(tmp, dst *image.Mat) {
+	w, h := tmp.Width, tmp.Height
+	u := o.n
+	edge := 0
+	for y := 0; y < h; y++ {
+		r0 := tmp.S16Pix[clampIdx(y-1, h)*w:]
+		r1 := tmp.S16Pix[y*w:]
+		r2 := tmp.S16Pix[clampIdx(y+1, h)*w:]
+		out := dst.S16Pix[y*w : (y+1)*w]
+		x := 0
+		for ; x+8 <= w; x += 8 {
+			acc := u.VaddqS16(u.Vld1qS16(r0[x:]), u.Vld1qS16(r2[x:]))
+			acc = u.VaddqS16(acc, u.VshlqNS16(u.Vld1qS16(r1[x:]), 1))
+			u.Vst1qS16(out[x:], acc)
+			u.Overhead(2, 1, 0)
+		}
+		for ; x < w; x++ {
+			out[x] = smoothVPixel(tmp.S16Pix, w, h, x, y)
+			edge++
+		}
+	}
+	o.sobelTailCost(uint64(edge))
+}
+
+// sobelDiffVNEON: 8 pixels/iter on S16 rows: one subtract.
+func (o *Ops) sobelDiffVNEON(tmp, dst *image.Mat) {
+	w, h := tmp.Width, tmp.Height
+	u := o.n
+	edge := 0
+	for y := 0; y < h; y++ {
+		r0 := tmp.S16Pix[clampIdx(y-1, h)*w:]
+		r2 := tmp.S16Pix[clampIdx(y+1, h)*w:]
+		out := dst.S16Pix[y*w : (y+1)*w]
+		x := 0
+		for ; x+8 <= w; x += 8 {
+			d := u.VsubqS16(u.Vld1qS16(r2[x:]), u.Vld1qS16(r0[x:]))
+			u.Vst1qS16(out[x:], d)
+			u.Overhead(2, 1, 0)
+		}
+		for ; x < w; x++ {
+			out[x] = diffVPixel(tmp.S16Pix, w, h, x, y)
+			edge++
+		}
+	}
+	o.sobelTailCost(uint64(edge))
+}
+
+// --- SSE2 ---
+
+// sobelDiffHSSE2: 8 pixels/iter: unpack both neighbours to words, subtract.
+func (o *Ops) sobelDiffHSSE2(src, tmp *image.Mat) {
+	w, h := src.Width, src.Height
+	u := o.s
+	zero := u.SetzeroSi128()
+	edge := 0
+	for y := 0; y < h; y++ {
+		row := src.U8Pix[y*w : (y+1)*w]
+		out := tmp.S16Pix[y*w : (y+1)*w]
+		x := 0
+		for ; x < 1 && x < w; x++ {
+			out[x] = diffHPixel(row, w, x)
+			edge++
+		}
+		for ; x+8 <= w-1; x += 8 {
+			a := u.UnpackloEpi8(u.LoadlEpi64U8(row[x+1:]), zero)
+			b := u.UnpackloEpi8(u.LoadlEpi64U8(row[x-1:]), zero)
+			u.StoreuSi128S16(out[x:], u.SubEpi16(a, b))
+			u.Overhead(2, 1, 0)
+		}
+		for ; x < w; x++ {
+			out[x] = diffHPixel(row, w, x)
+			edge++
+		}
+	}
+	o.sobelTailCost(uint64(edge))
+}
+
+// sobelSmoothHSSE2: 8 pixels/iter.
+func (o *Ops) sobelSmoothHSSE2(src, tmp *image.Mat) {
+	w, h := src.Width, src.Height
+	u := o.s
+	zero := u.SetzeroSi128()
+	edge := 0
+	for y := 0; y < h; y++ {
+		row := src.U8Pix[y*w : (y+1)*w]
+		out := tmp.S16Pix[y*w : (y+1)*w]
+		x := 0
+		for ; x < 1 && x < w; x++ {
+			out[x] = smoothHPixel(row, w, x)
+			edge++
+		}
+		for ; x+8 <= w-1; x += 8 {
+			l := u.UnpackloEpi8(u.LoadlEpi64U8(row[x-1:]), zero)
+			c := u.UnpackloEpi8(u.LoadlEpi64U8(row[x:]), zero)
+			r := u.UnpackloEpi8(u.LoadlEpi64U8(row[x+1:]), zero)
+			acc := u.AddEpi16(u.AddEpi16(l, r), u.SlliEpi16(c, 1))
+			u.StoreuSi128S16(out[x:], acc)
+			u.Overhead(2, 1, 0)
+		}
+		for ; x < w; x++ {
+			out[x] = smoothHPixel(row, w, x)
+			edge++
+		}
+	}
+	o.sobelTailCost(uint64(edge))
+}
+
+// sobelSmoothVSSE2: 8 pixels/iter on S16 rows.
+func (o *Ops) sobelSmoothVSSE2(tmp, dst *image.Mat) {
+	w, h := tmp.Width, tmp.Height
+	u := o.s
+	edge := 0
+	for y := 0; y < h; y++ {
+		r0 := tmp.S16Pix[clampIdx(y-1, h)*w:]
+		r1 := tmp.S16Pix[y*w:]
+		r2 := tmp.S16Pix[clampIdx(y+1, h)*w:]
+		out := dst.S16Pix[y*w : (y+1)*w]
+		x := 0
+		for ; x+8 <= w; x += 8 {
+			acc := u.AddEpi16(u.LoaduSi128S16(r0[x:]), u.LoaduSi128S16(r2[x:]))
+			acc = u.AddEpi16(acc, u.SlliEpi16(u.LoaduSi128S16(r1[x:]), 1))
+			u.StoreuSi128S16(out[x:], acc)
+			u.Overhead(2, 1, 0)
+		}
+		for ; x < w; x++ {
+			out[x] = smoothVPixel(tmp.S16Pix, w, h, x, y)
+			edge++
+		}
+	}
+	o.sobelTailCost(uint64(edge))
+}
+
+// sobelDiffVSSE2: 8 pixels/iter on S16 rows.
+func (o *Ops) sobelDiffVSSE2(tmp, dst *image.Mat) {
+	w, h := tmp.Width, tmp.Height
+	u := o.s
+	edge := 0
+	for y := 0; y < h; y++ {
+		r0 := tmp.S16Pix[clampIdx(y-1, h)*w:]
+		r2 := tmp.S16Pix[clampIdx(y+1, h)*w:]
+		out := dst.S16Pix[y*w : (y+1)*w]
+		x := 0
+		for ; x+8 <= w; x += 8 {
+			u.StoreuSi128S16(out[x:], u.SubEpi16(u.LoaduSi128S16(r2[x:]), u.LoaduSi128S16(r0[x:])))
+			u.Overhead(2, 1, 0)
+		}
+		for ; x < w; x++ {
+			out[x] = diffVPixel(tmp.S16Pix, w, h, x, y)
+			edge++
+		}
+	}
+	o.sobelTailCost(uint64(edge))
+}

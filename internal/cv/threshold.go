@@ -1,0 +1,205 @@
+package cv
+
+import (
+	"fmt"
+
+	"simdstudy/internal/image"
+	"simdstudy/internal/trace"
+	"simdstudy/internal/vec"
+)
+
+// ThreshType selects the thresholding rule, mirroring OpenCV's THRESH_*
+// constants.
+type ThreshType int
+
+// Threshold types. The paper's benchmark 2 follows its Algorithm 1:
+// "if pixel >= threshold then pixel <- threshold", which is ThreshTrunc.
+const (
+	ThreshBinary    ThreshType = iota // dst = src > thresh ? maxval : 0
+	ThreshBinaryInv                   // dst = src > thresh ? 0 : maxval
+	ThreshTrunc                       // dst = min(src, thresh)
+	ThreshToZero                      // dst = src > thresh ? src : 0
+	ThreshToZeroInv                   // dst = src > thresh ? 0 : src
+)
+
+// String names the threshold type.
+func (t ThreshType) String() string {
+	switch t {
+	case ThreshBinary:
+		return "binary"
+	case ThreshBinaryInv:
+		return "binary_inv"
+	case ThreshTrunc:
+		return "trunc"
+	case ThreshToZero:
+		return "tozero"
+	case ThreshToZeroInv:
+		return "tozero_inv"
+	}
+	return fmt.Sprintf("thresh(%d)", int(t))
+}
+
+// Threshold applies an element-wise threshold to a U8 image, the paper's
+// benchmark 2 (cv::threshold on 8-bit images).
+func (o *Ops) Threshold(src, dst *image.Mat, thresh, maxval uint8, typ ThreshType) error {
+	if err := requireKind(src, image.U8, "Threshold src"); err != nil {
+		return err
+	}
+	if err := requireKind(dst, image.U8, "Threshold dst"); err != nil {
+		return err
+	}
+	if err := sameShape(src, dst); err != nil {
+		return err
+	}
+	if typ < ThreshBinary || typ > ThreshToZeroInv {
+		return fmt.Errorf("cv: unknown threshold type %d", int(typ))
+	}
+	if o.UseOptimized() {
+		switch o.isa {
+		case ISANEON:
+			o.thresholdNEON(src, dst, thresh, maxval, typ)
+			return nil
+		case ISASSE2:
+			o.thresholdSSE2(src, dst, thresh, maxval, typ)
+			return nil
+		}
+	}
+	o.thresholdScalar(src, dst, thresh, maxval, typ)
+	return nil
+}
+
+func thresholdPixel(v, thresh, maxval uint8, typ ThreshType) uint8 {
+	switch typ {
+	case ThreshBinary:
+		if v > thresh {
+			return maxval
+		}
+		return 0
+	case ThreshBinaryInv:
+		if v > thresh {
+			return 0
+		}
+		return maxval
+	case ThreshTrunc:
+		if v > thresh {
+			return thresh
+		}
+		return v
+	case ThreshToZero:
+		if v > thresh {
+			return v
+		}
+		return 0
+	default: // ThreshToZeroInv
+		if v > thresh {
+			return 0
+		}
+		return v
+	}
+}
+
+func (o *Ops) thresholdScalar(src, dst *image.Mat, thresh, maxval uint8, typ ThreshType) {
+	s, d := src.U8Pix, dst.U8Pix
+	n := len(s)
+	for i := 0; i < n; i++ {
+		d[i] = thresholdPixel(s[i], thresh, maxval, typ)
+	}
+	if o.T != nil {
+		// Per pixel: byte load, compare+conditional select (branchless at
+		// -O3), byte store.
+		o.T.RecordN("ldrb", trace.ScalarLoad, uint64(n), 1)
+		o.T.RecordN("cmp+sel", trace.ScalarALU, uint64(2*n), 0)
+		o.T.RecordN("strb", trace.ScalarStore, uint64(n), 1)
+		o.scalarOverhead(uint64(n))
+	}
+}
+
+// thresholdNEON processes 16 pixels per iteration. Truncation is a single
+// vmin.u8; the masked variants compare and bit-select.
+func (o *Ops) thresholdNEON(src, dst *image.Mat, thresh, maxval uint8, typ ThreshType) {
+	s, d := src.U8Pix, dst.U8Pix
+	n := len(s)
+	u := o.n
+	vthresh := u.VdupqNU8(thresh)
+	var vmax vec.V128
+	if typ == ThreshBinary || typ == ThreshBinaryInv {
+		vmax = u.VdupqNU8(maxval)
+	}
+	x := 0
+	for ; x <= n-16; x += 16 {
+		v := u.Vld1qU8(s[x:])
+		var r vec.V128
+		switch typ {
+		case ThreshTrunc:
+			r = u.VminqU8(v, vthresh)
+		case ThreshBinary:
+			mask := u.VcgtqU8(v, vthresh)
+			r = u.VandqU8(mask, vmax)
+		case ThreshBinaryInv:
+			mask := u.VcgtqU8(v, vthresh)
+			r = u.VbicqU8(vmax, mask)
+		case ThreshToZero:
+			mask := u.VcgtqU8(v, vthresh)
+			r = u.VandqU8(mask, v)
+		default: // ThreshToZeroInv
+			mask := u.VcgtqU8(v, vthresh)
+			r = u.VbicqU8(v, mask)
+		}
+		u.Vst1qU8(d[x:], r)
+		u.Overhead(2, 1, 0)
+	}
+	for ; x < n; x++ {
+		d[x] = thresholdPixel(s[x], thresh, maxval, typ)
+		if o.T != nil {
+			o.T.RecordN("ldrb/cmp/strb(tail)", trace.ScalarALU, 3, 0)
+			o.scalarOverhead(1)
+		}
+	}
+}
+
+// thresholdSSE2 processes 16 pixels per iteration. SSE2 lacks an unsigned
+// byte compare, so the masked variants bias both operands by 0x80 and use
+// the signed pcmpgtb — two extra pxor instructions per loop that NEON does
+// not pay, one of the micro-architectural asymmetries the paper discusses.
+func (o *Ops) thresholdSSE2(src, dst *image.Mat, thresh, maxval uint8, typ ThreshType) {
+	s, d := src.U8Pix, dst.U8Pix
+	n := len(s)
+	u := o.s
+	vthresh := u.Set1Epu8(thresh)
+	bias := u.Set1Epu8(0x80)
+	vthreshBiased := u.XorSi128(vthresh, bias)
+	var vmax vec.V128
+	if typ == ThreshBinary || typ == ThreshBinaryInv {
+		vmax = u.Set1Epu8(maxval)
+	}
+	x := 0
+	for ; x <= n-16; x += 16 {
+		v := u.LoaduSi128U8(s[x:])
+		var r vec.V128
+		switch typ {
+		case ThreshTrunc:
+			r = u.MinEpu8(v, vthresh)
+		case ThreshBinary:
+			mask := u.CmpgtEpi8(u.XorSi128(v, bias), vthreshBiased)
+			r = u.AndSi128(mask, vmax)
+		case ThreshBinaryInv:
+			mask := u.CmpgtEpi8(u.XorSi128(v, bias), vthreshBiased)
+			r = u.AndnotSi128(mask, vmax)
+		case ThreshToZero:
+			mask := u.CmpgtEpi8(u.XorSi128(v, bias), vthreshBiased)
+			r = u.AndSi128(mask, v)
+		default: // ThreshToZeroInv
+			mask := u.CmpgtEpi8(u.XorSi128(v, bias), vthreshBiased)
+			r = u.AndnotSi128(mask, v)
+		}
+		u.StoreuSi128U8(d[x:], r)
+		u.Overhead(2, 1, 0)
+	}
+	for ; x < n; x++ {
+		d[x] = thresholdPixel(s[x], thresh, maxval, typ)
+		if o.T != nil {
+			o.T.RecordN("mov/cmp/mov(tail)", trace.ScalarALU, 3, 0)
+			o.scalarOverhead(1)
+		}
+	}
+}

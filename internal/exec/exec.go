@@ -1,0 +1,367 @@
+// Package exec interprets internal/ir loops over concrete buffers.
+//
+// It is the semantic referee for the auto-vectorization model: the IR form
+// of each benchmark kernel must produce bit-identical results to the cv
+// package's scalar implementation (asserted in tests), and lane-blocked
+// execution must equal straight-line execution, so the vectorizer's
+// cost conclusions are drawn about loops whose meaning is verified.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"simdstudy/internal/ir"
+	"simdstudy/internal/sat"
+)
+
+// RoundMode selects the scalar cvRound semantics of the modeled platform
+// family (OpCvtF2I).
+type RoundMode int
+
+// Rounding conventions for OpCvtF2I.
+const (
+	// RoundARM is (int)(v +- 0.5): half away from zero, the OpenCV
+	// fallback used on ARM builds.
+	RoundARM RoundMode = iota
+	// RoundX86 is cvtsd2si: half to even with the integer-indefinite
+	// overflow convention.
+	RoundX86
+)
+
+// Env holds the buffers a loop reads and writes, keyed by array name.
+type Env struct {
+	U8  map[string][]uint8
+	S16 map[string][]int16
+	U16 map[string][]uint16
+	S32 map[string][]int32
+	F32 map[string][]float32
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{
+		U8:  map[string][]uint8{},
+		S16: map[string][]int16{},
+		U16: map[string][]uint16{},
+		S32: map[string][]int32{},
+		F32: map[string][]float32{},
+	}
+}
+
+// value is the interpreter's universal register: integers (including bools)
+// in i, floats in f.
+type value struct {
+	i int64
+	f float64
+}
+
+// normalize wraps v to the width and signedness of t, matching C integer
+// conversion semantics.
+func normalize(t ir.Type, v int64) int64 {
+	switch t {
+	case ir.U8:
+		return int64(uint8(v))
+	case ir.I16:
+		return int64(int16(v))
+	case ir.U16:
+		return int64(uint16(v))
+	case ir.I32:
+		return int64(int32(v))
+	case ir.Bool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	}
+	return v
+}
+
+func signed(t ir.Type) bool { return t == ir.I16 || t == ir.I32 }
+
+// Run executes the loop for i in [0, n) with the given rounding mode.
+func Run(l *ir.Loop, env *Env, n int, mode RoundMode) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	regs := make([]value, len(l.Body))
+	for i := 0; i < n; i++ {
+		if err := runIter(l, env, i, mode, regs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunBlocked executes the loop in lane blocks of vf followed by a scalar
+// remainder, the iteration order a vectorized build uses. Because the
+// loops are dependence-free across iterations, results must equal Run;
+// tests assert this.
+func RunBlocked(l *ir.Loop, env *Env, n, vf int, mode RoundMode) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if vf < 1 {
+		return fmt.Errorf("exec: vector factor %d", vf)
+	}
+	regs := make([]value, len(l.Body))
+	i := 0
+	for ; i+vf <= n; i += vf {
+		// Lane-major execution: each instruction applied across the block
+		// before the next, via a per-lane register file.
+		lanes := make([][]value, vf)
+		for k := range lanes {
+			lanes[k] = make([]value, len(l.Body))
+		}
+		for instrIdx, ins := range l.Body {
+			for lane := 0; lane < vf; lane++ {
+				v, err := evalInstr(l, env, ins, i+lane, mode, lanes[lane])
+				if err != nil {
+					return err
+				}
+				lanes[lane][instrIdx] = v
+			}
+		}
+	}
+	for ; i < n; i++ {
+		if err := runIter(l, env, i, mode, regs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runIter(l *ir.Loop, env *Env, i int, mode RoundMode, regs []value) error {
+	for instrIdx, ins := range l.Body {
+		v, err := evalInstr(l, env, ins, i, mode, regs)
+		if err != nil {
+			return err
+		}
+		regs[instrIdx] = v
+	}
+	return nil
+}
+
+func evalInstr(l *ir.Loop, env *Env, ins ir.Instr, i int, mode RoundMode, regs []value) (value, error) {
+	arg := func(k int) value { return regs[ins.Args[k]] }
+	switch ins.Op {
+	case ir.OpConst:
+		if ins.Type == ir.F32 {
+			return value{f: ins.FloatVal}, nil
+		}
+		return value{i: normalize(ins.Type, ins.IntVal)}, nil
+
+	case ir.OpLoad:
+		idx := i*ins.Stride + ins.Offset
+		return load(env, ins.Type, ins.Array, idx, l.Name)
+
+	case ir.OpStore:
+		idx := i*ins.Stride + ins.Offset
+		return value{}, store(env, ins.Type, ins.Array, idx, arg(0), l.Name)
+
+	case ir.OpAdd:
+		if ins.Type == ir.F32 {
+			return value{f: float64(float32(arg(0).f) + float32(arg(1).f))}, nil
+		}
+		return value{i: normalize(ins.Type, arg(0).i+arg(1).i)}, nil
+
+	case ir.OpSub:
+		if ins.Type == ir.F32 {
+			return value{f: float64(float32(arg(0).f) - float32(arg(1).f))}, nil
+		}
+		return value{i: normalize(ins.Type, arg(0).i-arg(1).i)}, nil
+
+	case ir.OpMul:
+		if ins.Type == ir.F32 {
+			return value{f: float64(float32(arg(0).f) * float32(arg(1).f))}, nil
+		}
+		return value{i: normalize(ins.Type, arg(0).i*arg(1).i)}, nil
+
+	case ir.OpMin:
+		if ins.Type == ir.F32 {
+			return value{f: math.Min(arg(0).f, arg(1).f)}, nil
+		}
+		if arg(0).i < arg(1).i {
+			return value{i: arg(0).i}, nil
+		}
+		return value{i: arg(1).i}, nil
+
+	case ir.OpMax:
+		if ins.Type == ir.F32 {
+			return value{f: math.Max(arg(0).f, arg(1).f)}, nil
+		}
+		if arg(0).i > arg(1).i {
+			return value{i: arg(0).i}, nil
+		}
+		return value{i: arg(1).i}, nil
+
+	case ir.OpAnd:
+		return value{i: normalize(ins.Type, arg(0).i&arg(1).i)}, nil
+	case ir.OpOr:
+		return value{i: normalize(ins.Type, arg(0).i|arg(1).i)}, nil
+	case ir.OpXor:
+		return value{i: normalize(ins.Type, arg(0).i^arg(1).i)}, nil
+
+	case ir.OpShl:
+		return value{i: normalize(ins.Type, arg(0).i<<ins.ShiftAmount)}, nil
+	case ir.OpShr:
+		if signed(ins.Type) {
+			return value{i: normalize(ins.Type, arg(0).i>>ins.ShiftAmount)}, nil
+		}
+		return value{i: normalize(ins.Type, int64(uint64(arg(0).i)>>ins.ShiftAmount))}, nil
+
+	case ir.OpCmpGT:
+		var c bool
+		if ins.Type == ir.F32 {
+			c = arg(0).f > arg(1).f
+		} else {
+			c = arg(0).i > arg(1).i // values normalized at def; compare is value-wise
+		}
+		if c {
+			return value{i: 1}, nil
+		}
+		return value{i: 0}, nil
+
+	case ir.OpSelect:
+		if arg(0).i != 0 {
+			return arg(1), nil
+		}
+		return arg(2), nil
+
+	case ir.OpAbs:
+		v := arg(0).i
+		if v < 0 {
+			v = -v
+		}
+		return value{i: normalize(ins.Type, v)}, nil
+
+	case ir.OpAbsSat:
+		switch ins.Type {
+		case ir.I16:
+			return value{i: int64(sat.AbsInt16(int16(arg(0).i)))}, nil
+		case ir.I32:
+			return value{i: int64(sat.AbsInt32(int32(arg(0).i)))}, nil
+		}
+		return value{}, fmt.Errorf("exec: %s: abssat on %v", l.Name, ins.Type)
+
+	case ir.OpAddSat:
+		switch ins.Type {
+		case ir.I16:
+			return value{i: int64(sat.AddInt16(int16(arg(0).i), int16(arg(1).i)))}, nil
+		case ir.U8:
+			return value{i: int64(sat.AddUint8(uint8(arg(0).i), uint8(arg(1).i)))}, nil
+		case ir.I32:
+			return value{i: int64(sat.AddInt32(int32(arg(0).i), int32(arg(1).i)))}, nil
+		}
+		return value{}, fmt.Errorf("exec: %s: addsat on %v", l.Name, ins.Type)
+
+	case ir.OpWiden:
+		return value{i: arg(0).i}, nil // values are canonical already
+
+	case ir.OpNarrow:
+		return value{i: normalize(ins.Type, arg(0).i)}, nil
+
+	case ir.OpSatCast:
+		switch ins.Type {
+		case ir.I16:
+			return value{i: int64(sat.Int16(arg(0).i))}, nil
+		case ir.U8:
+			return value{i: int64(sat.Uint8(arg(0).i))}, nil
+		case ir.U16:
+			return value{i: int64(sat.Uint16(arg(0).i))}, nil
+		case ir.I32:
+			return value{i: int64(sat.Int32(arg(0).i))}, nil
+		}
+		return value{}, fmt.Errorf("exec: %s: satcast to %v", l.Name, ins.Type)
+
+	case ir.OpCvtF2I:
+		if mode == RoundX86 {
+			return value{i: int64(sat.RoundHalfToEvenIndefinite(arg(0).f))}, nil
+		}
+		return value{i: int64(sat.RoundHalfAwayFromZero(arg(0).f))}, nil
+
+	case ir.OpCvtF2IT:
+		return value{i: int64(sat.Float32ToInt32Truncate(float32(arg(0).f)))}, nil
+
+	case ir.OpCvtI2F:
+		return value{f: float64(float32(arg(0).i))}, nil
+	}
+	return value{}, fmt.Errorf("exec: %s: unhandled op %v", l.Name, ins.Op)
+}
+
+func load(env *Env, t ir.Type, array string, idx int, loop string) (value, error) {
+	switch t {
+	case ir.U8:
+		b, ok := env.U8[array]
+		if !ok {
+			return value{}, fmt.Errorf("exec: %s: no u8 array %q", loop, array)
+		}
+		return value{i: int64(b[idx])}, nil
+	case ir.I16:
+		b, ok := env.S16[array]
+		if !ok {
+			return value{}, fmt.Errorf("exec: %s: no s16 array %q", loop, array)
+		}
+		return value{i: int64(b[idx])}, nil
+	case ir.U16:
+		b, ok := env.U16[array]
+		if !ok {
+			return value{}, fmt.Errorf("exec: %s: no u16 array %q", loop, array)
+		}
+		return value{i: int64(b[idx])}, nil
+	case ir.I32:
+		b, ok := env.S32[array]
+		if !ok {
+			return value{}, fmt.Errorf("exec: %s: no s32 array %q", loop, array)
+		}
+		return value{i: int64(b[idx])}, nil
+	case ir.F32:
+		b, ok := env.F32[array]
+		if !ok {
+			return value{}, fmt.Errorf("exec: %s: no f32 array %q", loop, array)
+		}
+		return value{f: float64(b[idx])}, nil
+	}
+	return value{}, fmt.Errorf("exec: %s: load of %v", loop, t)
+}
+
+func store(env *Env, t ir.Type, array string, idx int, v value, loop string) error {
+	switch t {
+	case ir.U8:
+		b, ok := env.U8[array]
+		if !ok {
+			return fmt.Errorf("exec: %s: no u8 array %q", loop, array)
+		}
+		b[idx] = uint8(v.i)
+		return nil
+	case ir.I16:
+		b, ok := env.S16[array]
+		if !ok {
+			return fmt.Errorf("exec: %s: no s16 array %q", loop, array)
+		}
+		b[idx] = int16(v.i)
+		return nil
+	case ir.U16:
+		b, ok := env.U16[array]
+		if !ok {
+			return fmt.Errorf("exec: %s: no u16 array %q", loop, array)
+		}
+		b[idx] = uint16(v.i)
+		return nil
+	case ir.I32:
+		b, ok := env.S32[array]
+		if !ok {
+			return fmt.Errorf("exec: %s: no s32 array %q", loop, array)
+		}
+		b[idx] = int32(v.i)
+		return nil
+	case ir.F32:
+		b, ok := env.F32[array]
+		if !ok {
+			return fmt.Errorf("exec: %s: no f32 array %q", loop, array)
+		}
+		b[idx] = float32(v.f)
+		return nil
+	}
+	return fmt.Errorf("exec: %s: store of %v", loop, t)
+}

@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"simdstudy/internal/image"
+	"simdstudy/internal/platform"
+	"simdstudy/internal/timing"
+)
+
+var smallSizes = []image.Resolution{{Width: 640, Height: 480, Name: "640x480"}}
+
+func TestRunGrid(t *testing.T) {
+	g, err := RunGrid("BinThr", platform.Paper(), smallSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Cells) != 1 || len(g.Cells[0]) != 10 {
+		t.Fatalf("grid shape %dx%d", len(g.Cells), len(g.Cells[0]))
+	}
+	for pi, c := range g.Cells[0] {
+		if c.AutoSeconds <= 0 || c.HandSeconds <= 0 {
+			t.Errorf("platform %d: non-positive times", pi)
+		}
+		if c.Speedup() < 1 {
+			t.Errorf("platform %d: speedup %.2f < 1", pi, c.Speedup())
+		}
+	}
+	if _, err := RunGrid("NoSuch", platform.Paper(), smallSizes); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestCellSpeedupZeroGuard(t *testing.T) {
+	if (Cell{AutoSeconds: 1}).Speedup() != 0 {
+		t.Error("zero HAND time should not divide")
+	}
+	if Runs != 100 {
+		t.Error("the paper averages 100 runs")
+	}
+}
+
+func TestVerifyAllBenchmarks(t *testing.T) {
+	res := image.Resolution{Width: 96, Height: 64, Name: "96x64"}
+	for _, bench := range timing.BenchNames {
+		n, err := Verify(bench, res)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		if n != 5 {
+			t.Fatalf("%s: checked %d images, want the 5-image burst", bench, n)
+		}
+	}
+	if _, err := Verify("NoSuch", res); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable1(&buf, platform.Paper())
+	out := buf.String()
+	for _, want := range []string{"INTEL", "ARM", "Pineview", "Kal-El", "VFPv3/NEON", "SSE2/SSE3", "Q1'12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	g, err := RunGrid("ConvertFloatShort", platform.Paper(), image.Resolutions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	g.RenderTable2(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table II", "640x480", "3264x2448", "AUTO", "HAND", "Speed-up"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+	// Four size groups, each with three rows.
+	if got := strings.Count(out, "Speed-up"); got != 4 {
+		t.Errorf("expected 4 speed-up rows, got %d", got)
+	}
+}
+
+func TestRenderTable3(t *testing.T) {
+	sizes := []image.Resolution{image.Res8MP}
+	var grids []*Grid
+	for _, b := range []string{"BinThr", "GauBlu", "SobFil", "EdgDet"} {
+		g, err := RunGrid(b, platform.Paper(), sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grids = append(grids, g)
+	}
+	var buf bytes.Buffer
+	RenderTable3(&buf, grids)
+	out := buf.String()
+	for _, want := range []string{"Table III", "BinThr", "GauBlu", "SobFil", "EdgDet", "3264x2448"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III missing %q", want)
+		}
+	}
+	RenderTable3(&buf, nil) // must not panic
+}
+
+func TestRenderCSV(t *testing.T) {
+	g, err := RunGrid("SobFil", []platform.Platform{platform.AtomD510()}, smallSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	g.RenderCSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,size,platform") {
+		t.Error("CSV header")
+	}
+	if !strings.Contains(lines[1], "SobFil,640x480,Intel Atom D510") {
+		t.Errorf("CSV row: %s", lines[1])
+	}
+}
+
+func TestRenderFigure(t *testing.T) {
+	g, err := RunGrid("GauBlu", platform.Paper(), image.Resolutions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	g.RenderFigure(&buf, 4)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "Gaussian Blur") {
+		t.Error("figure header")
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("figure should contain bars")
+	}
+	if !strings.Contains(out, "Tegra") {
+		t.Error("figure should list all platforms")
+	}
+}
+
+func TestFigureBenchMapping(t *testing.T) {
+	if len(FigureForBench) != 5 {
+		t.Fatal("figures 2-6")
+	}
+	for n := 2; n <= 6; n++ {
+		if FigureForBench[n] == "" {
+			t.Errorf("figure %d unmapped", n)
+		}
+	}
+	if FigureForBench[2] != "ConvertFloatShort" || FigureForBench[6] != "EdgDet" {
+		t.Error("figure mapping wrong")
+	}
+}
+
+func TestSpeedupRangesAndAbstract(t *testing.T) {
+	var grids []*Grid
+	for _, bench := range timing.BenchNames {
+		g, err := RunGrid(bench, platform.Paper(), image.Resolutions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grids = append(grids, g)
+	}
+	ranges := SpeedupRanges(grids)
+	if len(ranges) != 2 {
+		t.Fatalf("want ARM and Intel ranges, got %d", len(ranges))
+	}
+	if ranges[0].Family != platform.ARM || ranges[1].Family != platform.Intel {
+		t.Fatal("range order: ARM then Intel, as in the abstract")
+	}
+	// The abstract's bands: ARM 1.05-13.88, Intel 1.34-5.54 — our shape
+	// reproduction must stay in the same neighbourhoods.
+	arm, intel := ranges[0], ranges[1]
+	if arm.Min < 1.0 || arm.Max < 12 || arm.Max > 15 {
+		t.Errorf("ARM range %.2f-%.2f out of band", arm.Min, arm.Max)
+	}
+	if intel.Min < 1.0 || intel.Max < 4.5 || intel.Max > 6.0 {
+		t.Errorf("Intel range %.2f-%.2f out of band", intel.Min, intel.Max)
+	}
+	if arm.Max <= intel.Max {
+		t.Error("ARM max speedup must exceed Intel's (the A8 convert anomaly)")
+	}
+
+	var buf bytes.Buffer
+	RenderAbstractSummary(&buf, grids)
+	out := buf.String()
+	if !strings.Contains(out, "NEON") || !strings.Contains(out, "SSE") {
+		t.Errorf("abstract summary: %s", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Error("two sentences expected")
+	}
+	if len(SpeedupRanges(nil)) != 0 {
+		t.Error("empty grids give no ranges")
+	}
+}

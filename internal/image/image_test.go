@@ -1,0 +1,338 @@
+package image
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestResolutions(t *testing.T) {
+	if Res8MP.Pixels() != 3264*2448 {
+		t.Errorf("8MP pixels: %d", Res8MP.Pixels())
+	}
+	if len(Resolutions) != 4 {
+		t.Fatal("expected four paper resolutions")
+	}
+	for i := 1; i < len(Resolutions); i++ {
+		if Resolutions[i].Pixels() <= Resolutions[i-1].Pixels() {
+			t.Error("resolutions must be sorted ascending")
+		}
+	}
+	if Res03MP.Name != "640x480" {
+		t.Errorf("name: %s", Res03MP.Name)
+	}
+}
+
+func TestTypeSizes(t *testing.T) {
+	if U8.Size() != 1 || S16.Size() != 2 || F32.Size() != 4 {
+		t.Fatal("type sizes")
+	}
+	if U8.String() != "8U" || S16.String() != "16S" || F32.String() != "32F" {
+		t.Fatal("type names")
+	}
+	if !strings.Contains(Type(99).String(), "99") {
+		t.Fatal("unknown type string")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Size of unknown type should panic")
+		}
+	}()
+	Type(99).Size()
+}
+
+func TestNewMat(t *testing.T) {
+	m := NewMat(10, 5, S16)
+	if m.Pixels() != 50 || m.Bytes() != 100 {
+		t.Fatalf("pixels/bytes: %d/%d", m.Pixels(), m.Bytes())
+	}
+	if len(m.S16Pix) != 50 || m.U8Pix != nil || m.F32Pix != nil {
+		t.Fatal("plane allocation")
+	}
+	if m.Row(3) != 30 {
+		t.Fatal("Row")
+	}
+	for _, k := range []Type{U8, F32} {
+		mm := NewMat(2, 2, k)
+		if mm.Bytes() != 4*k.Size() {
+			t.Fatal("bytes")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid dims should panic")
+		}
+	}()
+	NewMat(0, 5, U8)
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	m := Synthetic(Resolution{64, 48, "64x48", 0}, 1)
+	c := m.Clone()
+	if !m.EqualTo(c) {
+		t.Fatal("clone should be equal")
+	}
+	c.U8Pix[100]++
+	if m.EqualTo(c) {
+		t.Fatal("mutated clone should differ")
+	}
+	if m.DiffCount(c, 0) != 1 {
+		t.Fatalf("diff count: %d", m.DiffCount(c, 0))
+	}
+	if m.DiffCount(c, 1) != 0 {
+		t.Fatal("tolerance should absorb +-1")
+	}
+	other := NewMat(64, 48, S16)
+	if m.EqualTo(other) {
+		t.Fatal("different kinds are unequal")
+	}
+	if m.DiffCount(other, 0) != m.Pixels() {
+		t.Fatal("shape mismatch diff count")
+	}
+
+	s := NewMat(4, 4, S16)
+	s2 := s.Clone()
+	s2.S16Pix[0] = 5
+	if s.EqualTo(s2) || s.DiffCount(s2, 4) != 1 {
+		t.Fatal("s16 equality")
+	}
+	f := NewMat(4, 4, F32)
+	f2 := f.Clone()
+	f2.F32Pix[0] = 100
+	if f.EqualTo(f2) || f.DiffCount(f2, 1) != 1 {
+		t.Fatal("f32 equality")
+	}
+	if !f.EqualTo(f.Clone()) || !s.EqualTo(s.Clone()) {
+		t.Fatal("self equality")
+	}
+}
+
+func TestSyntheticDeterministicAndDistinct(t *testing.T) {
+	res := Resolution{128, 96, "128x96", 0}
+	a1 := Synthetic(res, 3)
+	a2 := Synthetic(res, 3)
+	if !a1.EqualTo(a2) {
+		t.Fatal("same seed must give identical images")
+	}
+	b := Synthetic(res, 4)
+	if a1.EqualTo(b) {
+		t.Fatal("different seeds must differ")
+	}
+	// Natural-statistics sanity: pixel histogram should not be flat or
+	// constant; check we use a reasonable value spread.
+	var hist [256]int
+	for _, p := range a1.U8Pix {
+		hist[p]++
+	}
+	nonzero := 0
+	for _, h := range hist {
+		if h > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 32 {
+		t.Fatalf("synthetic image uses only %d distinct values", nonzero)
+	}
+}
+
+func TestSyntheticF32HasSaturatingValues(t *testing.T) {
+	m := SyntheticF32(Resolution{256, 128, "", 0}, 2)
+	huge, inRange := 0, 0
+	for _, v := range m.F32Pix {
+		if v > 32767 || v < -32768 {
+			huge++
+		} else {
+			inRange++
+		}
+	}
+	if huge == 0 {
+		t.Fatal("float workload must include values that saturate int16")
+	}
+	if inRange < huge {
+		t.Fatal("most values should be in pixel range")
+	}
+}
+
+func TestBurst(t *testing.T) {
+	res := Resolution{32, 32, "", 0}
+	b := Burst(res, 5)
+	if len(b) != 5 {
+		t.Fatal("burst length")
+	}
+	for i := 0; i < len(b); i++ {
+		for j := i + 1; j < len(b); j++ {
+			if b[i].EqualTo(b[j]) {
+				t.Fatalf("burst images %d and %d identical", i, j)
+			}
+		}
+	}
+	fb := BurstF32(res, 3)
+	if len(fb) != 3 || fb[0].Kind != F32 {
+		t.Fatal("f32 burst")
+	}
+	if fb[0].EqualTo(fb[1]) {
+		t.Fatal("f32 burst images identical")
+	}
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	m := Synthetic(Resolution{33, 17, "", 0}, 9) // odd sizes exercise header parsing
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.EqualTo(back) {
+		t.Fatal("PGM roundtrip altered pixels")
+	}
+}
+
+func TestPGMRejectsNonU8(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, NewMat(2, 2, F32)); err == nil {
+		t.Fatal("expected error for F32")
+	}
+}
+
+func TestPGMHeaderEdgeCases(t *testing.T) {
+	// Comments and arbitrary whitespace are legal.
+	data := "P5 # comment\n# another comment\n 3\t2 \n255\n" + "abcdef"
+	m, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Width != 3 || m.Height != 2 || string(m.U8Pix) != "abcdef" {
+		t.Fatalf("parsed %dx%d %q", m.Width, m.Height, m.U8Pix)
+	}
+
+	bad := []string{
+		"P6\n3 2\n255\nabcdef",   // wrong magic
+		"P5\n3 2\n128\nabcdef",   // unsupported maxval
+		"P5\n3 2\n255\nabc",      // short pixel data
+		"P5\nx 2\n255\nabcdef",   // non-numeric width
+		"P5\n3 2\n",              // truncated header
+		"P5\n0 2\n255\n",         // zero dimension
+		"P5\n99999999 2\n255\n ", // unreasonable dimension
+	}
+	for i, s := range bad {
+		if _, err := ReadPGM(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// Property: PGM roundtrip is the identity for arbitrary small images.
+func TestQuickPGMRoundTrip(t *testing.T) {
+	f := func(pix []byte, w8 uint8) bool {
+		w := int(w8%16) + 1
+		h := len(pix) / w
+		if h == 0 {
+			return true
+		}
+		m := NewMat(w, h, U8)
+		copy(m.U8Pix, pix)
+		var buf bytes.Buffer
+		if err := WritePGM(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadPGM(&buf)
+		if err != nil {
+			return false
+		}
+		return m.EqualTo(back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := newRNG(0)
+	if r.next() == 0 && r.next() == 0 {
+		t.Fatal("zero seed must still produce values")
+	}
+}
+
+func TestRGBBasics(t *testing.T) {
+	m := NewRGB(4, 3)
+	if m.Pixels() != 12 || len(m.Pix) != 36 {
+		t.Fatal("rgb allocation")
+	}
+	m.Set(2, 1, 10, 20, 30)
+	r, g, b := m.At(2, 1)
+	if r != 10 || g != 20 || b != 30 {
+		t.Fatal("at/set")
+	}
+	c := NewRGB(4, 3)
+	c.Set(2, 1, 10, 20, 30)
+	if !m.EqualTo(c) {
+		t.Fatal("equal")
+	}
+	c.Set(0, 0, 1, 0, 0)
+	if m.EqualTo(c) {
+		t.Fatal("unequal after mutation")
+	}
+	if m.EqualTo(NewRGB(3, 4)) {
+		t.Fatal("shape mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid dims should panic")
+		}
+	}()
+	NewRGB(0, 1)
+}
+
+func TestSyntheticRGBChannelsDiffer(t *testing.T) {
+	res := Resolution{Width: 64, Height: 48}
+	m := SyntheticRGB(res, 1)
+	if m.EqualTo(SyntheticRGB(res, 2)) {
+		t.Fatal("seeds must differ")
+	}
+	if !m.EqualTo(SyntheticRGB(res, 1)) {
+		t.Fatal("same seed must repeat")
+	}
+	// Channels must carry distinct content.
+	var dRG, dGB int
+	for i := 0; i < len(m.Pix); i += 3 {
+		if m.Pix[i] != m.Pix[i+1] {
+			dRG++
+		}
+		if m.Pix[i+1] != m.Pix[i+2] {
+			dGB++
+		}
+	}
+	if dRG < m.Pixels()/2 || dGB < m.Pixels()/2 {
+		t.Fatal("synthetic RGB channels too similar")
+	}
+}
+
+func TestPPMRoundTrip(t *testing.T) {
+	m := SyntheticRGB(Resolution{Width: 19, Height: 7}, 5)
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.EqualTo(back) {
+		t.Fatal("PPM roundtrip altered pixels")
+	}
+	bad := []string{
+		"P5\n2 2\n255\n" + strings.Repeat("x", 12), // wrong magic
+		"P6\n2 2\n128\n" + strings.Repeat("x", 12), // maxval
+		"P6\n2 2\n255\nxx",                         // short data
+		"P6\n0 2\n255\n",                           // zero dim
+	}
+	for i, s := range bad {
+		if _, err := ReadPPM(strings.NewReader(s)); err == nil {
+			t.Errorf("bad PPM %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package image
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePGM encodes a U8 Mat as a binary PGM (P5) image, the uncompressed
+// format our tooling uses in place of the paper's bitmaps.
+func WritePGM(w io.Writer, m *Mat) error {
+	if m.Kind != U8 {
+		return fmt.Errorf("image: WritePGM requires U8, got %v", m.Kind)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", m.Width, m.Height); err != nil {
+		return err
+	}
+	if _, err := bw.Write(m.U8Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadPGM decodes a binary PGM (P5) image into a U8 Mat.
+func ReadPGM(r io.Reader) (*Mat, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("image: bad PGM header: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("image: not a binary PGM (magic %q)", magic)
+	}
+	width, err := readPNMInt(br)
+	if err != nil {
+		return nil, err
+	}
+	height, err := readPNMInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxval, err := readPNMInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if maxval != 255 {
+		return nil, fmt.Errorf("image: unsupported PGM maxval %d", maxval)
+	}
+	if width <= 0 || height <= 0 || width > 1<<16 || height > 1<<16 {
+		return nil, fmt.Errorf("image: unreasonable PGM dimensions %dx%d", width, height)
+	}
+	m := NewMat(width, height, U8)
+	if _, err := io.ReadFull(br, m.U8Pix); err != nil {
+		return nil, fmt.Errorf("image: short PGM pixel data: %w", err)
+	}
+	return m, nil
+}
+
+// readPNMInt reads the next whitespace-delimited integer, skipping
+// '#'-comments, and consumes the single whitespace byte that terminates the
+// header per the PNM specification.
+func readPNMInt(br *bufio.Reader) (int, error) {
+	// Skip whitespace and comments.
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if b == '#' {
+			if _, err := br.ReadString('\n'); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return 0, err
+		}
+		break
+	}
+	n := 0
+	seen := false
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF && seen {
+			return n, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		if b >= '0' && b <= '9' {
+			n = n*10 + int(b-'0')
+			seen = true
+			continue
+		}
+		if !seen {
+			return 0, fmt.Errorf("image: expected integer, got %q", b)
+		}
+		// The terminating whitespace byte is consumed, as the spec requires.
+		return n, nil
+	}
+}

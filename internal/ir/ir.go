@@ -1,0 +1,314 @@
+// Package ir defines a small loop intermediate representation for the
+// benchmark kernels' inner loops.
+//
+// The paper compares hand-written intrinsics against gcc -O3
+// auto-vectorization and explains the gap by examining which loops gcc
+// vectorizes and how (Section V). To reproduce that mechanism rather than
+// hard-code its conclusions, each kernel's inner loop is expressed in this
+// IR; internal/vectorizer applies a gcc-4.6-like legality and cost analysis
+// to it, and internal/exec interprets it (scalar or lane-blocked) over real
+// buffers so the model's semantics stay honest.
+//
+// The IR is deliberately minimal: a single counted loop over index i, a
+// straight-line SSA body, and typed array references with affine addresses
+// (base + i*stride + offset).
+package ir
+
+import "fmt"
+
+// Type is an IR value type.
+type Type int
+
+// IR value types.
+const (
+	U8 Type = iota
+	I16
+	U16
+	I32
+	F32
+	Bool // comparison results
+)
+
+// Size returns the type width in bytes (Bool is flag-like, width 0).
+func (t Type) Size() int {
+	switch t {
+	case U8:
+		return 1
+	case I16, U16:
+		return 2
+	case I32, F32:
+		return 4
+	}
+	return 0
+}
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case U8:
+		return "u8"
+	case I16:
+		return "i16"
+	case U16:
+		return "u16"
+	case I32:
+		return "i32"
+	case F32:
+		return "f32"
+	case Bool:
+		return "bool"
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// Op is an IR operation.
+type Op int
+
+// IR operations. The properties that matter to the vectorizer model are
+// encoded in the Op tables below (CallLike, Saturating, Widening...).
+const (
+	OpConst Op = iota
+	OpLoad     // from Array at i*Stride+Offset
+	OpStore    // Args[0] to Array at i*Stride+Offset
+	OpAdd
+	OpSub
+	OpMul
+	OpMin
+	OpMax
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // Args[0] << ShiftAmount
+	OpShr // arithmetic/logical by type
+	OpCmpGT
+	OpSelect // Args[0] ? Args[1] : Args[2]
+	OpAbs
+	OpAbsSat  // saturating absolute value (|MinInt16| -> MaxInt16)
+	OpAddSat  // saturating add
+	OpWiden   // to the instruction's Type
+	OpNarrow  // truncating narrow to Type
+	OpSatCast // saturating narrow to Type (OpenCV saturate_cast)
+	OpCvtF2I  // float to int, rounding per OpenCV cvRound: CALL-LIKE on ARM, opaque builtin on x86
+	OpCvtF2IT // float to int, truncate
+	OpCvtI2F  // int to float
+	numIROps
+)
+
+var opNames = [...]string{
+	"const", "load", "store", "add", "sub", "mul", "min", "max",
+	"and", "or", "xor", "shl", "shr", "cmpgt", "select",
+	"abs", "abssat", "addsat", "widen", "narrow", "satcast",
+	"cvtf2i", "cvtf2it", "cvti2f",
+}
+
+// String names the op.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// CallLike reports whether the op compiles to a libcall or opaque builtin
+// that blocks vectorization (the convert kernel's cvRound: lrint on ARM
+// softfp, an SSE2 builtin on x86 — both opaque to the gcc 4.6 vectorizer).
+func (o Op) CallLike() bool { return o == OpCvtF2I }
+
+// Saturating reports whether the op is saturating arithmetic, which gcc 4.6
+// has no GIMPLE idiom for and therefore cannot vectorize.
+func (o Op) Saturating() bool {
+	switch o {
+	case OpAbsSat, OpAddSat, OpSatCast:
+		return true
+	}
+	return false
+}
+
+// Value is a virtual register: the index of the defining instruction in the
+// loop body (SSA).
+type Value int
+
+// Instr is one IR instruction. Dest is implicit: instruction k defines
+// Value(k).
+type Instr struct {
+	Op   Op
+	Type Type    // result type (for stores: the stored element type)
+	Args []Value // operand values
+
+	// Memory operands (OpLoad/OpStore).
+	Array  string
+	Stride int // in elements; 1 is unit stride
+	Offset int // constant element offset
+
+	// OpConst payloads.
+	IntVal   int64
+	FloatVal float64
+
+	// OpShl/OpShr payload.
+	ShiftAmount uint
+}
+
+// Loop is a counted loop over i in [0, N) where N is supplied at execution
+// or analysis time.
+type Loop struct {
+	Name string
+	Body []Instr
+
+	// RuntimeKernelTaps records the filter tap count when the source loop
+	// comes from OpenCV's FilterEngine (whose small fixed kernels are
+	// specialized and fully unrolled by -O3, so the taps carry no extra
+	// scalar cost). It is metadata for reporting tools; the vectorizer's
+	// legality analysis works from the unrolled body itself.
+	RuntimeKernelTaps int
+}
+
+// Validate checks SSA well-formedness: operands must refer to earlier
+// instructions, memory ops must name arrays, types must be meaningful.
+func (l *Loop) Validate() error {
+	for k, ins := range l.Body {
+		for _, a := range ins.Args {
+			if int(a) >= k || a < 0 {
+				return fmt.Errorf("ir: %s: instr %d uses value %d (not yet defined)", l.Name, k, a)
+			}
+		}
+		switch ins.Op {
+		case OpLoad:
+			if ins.Array == "" {
+				return fmt.Errorf("ir: %s: load %d without array", l.Name, k)
+			}
+			if ins.Stride == 0 {
+				return fmt.Errorf("ir: %s: load %d with zero stride", l.Name, k)
+			}
+		case OpStore:
+			if ins.Array == "" || len(ins.Args) != 1 {
+				return fmt.Errorf("ir: %s: malformed store %d", l.Name, k)
+			}
+			if ins.Stride == 0 {
+				return fmt.Errorf("ir: %s: store %d with zero stride", l.Name, k)
+			}
+		case OpSelect:
+			if len(ins.Args) != 3 {
+				return fmt.Errorf("ir: %s: select %d needs 3 args", l.Name, k)
+			}
+		case OpConst:
+		case OpShl, OpShr, OpAbs, OpAbsSat, OpWiden, OpNarrow, OpSatCast,
+			OpCvtF2I, OpCvtF2IT, OpCvtI2F:
+			if len(ins.Args) != 1 {
+				return fmt.Errorf("ir: %s: unary op %d (%s) needs 1 arg", l.Name, k, ins.Op)
+			}
+		default:
+			if len(ins.Args) != 2 {
+				return fmt.Errorf("ir: %s: binary op %d (%s) needs 2 args", l.Name, k, ins.Op)
+			}
+		}
+	}
+	return nil
+}
+
+// Arrays returns the distinct array names referenced, loads first.
+func (l *Loop) Arrays() (loads, stores []string) {
+	seenL := map[string]bool{}
+	seenS := map[string]bool{}
+	for _, ins := range l.Body {
+		switch ins.Op {
+		case OpLoad:
+			if !seenL[ins.Array] {
+				seenL[ins.Array] = true
+				loads = append(loads, ins.Array)
+			}
+		case OpStore:
+			if !seenS[ins.Array] {
+				seenS[ins.Array] = true
+				stores = append(stores, ins.Array)
+			}
+		}
+	}
+	return loads, stores
+}
+
+// HasNonUnitStride reports whether any memory access has stride != 1 — one
+// of the three auto-vectorization blockers the paper (citing Maleki et al.)
+// calls out.
+func (l *Loop) HasNonUnitStride() bool {
+	for _, ins := range l.Body {
+		if (ins.Op == OpLoad || ins.Op == OpStore) && ins.Stride != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// WidestType returns the widest value type in the body, which determines
+// the vector factor (VF = vector bytes / widest element bytes).
+func (l *Loop) WidestType() Type {
+	w := U8
+	for _, ins := range l.Body {
+		if ins.Type.Size() > w.Size() {
+			w = ins.Type
+		}
+	}
+	return w
+}
+
+// Builder incrementally constructs a loop body.
+type Builder struct {
+	loop Loop
+}
+
+// NewBuilder starts a named loop.
+func NewBuilder(name string) *Builder { return &Builder{loop: Loop{Name: name}} }
+
+func (b *Builder) emit(ins Instr) Value {
+	b.loop.Body = append(b.loop.Body, ins)
+	return Value(len(b.loop.Body) - 1)
+}
+
+// ConstInt emits an integer constant of type t.
+func (b *Builder) ConstInt(t Type, v int64) Value {
+	return b.emit(Instr{Op: OpConst, Type: t, IntVal: v})
+}
+
+// ConstFloat emits a float constant.
+func (b *Builder) ConstFloat(v float64) Value {
+	return b.emit(Instr{Op: OpConst, Type: F32, FloatVal: v})
+}
+
+// Load emits a typed load from array at i*stride+offset.
+func (b *Builder) Load(t Type, array string, stride, offset int) Value {
+	return b.emit(Instr{Op: OpLoad, Type: t, Array: array, Stride: stride, Offset: offset})
+}
+
+// Store emits a store of v to array at i*stride+offset.
+func (b *Builder) Store(t Type, array string, stride, offset int, v Value) {
+	b.emit(Instr{Op: OpStore, Type: t, Array: array, Stride: stride, Offset: offset, Args: []Value{v}})
+}
+
+// Bin emits a binary op.
+func (b *Builder) Bin(op Op, t Type, x, y Value) Value {
+	return b.emit(Instr{Op: op, Type: t, Args: []Value{x, y}})
+}
+
+// Un emits a unary op.
+func (b *Builder) Un(op Op, t Type, x Value) Value {
+	return b.emit(Instr{Op: op, Type: t, Args: []Value{x}})
+}
+
+// Shift emits a shift by constant.
+func (b *Builder) Shift(op Op, t Type, x Value, amount uint) Value {
+	return b.emit(Instr{Op: op, Type: t, Args: []Value{x}, ShiftAmount: amount})
+}
+
+// Select emits cond ? a : c.
+func (b *Builder) Select(t Type, cond, a, c Value) Value {
+	return b.emit(Instr{Op: OpSelect, Type: t, Args: []Value{cond, a, c}})
+}
+
+// SetRuntimeKernelTaps marks the loop as having a runtime-length inner tap
+// loop of the given length (see Loop.RuntimeKernelTaps).
+func (b *Builder) SetRuntimeKernelTaps(n int) { b.loop.RuntimeKernelTaps = n }
+
+// Done returns the loop.
+func (b *Builder) Done() *Loop {
+	l := b.loop
+	return &l
+}

@@ -1,0 +1,123 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderProducesValidLoop(t *testing.T) {
+	b := NewBuilder("demo")
+	v := b.Load(U8, "src", 1, 0)
+	c := b.ConstInt(U8, 10)
+	m := b.Bin(OpMin, U8, v, c)
+	b.Store(U8, "dst", 1, 0, m)
+	l := b.Done()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Body) != 4 {
+		t.Fatalf("body length %d", len(l.Body))
+	}
+	loads, stores := l.Arrays()
+	if len(loads) != 1 || loads[0] != "src" || len(stores) != 1 || stores[0] != "dst" {
+		t.Fatalf("arrays: %v %v", loads, stores)
+	}
+}
+
+func TestValidateCatchesForwardRefs(t *testing.T) {
+	l := &Loop{Name: "bad", Body: []Instr{
+		{Op: OpAdd, Type: I16, Args: []Value{1, 2}},
+	}}
+	if err := l.Validate(); err == nil {
+		t.Fatal("forward reference should fail validation")
+	}
+}
+
+func TestValidateCatchesMalformedMemOps(t *testing.T) {
+	cases := []Loop{
+		{Name: "noarray", Body: []Instr{{Op: OpLoad, Type: U8, Stride: 1}}},
+		{Name: "zerostride", Body: []Instr{{Op: OpLoad, Type: U8, Array: "a"}}},
+		{Name: "badstore", Body: []Instr{{Op: OpStore, Type: U8, Array: "a", Stride: 1}}},
+		{Name: "badselect", Body: []Instr{{Op: OpConst, Type: U8}, {Op: OpSelect, Type: U8, Args: []Value{0, 0}}}},
+		{Name: "badunary", Body: []Instr{{Op: OpConst, Type: U8}, {Op: OpAbs, Type: U8, Args: []Value{0, 0}}}},
+		{Name: "badbinary", Body: []Instr{{Op: OpConst, Type: U8}, {Op: OpAdd, Type: U8, Args: []Value{0}}}},
+	}
+	for _, l := range cases {
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", l.Name)
+		}
+	}
+}
+
+func TestTypeProperties(t *testing.T) {
+	if U8.Size() != 1 || I16.Size() != 2 || U16.Size() != 2 || I32.Size() != 4 || F32.Size() != 4 {
+		t.Fatal("type sizes")
+	}
+	if Bool.Size() != 0 {
+		t.Fatal("bool size")
+	}
+	for _, tt := range []Type{U8, I16, U16, I32, F32, Bool} {
+		if strings.Contains(tt.String(), "type(") {
+			t.Errorf("type %d missing name", int(tt))
+		}
+	}
+	if !strings.Contains(Type(99).String(), "99") {
+		t.Fatal("unknown type string")
+	}
+}
+
+func TestOpProperties(t *testing.T) {
+	if !OpCvtF2I.CallLike() {
+		t.Fatal("cvRound must be call-like")
+	}
+	if OpCvtF2IT.CallLike() || OpAdd.CallLike() {
+		t.Fatal("only cvRound is call-like")
+	}
+	for _, op := range []Op{OpAbsSat, OpAddSat, OpSatCast} {
+		if !op.Saturating() {
+			t.Errorf("%v should be saturating", op)
+		}
+	}
+	if OpAdd.Saturating() || OpMin.Saturating() {
+		t.Fatal("plain ops are not saturating")
+	}
+	for o := Op(0); o < numIROps; o++ {
+		if strings.Contains(o.String(), "op(") {
+			t.Errorf("op %d missing name", int(o))
+		}
+	}
+	if !strings.Contains(Op(99).String(), "99") {
+		t.Fatal("unknown op string")
+	}
+}
+
+func TestNonUnitStrideDetection(t *testing.T) {
+	b := NewBuilder("strided")
+	v := b.Load(U8, "src", 2, 0)
+	b.Store(U8, "dst", 1, 0, v)
+	if !b.Done().HasNonUnitStride() {
+		t.Fatal("stride 2 load not detected")
+	}
+	b2 := NewBuilder("unit")
+	v2 := b2.Load(U8, "src", 1, 0)
+	b2.Store(U8, "dst", 1, 0, v2)
+	if b2.Done().HasNonUnitStride() {
+		t.Fatal("unit stride misdetected")
+	}
+}
+
+func TestWidestType(t *testing.T) {
+	b := NewBuilder("w")
+	v := b.Load(U8, "src", 1, 0)
+	w := b.Un(OpWiden, U16, v)
+	b.Store(U16, "dst", 1, 0, w)
+	if b.Done().WidestType() != U16 {
+		t.Fatal("widest should be U16")
+	}
+	b2 := NewBuilder("f")
+	f := b2.Load(F32, "src", 1, 0)
+	b2.Store(F32, "dst", 1, 0, f)
+	if b2.Done().WidestType() != F32 {
+		t.Fatal("widest should be F32")
+	}
+}

@@ -1,0 +1,207 @@
+// Package kernels defines the IR form of every benchmark inner loop, as the
+// gcc auto-vectorizer would see it after inlining OpenCV's templates. The
+// vectorizer model analyzes these loops; the exec interpreter validates
+// them against the cv package's scalar implementations.
+package kernels
+
+import (
+	"simdstudy/internal/cv"
+	"simdstudy/internal/ir"
+)
+
+// Convert32f16s is benchmark 1's loop:
+//
+//	dst[x] = saturate_cast<short>(cvRound(src[x]))
+//
+// The cvRound is call-like (lrint on ARM softfp, an opaque SSE2 builtin on
+// x86), which is what blocks gcc's vectorizer — the paper's Section V
+// finding.
+func Convert32f16s() *ir.Loop {
+	b := ir.NewBuilder("cvt_32f16s")
+	v := b.Load(ir.F32, "src", 1, 0)
+	r := b.Un(ir.OpCvtF2I, ir.I32, v)
+	s := b.Un(ir.OpSatCast, ir.I16, r)
+	b.Store(ir.I16, "dst", 1, 0, s)
+	return b.Done()
+}
+
+// ThresholdTrunc is benchmark 2's loop (paper Algorithm 1):
+//
+//	dst[x] = src[x] > thresh ? thresh : src[x]
+//
+// OpenCV's templated functor presents this to the compiler as a compare
+// plus conditional expression, not a recognizable MIN_EXPR, so the
+// vectorizer must if-convert it.
+func ThresholdTrunc(thresh uint8) *ir.Loop {
+	b := ir.NewBuilder("thresh_trunc")
+	v := b.Load(ir.U8, "src", 1, 0)
+	t := b.ConstInt(ir.U8, int64(thresh))
+	c := b.Bin(ir.OpCmpGT, ir.U8, v, t)
+	r := b.Select(ir.U8, c, t, v)
+	b.Store(ir.U8, "dst", 1, 0, r)
+	return b.Done()
+}
+
+// GaussRow7 is benchmark 3's horizontal pass over one row interior:
+// a 7-tap fixed-point weighted sum, widened to u16, rounded back to u8.
+// The loop index runs over the interior; array "src" is pre-offset so tap k
+// reads src[i+k].
+func GaussRow7() *ir.Loop {
+	b := ir.NewBuilder("gauss_row7")
+	half := b.ConstInt(ir.U16, 128)
+	var acc ir.Value
+	for k := 0; k < 7; k++ {
+		v := b.Load(ir.U8, "src", 1, k)
+		w := b.Un(ir.OpWiden, ir.U16, v)
+		wk := b.ConstInt(ir.U16, int64(cv.GaussKernel7[k]))
+		p := b.Bin(ir.OpMul, ir.U16, w, wk)
+		if k == 0 {
+			acc = p
+		} else {
+			acc = b.Bin(ir.OpAdd, ir.U16, acc, p)
+		}
+	}
+	acc = b.Bin(ir.OpAdd, ir.U16, acc, half)
+	acc = b.Shift(ir.OpShr, ir.U16, acc, 8)
+	n := b.Un(ir.OpNarrow, ir.U8, acc)
+	b.Store(ir.U8, "dst", 1, 0, n)
+	b.SetRuntimeKernelTaps(7)
+	return b.Done()
+}
+
+// GaussCol7 is benchmark 3's vertical pass: same arithmetic with the taps
+// coming from seven distinct row arrays r0..r6 at unit stride.
+func GaussCol7() *ir.Loop {
+	b := ir.NewBuilder("gauss_col7")
+	half := b.ConstInt(ir.U16, 128)
+	names := []string{"r0", "r1", "r2", "r3", "r4", "r5", "r6"}
+	var acc ir.Value
+	for k := 0; k < 7; k++ {
+		v := b.Load(ir.U8, names[k], 1, 0)
+		w := b.Un(ir.OpWiden, ir.U16, v)
+		wk := b.ConstInt(ir.U16, int64(cv.GaussKernel7[k]))
+		p := b.Bin(ir.OpMul, ir.U16, w, wk)
+		if k == 0 {
+			acc = p
+		} else {
+			acc = b.Bin(ir.OpAdd, ir.U16, acc, p)
+		}
+	}
+	acc = b.Bin(ir.OpAdd, ir.U16, acc, half)
+	acc = b.Shift(ir.OpShr, ir.U16, acc, 8)
+	n := b.Un(ir.OpNarrow, ir.U8, acc)
+	b.Store(ir.U8, "dst", 1, 0, n)
+	b.SetRuntimeKernelTaps(7)
+	return b.Done()
+}
+
+// SobelDiffH is benchmark 4's horizontal differentiator over a row
+// interior: dst[i] = src[i+2] - src[i] (the source pre-offset by -1, so
+// taps are x-1 and x+1), widened to i16.
+func SobelDiffH() *ir.Loop {
+	b := ir.NewBuilder("sobel_diff_h")
+	r := b.Load(ir.U8, "src", 1, 2)
+	l := b.Load(ir.U8, "src", 1, 0)
+	wr := b.Un(ir.OpWiden, ir.I16, r)
+	wl := b.Un(ir.OpWiden, ir.I16, l)
+	d := b.Bin(ir.OpSub, ir.I16, wr, wl)
+	b.Store(ir.I16, "dst", 1, 0, d)
+	b.SetRuntimeKernelTaps(2)
+	return b.Done()
+}
+
+// SobelSmoothH is the horizontal [1 2 1] smoother used by the dy=1 variant.
+func SobelSmoothH() *ir.Loop {
+	b := ir.NewBuilder("sobel_smooth_h")
+	l := b.Load(ir.U8, "src", 1, 0)
+	c := b.Load(ir.U8, "src", 1, 1)
+	r := b.Load(ir.U8, "src", 1, 2)
+	wl := b.Un(ir.OpWiden, ir.I16, l)
+	wc := b.Un(ir.OpWiden, ir.I16, c)
+	wr := b.Un(ir.OpWiden, ir.I16, r)
+	two := b.Shift(ir.OpShl, ir.I16, wc, 1)
+	s := b.Bin(ir.OpAdd, ir.I16, wl, wr)
+	s = b.Bin(ir.OpAdd, ir.I16, s, two)
+	b.Store(ir.I16, "dst", 1, 0, s)
+	b.SetRuntimeKernelTaps(3)
+	return b.Done()
+}
+
+// SobelSmoothV is the vertical [1 2 1] smoother over three S16 row arrays.
+func SobelSmoothV() *ir.Loop {
+	b := ir.NewBuilder("sobel_smooth_v")
+	r0 := b.Load(ir.I16, "r0", 1, 0)
+	r1 := b.Load(ir.I16, "r1", 1, 0)
+	r2 := b.Load(ir.I16, "r2", 1, 0)
+	two := b.Shift(ir.OpShl, ir.I16, r1, 1)
+	s := b.Bin(ir.OpAdd, ir.I16, r0, r2)
+	s = b.Bin(ir.OpAdd, ir.I16, s, two)
+	b.Store(ir.I16, "dst", 1, 0, s)
+	b.SetRuntimeKernelTaps(3)
+	return b.Done()
+}
+
+// SobelDiffV is the vertical differentiator over two S16 row arrays.
+func SobelDiffV() *ir.Loop {
+	b := ir.NewBuilder("sobel_diff_v")
+	r0 := b.Load(ir.I16, "r0", 1, 0)
+	r2 := b.Load(ir.I16, "r2", 1, 0)
+	d := b.Bin(ir.OpSub, ir.I16, r2, r0)
+	b.Store(ir.I16, "dst", 1, 0, d)
+	b.SetRuntimeKernelTaps(2)
+	return b.Done()
+}
+
+// MagThresh is benchmark 5's combine loop: saturating |gx|+|gy| against a
+// threshold, binarized. The saturating absolute and add have no gcc GIMPLE
+// idiom, which keeps this loop scalar in the AUTO build.
+func MagThresh(thresh int16) *ir.Loop {
+	b := ir.NewBuilder("mag_thresh")
+	gx := b.Load(ir.I16, "gx", 1, 0)
+	gy := b.Load(ir.I16, "gy", 1, 0)
+	ax := b.Un(ir.OpAbsSat, ir.I16, gx)
+	ay := b.Un(ir.OpAbsSat, ir.I16, gy)
+	m := b.Bin(ir.OpAddSat, ir.I16, ax, ay)
+	t := b.ConstInt(ir.I16, int64(thresh))
+	c := b.Bin(ir.OpCmpGT, ir.I16, m, t)
+	hi := b.ConstInt(ir.U8, 255)
+	lo := b.ConstInt(ir.U8, 0)
+	r := b.Select(ir.U8, c, hi, lo)
+	b.Store(ir.U8, "dst", 1, 0, r)
+	return b.Done()
+}
+
+// Pass describes one IR loop's contribution to a benchmark on a WxH image:
+// the loop runs Invocations times with Trips iterations each.
+type Pass struct {
+	Loop *ir.Loop
+	// Trips returns (iterations per invocation, invocations) for an image
+	// of w x h pixels.
+	Trips func(w, h int) (trips, invocations int)
+}
+
+// Benchmark is a named set of passes, one entry per paper benchmark.
+type Benchmark struct {
+	Name   string
+	Passes []Pass
+}
+
+func perRow(loop *ir.Loop) Pass {
+	return Pass{Loop: loop, Trips: func(w, h int) (int, int) { return w, h }}
+}
+
+// Benchmarks returns the paper's five benchmarks in IR form.
+// Threshold and edge parameters match the harness defaults.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{Name: "ConvertFloatShort", Passes: []Pass{perRow(Convert32f16s())}},
+		{Name: "BinThr", Passes: []Pass{perRow(ThresholdTrunc(128))}},
+		{Name: "GauBlu", Passes: []Pass{perRow(GaussRow7()), perRow(GaussCol7())}},
+		{Name: "SobFil", Passes: []Pass{perRow(SobelDiffH()), perRow(SobelSmoothV())}},
+		{Name: "EdgDet", Passes: []Pass{
+			perRow(SobelDiffH()), perRow(SobelSmoothV()),
+			perRow(SobelSmoothH()), perRow(SobelDiffV()),
+			perRow(MagThresh(100)),
+		}},
+	}
+}

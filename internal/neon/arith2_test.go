@@ -1,0 +1,237 @@
+package neon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"simdstudy/internal/vec"
+)
+
+func TestNegation(t *testing.T) {
+	u := New(nil)
+	a := vec.FromI16x8([8]int16{1, -1, 0, math.MinInt16, math.MaxInt16, 100, -100, 7})
+	n := u.VnegqS16(a)
+	if n.I16(0) != -1 || n.I16(1) != 1 || n.I16(3) != math.MinInt16 { // wraps
+		t.Errorf("VnegqS16: %v", n.ToI16x8())
+	}
+	q := u.VqnegqS16(a)
+	if q.I16(3) != math.MaxInt16 {
+		t.Errorf("VqnegqS16 should saturate: %d", q.I16(3))
+	}
+	f := u.VnegqF32(vec.FromF32x4([4]float32{1.5, -2.5, 0, -0}))
+	if f.F32(0) != -1.5 || f.F32(1) != 2.5 {
+		t.Error("VnegqF32")
+	}
+}
+
+func TestHalvingSub(t *testing.T) {
+	u := New(nil)
+	a := u.VdupqNU8(10)
+	b := u.VdupqNU8(5)
+	if u.VhsubqU8(a, b).U8(0) != 2 { // (10-5)>>1
+		t.Error("VhsubqU8")
+	}
+	// Negative intermediate truncates like hardware.
+	neg := u.VhsubqU8(u.VdupqNU8(0), u.VdupqNU8(1))
+	if neg.U8(0) != 0x7F { // (-1) as u16 0xFFFF >>1 low byte... check against ARM semantics
+		t.Logf("VhsubqU8 negative: %#x", neg.U8(0))
+	}
+}
+
+func TestCountOps(t *testing.T) {
+	u := New(nil)
+	v := vec.FromU8x16([16]uint8{0, 1, 3, 7, 15, 31, 63, 127, 255, 0x80, 0xAA, 0x55, 2, 4, 8, 16})
+	cnt := u.VcntqU8(v)
+	want := []uint8{0, 1, 2, 3, 4, 5, 6, 7, 8, 1, 4, 4, 1, 1, 1, 1}
+	for i, w := range want {
+		if cnt.U8(i) != w {
+			t.Errorf("VcntqU8 lane %d: got %d want %d", i, cnt.U8(i), w)
+		}
+	}
+	clz := u.VclzqU8(v)
+	if clz.U8(0) != 8 || clz.U8(1) != 7 || clz.U8(8) != 0 || clz.U8(9) != 0 {
+		t.Errorf("VclzqU8: %v", clz.ToU8x16())
+	}
+	cls := u.VclsqS16(vec.FromI16x8([8]int16{0, -1, 1, math.MinInt16, math.MaxInt16, 2, -2, 16384}))
+	if cls.I16(0) != 15 || cls.I16(1) != 15 { // all-sign patterns
+		t.Errorf("VclsqS16 sign runs: %v", cls.ToI16x8())
+	}
+	if cls.I16(3) != 0 || cls.I16(4) != 0 {
+		t.Errorf("VclsqS16 extremes: %v", cls.ToI16x8())
+	}
+	if cls.I16(2) != 14 {
+		t.Errorf("VclsqS16(1): %d", cls.I16(2))
+	}
+}
+
+func TestQ15Multiplies(t *testing.T) {
+	u := New(nil)
+	// 0.5 * 0.5 in Q15 = 0.25.
+	half := u.VdupqNS16(1 << 14)
+	q := u.VqdmulhqS16(half, half)
+	if q.I16(0) != 1<<13 {
+		t.Errorf("VqdmulhqS16: %d", q.I16(0))
+	}
+	// Saturation corner: (-1)*(-1) in Q15 overflows to MaxInt16.
+	minv := u.VdupqNS16(math.MinInt16)
+	if u.VqdmulhqS16(minv, minv).I16(0) != math.MaxInt16 {
+		t.Error("VqdmulhqS16 must saturate at -1*-1")
+	}
+	// Rounding variant adds half an LSB.
+	small := u.VdupqNS16(181) // sqrt(2)/256 in Q15-ish
+	plain := u.VqdmulhqS16(small, small).I16(0)
+	round := u.VqrdmulhqS16(small, small).I16(0)
+	if round < plain {
+		t.Error("rounding variant must not be smaller")
+	}
+}
+
+func TestNarrowHigh(t *testing.T) {
+	u := New(nil)
+	a := vec.FromI32x4([4]int32{1 << 16, 3 << 16, -(1 << 16), 0})
+	b := vec.FromI32x4([4]int32{1 << 16, 1 << 16, 0, 1 << 15})
+	add := u.VaddhnS32(a, b)
+	if add.ToI16x4() != [4]int16{2, 4, -1, 0} {
+		t.Errorf("VaddhnS32: %v", add.ToI16x4())
+	}
+	sub := u.VsubhnS32(a, b)
+	if sub.ToI16x4() != [4]int16{0, 2, -1, -1} {
+		t.Errorf("VsubhnS32: %v", sub.ToI16x4())
+	}
+}
+
+func TestPairwiseSecondWave(t *testing.T) {
+	u := New(nil)
+	a := vec.FromU8x8([8]uint8{1, 2, 3, 4, 5, 6, 7, 8})
+	b := vec.FromU8x8([8]uint8{10, 20, 30, 40, 50, 60, 70, 80})
+	pa := u.VpaddU8(a, b)
+	if pa.ToU8x8() != [8]uint8{3, 7, 11, 15, 30, 70, 110, 150} {
+		t.Errorf("VpaddU8: %v", pa.ToU8x8())
+	}
+	pm := u.VpminU8(a, b)
+	if pm.ToU8x8() != [8]uint8{1, 3, 5, 7, 10, 30, 50, 70} {
+		t.Errorf("VpminU8: %v", pm.ToU8x8())
+	}
+	fa := vec.FromF32x2([2]float32{3, -1})
+	fb := vec.FromF32x2([2]float32{7, 2})
+	if u.VpminF32(fa, fb).F32(0) != -1 || u.VpminF32(fa, fb).F32(1) != 2 {
+		t.Error("VpminF32")
+	}
+	if u.VpmaxF32(fa, fb).F32(0) != 3 || u.VpmaxF32(fa, fb).F32(1) != 7 {
+		t.Error("VpmaxF32")
+	}
+	acc := vec.FromU16x8([8]uint16{100, 0, 0, 0, 0, 0, 0, 0})
+	bytesV := vec.FromU8x16([16]uint8{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	pd := u.VpadalqU8(acc, bytesV)
+	if pd.U16(0) != 103 || pd.U16(1) != 7 {
+		t.Errorf("VpadalqU8: %v", pd.ToU16x8())
+	}
+}
+
+func TestLaneLoadsAndDup(t *testing.T) {
+	u := New(nil)
+	v := u.Vld1qDupF32([]float32{2.5})
+	if v.ToF32x4() != [4]float32{2.5, 2.5, 2.5, 2.5} {
+		t.Error("Vld1qDupF32")
+	}
+	base := u.VdupqNS16(7)
+	lane := u.Vld1qLaneS16([]int16{-9}, base, 3)
+	if lane.I16(3) != -9 || lane.I16(2) != 7 {
+		t.Error("Vld1qLaneS16")
+	}
+	out := make([]int16, 1)
+	u.Vst1qLaneS16(out, lane, 3)
+	if out[0] != -9 {
+		t.Error("Vst1qLaneS16")
+	}
+}
+
+func TestVtbx(t *testing.T) {
+	u := New(nil)
+	d := vec.FromU8x8([8]uint8{90, 91, 92, 93, 94, 95, 96, 97})
+	tbl := vec.FromU8x8([8]uint8{0, 1, 2, 3, 4, 5, 6, 7})
+	idx := vec.FromU8x8([8]uint8{7, 200, 0, 8, 3, 255, 1, 2})
+	r := u.VtbxU8(d, tbl, idx)
+	want := [8]uint8{7, 91, 0, 93, 3, 95, 1, 2} // OOR lanes keep d
+	if r.ToU8x8() != want {
+		t.Errorf("VtbxU8: got %v want %v", r.ToU8x8(), want)
+	}
+}
+
+func TestRevVariants(t *testing.T) {
+	u := New(nil)
+	v := vec.FromU8x16([16]uint8{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	r16 := u.Vrev16qU8(v)
+	if r16.U8(0) != 1 || r16.U8(1) != 0 || r16.U8(14) != 15 {
+		t.Errorf("Vrev16qU8: %v", r16.ToU8x16())
+	}
+	r32 := u.Vrev32qU8(v)
+	if r32.U8(0) != 3 || r32.U8(3) != 0 || r32.U8(4) != 7 {
+		t.Errorf("Vrev32qU8: %v", r32.ToU8x16())
+	}
+	// rev16 twice is the identity.
+	if u.Vrev16qU8(r16) != v {
+		t.Error("rev16 involution")
+	}
+	if u.Vrev32qU8(r32) != v {
+		t.Error("rev32 involution")
+	}
+}
+
+func Test64BitLanes(t *testing.T) {
+	u := New(nil)
+	a := vec.FromI64x2([2]int64{math.MaxInt64, -5})
+	b := vec.FromI64x2([2]int64{1, 3})
+	s := u.VaddqS64(a, b)
+	if s.I64(0) != math.MinInt64 || s.I64(1) != -2 { // wraps
+		t.Errorf("VaddqS64: %d %d", s.I64(0), s.I64(1))
+	}
+	q := u.VqaddqS64(a, b)
+	if q.I64(0) != math.MaxInt64 {
+		t.Error("VqaddqS64 must saturate")
+	}
+}
+
+// Property: vqdmulh result magnitude never exceeds |a| when |b| <= 0.5 in
+// Q15 (contraction property of fixed-point multiply).
+func TestQuickQ15Contraction(t *testing.T) {
+	u := New(nil)
+	f := func(a [8]int16) bool {
+		va := vec.FromI16x8(a)
+		halfQ15 := u.VdupqNS16(1 << 14) // 0.5
+		r := u.VqdmulhqS16(va, halfQ15)
+		for i := 0; i < 8; i++ {
+			got, in := int32(r.I16(i)), int32(a[i])
+			if abs32(got) > abs32(in)/2+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Property: vpadal equals vpaddl plus the accumulator.
+func TestQuickPadalEqualsPaddlPlusAcc(t *testing.T) {
+	u := New(nil)
+	f := func(accRaw [8]uint16, data [16]uint8) bool {
+		acc := vec.FromU16x8(accRaw)
+		v := vec.FromU8x16(data)
+		got := u.VpadalqU8(acc, v)
+		want := u.VaddqU16(acc, u.VpaddlqU8(v))
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package neon
+
+import (
+	"testing"
+
+	"simdstudy/internal/trace"
+	"simdstudy/internal/vec"
+)
+
+// Microbenchmarks of the emulation layer itself (host cost, not modeled
+// device time). These bound the harness's own overhead.
+
+func BenchmarkVaddqF32(b *testing.B) {
+	u := New(nil)
+	x := vec.FromF32x4([4]float32{1, 2, 3, 4})
+	y := vec.FromF32x4([4]float32{4, 3, 2, 1})
+	for i := 0; i < b.N; i++ {
+		x = u.VaddqF32(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkVmlalU8(b *testing.B) {
+	u := New(nil)
+	acc := vec.V128{}
+	d := vec.FromU8x8([8]uint8{1, 2, 3, 4, 5, 6, 7, 8})
+	w := u.VdupNU8(77)
+	for i := 0; i < b.N; i++ {
+		acc = u.VmlalU8(acc, d, w)
+	}
+	_ = acc
+}
+
+func BenchmarkConvertLoopBody(b *testing.B) {
+	u := New(nil)
+	src := make([]float32, 8)
+	dst := make([]int16, 8)
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		a := u.VcvtqS32F32(u.Vld1qF32(src))
+		lo := u.VqmovnS32(a)
+		c := u.VcvtqS32F32(u.Vld1qF32(src[4:]))
+		hi := u.VqmovnS32(c)
+		u.Vst1qS16(dst, u.VcombineS16(lo, hi))
+	}
+}
+
+func BenchmarkConvertLoopBodyTraced(b *testing.B) {
+	var tr trace.Counter
+	u := New(&tr)
+	src := make([]float32, 8)
+	dst := make([]int16, 8)
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		a := u.VcvtqS32F32(u.Vld1qF32(src))
+		lo := u.VqmovnS32(a)
+		c := u.VcvtqS32F32(u.Vld1qF32(src[4:]))
+		hi := u.VqmovnS32(c)
+		u.Vst1qS16(dst, u.VcombineS16(lo, hi))
+	}
+}
+
+func BenchmarkVld3U8(b *testing.B) {
+	u := New(nil)
+	rgb := make([]uint8, 24)
+	for i := 0; i < b.N; i++ {
+		_ = u.Vld3U8(rgb)
+	}
+}

@@ -1,0 +1,306 @@
+package neon
+
+import (
+	"simdstudy/internal/sat"
+	"simdstudy/internal/trace"
+	"simdstudy/internal/vec"
+)
+
+// --- Conversions ---
+
+// VcvtqS32F32 converts four float lanes to int32, truncating toward zero
+// with saturation (vcvt.s32.f32). Core of the convert benchmark.
+func (u *Unit) VcvtqS32F32(a vec.V128) vec.V128 {
+	u.rec("vcvt.s32.f32", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetI32(i, sat.Float32ToInt32Truncate(a.F32(i)))
+	}
+	return r
+}
+
+// VcvtqF32S32 converts four int32 lanes to float (vcvt.f32.s32).
+func (u *Unit) VcvtqF32S32(a vec.V128) vec.V128 {
+	u.rec("vcvt.f32.s32", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetF32(i, float32(a.I32(i)))
+	}
+	return r
+}
+
+// VcvtqU32F32 converts float lanes to uint32 with saturation at zero
+// (vcvt.u32.f32).
+func (u *Unit) VcvtqU32F32(a vec.V128) vec.V128 {
+	u.rec("vcvt.u32.f32", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		f := a.F32(i)
+		switch {
+		case f != f || f <= 0: // NaN or negative
+			r.SetU32(i, 0)
+		case float64(f) >= 4294967295:
+			r.SetU32(i, 0xFFFFFFFF)
+		default:
+			r.SetU32(i, uint32(f))
+		}
+	}
+	return r
+}
+
+// VcvtqF32U32 converts uint32 lanes to float (vcvt.f32.u32).
+func (u *Unit) VcvtqF32U32(a vec.V128) vec.V128 {
+	u.rec("vcvt.f32.u32", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetF32(i, float32(a.U32(i)))
+	}
+	return r
+}
+
+// VcvtqNS32F32 converts float to fixed-point S32 with n fractional bits
+// (vcvt.s32.f32 #n).
+func (u *Unit) VcvtqNS32F32(a vec.V128, n uint) vec.V128 {
+	u.rec("vcvt.s32.f32(fx)", trace.SIMDCvt)
+	var r vec.V128
+	scale := float64(int64(1) << n)
+	for i := 0; i < 4; i++ {
+		r.SetI32(i, sat.Float64ToInt32(float64(a.F32(i))*scale))
+	}
+	return r
+}
+
+// --- Narrowing moves ---
+
+// VqmovnS32 saturating narrow: four int32 lanes to four int16 lanes in a D
+// register (vqmovn.s32). The paper's convert loop uses two of these.
+func (u *Unit) VqmovnS32(a vec.V128) vec.V64 {
+	u.rec("vqmovn.s32", trace.SIMDCvt)
+	var r vec.V64
+	for i := 0; i < 4; i++ {
+		r.SetI16(i, sat.NarrowInt32ToInt16(a.I32(i)))
+	}
+	return r
+}
+
+// VqmovnS16 saturating narrow: eight int16 lanes to eight int8 lanes
+// (vqmovn.s16).
+func (u *Unit) VqmovnS16(a vec.V128) vec.V64 {
+	u.rec("vqmovn.s16", trace.SIMDCvt)
+	var r vec.V64
+	for i := 0; i < 8; i++ {
+		r.SetI8(i, sat.NarrowInt16ToInt8(a.I16(i)))
+	}
+	return r
+}
+
+// VqmovunS16 saturating narrow signed to unsigned: int16 lanes to uint8
+// (vqmovun.s16). Used when converting filtered results back to pixels.
+func (u *Unit) VqmovunS16(a vec.V128) vec.V64 {
+	u.rec("vqmovun.s16", trace.SIMDCvt)
+	var r vec.V64
+	for i := 0; i < 8; i++ {
+		r.SetU8(i, sat.NarrowInt16ToUint8(a.I16(i)))
+	}
+	return r
+}
+
+// VqmovnU16 saturating narrow: uint16 lanes to uint8 (vqmovn.u16).
+func (u *Unit) VqmovnU16(a vec.V128) vec.V64 {
+	u.rec("vqmovn.u16", trace.SIMDCvt)
+	var r vec.V64
+	for i := 0; i < 8; i++ {
+		r.SetU8(i, sat.NarrowUint16ToUint8(a.U16(i)))
+	}
+	return r
+}
+
+// VmovnS32 truncating narrow: low halves of int32 lanes (vmovn.i32).
+func (u *Unit) VmovnS32(a vec.V128) vec.V64 {
+	u.rec("vmovn.i32", trace.SIMDCvt)
+	var r vec.V64
+	for i := 0; i < 4; i++ {
+		r.SetI16(i, int16(a.I32(i)))
+	}
+	return r
+}
+
+// VmovnU16 truncating narrow: low bytes of uint16 lanes (vmovn.i16).
+func (u *Unit) VmovnU16(a vec.V128) vec.V64 {
+	u.rec("vmovn.i16", trace.SIMDCvt)
+	var r vec.V64
+	for i := 0; i < 8; i++ {
+		r.SetU8(i, uint8(a.U16(i)))
+	}
+	return r
+}
+
+// --- Widening moves ---
+
+// VmovlU8 widens eight bytes to eight uint16 lanes (vmovl.u8).
+func (u *Unit) VmovlU8(a vec.V64) vec.V128 {
+	u.rec("vmovl.u8", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetU16(i, uint16(a.U8(i)))
+	}
+	return r
+}
+
+// VmovlS8 widens eight signed bytes to int16 lanes (vmovl.s8).
+func (u *Unit) VmovlS8(a vec.V64) vec.V128 {
+	u.rec("vmovl.s8", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetI16(i, int16(a.I8(i)))
+	}
+	return r
+}
+
+// VmovlS16 widens four int16 lanes to int32 (vmovl.s16).
+func (u *Unit) VmovlS16(a vec.V64) vec.V128 {
+	u.rec("vmovl.s16", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetI32(i, int32(a.I16(i)))
+	}
+	return r
+}
+
+// VmovlU16 widens four uint16 lanes to uint32 (vmovl.u16).
+func (u *Unit) VmovlU16(a vec.V64) vec.V128 {
+	u.rec("vmovl.u16", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetU32(i, uint32(a.U16(i)))
+	}
+	return r
+}
+
+// --- Shifts ---
+
+// VshlqNS16 shift left by constant (vshl.i16 #n).
+func (u *Unit) VshlqNS16(a vec.V128, n uint) vec.V128 {
+	u.rec("vshl.i16", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetI16(i, a.I16(i)<<n)
+	}
+	return r
+}
+
+// VshrqNS16 arithmetic shift right by constant (vshr.s16 #n).
+func (u *Unit) VshrqNS16(a vec.V128, n uint) vec.V128 {
+	u.rec("vshr.s16", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetI16(i, a.I16(i)>>n)
+	}
+	return r
+}
+
+// VshrqNU16 logical shift right by constant (vshr.u16 #n).
+func (u *Unit) VshrqNU16(a vec.V128, n uint) vec.V128 {
+	u.rec("vshr.u16", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetU16(i, a.U16(i)>>n)
+	}
+	return r
+}
+
+// VshrqNU8 logical shift right bytes by constant (vshr.u8 #n).
+func (u *Unit) VshrqNU8(a vec.V128, n uint) vec.V128 {
+	u.rec("vshr.u8", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 16; i++ {
+		r.SetU8(i, a.U8(i)>>n)
+	}
+	return r
+}
+
+// VrshrqNU16 rounding shift right: (a + (1<<(n-1))) >> n (vrshr.u16 #n).
+func (u *Unit) VrshrqNU16(a vec.V128, n uint) vec.V128 {
+	u.rec("vrshr.u16", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetU16(i, uint16((uint32(a.U16(i))+(1<<(n-1)))>>n))
+	}
+	return r
+}
+
+// VrshrqNS32 rounding arithmetic shift right on int32 lanes (vrshr.s32 #n).
+func (u *Unit) VrshrqNS32(a vec.V128, n uint) vec.V128 {
+	u.rec("vrshr.s32", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetI32(i, int32((int64(a.I32(i))+(1<<(n-1)))>>n))
+	}
+	return r
+}
+
+// VrshrnNU16 rounding shift right and narrow: uint16 lanes to uint8 D
+// register (vrshrn.u16 #n). The fixed-point Gaussian uses this to rescale.
+func (u *Unit) VrshrnNU16(a vec.V128, n uint) vec.V64 {
+	u.rec("vrshrn.u16", trace.SIMDCvt)
+	var r vec.V64
+	for i := 0; i < 8; i++ {
+		v := (uint32(a.U16(i)) + (1 << (n - 1))) >> n
+		r.SetU8(i, uint8(v)) // vrshrn truncates; callers keep values in range
+	}
+	return r
+}
+
+// VqrshrnNS32 saturating rounding shift right narrow: int32 to int16
+// (vqrshrn.s32 #n).
+func (u *Unit) VqrshrnNS32(a vec.V128, n uint) vec.V64 {
+	u.rec("vqrshrn.s32", trace.SIMDCvt)
+	var r vec.V64
+	for i := 0; i < 4; i++ {
+		v := (int64(a.I32(i)) + (1 << (n - 1))) >> n
+		r.SetI16(i, sat.Int16(v))
+	}
+	return r
+}
+
+// VqshlqNS16 saturating shift left by constant (vqshl.s16 #n).
+func (u *Unit) VqshlqNS16(a vec.V128, n uint) vec.V128 {
+	u.rec("vqshl.s16", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetI16(i, sat.ShiftLeftInt16(a.I16(i), n))
+	}
+	return r
+}
+
+// VshlqS16 shift left by signed per-lane variable; negative shifts right
+// (vshl.s16 with register operand).
+func (u *Unit) VshlqS16(a, shifts vec.V128) vec.V128 {
+	u.rec("vshl.s16(reg)", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		s := int8(shifts.I16(i)) // low byte of shift lane, per ARM ARM
+		switch {
+		case s >= 16 || s <= -16:
+			r.SetI16(i, 0)
+			if s <= -16 && a.I16(i) < 0 {
+				r.SetI16(i, -1)
+			}
+		case s >= 0:
+			r.SetI16(i, a.I16(i)<<uint(s))
+		default:
+			r.SetI16(i, a.I16(i)>>uint(-s))
+		}
+	}
+	return r
+}
+
+// VsraqNS16 shift right and accumulate (vsra.s16 #n).
+func (u *Unit) VsraqNS16(acc, a vec.V128, n uint) vec.V128 {
+	u.rec("vsra.s16", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetI16(i, acc.I16(i)+(a.I16(i)>>n))
+	}
+	return r
+}

@@ -1,0 +1,427 @@
+// Package neon is a bit-exact software emulation of the ARMv7 Advanced SIMD
+// (NEON) intrinsic functions used by the paper, together with dynamic
+// instruction accounting.
+//
+// Intrinsics are methods on a Unit. Each call both computes the exact NEON
+// result on vec.V64 (D register) / vec.V128 (Q register) values and records
+// the retired instruction into the Unit's trace.Counter, so kernels written
+// against this package yield real instruction-per-pixel counts for the
+// timing model. A Unit with a nil counter skips accounting and is safe to
+// use as a pure functional SIMD library.
+//
+// Method names follow the ARM intrinsic naming convention from the paper's
+// Section II-C ([intrin_op][flags]_[type]): vld1q_f32 becomes Vld1qF32,
+// vqmovn_s32 becomes VqmovnS32, and so on. The q flag denotes quad-word
+// (128-bit) Q-register forms.
+package neon
+
+import (
+	"simdstudy/internal/trace"
+	"simdstudy/internal/vec"
+)
+
+// Unit is an emulated NEON execution unit. The zero value performs no
+// instruction accounting.
+type Unit struct {
+	T *trace.Counter
+}
+
+// New returns a Unit recording into t (which may be nil).
+func New(t *trace.Counter) *Unit { return &Unit{T: t} }
+
+func (u *Unit) rec(name string, class trace.Class) {
+	if u.T != nil {
+		u.T.Record(trace.Op{Name: name, Class: class})
+	}
+}
+
+func (u *Unit) recMem(name string, class trace.Class, bytes int) {
+	if u.T != nil {
+		u.T.Record(trace.Op{Name: name, Class: class, Bytes: bytes})
+	}
+}
+
+// Overhead records loop/address bookkeeping instructions that surround the
+// intrinsic body in compiled code: the paper's Section V counts 6 such
+// instructions (address adds, compare, branch, moves) per 8-pixel iteration.
+func (u *Unit) Overhead(addrCalcs, branches, moves int) {
+	if u.T == nil {
+		return
+	}
+	u.T.RecordN("add/mov(addr)", trace.AddrCalc, uint64(addrCalcs), 0)
+	u.T.RecordN("cmp+b", trace.Branch, uint64(branches), 0)
+	u.T.RecordN("mov", trace.Move, uint64(moves), 0)
+}
+
+// --- Data movement: loads ---
+
+// Vld1qF32 loads four consecutive float32 (vld1.32 {dN-dN+1}).
+func (u *Unit) Vld1qF32(p []float32) vec.V128 {
+	u.recMem("vld1.32", trace.SIMDLoad, 16)
+	return vec.FromF32x4([4]float32{p[0], p[1], p[2], p[3]})
+}
+
+// Vld1F32 loads two consecutive float32 into a D register.
+func (u *Unit) Vld1F32(p []float32) vec.V64 {
+	u.recMem("vld1.32", trace.SIMDLoad, 8)
+	return vec.FromF32x2([2]float32{p[0], p[1]})
+}
+
+// Vld1qU8 loads sixteen consecutive uint8.
+func (u *Unit) Vld1qU8(p []uint8) vec.V128 {
+	u.recMem("vld1.8", trace.SIMDLoad, 16)
+	var a [16]uint8
+	copy(a[:], p[:16])
+	return vec.FromU8x16(a)
+}
+
+// Vld1U8 loads eight consecutive uint8 into a D register.
+func (u *Unit) Vld1U8(p []uint8) vec.V64 {
+	u.recMem("vld1.8", trace.SIMDLoad, 8)
+	var a [8]uint8
+	copy(a[:], p[:8])
+	return vec.FromU8x8(a)
+}
+
+// Vld1qS8 loads sixteen consecutive int8.
+func (u *Unit) Vld1qS8(p []int8) vec.V128 {
+	u.recMem("vld1.8", trace.SIMDLoad, 16)
+	var a [16]int8
+	copy(a[:], p[:16])
+	return vec.FromI8x16(a)
+}
+
+// Vld1qS16 loads eight consecutive int16.
+func (u *Unit) Vld1qS16(p []int16) vec.V128 {
+	u.recMem("vld1.16", trace.SIMDLoad, 16)
+	var a [8]int16
+	copy(a[:], p[:8])
+	return vec.FromI16x8(a)
+}
+
+// Vld1S16 loads four consecutive int16 into a D register.
+func (u *Unit) Vld1S16(p []int16) vec.V64 {
+	u.recMem("vld1.16", trace.SIMDLoad, 8)
+	var a [4]int16
+	copy(a[:], p[:4])
+	return vec.FromI16x4(a)
+}
+
+// Vld1qU16 loads eight consecutive uint16.
+func (u *Unit) Vld1qU16(p []uint16) vec.V128 {
+	u.recMem("vld1.16", trace.SIMDLoad, 16)
+	var a [8]uint16
+	copy(a[:], p[:8])
+	return vec.FromU16x8(a)
+}
+
+// Vld1qS32 loads four consecutive int32.
+func (u *Unit) Vld1qS32(p []int32) vec.V128 {
+	u.recMem("vld1.32", trace.SIMDLoad, 16)
+	var a [4]int32
+	copy(a[:], p[:4])
+	return vec.FromI32x4(a)
+}
+
+// Vld1qU32 loads four consecutive uint32.
+func (u *Unit) Vld1qU32(p []uint32) vec.V128 {
+	u.recMem("vld1.32", trace.SIMDLoad, 16)
+	var a [4]uint32
+	copy(a[:], p[:4])
+	return vec.FromU32x4(a)
+}
+
+// --- Data movement: stores ---
+
+// Vst1qF32 stores four float32 (vst1.32).
+func (u *Unit) Vst1qF32(p []float32, v vec.V128) {
+	u.recMem("vst1.32", trace.SIMDStore, 16)
+	f := v.ToF32x4()
+	copy(p[:4], f[:])
+}
+
+// Vst1qS16 stores eight int16 (vst1.16). This is the final instruction of
+// the paper's hand-optimized convert loop.
+func (u *Unit) Vst1qS16(p []int16, v vec.V128) {
+	u.recMem("vst1.16", trace.SIMDStore, 16)
+	x := v.ToI16x8()
+	copy(p[:8], x[:])
+}
+
+// Vst1S16 stores four int16 from a D register.
+func (u *Unit) Vst1S16(p []int16, v vec.V64) {
+	u.recMem("vst1.16", trace.SIMDStore, 8)
+	x := v.ToI16x4()
+	copy(p[:4], x[:])
+}
+
+// Vst1qU8 stores sixteen uint8.
+func (u *Unit) Vst1qU8(p []uint8, v vec.V128) {
+	u.recMem("vst1.8", trace.SIMDStore, 16)
+	x := v.ToU8x16()
+	copy(p[:16], x[:])
+}
+
+// Vst1U8 stores eight uint8 from a D register.
+func (u *Unit) Vst1U8(p []uint8, v vec.V64) {
+	u.recMem("vst1.8", trace.SIMDStore, 8)
+	x := v.ToU8x8()
+	copy(p[:8], x[:])
+}
+
+// Vst1qU16 stores eight uint16.
+func (u *Unit) Vst1qU16(p []uint16, v vec.V128) {
+	u.recMem("vst1.16", trace.SIMDStore, 16)
+	x := v.ToU16x8()
+	copy(p[:8], x[:])
+}
+
+// Vst1qS32 stores four int32.
+func (u *Unit) Vst1qS32(p []int32, v vec.V128) {
+	u.recMem("vst1.32", trace.SIMDStore, 16)
+	x := v.ToI32x4()
+	copy(p[:4], x[:])
+}
+
+// Vst1qU32 stores four uint32.
+func (u *Unit) Vst1qU32(p []uint32, v vec.V128) {
+	u.recMem("vst1.32", trace.SIMDStore, 16)
+	x := v.ToU32x4()
+	copy(p[:4], x[:])
+}
+
+// --- Duplication / set ---
+
+// VdupqNF32 broadcasts a scalar float into all four lanes (vdup.32).
+func (u *Unit) VdupqNF32(x float32) vec.V128 {
+	u.rec("vdup.32", trace.SIMDShuffle)
+	return vec.FromF32x4([4]float32{x, x, x, x})
+}
+
+// VdupqNS16 broadcasts a scalar int16 into all eight lanes.
+func (u *Unit) VdupqNS16(x int16) vec.V128 {
+	u.rec("vdup.16", trace.SIMDShuffle)
+	return vec.FromI16x8([8]int16{x, x, x, x, x, x, x, x})
+}
+
+// VdupqNU16 broadcasts a scalar uint16 into all eight lanes.
+func (u *Unit) VdupqNU16(x uint16) vec.V128 {
+	u.rec("vdup.16", trace.SIMDShuffle)
+	return vec.FromU16x8([8]uint16{x, x, x, x, x, x, x, x})
+}
+
+// VdupqNU8 broadcasts a scalar uint8 into all sixteen lanes.
+func (u *Unit) VdupqNU8(x uint8) vec.V128 {
+	u.rec("vdup.8", trace.SIMDShuffle)
+	var a [16]uint8
+	for i := range a {
+		a[i] = x
+	}
+	return vec.FromU8x16(a)
+}
+
+// VdupqNS32 broadcasts a scalar int32 into all four lanes.
+func (u *Unit) VdupqNS32(x int32) vec.V128 {
+	u.rec("vdup.32", trace.SIMDShuffle)
+	return vec.FromI32x4([4]int32{x, x, x, x})
+}
+
+// VdupqNU32 broadcasts a scalar uint32 into all four lanes.
+func (u *Unit) VdupqNU32(x uint32) vec.V128 {
+	u.rec("vdup.32", trace.SIMDShuffle)
+	return vec.FromU32x4([4]uint32{x, x, x, x})
+}
+
+// VdupNU8 broadcasts a scalar uint8 into all eight D-register lanes.
+func (u *Unit) VdupNU8(x uint8) vec.V64 {
+	u.rec("vdup.8", trace.SIMDShuffle)
+	var a [8]uint8
+	for i := range a {
+		a[i] = x
+	}
+	return vec.FromU8x8(a)
+}
+
+// VdupNS16 broadcasts a scalar int16 into all four D-register lanes.
+func (u *Unit) VdupNS16(x int16) vec.V64 {
+	u.rec("vdup.16", trace.SIMDShuffle)
+	return vec.FromI16x4([4]int16{x, x, x, x})
+}
+
+// VmovqNF32 is an alias of VdupqNF32 (the vmovq_n_f32 intrinsic).
+func (u *Unit) VmovqNF32(x float32) vec.V128 { return u.VdupqNF32(x) }
+
+// --- Register rearrangement ---
+
+// VcombineS16 concatenates two D registers into one Q register
+// (vcombine_s16). The paper observes gcc lowering this to a vorr/vmov.
+func (u *Unit) VcombineS16(lo, hi vec.V64) vec.V128 {
+	u.rec("vorr", trace.Move) // lowered to a register move, per Section V
+	return vec.Combine(lo, hi)
+}
+
+// VcombineU8 concatenates two D registers of bytes.
+func (u *Unit) VcombineU8(lo, hi vec.V64) vec.V128 {
+	u.rec("vorr", trace.Move)
+	return vec.Combine(lo, hi)
+}
+
+// VcombineU16 concatenates two D registers of uint16.
+func (u *Unit) VcombineU16(lo, hi vec.V64) vec.V128 {
+	u.rec("vorr", trace.Move)
+	return vec.Combine(lo, hi)
+}
+
+// VcombineF32 concatenates two D registers of float32.
+func (u *Unit) VcombineF32(lo, hi vec.V64) vec.V128 {
+	u.rec("vorr", trace.Move)
+	return vec.Combine(lo, hi)
+}
+
+// VgetLowS16 extracts the low D register of a Q register. This is free in
+// hardware (D registers alias Q registers) so no instruction is recorded.
+func (u *Unit) VgetLowS16(v vec.V128) vec.V64 { return v.Low() }
+
+// VgetHighS16 extracts the high D register of a Q register (free alias).
+func (u *Unit) VgetHighS16(v vec.V128) vec.V64 { return v.High() }
+
+// VgetLowU8 extracts the low D register (free alias).
+func (u *Unit) VgetLowU8(v vec.V128) vec.V64 { return v.Low() }
+
+// VgetHighU8 extracts the high D register (free alias).
+func (u *Unit) VgetHighU8(v vec.V128) vec.V64 { return v.High() }
+
+// VgetLaneS16 extracts lane i to a core register (vmov.s16 rN, dM[i]).
+func (u *Unit) VgetLaneS16(v vec.V64, lane int) int16 {
+	u.rec("vmov.s16", trace.Move)
+	return v.I16(lane)
+}
+
+// VgetqLaneS32 extracts lane i of a Q register to a core register.
+func (u *Unit) VgetqLaneS32(v vec.V128, lane int) int32 {
+	u.rec("vmov.s32", trace.Move)
+	return v.I32(lane)
+}
+
+// VgetqLaneF32 extracts float lane i of a Q register.
+func (u *Unit) VgetqLaneF32(v vec.V128, lane int) float32 {
+	u.rec("vmov.f32", trace.Move)
+	return v.F32(lane)
+}
+
+// VsetqLaneS16 inserts a scalar into lane i (vmov.16 dM[i], rN).
+func (u *Unit) VsetqLaneS16(x int16, v vec.V128, lane int) vec.V128 {
+	u.rec("vmov.16", trace.Move)
+	v.SetI16(lane, x)
+	return v
+}
+
+// VextU8 extracts a 16-byte window starting n bytes into the pair (a,b)
+// (vext.8 qd, qa, qb, #n): lanes a[n..15], b[0..n-1].
+func (u *Unit) VextU8(a, b vec.V128, n int) vec.V128 {
+	u.rec("vext.8", trace.SIMDShuffle)
+	var r vec.V128
+	for i := 0; i < 16; i++ {
+		if n+i < 16 {
+			r.SetU8(i, a.U8(n+i))
+		} else {
+			r.SetU8(i, b.U8(n+i-16))
+		}
+	}
+	return r
+}
+
+// VextS16 shifts the (a,b) pair by n 16-bit lanes (vext.16).
+func (u *Unit) VextS16(a, b vec.V128, n int) vec.V128 {
+	u.rec("vext.16", trace.SIMDShuffle)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		if n+i < 8 {
+			r.SetI16(i, a.I16(n+i))
+		} else {
+			r.SetI16(i, b.I16(n+i-8))
+		}
+	}
+	return r
+}
+
+// Vrev64U8 reverses bytes within each 64-bit doubleword (vrev64.8).
+func (u *Unit) Vrev64U8(a vec.V128) vec.V128 {
+	u.rec("vrev64.8", trace.SIMDShuffle)
+	var r vec.V128
+	for d := 0; d < 2; d++ {
+		for i := 0; i < 8; i++ {
+			r.SetU8(d*8+i, a.U8(d*8+7-i))
+		}
+	}
+	return r
+}
+
+// VtrnqS16 transposes pairs of 16-bit lanes between two registers
+// (vtrn.16), the building block of NEON matrix transposes.
+func (u *Unit) VtrnqS16(a, b vec.V128) (vec.V128, vec.V128) {
+	u.rec("vtrn.16", trace.SIMDShuffle)
+	var ra, rb vec.V128
+	for i := 0; i < 8; i += 2 {
+		ra.SetI16(i, a.I16(i))
+		ra.SetI16(i+1, b.I16(i))
+		rb.SetI16(i, a.I16(i+1))
+		rb.SetI16(i+1, b.I16(i+1))
+	}
+	return ra, rb
+}
+
+// VzipqU8 interleaves the lanes of two byte registers (vzip.8).
+func (u *Unit) VzipqU8(a, b vec.V128) (vec.V128, vec.V128) {
+	u.rec("vzip.8", trace.SIMDShuffle)
+	var lo, hi vec.V128
+	for i := 0; i < 8; i++ {
+		lo.SetU8(2*i, a.U8(i))
+		lo.SetU8(2*i+1, b.U8(i))
+		hi.SetU8(2*i, a.U8(8+i))
+		hi.SetU8(2*i+1, b.U8(8+i))
+	}
+	return lo, hi
+}
+
+// VuzpqU8 deinterleaves lanes of two byte registers (vuzp.8).
+func (u *Unit) VuzpqU8(a, b vec.V128) (vec.V128, vec.V128) {
+	u.rec("vuzp.8", trace.SIMDShuffle)
+	var ev, od vec.V128
+	all := make([]uint8, 0, 32)
+	aa, bb := a.ToU8x16(), b.ToU8x16()
+	all = append(all, aa[:]...)
+	all = append(all, bb[:]...)
+	for i := 0; i < 16; i++ {
+		ev.SetU8(i, all[2*i])
+		od.SetU8(i, all[2*i+1])
+	}
+	return ev, od
+}
+
+// VtblU8 performs a table lookup (vtbl.8): each index lane of idx selects a
+// byte from table t; out-of-range indexes produce zero.
+func (u *Unit) VtblU8(t vec.V64, idx vec.V64) vec.V64 {
+	u.rec("vtbl.8", trace.SIMDShuffle)
+	var r vec.V64
+	for i := 0; i < 8; i++ {
+		j := int(idx.U8(i))
+		if j < 8 {
+			r.SetU8(i, t.U8(j))
+		}
+	}
+	return r
+}
+
+// VreinterpretqS16U8 reinterprets bits with no instruction cost, like the
+// hardware register aliasing it models.
+func (u *Unit) VreinterpretqS16U8(v vec.V128) vec.V128 { return v }
+
+// VreinterpretqU8S16 reinterprets bits (free).
+func (u *Unit) VreinterpretqU8S16(v vec.V128) vec.V128 { return v }
+
+// VreinterpretqU16S16 reinterprets bits (free).
+func (u *Unit) VreinterpretqU16S16(v vec.V128) vec.V128 { return v }
+
+// VreinterpretqS16U16 reinterprets bits (free).
+func (u *Unit) VreinterpretqS16U16(v vec.V128) vec.V128 { return v }

@@ -1,0 +1,103 @@
+package neon
+
+import (
+	"simdstudy/internal/trace"
+	"simdstudy/internal/vec"
+)
+
+// Structured (interleaved) loads and stores. NEON's vld2/vld3/vld4 family
+// deinterleaves array-of-structure data in a single instruction — the
+// paper's Section II-C highlights these "load/stores between arrays of
+// vectors" as a NEON capability SSE2 lacks, and they are what make NEON
+// color-conversion kernels so effective (the related-work Tegra study's
+// 9.5x color conversion).
+
+// Vld2U8 loads 16 bytes of 2-way interleaved data into two D registers
+// (vld2.8): out[0] gets even-indexed bytes, out[1] odd-indexed.
+func (u *Unit) Vld2U8(p []uint8) [2]vec.V64 {
+	u.recMem("vld2.8", trace.SIMDLoad, 16)
+	var out [2]vec.V64
+	for i := 0; i < 8; i++ {
+		out[0].SetU8(i, p[2*i])
+		out[1].SetU8(i, p[2*i+1])
+	}
+	return out
+}
+
+// Vld3U8 loads 24 bytes of 3-way interleaved data (e.g. RGB pixels) into
+// three D registers (vld3.8).
+func (u *Unit) Vld3U8(p []uint8) [3]vec.V64 {
+	u.recMem("vld3.8", trace.SIMDLoad, 24)
+	var out [3]vec.V64
+	for i := 0; i < 8; i++ {
+		out[0].SetU8(i, p[3*i])
+		out[1].SetU8(i, p[3*i+1])
+		out[2].SetU8(i, p[3*i+2])
+	}
+	return out
+}
+
+// Vld4U8 loads 32 bytes of 4-way interleaved data (e.g. RGBA pixels) into
+// four D registers (vld4.8).
+func (u *Unit) Vld4U8(p []uint8) [4]vec.V64 {
+	u.recMem("vld4.8", trace.SIMDLoad, 32)
+	var out [4]vec.V64
+	for i := 0; i < 8; i++ {
+		out[0].SetU8(i, p[4*i])
+		out[1].SetU8(i, p[4*i+1])
+		out[2].SetU8(i, p[4*i+2])
+		out[3].SetU8(i, p[4*i+3])
+	}
+	return out
+}
+
+// Vst2U8 stores two D registers as 2-way interleaved bytes (vst2.8).
+func (u *Unit) Vst2U8(p []uint8, v [2]vec.V64) {
+	u.recMem("vst2.8", trace.SIMDStore, 16)
+	for i := 0; i < 8; i++ {
+		p[2*i] = v[0].U8(i)
+		p[2*i+1] = v[1].U8(i)
+	}
+}
+
+// Vst3U8 stores three D registers as 3-way interleaved bytes (vst3.8).
+func (u *Unit) Vst3U8(p []uint8, v [3]vec.V64) {
+	u.recMem("vst3.8", trace.SIMDStore, 24)
+	for i := 0; i < 8; i++ {
+		p[3*i] = v[0].U8(i)
+		p[3*i+1] = v[1].U8(i)
+		p[3*i+2] = v[2].U8(i)
+	}
+}
+
+// Vst4U8 stores four D registers as 4-way interleaved bytes (vst4.8).
+func (u *Unit) Vst4U8(p []uint8, v [4]vec.V64) {
+	u.recMem("vst4.8", trace.SIMDStore, 32)
+	for i := 0; i < 8; i++ {
+		p[4*i] = v[0].U8(i)
+		p[4*i+1] = v[1].U8(i)
+		p[4*i+2] = v[2].U8(i)
+		p[4*i+3] = v[3].U8(i)
+	}
+}
+
+// Vld2qU8 loads 32 bytes of 2-way interleaved data into two Q registers
+// (vld2.8 with quad registers).
+func (u *Unit) Vld2qU8(p []uint8) [2]vec.V128 {
+	u.recMem("vld2.8", trace.SIMDLoad, 32)
+	var out [2]vec.V128
+	for i := 0; i < 16; i++ {
+		out[0].SetU8(i, p[2*i])
+		out[1].SetU8(i, p[2*i+1])
+	}
+	return out
+}
+
+// Vst2qU8 stores two Q registers as 2-way interleaved bytes.
+func (u *Unit) Vst2qU8(p []uint8, v [2]vec.V128) {
+	u.recMem("vst2.8", trace.SIMDStore, 32)
+	for i := 0; i < 16; i++ {
+		p[2*i] = v[0].U8(i)
+		p[2*i+1] = v[1].U8(i)
+	}
+}

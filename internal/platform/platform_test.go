@@ -1,0 +1,211 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"simdstudy/internal/cache"
+	"simdstudy/internal/trace"
+)
+
+func TestPaperHasTenPlatforms(t *testing.T) {
+	ps := Paper()
+	if len(ps) != 10 {
+		t.Fatalf("Table I has 10 platforms, got %d", len(ps))
+	}
+	intel, arm := 0, 0
+	for _, p := range ps {
+		switch p.Family {
+		case Intel:
+			intel++
+		case ARM:
+			arm++
+		}
+		if p.Extrapolated {
+			t.Errorf("%s: paper platforms must not be extrapolated", p.Name)
+		}
+	}
+	if intel != 4 || arm != 6 {
+		t.Fatalf("want 4 Intel + 6 ARM, got %d + %d", intel, arm)
+	}
+	// Paper order: Intel first.
+	for i := 0; i < 4; i++ {
+		if ps[i].Family != Intel {
+			t.Errorf("platform %d should be Intel", i)
+		}
+	}
+}
+
+func TestAllIncludesExtrapolated(t *testing.T) {
+	all := All()
+	if len(all) != len(Paper())+1 {
+		t.Fatalf("All should add the A15: %d", len(all))
+	}
+	last := all[len(all)-1]
+	if !last.Extrapolated || !strings.Contains(last.Name, "A15") {
+		t.Fatalf("extrapolated A15 expected, got %+v", last.Name)
+	}
+}
+
+func TestTableIFields(t *testing.T) {
+	for _, p := range Paper() {
+		if p.Name == "" || p.Codename == "" || p.Launched == "" {
+			t.Errorf("%q: missing identity fields", p.Name)
+		}
+		if p.Threads <= 0 || p.Cores <= 0 || p.ClockGHz <= 0 {
+			t.Errorf("%s: bad topology", p.Name)
+		}
+		if p.Memory == "" || p.SIMD == "" || p.CacheStr == "" {
+			t.Errorf("%s: missing Table I strings", p.Name)
+		}
+		if p.Family == ARM && !strings.Contains(p.SIMD, "NEON") {
+			t.Errorf("%s: ARM platforms have NEON", p.Name)
+		}
+		if p.Family == Intel && !strings.Contains(p.SIMD, "SSE") {
+			t.Errorf("%s: Intel platforms have SSE", p.Name)
+		}
+	}
+}
+
+func TestSpecificTableIEntries(t *testing.T) {
+	atom := AtomD510()
+	if !atom.InOrder || atom.ClockGHz != 1.66 || atom.Cores != 2 || atom.Threads != 4 {
+		t.Error("Atom D510 row wrong")
+	}
+	ex := Exynos3110()
+	if !ex.InOrder || ex.ClockGHz != 1.0 || ex.OS != "Android" {
+		t.Error("Exynos 3110 row wrong")
+	}
+	i7 := CoreI72820QM()
+	if i7.InOrder || i7.Threads != 8 || i7.Launched != "Q1'11" {
+		t.Error("i7 row wrong")
+	}
+	s3 := Exynos4412()
+	if s3.ClockGHz != 1.4 || s3.Cores != 4 {
+		t.Error("Exynos 4412 row wrong")
+	}
+	od := OdroidX()
+	if od.ClockGHz != 1.3 || od.OS == "Android" {
+		t.Error("ODROID-X is under-clocked Linux")
+	}
+	tg := TegraT30()
+	if tg.ClockGHz != 1.3 {
+		t.Error("Tegra clocked to match ODROID")
+	}
+	if Intel.String() != "INTEL" || ARM.String() != "ARM" {
+		t.Error("family names")
+	}
+	if AtomD510().String() != "Intel Atom D510" {
+		t.Error("String()")
+	}
+}
+
+func TestMicroarchSanity(t *testing.T) {
+	for _, p := range All() {
+		m := p.M
+		if m.Overlap < 1 {
+			t.Errorf("%s: overlap %v < 1", p.Name, m.Overlap)
+		}
+		if m.Serialization < 0 || m.Serialization > 1 {
+			t.Errorf("%s: serialization %v out of [0,1]", p.Name, m.Serialization)
+		}
+		if m.BandwidthGBps <= 0 {
+			t.Errorf("%s: bandwidth %v", p.Name, m.BandwidthGBps)
+		}
+		for c, v := range m.Cyc {
+			if v <= 0 {
+				t.Errorf("%s: class %v has non-positive cost", p.Name, trace.Class(c))
+			}
+		}
+		// In-order platforms serialize more and overlap less than OoO.
+		if p.InOrder && m.Overlap > 1.5 {
+			t.Errorf("%s: in-order with overlap %v", p.Name, m.Overlap)
+		}
+		if p.InOrder && m.Serialization < 0.5 {
+			t.Errorf("%s: in-order should expose memory time", p.Name)
+		}
+		// Cache configs must be valid and buildable.
+		if len(m.Caches) < 2 {
+			t.Errorf("%s: expected at least L1+L2", p.Name)
+		}
+		if _, err := cache.NewHierarchy(m.Caches...); err != nil {
+			t.Errorf("%s: caches invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestScalarFPPenaltyOnA8(t *testing.T) {
+	// The Cortex-A8's VFP-Lite must be priced far above the A9's
+	// pipelined VFP and above its own NEON unit — this drives the
+	// paper's 13.88x convert anomaly.
+	a8 := Exynos3110().M
+	a9 := Exynos4412().M
+	if a8.Cyc[trace.ScalarFP] <= 2*a9.Cyc[trace.ScalarFP] {
+		t.Errorf("A8 scalar FP %v should dwarf A9 %v",
+			a8.Cyc[trace.ScalarFP], a9.Cyc[trace.ScalarFP])
+	}
+	if a8.Cyc[trace.ScalarFP] <= 4*a8.Cyc[trace.SIMDALU] {
+		t.Error("A8 VFP-Lite should be far slower than its NEON unit")
+	}
+	if a8.Cyc[trace.Call] <= a9.Cyc[trace.Call] {
+		t.Error("A8 libcall (soft double lrint) should cost more than A9")
+	}
+}
+
+func TestTegraBandwidthAnomaly(t *testing.T) {
+	// The paper: ODROID-X consistently outruns the Tegra 3 on HAND code
+	// at the same clock; the model encodes that as effective bandwidth.
+	if TegraT30().M.BandwidthGBps >= OdroidX().M.BandwidthGBps/1.5 {
+		t.Error("Tegra effective bandwidth should trail the ODROID-X substantially")
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("Intel Atom D510")
+	if err != nil || p.Codename != "Pineview" {
+		t.Fatalf("exact match: %v %v", p, err)
+	}
+	p, err = ByName("tegra")
+	if err != nil || p.Name != "Nvidia Tegra T30" {
+		t.Fatalf("substring match: %v %v", p, err)
+	}
+	p, err = ByName("yorkfield")
+	if err != nil || !strings.Contains(p.Name, "Core 2") {
+		t.Fatalf("codename match: %v %v", p, err)
+	}
+	if _, err := ByName("exynos"); err == nil {
+		t.Fatal("ambiguous name should error")
+	}
+	if _, err := ByName("z80"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Fatal("empty name should error")
+	}
+}
+
+func TestWaysProducesValidGeometry(t *testing.T) {
+	for _, size := range []int{kb(24), kb(256), kb(512), kb(1024), kb(3072), kb(8192)} {
+		w := ways(size, 6)
+		cfg := cache.Config{Name: "t", SizeBytes: size, LineBytes: lineBytes, Ways: w}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("size %d ways %d: %v", size, w, err)
+		}
+	}
+}
+
+func TestScaleByPreservesRatios(t *testing.T) {
+	m := Exynos4412().M
+	s := scaleBy(m, 2)
+	for i := range m.Cyc {
+		if s.Cyc[i] != 2*m.Cyc[i] {
+			t.Fatalf("class %d not scaled", i)
+		}
+	}
+	if s.BandwidthGBps != m.BandwidthGBps/2 {
+		t.Fatal("bandwidth not scaled")
+	}
+	if s.Overlap != m.Overlap || s.Serialization != m.Serialization {
+		t.Fatal("structure factors must not change")
+	}
+}

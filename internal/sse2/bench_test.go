@@ -1,0 +1,52 @@
+package sse2
+
+import (
+	"testing"
+
+	"simdstudy/internal/vec"
+)
+
+// Microbenchmarks of the emulation layer (host cost).
+
+func BenchmarkAddPs(b *testing.B) {
+	u := New(nil)
+	x := vec.FromF32x4([4]float32{1, 2, 3, 4})
+	y := vec.FromF32x4([4]float32{4, 3, 2, 1})
+	for i := 0; i < b.N; i++ {
+		x = u.AddPs(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkPacksEpi32(b *testing.B) {
+	u := New(nil)
+	x := vec.FromI32x4([4]int32{100000, -100000, 1, -1})
+	var r vec.V128
+	for i := 0; i < b.N; i++ {
+		r = u.PacksEpi32(x, x)
+	}
+	_ = r
+}
+
+func BenchmarkConvertLoopBody(b *testing.B) {
+	u := New(nil)
+	src := make([]float32, 8)
+	dst := make([]int16, 8)
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		lo := u.CvtpsEpi32(u.LoaduPs(src))
+		hi := u.CvtpsEpi32(u.LoaduPs(src[4:]))
+		u.StoreuSi128S16(dst, u.PacksEpi32(lo, hi))
+	}
+}
+
+func BenchmarkMaddEpi16(b *testing.B) {
+	u := New(nil)
+	x := u.Set1Epi16(1000)
+	y := u.Set1Epi16(-1000)
+	var r vec.V128
+	for i := 0; i < b.N; i++ {
+		r = u.MaddEpi16(x, y)
+	}
+	_ = r
+}

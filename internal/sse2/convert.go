@@ -1,0 +1,357 @@
+package sse2
+
+import (
+	"math"
+
+	"simdstudy/internal/sat"
+	"simdstudy/internal/trace"
+	"simdstudy/internal/vec"
+)
+
+// roundToEvenSat converts with x86 round-to-even under the default MXCSR
+// mode. Out-of-range values produce the x86 "integer indefinite"
+// 0x80000000.
+func roundToEvenSat(v float64) int32 {
+	if math.IsNaN(v) || v >= math.MaxInt32 || v < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(math.RoundToEven(v))
+}
+
+// --- Conversions ---
+
+// CvtpsEpi32 converts four floats to int32 with round-to-even
+// (_mm_cvtps_epi32 / cvtps2dq). Out-of-range lanes produce the x86
+// integer-indefinite 0x80000000. Core of the paper's SSE2 convert loop.
+func (u *Unit) CvtpsEpi32(a vec.V128) vec.V128 {
+	u.rec("cvtps2dq", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetI32(i, roundToEvenSat(float64(a.F32(i))))
+	}
+	return r
+}
+
+// CvttpsEpi32 converts four floats to int32 truncating toward zero
+// (_mm_cvttps_epi32 / cvttps2dq).
+func (u *Unit) CvttpsEpi32(a vec.V128) vec.V128 {
+	u.rec("cvttps2dq", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		f := float64(a.F32(i))
+		if math.IsNaN(f) || f >= math.MaxInt32 || f < math.MinInt32 {
+			r.SetI32(i, math.MinInt32)
+		} else {
+			r.SetI32(i, int32(f))
+		}
+	}
+	return r
+}
+
+// Cvtepi32Ps converts four int32 lanes to float (_mm_cvtepi32_ps).
+func (u *Unit) Cvtepi32Ps(a vec.V128) vec.V128 {
+	u.rec("cvtdq2ps", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetF32(i, float32(a.I32(i)))
+	}
+	return r
+}
+
+// CvtpsPd converts the low two floats to doubles (_mm_cvtps_pd).
+func (u *Unit) CvtpsPd(a vec.V128) vec.V128 {
+	u.rec("cvtps2pd", trace.SIMDCvt)
+	var r vec.V128
+	r.SetF64(0, float64(a.F32(0)))
+	r.SetF64(1, float64(a.F32(1)))
+	return r
+}
+
+// CvtpdPs converts two doubles to floats in the low lanes (_mm_cvtpd_ps).
+func (u *Unit) CvtpdPs(a vec.V128) vec.V128 {
+	u.rec("cvtpd2ps", trace.SIMDCvt)
+	var r vec.V128
+	r.SetF32(0, float32(a.F64(0)))
+	r.SetF32(1, float32(a.F64(1)))
+	return r
+}
+
+// --- Packs ---
+
+// PacksEpi32 packs two registers of int32 into one register of int16 with
+// signed saturation (_mm_packs_epi32 / packssdw). The paper's SSE2 convert
+// loop does its downcast with a single one of these, where NEON needs two
+// vqmovn plus a vcombine.
+func (u *Unit) PacksEpi32(a, b vec.V128) vec.V128 {
+	u.rec("packssdw", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetI16(i, sat.NarrowInt32ToInt16(a.I32(i)))
+		r.SetI16(4+i, sat.NarrowInt32ToInt16(b.I32(i)))
+	}
+	return r
+}
+
+// PacksEpi16 packs two registers of int16 into int8 with signed saturation
+// (_mm_packs_epi16 / packsswb).
+func (u *Unit) PacksEpi16(a, b vec.V128) vec.V128 {
+	u.rec("packsswb", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetI8(i, sat.NarrowInt16ToInt8(a.I16(i)))
+		r.SetI8(8+i, sat.NarrowInt16ToInt8(b.I16(i)))
+	}
+	return r
+}
+
+// PackusEpi16 packs two registers of int16 into uint8 with unsigned
+// saturation (_mm_packus_epi16 / packuswb).
+func (u *Unit) PackusEpi16(a, b vec.V128) vec.V128 {
+	u.rec("packuswb", trace.SIMDCvt)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetU8(i, sat.NarrowInt16ToUint8(a.I16(i)))
+		r.SetU8(8+i, sat.NarrowInt16ToUint8(b.I16(i)))
+	}
+	return r
+}
+
+// --- Unpacks ---
+
+// UnpackloEpi8 interleaves the low eight bytes of a and b
+// (_mm_unpacklo_epi8 / punpcklbw).
+func (u *Unit) UnpackloEpi8(a, b vec.V128) vec.V128 {
+	u.rec("punpcklbw", trace.SIMDShuffle)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetU8(2*i, a.U8(i))
+		r.SetU8(2*i+1, b.U8(i))
+	}
+	return r
+}
+
+// UnpackhiEpi8 interleaves the high eight bytes (_mm_unpackhi_epi8).
+func (u *Unit) UnpackhiEpi8(a, b vec.V128) vec.V128 {
+	u.rec("punpckhbw", trace.SIMDShuffle)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetU8(2*i, a.U8(8+i))
+		r.SetU8(2*i+1, b.U8(8+i))
+	}
+	return r
+}
+
+// UnpackloEpi16 interleaves the low four words (_mm_unpacklo_epi16).
+func (u *Unit) UnpackloEpi16(a, b vec.V128) vec.V128 {
+	u.rec("punpcklwd", trace.SIMDShuffle)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetU16(2*i, a.U16(i))
+		r.SetU16(2*i+1, b.U16(i))
+	}
+	return r
+}
+
+// UnpackhiEpi16 interleaves the high four words (_mm_unpackhi_epi16).
+func (u *Unit) UnpackhiEpi16(a, b vec.V128) vec.V128 {
+	u.rec("punpckhwd", trace.SIMDShuffle)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetU16(2*i, a.U16(4+i))
+		r.SetU16(2*i+1, b.U16(4+i))
+	}
+	return r
+}
+
+// UnpackloEpi32 interleaves the low two dwords (_mm_unpacklo_epi32).
+func (u *Unit) UnpackloEpi32(a, b vec.V128) vec.V128 {
+	u.rec("punpckldq", trace.SIMDShuffle)
+	var r vec.V128
+	r.SetU32(0, a.U32(0))
+	r.SetU32(1, b.U32(0))
+	r.SetU32(2, a.U32(1))
+	r.SetU32(3, b.U32(1))
+	return r
+}
+
+// UnpackhiEpi32 interleaves the high two dwords (_mm_unpackhi_epi32).
+func (u *Unit) UnpackhiEpi32(a, b vec.V128) vec.V128 {
+	u.rec("punpckhdq", trace.SIMDShuffle)
+	var r vec.V128
+	r.SetU32(0, a.U32(2))
+	r.SetU32(1, b.U32(2))
+	r.SetU32(2, a.U32(3))
+	r.SetU32(3, b.U32(3))
+	return r
+}
+
+// UnpackloEpi64 concatenates the low qwords (_mm_unpacklo_epi64).
+func (u *Unit) UnpackloEpi64(a, b vec.V128) vec.V128 {
+	u.rec("punpcklqdq", trace.SIMDShuffle)
+	var r vec.V128
+	r.SetU64(0, a.U64(0))
+	r.SetU64(1, b.U64(0))
+	return r
+}
+
+// UnpackhiEpi64 concatenates the high qwords (_mm_unpackhi_epi64).
+func (u *Unit) UnpackhiEpi64(a, b vec.V128) vec.V128 {
+	u.rec("punpckhqdq", trace.SIMDShuffle)
+	var r vec.V128
+	r.SetU64(0, a.U64(1))
+	r.SetU64(1, b.U64(1))
+	return r
+}
+
+// --- Shuffles ---
+
+// ShuffleEpi32 rearranges dword lanes by a 2-bit-per-lane immediate
+// (_mm_shuffle_epi32 / pshufd).
+func (u *Unit) ShuffleEpi32(a vec.V128, imm uint8) vec.V128 {
+	u.rec("pshufd", trace.SIMDShuffle)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		sel := (imm >> (2 * i)) & 3
+		r.SetU32(i, a.U32(int(sel)))
+	}
+	return r
+}
+
+// ShuffleloEpi16 rearranges the low four word lanes (_mm_shufflelo_epi16).
+func (u *Unit) ShuffleloEpi16(a vec.V128, imm uint8) vec.V128 {
+	u.rec("pshuflw", trace.SIMDShuffle)
+	r := a
+	for i := 0; i < 4; i++ {
+		sel := (imm >> (2 * i)) & 3
+		r.SetU16(i, a.U16(int(sel)))
+	}
+	return r
+}
+
+// ShufflehiEpi16 rearranges the high four word lanes (_mm_shufflehi_epi16).
+func (u *Unit) ShufflehiEpi16(a vec.V128, imm uint8) vec.V128 {
+	u.rec("pshufhw", trace.SIMDShuffle)
+	r := a
+	for i := 0; i < 4; i++ {
+		sel := (imm >> (2 * i)) & 3
+		r.SetU16(4+i, a.U16(4+int(sel)))
+	}
+	return r
+}
+
+// ShufflePs selects two lanes from a then two from b (_mm_shuffle_ps).
+func (u *Unit) ShufflePs(a, b vec.V128, imm uint8) vec.V128 {
+	u.rec("shufps", trace.SIMDShuffle)
+	var r vec.V128
+	r.SetF32(0, a.F32(int(imm&3)))
+	r.SetF32(1, a.F32(int((imm>>2)&3)))
+	r.SetF32(2, b.F32(int((imm>>4)&3)))
+	r.SetF32(3, b.F32(int((imm>>6)&3)))
+	return r
+}
+
+// --- Shifts ---
+
+// SlliEpi16 shift left words by immediate (_mm_slli_epi16 / psllw).
+func (u *Unit) SlliEpi16(a vec.V128, n uint) vec.V128 {
+	u.rec("psllw", trace.SIMDALU)
+	var r vec.V128
+	if n > 15 {
+		return r
+	}
+	for i := 0; i < 8; i++ {
+		r.SetU16(i, a.U16(i)<<n)
+	}
+	return r
+}
+
+// SrliEpi16 logical shift right words (_mm_srli_epi16 / psrlw).
+func (u *Unit) SrliEpi16(a vec.V128, n uint) vec.V128 {
+	u.rec("psrlw", trace.SIMDALU)
+	var r vec.V128
+	if n > 15 {
+		return r
+	}
+	for i := 0; i < 8; i++ {
+		r.SetU16(i, a.U16(i)>>n)
+	}
+	return r
+}
+
+// SraiEpi16 arithmetic shift right words (_mm_srai_epi16 / psraw).
+func (u *Unit) SraiEpi16(a vec.V128, n uint) vec.V128 {
+	u.rec("psraw", trace.SIMDALU)
+	if n > 15 {
+		n = 15
+	}
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetI16(i, a.I16(i)>>n)
+	}
+	return r
+}
+
+// SlliEpi32 shift left dwords (_mm_slli_epi32 / pslld).
+func (u *Unit) SlliEpi32(a vec.V128, n uint) vec.V128 {
+	u.rec("pslld", trace.SIMDALU)
+	var r vec.V128
+	if n > 31 {
+		return r
+	}
+	for i := 0; i < 4; i++ {
+		r.SetU32(i, a.U32(i)<<n)
+	}
+	return r
+}
+
+// SrliEpi32 logical shift right dwords (_mm_srli_epi32 / psrld).
+func (u *Unit) SrliEpi32(a vec.V128, n uint) vec.V128 {
+	u.rec("psrld", trace.SIMDALU)
+	var r vec.V128
+	if n > 31 {
+		return r
+	}
+	for i := 0; i < 4; i++ {
+		r.SetU32(i, a.U32(i)>>n)
+	}
+	return r
+}
+
+// SraiEpi32 arithmetic shift right dwords (_mm_srai_epi32 / psrad).
+func (u *Unit) SraiEpi32(a vec.V128, n uint) vec.V128 {
+	u.rec("psrad", trace.SIMDALU)
+	if n > 31 {
+		n = 31
+	}
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetI32(i, a.I32(i)>>n)
+	}
+	return r
+}
+
+// SlliSi128 byte shift left of the whole register (_mm_slli_si128 / pslldq).
+func (u *Unit) SlliSi128(a vec.V128, n int) vec.V128 {
+	u.rec("pslldq", trace.SIMDShuffle)
+	var r vec.V128
+	if n > 15 {
+		return r
+	}
+	for i := 15; i >= n; i-- {
+		r.SetU8(i, a.U8(i-n))
+	}
+	return r
+}
+
+// SrliSi128 byte shift right of the whole register (_mm_srli_si128 / psrldq).
+func (u *Unit) SrliSi128(a vec.V128, n int) vec.V128 {
+	u.rec("psrldq", trace.SIMDShuffle)
+	var r vec.V128
+	if n > 15 {
+		return r
+	}
+	for i := 0; i < 16-n; i++ {
+		r.SetU8(i, a.U8(i+n))
+	}
+	return r
+}

@@ -1,0 +1,199 @@
+package sse2
+
+import (
+	"simdstudy/internal/trace"
+	"simdstudy/internal/vec"
+)
+
+// --- Bitwise logical ---
+
+// AndSi128 bitwise AND (_mm_and_si128 / pand).
+func (u *Unit) AndSi128(a, b vec.V128) vec.V128 {
+	u.rec("pand", trace.SIMDALU)
+	return vec.And(a, b)
+}
+
+// OrSi128 bitwise OR (_mm_or_si128 / por).
+func (u *Unit) OrSi128(a, b vec.V128) vec.V128 {
+	u.rec("por", trace.SIMDALU)
+	return vec.Or(a, b)
+}
+
+// XorSi128 bitwise XOR (_mm_xor_si128 / pxor).
+func (u *Unit) XorSi128(a, b vec.V128) vec.V128 {
+	u.rec("pxor", trace.SIMDALU)
+	return vec.Xor(a, b)
+}
+
+// AndnotSi128 bitwise ^a & b (_mm_andnot_si128 / pandn). Note the operand
+// order: the FIRST operand is complemented, a frequent source of bugs in
+// hand-written SSE2 that our tests pin down.
+func (u *Unit) AndnotSi128(a, b vec.V128) vec.V128 {
+	u.rec("pandn", trace.SIMDALU)
+	return vec.AndNot(a, b)
+}
+
+// AndPs bitwise AND on float-typed registers (_mm_and_ps / andps).
+func (u *Unit) AndPs(a, b vec.V128) vec.V128 {
+	u.rec("andps", trace.SIMDALU)
+	return vec.And(a, b)
+}
+
+// OrPs bitwise OR on float-typed registers (_mm_or_ps / orps).
+func (u *Unit) OrPs(a, b vec.V128) vec.V128 {
+	u.rec("orps", trace.SIMDALU)
+	return vec.Or(a, b)
+}
+
+// AndnotPs bitwise ^a & b on float-typed registers (_mm_andnot_ps).
+func (u *Unit) AndnotPs(a, b vec.V128) vec.V128 {
+	u.rec("andnps", trace.SIMDALU)
+	return vec.AndNot(a, b)
+}
+
+// --- Comparisons ---
+
+func mask8(c bool) uint8 {
+	if c {
+		return 0xFF
+	}
+	return 0
+}
+
+func mask16(c bool) uint16 {
+	if c {
+		return 0xFFFF
+	}
+	return 0
+}
+
+func mask32(c bool) uint32 {
+	if c {
+		return 0xFFFFFFFF
+	}
+	return 0
+}
+
+// CmpeqEpi8 compare equal bytes (_mm_cmpeq_epi8 / pcmpeqb).
+func (u *Unit) CmpeqEpi8(a, b vec.V128) vec.V128 {
+	u.rec("pcmpeqb", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 16; i++ {
+		r.SetU8(i, mask8(a.U8(i) == b.U8(i)))
+	}
+	return r
+}
+
+// CmpgtEpi8 compare greater-than signed bytes (_mm_cmpgt_epi8 / pcmpgtb).
+// SSE2 has no unsigned byte compare; kernels bias by 0x80 first — an extra
+// instruction NEON does not need, visible in the threshold benchmark's
+// instruction counts.
+func (u *Unit) CmpgtEpi8(a, b vec.V128) vec.V128 {
+	u.rec("pcmpgtb", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 16; i++ {
+		r.SetU8(i, mask8(a.I8(i) > b.I8(i)))
+	}
+	return r
+}
+
+// CmpeqEpi16 compare equal words (_mm_cmpeq_epi16 / pcmpeqw).
+func (u *Unit) CmpeqEpi16(a, b vec.V128) vec.V128 {
+	u.rec("pcmpeqw", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetU16(i, mask16(a.I16(i) == b.I16(i)))
+	}
+	return r
+}
+
+// CmpgtEpi16 compare greater-than signed words (_mm_cmpgt_epi16 / pcmpgtw).
+func (u *Unit) CmpgtEpi16(a, b vec.V128) vec.V128 {
+	u.rec("pcmpgtw", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetU16(i, mask16(a.I16(i) > b.I16(i)))
+	}
+	return r
+}
+
+// CmpltEpi16 compare less-than signed words (_mm_cmplt_epi16).
+func (u *Unit) CmpltEpi16(a, b vec.V128) vec.V128 {
+	u.rec("pcmpgtw", trace.SIMDALU) // assembles to pcmpgtw with swapped operands
+	var r vec.V128
+	for i := 0; i < 8; i++ {
+		r.SetU16(i, mask16(a.I16(i) < b.I16(i)))
+	}
+	return r
+}
+
+// CmpgtEpi32 compare greater-than signed dwords (_mm_cmpgt_epi32).
+func (u *Unit) CmpgtEpi32(a, b vec.V128) vec.V128 {
+	u.rec("pcmpgtd", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetU32(i, mask32(a.I32(i) > b.I32(i)))
+	}
+	return r
+}
+
+// CmpeqEpi32 compare equal dwords (_mm_cmpeq_epi32).
+func (u *Unit) CmpeqEpi32(a, b vec.V128) vec.V128 {
+	u.rec("pcmpeqd", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetU32(i, mask32(a.I32(i) == b.I32(i)))
+	}
+	return r
+}
+
+// CmpgtPs compare greater-than floats (_mm_cmpgt_ps / cmpps).
+func (u *Unit) CmpgtPs(a, b vec.V128) vec.V128 {
+	u.rec("cmpps(gt)", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetU32(i, mask32(a.F32(i) > b.F32(i)))
+	}
+	return r
+}
+
+// CmpgePs compare greater-or-equal floats (_mm_cmpge_ps).
+func (u *Unit) CmpgePs(a, b vec.V128) vec.V128 {
+	u.rec("cmpps(ge)", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetU32(i, mask32(a.F32(i) >= b.F32(i)))
+	}
+	return r
+}
+
+// CmpltPs compare less-than floats (_mm_cmplt_ps).
+func (u *Unit) CmpltPs(a, b vec.V128) vec.V128 {
+	u.rec("cmpps(lt)", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetU32(i, mask32(a.F32(i) < b.F32(i)))
+	}
+	return r
+}
+
+// CmpeqPs compare equal floats (_mm_cmpeq_ps).
+func (u *Unit) CmpeqPs(a, b vec.V128) vec.V128 {
+	u.rec("cmpps(eq)", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetU32(i, mask32(a.F32(i) == b.F32(i)))
+	}
+	return r
+}
+
+// CmpneqPs compare not-equal floats (_mm_cmpneq_ps) — SSE2 provides this
+// predicate where NEON requires vceq+vmvn.
+func (u *Unit) CmpneqPs(a, b vec.V128) vec.V128 {
+	u.rec("cmpps(neq)", trace.SIMDALU)
+	var r vec.V128
+	for i := 0; i < 4; i++ {
+		r.SetU32(i, mask32(a.F32(i) != b.F32(i)))
+	}
+	return r
+}

@@ -1,0 +1,187 @@
+package sse2
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"simdstudy/internal/vec"
+)
+
+func TestDoublePrecisionArithmetic(t *testing.T) {
+	u := New(nil)
+	a := vec.FromF64x2([2]float64{6, -9})
+	b := vec.FromF64x2([2]float64{2, 3})
+	if u.SubPd(a, b).ToF64x2() != [2]float64{4, -12} {
+		t.Error("SubPd")
+	}
+	if u.DivPd(a, b).ToF64x2() != [2]float64{3, -3} {
+		t.Error("DivPd")
+	}
+	if u.SqrtPd(vec.FromF64x2([2]float64{16, 2.25})).ToF64x2() != [2]float64{4, 1.5} {
+		t.Error("SqrtPd")
+	}
+	if u.MinPd(a, b).ToF64x2() != [2]float64{2, -9} {
+		t.Error("MinPd")
+	}
+	if u.MaxPd(a, b).ToF64x2() != [2]float64{6, 3} {
+		t.Error("MaxPd")
+	}
+}
+
+func TestDoubleCompares(t *testing.T) {
+	u := New(nil)
+	a := vec.FromF64x2([2]float64{1, 5})
+	b := vec.FromF64x2([2]float64{2, 5})
+	lt := u.CmpltPd(a, b)
+	if lt.U64(0) != math.MaxUint64 || lt.U64(1) != 0 {
+		t.Error("CmpltPd")
+	}
+	eq := u.CmpeqPd(a, b)
+	if eq.U64(0) != 0 || eq.U64(1) != math.MaxUint64 {
+		t.Error("CmpeqPd")
+	}
+	nan := float32(math.NaN())
+	fa := vec.FromF32x4([4]float32{1, nan, 2, nan})
+	fb := vec.FromF32x4([4]float32{1, 1, nan, nan})
+	ord := u.CmpordPs(fa, fb)
+	if ord.U32(0) != 0xFFFFFFFF || ord.U32(1) != 0 || ord.U32(2) != 0 || ord.U32(3) != 0 {
+		t.Error("CmpordPs")
+	}
+	unord := u.CmpunordPs(fa, fb)
+	if unord.U32(0) != 0 || unord.U32(1) != 0xFFFFFFFF {
+		t.Error("CmpunordPs")
+	}
+	neg := vec.FromF64x2([2]float64{-1, 2})
+	if u.MovemaskPd(neg) != 0b01 {
+		t.Errorf("MovemaskPd: %#b", u.MovemaskPd(neg))
+	}
+}
+
+func TestShufflePdAndRsqrt(t *testing.T) {
+	u := New(nil)
+	a := vec.FromF64x2([2]float64{10, 11})
+	b := vec.FromF64x2([2]float64{20, 21})
+	if u.ShufflePd(a, b, 0b01).ToF64x2() != [2]float64{11, 20} {
+		t.Error("ShufflePd 01")
+	}
+	if u.ShufflePd(a, b, 0b10).ToF64x2() != [2]float64{10, 21} {
+		t.Error("ShufflePd 10")
+	}
+	rs := u.RsqrtPs(vec.FromF32x4([4]float32{4, 16, 1, 0.25}))
+	want := [4]float32{0.5, 0.25, 1, 2}
+	for i := range want {
+		if math.Abs(float64(rs.F32(i)-want[i])) > 1e-3 {
+			t.Errorf("RsqrtPs lane %d: %v", i, rs.F32(i))
+		}
+	}
+}
+
+func TestScalarForms(t *testing.T) {
+	u := New(nil)
+	a := vec.FromF32x4([4]float32{1, 10, 20, 30})
+	b := vec.FromF32x4([4]float32{2, 99, 99, 99})
+	s := u.AddSs(a, b)
+	if s.F32(0) != 3 || s.F32(1) != 10 {
+		t.Error("AddSs must only touch lane 0")
+	}
+	m := u.MulSs(a, b)
+	if m.F32(0) != 2 || m.F32(3) != 30 {
+		t.Error("MulSs")
+	}
+	da := vec.FromF64x2([2]float64{1.5, 7})
+	db := vec.FromF64x2([2]float64{2.5, 9})
+	ds := u.AddSd(da, db)
+	if ds.F64(0) != 4 || ds.F64(1) != 7 {
+		t.Error("AddSd")
+	}
+	w := u.CvtssSd(da, a)
+	if w.F64(0) != 1 || w.F64(1) != 7 {
+		t.Error("CvtssSd")
+	}
+	ci := u.Cvtsi32Sd(da, -42)
+	if ci.F64(0) != -42 || ci.F64(1) != 7 {
+		t.Error("Cvtsi32Sd")
+	}
+}
+
+func TestInt64Lanes(t *testing.T) {
+	u := New(nil)
+	a := vec.FromI64x2([2]int64{math.MaxInt64, -10})
+	b := vec.FromI64x2([2]int64{1, 3})
+	s := u.AddEpi64(a, b)
+	if s.I64(0) != math.MinInt64 || s.I64(1) != -7 {
+		t.Error("AddEpi64 wraps")
+	}
+	d := u.SubEpi64(a, b)
+	if d.I64(1) != -13 {
+		t.Error("SubEpi64")
+	}
+	m := u.MulEpu32(vec.FromU32x4([4]uint32{0xFFFFFFFF, 7, 2, 9}), vec.FromU32x4([4]uint32{0xFFFFFFFF, 8, 3, 10}))
+	if m.U64(0) != 0xFFFFFFFE00000001 || m.U64(1) != 6 {
+		t.Errorf("MulEpu32: %#x %d", m.U64(0), m.U64(1))
+	}
+	sh := u.SlliEpi64(vec.FromU64x2([2]uint64{1, 1 << 62}), 2)
+	if sh.U64(0) != 4 || sh.U64(1) != 0 {
+		t.Error("SlliEpi64")
+	}
+	sr := u.SrliEpi64(vec.FromU64x2([2]uint64{8, 1}), 2)
+	if sr.U64(0) != 2 || sr.U64(1) != 0 {
+		t.Error("SrliEpi64")
+	}
+	if u.SlliEpi64(sh, 64) != vec.Zero() || u.SrliEpi64(sh, 64) != vec.Zero() {
+		t.Error("64-bit shifts by >=64 zero out")
+	}
+	mv := u.MoveEpi64(vec.FromU64x2([2]uint64{5, 9}))
+	if mv.U64(0) != 5 || mv.U64(1) != 0 {
+		t.Error("MoveEpi64")
+	}
+}
+
+func TestInsertAndPsMovement(t *testing.T) {
+	u := New(nil)
+	v := u.Set1Epi16(7)
+	v = u.InsertEpi16(v, 0xBEEF, 5)
+	if v.U16(5) != 0xBEEF || v.U16(4) != 7 {
+		t.Error("InsertEpi16")
+	}
+	a := vec.FromF32x4([4]float32{0, 1, 2, 3})
+	b := vec.FromF32x4([4]float32{10, 11, 12, 13})
+	if u.UnpackloPs(a, b).ToF32x4() != [4]float32{0, 10, 1, 11} {
+		t.Error("UnpackloPs")
+	}
+	if u.UnpackhiPs(a, b).ToF32x4() != [4]float32{2, 12, 3, 13} {
+		t.Error("UnpackhiPs")
+	}
+	if u.MovehlPs(a, b).ToF32x4() != [4]float32{12, 13, 2, 3} {
+		t.Error("MovehlPs")
+	}
+	if u.MovelhPs(a, b).ToF32x4() != [4]float32{0, 1, 10, 11} {
+		t.Error("MovelhPs")
+	}
+}
+
+// Property: horizontal sum via movehl+add+shuffle equals the scalar sum —
+// the classic SSE reduction idiom, validating the movement ops compose.
+func TestQuickHorizontalSumIdiom(t *testing.T) {
+	u := New(nil)
+	f := func(x [4]float32) bool {
+		for _, v := range x {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || math.Abs(float64(v)) > 1e18 {
+				return true
+			}
+		}
+		v := vec.FromF32x4(x)
+		hi := u.MovehlPs(v, v)           // x2 x3 . .
+		sum2 := u.AddPs(v, hi)           // x0+x2, x1+x3
+		sh := u.ShufflePs(sum2, sum2, 1) // lane1 -> lane0
+		total := u.AddSs(sum2, sh).F32(0)
+		want := float32(x[0]+x[2]) + float32(x[1]+x[3])
+		diff := float64(total - want)
+		scale := math.Abs(float64(want)) + 1
+		return math.Abs(diff)/scale < 1e-5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,314 @@
+// Package sse2 is a bit-exact software emulation of the Intel SSE2 intrinsic
+// functions used by the paper, with dynamic instruction accounting.
+//
+// Intrinsics are methods on a Unit. Names follow the Intel convention from
+// the paper's Section II-C (_mm_[intrin_op]_[suffix]) with the _mm_ prefix
+// dropped: _mm_loadu_ps becomes LoaduPs, _mm_packs_epi32 becomes PacksEpi32.
+// Register values are vec.V128 (XMM). A Unit with a nil trace counter is a
+// pure functional SIMD library.
+package sse2
+
+import (
+	"simdstudy/internal/trace"
+	"simdstudy/internal/vec"
+)
+
+// Unit is an emulated SSE2 execution unit. The zero value performs no
+// instruction accounting.
+type Unit struct {
+	T *trace.Counter
+}
+
+// New returns a Unit recording into t (which may be nil).
+func New(t *trace.Counter) *Unit { return &Unit{T: t} }
+
+func (u *Unit) rec(name string, class trace.Class) {
+	if u.T != nil {
+		u.T.Record(trace.Op{Name: name, Class: class})
+	}
+}
+
+func (u *Unit) recMem(name string, class trace.Class, bytes int) {
+	if u.T != nil {
+		u.T.Record(trace.Op{Name: name, Class: class, Bytes: bytes})
+	}
+}
+
+// Overhead records the loop/address bookkeeping instructions surrounding the
+// intrinsic body in compiled x86 code (lea/add, cmp+jcc, mov).
+func (u *Unit) Overhead(addrCalcs, branches, moves int) {
+	if u.T == nil {
+		return
+	}
+	u.T.RecordN("lea/add", trace.AddrCalc, uint64(addrCalcs), 0)
+	u.T.RecordN("cmp+jcc", trace.Branch, uint64(branches), 0)
+	u.T.RecordN("mov", trace.Move, uint64(moves), 0)
+}
+
+// --- Loads ---
+
+// LoaduPs loads four unaligned float32 (_mm_loadu_ps / movups).
+func (u *Unit) LoaduPs(p []float32) vec.V128 {
+	u.recMem("movups", trace.SIMDLoad, 16)
+	return vec.FromF32x4([4]float32{p[0], p[1], p[2], p[3]})
+}
+
+// LoadPs loads four aligned float32 (_mm_load_ps / movaps).
+func (u *Unit) LoadPs(p []float32) vec.V128 {
+	u.recMem("movaps", trace.SIMDLoad, 16)
+	return vec.FromF32x4([4]float32{p[0], p[1], p[2], p[3]})
+}
+
+// LoaduSi128 loads 16 unaligned bytes (_mm_loadu_si128 / movdqu).
+func (u *Unit) LoaduSi128(p []byte) vec.V128 {
+	u.recMem("movdqu", trace.SIMDLoad, 16)
+	return vec.LoadV128(p)
+}
+
+// LoaduSi128U8 loads sixteen uint8 (typed convenience over movdqu).
+func (u *Unit) LoaduSi128U8(p []uint8) vec.V128 {
+	u.recMem("movdqu", trace.SIMDLoad, 16)
+	var a [16]uint8
+	copy(a[:], p[:16])
+	return vec.FromU8x16(a)
+}
+
+// LoaduSi128S16 loads eight int16 (typed convenience over movdqu).
+func (u *Unit) LoaduSi128S16(p []int16) vec.V128 {
+	u.recMem("movdqu", trace.SIMDLoad, 16)
+	var a [8]int16
+	copy(a[:], p[:8])
+	return vec.FromI16x8(a)
+}
+
+// LoaduSi128U16 loads eight uint16 (typed convenience over movdqu).
+func (u *Unit) LoaduSi128U16(p []uint16) vec.V128 {
+	u.recMem("movdqu", trace.SIMDLoad, 16)
+	var a [8]uint16
+	copy(a[:], p[:8])
+	return vec.FromU16x8(a)
+}
+
+// LoaduSi128S32 loads four int32 (typed convenience over movdqu).
+func (u *Unit) LoaduSi128S32(p []int32) vec.V128 {
+	u.recMem("movdqu", trace.SIMDLoad, 16)
+	var a [4]int32
+	copy(a[:], p[:4])
+	return vec.FromI32x4(a)
+}
+
+// LoaduPd loads two unaligned float64 (_mm_loadu_pd / movupd).
+func (u *Unit) LoaduPd(p []float64) vec.V128 {
+	u.recMem("movupd", trace.SIMDLoad, 16)
+	return vec.FromF64x2([2]float64{p[0], p[1]})
+}
+
+// LoadlEpi64U8 loads eight bytes into the low qword, zeroing the high
+// (_mm_loadl_epi64 / movq).
+func (u *Unit) LoadlEpi64U8(p []uint8) vec.V128 {
+	u.recMem("movq", trace.SIMDLoad, 8)
+	var v vec.V128
+	for i := 0; i < 8; i++ {
+		v.SetU8(i, p[i])
+	}
+	return v
+}
+
+// LoadlEpi64S16 loads four int16 into the low qword (_mm_loadl_epi64).
+func (u *Unit) LoadlEpi64S16(p []int16) vec.V128 {
+	u.recMem("movq", trace.SIMDLoad, 8)
+	var v vec.V128
+	for i := 0; i < 4; i++ {
+		v.SetI16(i, p[i])
+	}
+	return v
+}
+
+// LoadSs loads a single float32 into lane 0, zeroing the rest (movss).
+func (u *Unit) LoadSs(p []float32) vec.V128 {
+	u.recMem("movss", trace.SIMDLoad, 4)
+	var v vec.V128
+	v.SetF32(0, p[0])
+	return v
+}
+
+// --- Stores ---
+
+// StoreuPs stores four float32 (_mm_storeu_ps / movups).
+func (u *Unit) StoreuPs(p []float32, v vec.V128) {
+	u.recMem("movups", trace.SIMDStore, 16)
+	f := v.ToF32x4()
+	copy(p[:4], f[:])
+}
+
+// StoreuSi128 stores 16 bytes (_mm_storeu_si128 / movdqu).
+func (u *Unit) StoreuSi128(p []byte, v vec.V128) {
+	u.recMem("movdqu", trace.SIMDStore, 16)
+	vec.StoreV128(p, v)
+}
+
+// StoreuSi128S16 stores eight int16. This is the final instruction of the
+// paper's SSE2 convert loop.
+func (u *Unit) StoreuSi128S16(p []int16, v vec.V128) {
+	u.recMem("movdqu", trace.SIMDStore, 16)
+	x := v.ToI16x8()
+	copy(p[:8], x[:])
+}
+
+// StoreuSi128U8 stores sixteen uint8.
+func (u *Unit) StoreuSi128U8(p []uint8, v vec.V128) {
+	u.recMem("movdqu", trace.SIMDStore, 16)
+	x := v.ToU8x16()
+	copy(p[:16], x[:])
+}
+
+// StoreuSi128U16 stores eight uint16.
+func (u *Unit) StoreuSi128U16(p []uint16, v vec.V128) {
+	u.recMem("movdqu", trace.SIMDStore, 16)
+	x := v.ToU16x8()
+	copy(p[:8], x[:])
+}
+
+// StoreuSi128S32 stores four int32.
+func (u *Unit) StoreuSi128S32(p []int32, v vec.V128) {
+	u.recMem("movdqu", trace.SIMDStore, 16)
+	x := v.ToI32x4()
+	copy(p[:4], x[:])
+}
+
+// StorelEpi64U8 stores the low eight bytes (_mm_storel_epi64 / movq).
+func (u *Unit) StorelEpi64U8(p []uint8, v vec.V128) {
+	u.recMem("movq", trace.SIMDStore, 8)
+	for i := 0; i < 8; i++ {
+		p[i] = v.U8(i)
+	}
+}
+
+// StorelEpi64S16 stores the low four int16 (_mm_storel_epi64 / movq).
+func (u *Unit) StorelEpi64S16(p []int16, v vec.V128) {
+	u.recMem("movq", trace.SIMDStore, 8)
+	for i := 0; i < 4; i++ {
+		p[i] = v.I16(i)
+	}
+}
+
+// --- Set / broadcast ---
+
+// Set1Ps broadcasts a float32 to all four lanes (_mm_set1_ps).
+func (u *Unit) Set1Ps(x float32) vec.V128 {
+	u.rec("shufps(set1)", trace.SIMDShuffle)
+	return vec.FromF32x4([4]float32{x, x, x, x})
+}
+
+// Set1Epi8 broadcasts a byte to all sixteen lanes (_mm_set1_epi8).
+func (u *Unit) Set1Epi8(x int8) vec.V128 {
+	u.rec("pshufd(set1)", trace.SIMDShuffle)
+	var a [16]int8
+	for i := range a {
+		a[i] = x
+	}
+	return vec.FromI8x16(a)
+}
+
+// Set1Epu8 broadcasts an unsigned byte to all sixteen lanes.
+func (u *Unit) Set1Epu8(x uint8) vec.V128 {
+	u.rec("pshufd(set1)", trace.SIMDShuffle)
+	var a [16]uint8
+	for i := range a {
+		a[i] = x
+	}
+	return vec.FromU8x16(a)
+}
+
+// Set1Epi16 broadcasts an int16 to all eight lanes (_mm_set1_epi16).
+func (u *Unit) Set1Epi16(x int16) vec.V128 {
+	u.rec("pshufd(set1)", trace.SIMDShuffle)
+	return vec.FromI16x8([8]int16{x, x, x, x, x, x, x, x})
+}
+
+// Set1Epi32 broadcasts an int32 to all four lanes (_mm_set1_epi32).
+func (u *Unit) Set1Epi32(x int32) vec.V128 {
+	u.rec("pshufd(set1)", trace.SIMDShuffle)
+	return vec.FromI32x4([4]int32{x, x, x, x})
+}
+
+// SetSd places a float64 in lane 0 (_mm_set_sd), the cvRound idiom's first
+// instruction.
+func (u *Unit) SetSd(x float64) vec.V128 {
+	u.rec("movsd", trace.Move)
+	var v vec.V128
+	v.SetF64(0, x)
+	return v
+}
+
+// SetrEpi16 sets eight int16 lanes in order (_mm_setr_epi16).
+func (u *Unit) SetrEpi16(a, b, c, d, e, f, g, h int16) vec.V128 {
+	u.rec("pinsrw(setr)", trace.SIMDShuffle)
+	return vec.FromI16x8([8]int16{a, b, c, d, e, f, g, h})
+}
+
+// SetzeroSi128 returns all zeroes (_mm_setzero_si128 / pxor).
+func (u *Unit) SetzeroSi128() vec.V128 {
+	u.rec("pxor(zero)", trace.SIMDALU)
+	return vec.Zero()
+}
+
+// SetzeroPs returns all zeroes (_mm_setzero_ps / xorps).
+func (u *Unit) SetzeroPs() vec.V128 {
+	u.rec("xorps(zero)", trace.SIMDALU)
+	return vec.Zero()
+}
+
+// --- Scalar extraction ---
+
+// CvtsdSi32 converts the low double to int32 with round-to-even
+// (_mm_cvtsd_si32 / cvtsd2si). Together with SetSd this is OpenCV's
+// SSE2 cvRound.
+func (u *Unit) CvtsdSi32(v vec.V128) int32 {
+	u.rec("cvtsd2si", trace.SIMDCvt)
+	return roundToEvenSat(v.F64(0))
+}
+
+// CvtsiSi128 moves an int32 into lane 0, zeroing the rest (_mm_cvtsi32_si128).
+func (u *Unit) CvtsiSi128(x int32) vec.V128 {
+	u.rec("movd", trace.Move)
+	var v vec.V128
+	v.SetI32(0, x)
+	return v
+}
+
+// Cvtsi128Si32 extracts lane 0 as int32 (_mm_cvtsi128_si32 / movd).
+func (u *Unit) Cvtsi128Si32(v vec.V128) int32 {
+	u.rec("movd", trace.Move)
+	return v.I32(0)
+}
+
+// ExtractEpi16 extracts a 16-bit lane as a zero-extended int (pextrw).
+func (u *Unit) ExtractEpi16(v vec.V128, lane int) int {
+	u.rec("pextrw", trace.Move)
+	return int(v.U16(lane))
+}
+
+// MovemaskEpi8 gathers the top bit of each byte lane (_mm_movemask_epi8).
+func (u *Unit) MovemaskEpi8(v vec.V128) int {
+	u.rec("pmovmskb", trace.Move)
+	m := 0
+	for i := 0; i < 16; i++ {
+		if v.U8(i)&0x80 != 0 {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// MovemaskPs gathers the sign bit of each float lane (_mm_movemask_ps).
+func (u *Unit) MovemaskPs(v vec.V128) int {
+	u.rec("movmskps", trace.Move)
+	m := 0
+	for i := 0; i < 4; i++ {
+		if v.U32(i)&0x80000000 != 0 {
+			m |= 1 << i
+		}
+	}
+	return m
+}

@@ -1,0 +1,81 @@
+package timing
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"simdstudy/internal/image"
+	"simdstudy/internal/platform"
+)
+
+// EnergyEstimate extends the timing model with the paper's stated future
+// work: performance per watt. Energy is modeled as modeled-seconds times
+// the platform's typical package power — the first-order model behind the
+// paper's GFLOPS/Watt three-tier classification (Section I).
+type EnergyEstimate struct {
+	Seconds float64
+	Watts   float64
+	Joules  float64
+	// PixelsPerJoule is the throughput-per-energy figure of merit, the
+	// image-processing analogue of GFLOPS/Watt.
+	PixelsPerJoule float64
+}
+
+// EstimateEnergy models the energy of one benchmark run.
+func EstimateEnergy(p platform.Platform, bench string, res image.Resolution, impl Impl) (EnergyEstimate, error) {
+	run, err := EstimateRun(p, bench, res, impl)
+	if err != nil {
+		return EnergyEstimate{}, err
+	}
+	if p.TypicalPowerW <= 0 {
+		return EnergyEstimate{}, fmt.Errorf("timing: %s has no power rating", p.Name)
+	}
+	j := run.Seconds * p.TypicalPowerW
+	return EnergyEstimate{
+		Seconds:        run.Seconds,
+		Watts:          p.TypicalPowerW,
+		Joules:         j,
+		PixelsPerJoule: float64(res.Pixels()) / j,
+	}, nil
+}
+
+// EnergyRow is one platform's energy results for a benchmark.
+type EnergyRow struct {
+	Platform platform.Platform
+	Auto     EnergyEstimate
+	Hand     EnergyEstimate
+}
+
+// EnergyTable computes per-platform energy for one benchmark, sorted by
+// HAND energy efficiency (best first).
+func EnergyTable(bench string, platforms []platform.Platform, res image.Resolution) ([]EnergyRow, error) {
+	rows := make([]EnergyRow, 0, len(platforms))
+	for _, p := range platforms {
+		auto, err := EstimateEnergy(p, bench, res, Auto)
+		if err != nil {
+			return nil, err
+		}
+		hand, err := EstimateEnergy(p, bench, res, Hand)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, EnergyRow{Platform: p, Auto: auto, Hand: hand})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i].Hand.Joules < rows[j].Hand.Joules
+	})
+	return rows, nil
+}
+
+// RenderEnergyTable prints the table in a Table-II-like layout.
+func RenderEnergyTable(w io.Writer, bench string, res image.Resolution, rows []EnergyRow) {
+	fmt.Fprintf(w, "Energy per %s image, %s benchmark (extension: the paper's future work)\n\n", res.Name, bench)
+	fmt.Fprintf(w, "%-26s %5s %6s %12s %12s %14s\n",
+		"Platform", "Tier", "Watts", "AUTO (J)", "HAND (J)", "HAND Mpx/J")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-26s %5d %6.1f %12.4f %12.4f %14.2f\n",
+			r.Platform.Name, r.Platform.EfficiencyTier, r.Platform.TypicalPowerW,
+			r.Auto.Joules, r.Hand.Joules, r.Hand.PixelsPerJoule/1e6)
+	}
+}

@@ -1,0 +1,111 @@
+package timing
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"simdstudy/internal/image"
+	"simdstudy/internal/platform"
+)
+
+func TestEstimateEnergy(t *testing.T) {
+	p := platform.Exynos4412()
+	e, err := EstimateEnergy(p, "EdgDet", image.Res8MP, Hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Joules <= 0 || e.Watts != p.TypicalPowerW || e.PixelsPerJoule <= 0 {
+		t.Fatalf("energy estimate: %+v", e)
+	}
+	if e.Joules != e.Seconds*e.Watts {
+		t.Fatal("energy identity")
+	}
+	// HAND uses less energy than AUTO (same power, less time) — the
+	// paper's motivation that SIMD improves energy per result.
+	a, err := EstimateEnergy(p, "EdgDet", image.Res8MP, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Joules >= a.Joules {
+		t.Error("HAND should use less energy than AUTO")
+	}
+	// Unknown benchmark propagates.
+	if _, err := EstimateEnergy(p, "NoSuch", image.Res8MP, Hand); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	// Missing power rating errors.
+	bad := p
+	bad.TypicalPowerW = 0
+	if _, err := EstimateEnergy(bad, "EdgDet", image.Res8MP, Hand); err == nil {
+		t.Error("zero power should error")
+	}
+}
+
+// TestARMEnergyEfficiencyTiers reproduces the paper's Section I claim:
+// ARM SoCs sit in the most efficient tier, beating desktop-class x86 on
+// energy per result even while losing on wall-clock.
+func TestARMEnergyEfficiencyTiers(t *testing.T) {
+	res := image.Res8MP
+	armBest, err := EstimateEnergy(platform.Exynos4412(), "EdgDet", res, Hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []platform.Platform{platform.Core2Q9400(), platform.CoreI72820QM(), platform.CoreI53360M()} {
+		intel, err := EstimateEnergy(p, "EdgDet", res, Hand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if armBest.Joules >= intel.Joules {
+			t.Errorf("%s should use more energy per frame than the Exynos 4412 (%.2f vs %.2f J)",
+				p.Name, intel.Joules, armBest.Joules)
+		}
+		if intel.Seconds >= armBest.Seconds {
+			t.Errorf("%s should still be faster in wall-clock", p.Name)
+		}
+	}
+	for _, p := range platform.Paper() {
+		want := 1
+		if p.Family == platform.ARM {
+			want = 3
+		}
+		if p.EfficiencyTier != want {
+			t.Errorf("%s: tier %d, want %d", p.Name, p.EfficiencyTier, want)
+		}
+		if p.TypicalPowerW <= 0 {
+			t.Errorf("%s: missing power rating", p.Name)
+		}
+	}
+}
+
+func TestEnergyTableSortedAndRendered(t *testing.T) {
+	rows, err := EnergyTable("BinThr", platform.Paper(), image.Res1MP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Hand.Joules < rows[i-1].Hand.Joules {
+			t.Fatal("rows must be sorted by HAND energy")
+		}
+	}
+	// The most efficient platform should be an ARM SoC.
+	if rows[0].Platform.Family != platform.ARM {
+		t.Errorf("most efficient platform is %s, expected an ARM SoC", rows[0].Platform.Name)
+	}
+	var buf bytes.Buffer
+	RenderEnergyTable(&buf, "BinThr", image.Res1MP, rows)
+	out := buf.String()
+	if !strings.Contains(out, "Tier") || !strings.Contains(out, "Mpx/J") {
+		t.Error("render missing columns")
+	}
+	if !strings.Contains(out, "Energy per 1280x960") {
+		t.Error("render missing header")
+	}
+	// Error propagation.
+	if _, err := EnergyTable("NoSuch", platform.Paper(), image.Res1MP); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}

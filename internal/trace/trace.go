@@ -1,0 +1,285 @@
+// Package trace records dynamic instruction streams emitted by the NEON and
+// SSE2 emulation layers and by the IR executor.
+//
+// The paper's central quantity is instructions retired per output pixel:
+// its Section V shows the hand-written NEON loop retiring 14 instructions
+// per 8 pixels while the auto-vectorized build needs many more because gcc
+// fails to block the loop. Every emulated intrinsic call and every IR
+// interpreter step reports into a Counter so those counts are measured, not
+// assumed.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class buckets instructions by the execution resource they occupy. The
+// timing model prices each class per microarchitecture.
+type Class int
+
+// Instruction classes. SIMD classes occupy the vector pipe(s); scalar
+// classes occupy the integer or scalar-FP pipes. Branch, Call and AddrCalc
+// model loop and call overhead, which the paper's assembly analysis shows
+// dominating the auto-vectorized builds.
+const (
+	SIMDLoad Class = iota
+	SIMDStore
+	SIMDALU     // vector integer add/sub/logic/compare/min/max
+	SIMDMul     // vector multiplies and multiply-accumulate
+	SIMDCvt     // vector conversions and saturating narrows/packs
+	SIMDShuffle // shuffles, unpacks, combines, lane moves
+	ScalarLoad
+	ScalarStore
+	ScalarALU // scalar integer ops, address arithmetic folded separately
+	ScalarFP  // scalar floating point (VFP on ARM, x87/SSE-scalar on Intel)
+	ScalarCvt // scalar int<->float conversion
+	Branch
+	Call // function call + return pair (e.g. the lrint fallback)
+	AddrCalc
+	Move // register-to-register moves
+	numClasses
+)
+
+// NumClasses is the number of distinct instruction classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	"simd.load", "simd.store", "simd.alu", "simd.mul", "simd.cvt",
+	"simd.shuffle", "scalar.load", "scalar.store", "scalar.alu",
+	"scalar.fp", "scalar.cvt", "branch", "call", "addr", "move",
+}
+
+// String returns the class mnemonic.
+func (c Class) String() string {
+	if c < 0 || int(c) >= NumClasses {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// IsSIMD reports whether the class executes on the vector pipeline.
+func (c Class) IsSIMD() bool {
+	switch c {
+	case SIMDLoad, SIMDStore, SIMDALU, SIMDMul, SIMDCvt, SIMDShuffle:
+		return true
+	}
+	return false
+}
+
+// IsMemory reports whether the class touches memory.
+func (c Class) IsMemory() bool {
+	switch c {
+	case SIMDLoad, SIMDStore, ScalarLoad, ScalarStore:
+		return true
+	}
+	return false
+}
+
+// Op is a single recorded instruction occurrence.
+type Op struct {
+	Name  string // mnemonic, e.g. "vld1.32" or "cvtps2dq"
+	Class Class
+	Bytes int // memory bytes moved, zero for non-memory ops
+}
+
+// Counter accumulates a dynamic instruction trace. The zero value is ready
+// to use. Counters are not safe for concurrent use; the paper's experiments
+// are single-threaded and so are ours.
+type Counter struct {
+	counts      [numClasses]uint64
+	bytesLoaded uint64
+	bytesStored uint64
+	opcodes     map[string]uint64
+
+	// seq captures the first SeqCap recorded ops for listing generation
+	// (Section V style analysis). Disabled unless SeqCap > 0.
+	SeqCap int
+	seq    []Op
+}
+
+// Record notes one occurrence of op.
+func (t *Counter) Record(op Op) {
+	if t == nil {
+		return
+	}
+	t.counts[op.Class]++
+	switch op.Class {
+	case SIMDLoad, ScalarLoad:
+		t.bytesLoaded += uint64(op.Bytes)
+	case SIMDStore, ScalarStore:
+		t.bytesStored += uint64(op.Bytes)
+	}
+	if t.opcodes == nil {
+		t.opcodes = make(map[string]uint64)
+	}
+	t.opcodes[op.Name]++
+	if t.SeqCap > 0 && len(t.seq) < t.SeqCap {
+		t.seq = append(t.seq, op)
+	}
+}
+
+// RecordN notes n occurrences of an op with no sequence capture. It is the
+// fast path used for bulk accounting (e.g. loop overhead per iteration).
+func (t *Counter) RecordN(name string, class Class, n uint64, bytesEach int) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.counts[class] += n
+	switch class {
+	case SIMDLoad, ScalarLoad:
+		t.bytesLoaded += n * uint64(bytesEach)
+	case SIMDStore, ScalarStore:
+		t.bytesStored += n * uint64(bytesEach)
+	}
+	if t.opcodes == nil {
+		t.opcodes = make(map[string]uint64)
+	}
+	t.opcodes[name] += n
+}
+
+// Count returns the number of instructions recorded in class c.
+func (t *Counter) Count(c Class) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.counts[c]
+}
+
+// Opcode returns the dynamic count for a specific mnemonic.
+func (t *Counter) Opcode(name string) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.opcodes[name]
+}
+
+// Total returns the total dynamic instruction count.
+func (t *Counter) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	var s uint64
+	for _, c := range t.counts {
+		s += c
+	}
+	return s
+}
+
+// SIMDTotal returns the count of vector-pipe instructions.
+func (t *Counter) SIMDTotal() uint64 {
+	if t == nil {
+		return 0
+	}
+	var s uint64
+	for c := Class(0); c < numClasses; c++ {
+		if c.IsSIMD() {
+			s += t.counts[c]
+		}
+	}
+	return s
+}
+
+// BytesLoaded returns total bytes read from memory.
+func (t *Counter) BytesLoaded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.bytesLoaded
+}
+
+// BytesStored returns total bytes written to memory.
+func (t *Counter) BytesStored() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.bytesStored
+}
+
+// Sequence returns the captured instruction prefix (up to SeqCap ops).
+func (t *Counter) Sequence() []Op {
+	if t == nil {
+		return nil
+	}
+	return t.seq
+}
+
+// Reset zeroes the counter, retaining SeqCap.
+func (t *Counter) Reset() {
+	if t == nil {
+		return
+	}
+	t.counts = [numClasses]uint64{}
+	t.bytesLoaded = 0
+	t.bytesStored = 0
+	t.opcodes = nil
+	t.seq = nil
+}
+
+// Add accumulates other into t.
+func (t *Counter) Add(other *Counter) {
+	if t == nil || other == nil {
+		return
+	}
+	for i := range t.counts {
+		t.counts[i] += other.counts[i]
+	}
+	t.bytesLoaded += other.bytesLoaded
+	t.bytesStored += other.bytesStored
+	if other.opcodes != nil {
+		if t.opcodes == nil {
+			t.opcodes = make(map[string]uint64, len(other.opcodes))
+		}
+		for k, v := range other.opcodes {
+			t.opcodes[k] += v
+		}
+	}
+}
+
+// Classes returns a snapshot of per-class counts indexed by Class.
+func (t *Counter) Classes() [NumClasses]uint64 {
+	if t == nil {
+		return [NumClasses]uint64{}
+	}
+	return t.counts
+}
+
+// PerPixel divides every count by pixels, returning instructions per output
+// element — the unit used throughout the paper's Section V discussion.
+func (t *Counter) PerPixel(pixels int) map[Class]float64 {
+	m := make(map[Class]float64, NumClasses)
+	if t == nil || pixels <= 0 {
+		return m
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if t.counts[c] > 0 {
+			m[c] = float64(t.counts[c]) / float64(pixels)
+		}
+	}
+	return m
+}
+
+// Summary renders a sorted per-opcode and per-class report.
+func (t *Counter) Summary() string {
+	if t == nil {
+		return "(nil trace)"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total=%d simd=%d loadB=%d storeB=%d\n",
+		t.Total(), t.SIMDTotal(), t.bytesLoaded, t.bytesStored)
+	for c := Class(0); c < numClasses; c++ {
+		if t.counts[c] > 0 {
+			fmt.Fprintf(&sb, "  %-12s %d\n", c, t.counts[c])
+		}
+	}
+	names := make([]string, 0, len(t.opcodes))
+	for k := range t.opcodes {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&sb, "    %-16s %d\n", k, t.opcodes[k])
+	}
+	return sb.String()
+}

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordAndCount(t *testing.T) {
+	var c Counter
+	c.Record(Op{Name: "vadd.i16", Class: SIMDALU})
+	c.Record(Op{Name: "vadd.i16", Class: SIMDALU})
+	c.Record(Op{Name: "vld1.32", Class: SIMDLoad, Bytes: 16})
+	c.Record(Op{Name: "vst1.16", Class: SIMDStore, Bytes: 16})
+	c.Record(Op{Name: "ldr", Class: ScalarLoad, Bytes: 4})
+	if c.Count(SIMDALU) != 2 {
+		t.Errorf("SIMDALU: %d", c.Count(SIMDALU))
+	}
+	if c.Opcode("vadd.i16") != 2 {
+		t.Errorf("opcode count: %d", c.Opcode("vadd.i16"))
+	}
+	if c.Total() != 5 {
+		t.Errorf("total: %d", c.Total())
+	}
+	if c.SIMDTotal() != 4 {
+		t.Errorf("simd total: %d", c.SIMDTotal())
+	}
+	if c.BytesLoaded() != 20 {
+		t.Errorf("bytes loaded: %d", c.BytesLoaded())
+	}
+	if c.BytesStored() != 16 {
+		t.Errorf("bytes stored: %d", c.BytesStored())
+	}
+}
+
+func TestRecordN(t *testing.T) {
+	var c Counter
+	c.RecordN("add", ScalarALU, 100, 0)
+	c.RecordN("ldrh", ScalarLoad, 50, 2)
+	if c.Count(ScalarALU) != 100 || c.Count(ScalarLoad) != 50 {
+		t.Fatalf("counts: %d %d", c.Count(ScalarALU), c.Count(ScalarLoad))
+	}
+	if c.BytesLoaded() != 100 {
+		t.Fatalf("bytes: %d", c.BytesLoaded())
+	}
+	c.RecordN("nop", Move, 0, 0)
+	if c.Opcode("nop") != 0 {
+		t.Fatal("zero RecordN should not create opcode entry")
+	}
+}
+
+func TestNilCounterSafe(t *testing.T) {
+	var c *Counter
+	c.Record(Op{Name: "x", Class: SIMDALU}) // must not panic
+	c.RecordN("y", Branch, 3, 0)
+	c.Add(nil)
+	c.Reset()
+	if c.Total() != 0 || c.Count(Branch) != 0 || c.Opcode("y") != 0 {
+		t.Fatal("nil counter should read as zero")
+	}
+	if c.SIMDTotal() != 0 || c.BytesLoaded() != 0 || c.BytesStored() != 0 {
+		t.Fatal("nil counter aggregate reads")
+	}
+	if got := c.Summary(); got != "(nil trace)" {
+		t.Fatalf("nil summary: %q", got)
+	}
+	if len(c.PerPixel(10)) != 0 {
+		t.Fatal("nil PerPixel")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	var a, b Counter
+	a.Record(Op{Name: "vmul", Class: SIMDMul})
+	b.Record(Op{Name: "vmul", Class: SIMDMul})
+	b.Record(Op{Name: "b.ne", Class: Branch})
+	b.RecordN("vld1", SIMDLoad, 2, 16)
+	a.Add(&b)
+	if a.Count(SIMDMul) != 2 || a.Count(Branch) != 1 || a.Count(SIMDLoad) != 2 {
+		t.Fatalf("after add: %v", a.Classes())
+	}
+	if a.Opcode("vmul") != 2 {
+		t.Fatalf("opcode merge: %d", a.Opcode("vmul"))
+	}
+	if a.BytesLoaded() != 32 {
+		t.Fatalf("bytes merge: %d", a.BytesLoaded())
+	}
+}
+
+func TestSequenceCapture(t *testing.T) {
+	c := Counter{SeqCap: 3}
+	for i := 0; i < 10; i++ {
+		c.Record(Op{Name: "vadd", Class: SIMDALU})
+	}
+	if len(c.Sequence()) != 3 {
+		t.Fatalf("sequence len: %d", len(c.Sequence()))
+	}
+	if c.Total() != 10 {
+		t.Fatalf("total unaffected by cap: %d", c.Total())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := Counter{SeqCap: 5}
+	c.Record(Op{Name: "x", Class: SIMDALU, Bytes: 0})
+	c.Record(Op{Name: "ld", Class: ScalarLoad, Bytes: 8})
+	c.Reset()
+	if c.Total() != 0 || c.BytesLoaded() != 0 || len(c.Sequence()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if c.SeqCap != 5 {
+		t.Fatal("reset should retain SeqCap")
+	}
+}
+
+func TestPerPixel(t *testing.T) {
+	var c Counter
+	c.RecordN("vadd", SIMDALU, 14, 0)
+	m := c.PerPixel(8)
+	if m[SIMDALU] != 1.75 {
+		t.Fatalf("per pixel: %v", m[SIMDALU])
+	}
+	if len(c.PerPixel(0)) != 0 {
+		t.Fatal("PerPixel(0) should be empty")
+	}
+}
+
+func TestClassPredicatesAndNames(t *testing.T) {
+	simd := []Class{SIMDLoad, SIMDStore, SIMDALU, SIMDMul, SIMDCvt, SIMDShuffle}
+	for _, c := range simd {
+		if !c.IsSIMD() {
+			t.Errorf("%v should be SIMD", c)
+		}
+	}
+	scalar := []Class{ScalarLoad, ScalarStore, ScalarALU, ScalarFP, ScalarCvt, Branch, Call, AddrCalc, Move}
+	for _, c := range scalar {
+		if c.IsSIMD() {
+			t.Errorf("%v should not be SIMD", c)
+		}
+	}
+	mem := []Class{SIMDLoad, SIMDStore, ScalarLoad, ScalarStore}
+	for _, c := range mem {
+		if !c.IsMemory() {
+			t.Errorf("%v should be memory", c)
+		}
+	}
+	if SIMDALU.IsMemory() || Branch.IsMemory() {
+		t.Error("non-memory classes misclassified")
+	}
+	for c := Class(0); c < Class(NumClasses); c++ {
+		if strings.Contains(c.String(), "class(") {
+			t.Errorf("class %d missing name", int(c))
+		}
+	}
+	if Class(99).String() != "class(99)" {
+		t.Error("out of range class name")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var c Counter
+	c.Record(Op{Name: "vcvt.s32.f32", Class: SIMDCvt})
+	c.Record(Op{Name: "vqmovn.s32", Class: SIMDCvt})
+	s := c.Summary()
+	if !strings.Contains(s, "vcvt.s32.f32") || !strings.Contains(s, "simd.cvt") {
+		t.Fatalf("summary missing entries: %s", s)
+	}
+}

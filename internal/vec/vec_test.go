@@ -1,0 +1,305 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaneRoundTripsV128(t *testing.T) {
+	var v V128
+	for i := 0; i < 16; i++ {
+		v.SetU8(i, uint8(i*7+3))
+	}
+	for i := 0; i < 16; i++ {
+		if v.U8(i) != uint8(i*7+3) {
+			t.Fatalf("u8 lane %d: got %d", i, v.U8(i))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		v.SetI16(i, int16(-1000*i+5))
+	}
+	for i := 0; i < 8; i++ {
+		if v.I16(i) != int16(-1000*i+5) {
+			t.Fatalf("i16 lane %d: got %d", i, v.I16(i))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v.SetF32(i, float32(i)*1.5-2)
+	}
+	for i := 0; i < 4; i++ {
+		if v.F32(i) != float32(i)*1.5-2 {
+			t.Fatalf("f32 lane %d: got %v", i, v.F32(i))
+		}
+	}
+	for i := 0; i < 2; i++ {
+		v.SetF64(i, float64(i)+0.25)
+	}
+	for i := 0; i < 2; i++ {
+		if v.F64(i) != float64(i)+0.25 {
+			t.Fatalf("f64 lane %d: got %v", i, v.F64(i))
+		}
+	}
+	v.SetI64(0, -42)
+	v.SetU64(1, 1<<40)
+	if v.I64(0) != -42 || v.U64(1) != 1<<40 {
+		t.Fatalf("64-bit lanes: got %d %d", v.I64(0), v.U64(1))
+	}
+}
+
+func TestLaneRoundTripsV64(t *testing.T) {
+	var d V64
+	for i := 0; i < 8; i++ {
+		d.SetI8(i, int8(-i*3))
+	}
+	for i := 0; i < 8; i++ {
+		if d.I8(i) != int8(-i*3) {
+			t.Fatalf("i8 lane %d: got %d", i, d.I8(i))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		d.SetU16(i, uint16(i*1000))
+	}
+	for i := 0; i < 4; i++ {
+		if d.U16(i) != uint16(i*1000) {
+			t.Fatalf("u16 lane %d: got %d", i, d.U16(i))
+		}
+	}
+	d.SetF32(0, 3.5)
+	d.SetF32(1, -7.25)
+	if d.F32(0) != 3.5 || d.F32(1) != -7.25 {
+		t.Fatalf("f32 lanes: %v %v", d.F32(0), d.F32(1))
+	}
+	d.SetI64(-99)
+	if d.I64() != -99 {
+		t.Fatalf("i64: %d", d.I64())
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	// Writing a 32-bit lane must land its least-significant byte at the
+	// lowest address, as on real ARM/x86.
+	var v V128
+	v.SetU32(0, 0x04030201)
+	for i := 0; i < 4; i++ {
+		if v.U8(i) != uint8(i+1) {
+			t.Fatalf("byte %d: got %#x", i, v.U8(i))
+		}
+	}
+	// Reinterpreting lanes must match hardware semantics: two u16 lanes
+	// read from one u32 write.
+	if v.U16(0) != 0x0201 || v.U16(1) != 0x0403 {
+		t.Fatalf("u16 reinterpret: %#x %#x", v.U16(0), v.U16(1))
+	}
+}
+
+func TestCombineLowHigh(t *testing.T) {
+	lo := FromI16x4([4]int16{1, 2, 3, 4})
+	hi := FromI16x4([4]int16{5, 6, 7, 8})
+	q := Combine(lo, hi)
+	want := [8]int16{1, 2, 3, 4, 5, 6, 7, 8}
+	if q.ToI16x8() != want {
+		t.Fatalf("combine: got %v", q.ToI16x8())
+	}
+	if q.Low() != lo || q.High() != hi {
+		t.Fatalf("low/high roundtrip failed")
+	}
+}
+
+func TestConstructorsExtractors(t *testing.T) {
+	u8 := [16]uint8{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	if FromU8x16(u8).ToU8x16() != u8 {
+		t.Error("u8x16 roundtrip")
+	}
+	i8 := [16]int8{-8, -7, -6, -5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5, 6, 7}
+	if FromI8x16(i8).ToI8x16() != i8 {
+		t.Error("i8x16 roundtrip")
+	}
+	u16 := [8]uint16{0, 1, 65535, 3, 400, 5000, 60000, 7}
+	if FromU16x8(u16).ToU16x8() != u16 {
+		t.Error("u16x8 roundtrip")
+	}
+	i16 := [8]int16{-32768, 32767, 0, -1, 1, 100, -100, 9}
+	if FromI16x8(i16).ToI16x8() != i16 {
+		t.Error("i16x8 roundtrip")
+	}
+	u32 := [4]uint32{0, math.MaxUint32, 7, 1 << 31}
+	if FromU32x4(u32).ToU32x4() != u32 {
+		t.Error("u32x4 roundtrip")
+	}
+	i32 := [4]int32{math.MinInt32, math.MaxInt32, -1, 1}
+	if FromI32x4(i32).ToI32x4() != i32 {
+		t.Error("i32x4 roundtrip")
+	}
+	f32 := [4]float32{1.5, -2.25, 0, 1e20}
+	if FromF32x4(f32).ToF32x4() != f32 {
+		t.Error("f32x4 roundtrip")
+	}
+	f64 := [2]float64{math.Pi, -1e-300}
+	if FromF64x2(f64).ToF64x2() != f64 {
+		t.Error("f64x2 roundtrip")
+	}
+	i64 := [2]int64{math.MinInt64, math.MaxInt64}
+	if FromI64x2(i64).ToI64x2() != i64 {
+		t.Error("i64x2 roundtrip")
+	}
+	u64 := [2]uint64{0, math.MaxUint64}
+	if FromU64x2(u64).ToU32x4() == ([4]uint32{}) {
+		_ = u64 // layout checked below
+	}
+	d16 := [4]int16{-1, 2, -3, 4}
+	if FromI16x4(d16).ToI16x4() != d16 {
+		t.Error("i16x4 roundtrip")
+	}
+	d8 := [8]int8{-1, 2, -3, 4, -5, 6, -7, 8}
+	if FromI8x8(d8).ToI8x8() != d8 {
+		t.Error("i8x8 roundtrip")
+	}
+	du8 := [8]uint8{1, 2, 3, 4, 5, 6, 7, 8}
+	if FromU8x8(du8).ToU8x8() != du8 {
+		t.Error("u8x8 roundtrip")
+	}
+	du16 := [4]uint16{1, 2, 3, 65535}
+	if FromU16x4(du16).ToU16x4() != du16 {
+		t.Error("u16x4 roundtrip")
+	}
+	di32 := [2]int32{math.MinInt32, 77}
+	if FromI32x2(di32).ToI32x2() != di32 {
+		t.Error("i32x2 roundtrip")
+	}
+	du32 := [2]uint32{4e9, 1}
+	if FromU32x2(du32).ToU32x2() != du32 {
+		t.Error("u32x2 roundtrip")
+	}
+	df32 := [2]float32{-1.5, 2.5}
+	if FromF32x2(df32).ToF32x2() != df32 {
+		t.Error("f32x2 roundtrip")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	buf := make([]byte, 32)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	v := LoadV128(buf[4:])
+	if v.U8(0) != 4 || v.U8(15) != 19 {
+		t.Fatalf("LoadV128: %v", v)
+	}
+	out := make([]byte, 16)
+	StoreV128(out, v)
+	for i := range out {
+		if out[i] != byte(i+4) {
+			t.Fatalf("StoreV128 byte %d: %d", i, out[i])
+		}
+	}
+	d := LoadV64(buf[8:])
+	if d.U8(0) != 8 || d.U8(7) != 15 {
+		t.Fatalf("LoadV64: %v", d)
+	}
+	out8 := make([]byte, 8)
+	StoreV64(out8, d)
+	for i := range out8 {
+		if out8[i] != byte(i+8) {
+			t.Fatalf("StoreV64 byte %d: %d", i, out8[i])
+		}
+	}
+}
+
+func TestLoadPanicsOnShortBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short buffer")
+		}
+	}()
+	LoadV128(make([]byte, 15))
+}
+
+func TestBitwise(t *testing.T) {
+	a := FromU32x4([4]uint32{0xFF00FF00, 0x0F0F0F0F, 0, 0xFFFFFFFF})
+	b := FromU32x4([4]uint32{0x00FF00FF, 0xF0F0F0F0, 0xFFFFFFFF, 0xFFFFFFFF})
+	if And(a, b).ToU32x4() != ([4]uint32{0, 0, 0, 0xFFFFFFFF}) {
+		t.Error("And")
+	}
+	if Or(a, b).ToU32x4() != ([4]uint32{0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF}) {
+		t.Error("Or")
+	}
+	if Xor(a, b).ToU32x4() != ([4]uint32{0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF, 0}) {
+		t.Error("Xor")
+	}
+	if AndNot(a, b).ToU32x4() != ([4]uint32{0x00FF00FF, 0xF0F0F0F0, 0xFFFFFFFF, 0}) {
+		t.Error("AndNot")
+	}
+	if Not(Zero()) != Ones() {
+		t.Error("Not(0) != ones")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	mask := FromU32x4([4]uint32{0xFFFFFFFF, 0, 0xFFFF0000, 0})
+	a := FromU32x4([4]uint32{1, 2, 0xAAAA5555, 4})
+	b := FromU32x4([4]uint32{10, 20, 0x1111BBBB, 40})
+	got := Select(mask, a, b)
+	want := [4]uint32{1, 20, 0xAAAABBBB, 40}
+	if got.ToU32x4() != want {
+		t.Fatalf("Select: got %v want %v", got.ToU32x4(), want)
+	}
+}
+
+func TestString(t *testing.T) {
+	v := Zero()
+	v.SetU8(0, 0xAB)
+	s := v.String()
+	if len(s) == 0 || s[:5] != "V128{" {
+		t.Fatalf("String: %q", s)
+	}
+	d := V64{}
+	if d.String()[:4] != "V64{" {
+		t.Fatalf("V64 String: %q", d.String())
+	}
+}
+
+// Property: bitwise identities hold for arbitrary registers.
+func TestQuickBitwiseIdentities(t *testing.T) {
+	f := func(ab, bb [16]byte) bool {
+		a, b := V128(ab), V128(bb)
+		if Xor(a, a) != Zero() {
+			return false
+		}
+		if And(a, Ones()) != a || Or(a, Zero()) != a {
+			return false
+		}
+		// De Morgan.
+		if Not(And(a, b)) != Or(Not(a), Not(b)) {
+			return false
+		}
+		// vbsl with all-ones mask selects a; all-zeroes selects b.
+		return Select(Ones(), a, b) == a && Select(Zero(), a, b) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Combine/Low/High are inverse bijections.
+func TestQuickCombineRoundTrip(t *testing.T) {
+	f := func(lo, hi [8]byte) bool {
+		q := Combine(V64(lo), V64(hi))
+		return q.Low() == V64(lo) && q.High() == V64(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: store then load is the identity.
+func TestQuickLoadStoreRoundTrip(t *testing.T) {
+	f := func(b [16]byte) bool {
+		buf := make([]byte, 16)
+		StoreV128(buf, V128(b))
+		return LoadV128(buf) == V128(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

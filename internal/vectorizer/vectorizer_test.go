@@ -1,0 +1,223 @@
+package vectorizer
+
+import (
+	"strings"
+	"testing"
+
+	"simdstudy/internal/ir"
+	"simdstudy/internal/kernels"
+	"simdstudy/internal/trace"
+)
+
+func TestConvertLoopNotVectorized(t *testing.T) {
+	// The paper's Section V finding: cvRound's libcall blocks
+	// vectorization of the float-to-short loop on both targets.
+	for _, target := range []Target{TargetNEON, TargetSSE2} {
+		d := Analyze(kernels.Convert32f16s(), target)
+		if d.Vectorized {
+			t.Errorf("%v: convert loop must not vectorize", target)
+		}
+		if !strings.Contains(d.Reason, "call") {
+			t.Errorf("%v: reason %q should mention the call", target, d.Reason)
+		}
+		if d.ScalarIter.Total() < 8 {
+			t.Errorf("%v: scalar convert should cost >=8 insns/pixel, got %v",
+				target, d.ScalarIter.Total())
+		}
+		if target == TargetNEON && d.ScalarIter[trace.Call] != 1 {
+			t.Errorf("%v: ARM scalar convert must include the lrint call", target)
+		}
+		if target == TargetSSE2 && d.ScalarIter[trace.Call] != 0 {
+			t.Errorf("%v: x86 scalar convert inlines cvtsd2si, no call", target)
+		}
+	}
+}
+
+func TestThresholdLoopNotVectorized(t *testing.T) {
+	// gcc 4.6 has no integer vcond expanders, so OpenCV's compare-and-
+	// select threshold functor fails if-conversion and stays scalar —
+	// which is why the paper's hand pminub/vmin.u8 loops win big.
+	for _, target := range []Target{TargetNEON, TargetSSE2} {
+		d := Analyze(kernels.ThresholdTrunc(100), target)
+		if d.Vectorized {
+			t.Fatalf("%v: integer select must block vectorization", target)
+		}
+		if !strings.Contains(d.Reason, "vcond") {
+			t.Errorf("%v: reason %q should mention vcond", target, d.Reason)
+		}
+	}
+	// A float select, by contrast, does vectorize (vcond existed for
+	// float modes).
+	b := ir.NewBuilder("fsel")
+	v := b.Load(ir.F32, "src", 1, 0)
+	z := b.ConstFloat(0)
+	c := b.Bin(ir.OpCmpGT, ir.F32, v, z)
+	r := b.Select(ir.F32, c, v, z)
+	b.Store(ir.F32, "dst", 1, 0, r)
+	d := Analyze(b.Done(), TargetNEON)
+	if !d.Vectorized || d.VF != 4 {
+		t.Errorf("float select should vectorize with VF=4: %+v", d.Reason)
+	}
+}
+
+func TestVerticalPassesVectorizeHorizontalDoNot(t *testing.T) {
+	// The alignment model: taps from distinct row arrays at one offset
+	// vectorize; overlapping taps within one row have unknown mutual
+	// alignment and stay scalar (the paper's "data alignment" blocker).
+	vertical := []*ir.Loop{kernels.GaussCol7(), kernels.SobelSmoothV(), kernels.SobelDiffV()}
+	horizontal := []*ir.Loop{kernels.GaussRow7(), kernels.SobelDiffH(), kernels.SobelSmoothH()}
+	for _, l := range vertical {
+		for _, target := range []Target{TargetNEON, TargetSSE2} {
+			d := Analyze(l, target)
+			if !d.Vectorized {
+				t.Errorf("%s/%v: should vectorize: %s", l.Name, target, d.Reason)
+				continue
+			}
+			if d.VF != 8 {
+				t.Errorf("%s/%v: VF=%d want 8 (16-bit widest)", l.Name, target, d.VF)
+			}
+		}
+	}
+	for _, l := range horizontal {
+		for _, target := range []Target{TargetNEON, TargetSSE2} {
+			d := Analyze(l, target)
+			if d.Vectorized {
+				t.Errorf("%s/%v: mutually misaligned taps must block", l.Name, target)
+			} else if !strings.Contains(d.Reason, "misaligned") {
+				t.Errorf("%s/%v: reason %q", l.Name, target, d.Reason)
+			}
+		}
+	}
+}
+
+func TestMagThreshNotVectorized(t *testing.T) {
+	for _, target := range []Target{TargetNEON, TargetSSE2} {
+		d := Analyze(kernels.MagThresh(100), target)
+		if d.Vectorized {
+			t.Errorf("%v: saturating ops must block vectorization", target)
+		}
+		if !strings.Contains(d.Reason, "saturating") {
+			t.Errorf("%v: reason %q", target, d.Reason)
+		}
+	}
+}
+
+func TestNonUnitStrideBlocks(t *testing.T) {
+	b := ir.NewBuilder("strided")
+	v := b.Load(ir.U8, "src", 2, 0)
+	b.Store(ir.U8, "dst", 1, 0, v)
+	d := Analyze(b.Done(), TargetNEON)
+	if d.Vectorized || !strings.Contains(d.Reason, "stride") {
+		t.Fatalf("stride should block: %+v", d)
+	}
+}
+
+func TestMalformedLoopRejected(t *testing.T) {
+	bad := &ir.Loop{Name: "bad", Body: []ir.Instr{{Op: ir.OpAdd, Type: ir.I16, Args: []ir.Value{0, 1}}}}
+	d := Analyze(bad, TargetSSE2)
+	if d.Vectorized || !strings.Contains(d.Reason, "malformed") {
+		t.Fatalf("malformed loop should be rejected: %+v", d)
+	}
+}
+
+func TestPerIterationAmortization(t *testing.T) {
+	d := Analyze(kernels.GaussCol7(), TargetNEON)
+	if !d.Vectorized {
+		t.Fatal(d.Reason)
+	}
+	// Long trip counts approach the asymptotic per-pixel cost.
+	long := d.PerIteration(8000)
+	asymptotic := d.VecBlock.Total() / float64(d.VF)
+	if got := long.Total(); got < asymptotic || got > asymptotic*1.05 {
+		t.Errorf("long-trip per-pixel %v, asymptotic %v", got, asymptotic)
+	}
+	// Short trip counts pay proportionally more (setup + remainder).
+	short := d.PerIteration(9)
+	if short.Total() <= long.Total() {
+		t.Errorf("short trips should cost more per pixel: %v vs %v",
+			short.Total(), long.Total())
+	}
+	// Degenerate inputs.
+	if d.PerIteration(0).Total() != 0 {
+		t.Error("zero trips should be empty")
+	}
+	// Non-vectorized decisions return the scalar profile unchanged.
+	c := Analyze(kernels.Convert32f16s(), TargetNEON)
+	if c.PerIteration(100) != c.ScalarIter {
+		t.Error("non-vectorized per-iteration should equal scalar profile")
+	}
+}
+
+// TestAutoCostExceedsHandCost pins the paper's central mechanism: for every
+// benchmark loop, the AUTO build's per-pixel instruction count exceeds what
+// the hand-written intrinsic kernels achieve (14 insns / 8 px for convert,
+// measured by the cv tests).
+func TestAutoCostExceedsHandCost(t *testing.T) {
+	handPerPixel := map[string]float64{
+		"cvt_32f16s":   14.0 / 8, // paper Section V
+		"thresh_trunc": 6.0 / 16, // vld/vmin/vst + 3 overhead per 16
+		"gauss_row7":   (8 + 3 + 3.0) / 8,
+		"sobel_diff_h": 6.0 / 8,
+		"mag_thresh":   10.0 / 8,
+	}
+	for name, hand := range handPerPixel {
+		var loop *ir.Loop
+		switch name {
+		case "cvt_32f16s":
+			loop = kernels.Convert32f16s()
+		case "thresh_trunc":
+			loop = kernels.ThresholdTrunc(100)
+		case "gauss_row7":
+			loop = kernels.GaussRow7()
+		case "sobel_diff_h":
+			loop = kernels.SobelDiffH()
+		case "mag_thresh":
+			loop = kernels.MagThresh(100)
+		}
+		d := Analyze(loop, TargetNEON)
+		auto := d.PerIteration(3264).Total()
+		if auto <= hand {
+			t.Errorf("%s: AUTO %.2f insns/px should exceed HAND %.2f", name, auto, hand)
+		}
+	}
+}
+
+func TestProfileArithmetic(t *testing.T) {
+	var p, q Profile
+	p.Add(trace.SIMDALU, 2)
+	p.Add(trace.Branch, 1)
+	q.Add(trace.SIMDALU, 3)
+	sum := p.Plus(q)
+	if sum[trace.SIMDALU] != 5 || sum[trace.Branch] != 1 {
+		t.Error("Plus")
+	}
+	if sum.Total() != 6 {
+		t.Error("Total")
+	}
+	if sum.SIMDTotal() != 5 {
+		t.Error("SIMDTotal")
+	}
+	half := sum.Scale(0.5)
+	if half[trace.SIMDALU] != 2.5 {
+		t.Error("Scale")
+	}
+	// Plus/Scale are value semantics: p unchanged.
+	if p[trace.SIMDALU] != 2 {
+		t.Error("Profile ops must not mutate receiver")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	d := Analyze(kernels.Convert32f16s(), TargetNEON)
+	if !strings.Contains(d.Explain(), "not vectorized") {
+		t.Error("explain for scalar loop")
+	}
+	v := Analyze(kernels.GaussCol7(), TargetSSE2)
+	s := v.Explain()
+	if !strings.Contains(s, "VECTORIZED") || !strings.Contains(s, "VF=8") {
+		t.Errorf("explain for vector loop: %s", s)
+	}
+	if TargetNEON.String() != "neon" || TargetSSE2.String() != "sse2" {
+		t.Error("target names")
+	}
+}
