@@ -18,10 +18,12 @@
 package simdstudy
 
 import (
+	"context"
 	"io"
 
 	"simdstudy/internal/asmgen"
 	"simdstudy/internal/cv"
+	"simdstudy/internal/faults"
 	"simdstudy/internal/harness"
 	"simdstudy/internal/image"
 	"simdstudy/internal/neon"
@@ -59,8 +61,17 @@ var (
 // Resolutions lists the paper's image sizes smallest first.
 func Resolutions() []Resolution { return image.Resolutions }
 
-// NewMat allocates a zeroed image.
+// NewMat allocates a zeroed image, panicking on invalid arguments.
 func NewMat(width, height int, kind image.Type) *Mat { return image.NewMat(width, height, kind) }
+
+// TryNewMat allocates a zeroed image, returning an error for invalid
+// dimensions or element types; use it for externally-sourced sizes.
+func TryNewMat(width, height int, kind image.Type) (*Mat, error) {
+	return image.TryNewMat(width, height, kind)
+}
+
+// ParseResolution parses a paper size name or a "WxH" string.
+func ParseResolution(s string) (Resolution, error) { return image.ParseResolution(s) }
 
 // Synthetic generates the deterministic synthetic photograph used in place
 // of the paper's camera images.
@@ -83,8 +94,12 @@ var (
 // RGB-to-gray kernel (which exercises NEON's structured vld3 loads).
 type RGBImage = image.RGB
 
-// NewRGB allocates a zeroed color image.
+// NewRGB allocates a zeroed color image, panicking on invalid dimensions.
 func NewRGB(width, height int) *RGBImage { return image.NewRGB(width, height) }
+
+// TryNewRGB allocates a zeroed color image, returning an error for invalid
+// dimensions.
+func TryNewRGB(width, height int) (*RGBImage, error) { return image.TryNewRGB(width, height) }
 
 // SyntheticRGB generates a deterministic synthetic color image.
 func SyntheticRGB(res Resolution, seed uint64) *RGBImage { return image.SyntheticRGB(res, seed) }
@@ -220,20 +235,108 @@ func VectorizeDecisions(bench string, target VectorizeTarget) ([]VectorizeDecisi
 	return timing.Decisions(bench, target)
 }
 
+// --- Fault injection and graceful degradation ---
+
+// FaultInjector corrupts values flowing through the emulated SIMD units;
+// implementations decide when and how. The built-in implementation is
+// FaultPlan.
+type FaultInjector = faults.Injector
+
+// FaultPlan is a deterministic, seedable fault plan: it flips lane bits,
+// poisons floats with NaN, perturbs saturation boundaries, or skews
+// load/store slices at a configured per-opportunity rate.
+type FaultPlan = faults.Plan
+
+// FaultConfig configures a FaultPlan (rate, seed, site and kind filters).
+type FaultConfig = faults.Config
+
+// FaultSite identifies where in an intrinsic a fault strikes.
+type FaultSite = faults.Site
+
+// FaultKind identifies the corruption applied at a fault site.
+type FaultKind = faults.Kind
+
+// Fault sites and kinds.
+const (
+	FaultSiteLoad    = faults.SiteLoad
+	FaultSiteStore   = faults.SiteStore
+	FaultSiteALU     = faults.SiteALU
+	FaultSiteConvert = faults.SiteConvert
+	FaultKindBitFlip = faults.KindBitFlip
+	FaultKindNaN     = faults.KindNaN
+	FaultKindSat     = faults.KindSatBoundary
+	FaultKindIdxSkew = faults.KindIndexSkew
+)
+
+// NewFaultPlan builds a deterministic fault plan from a config.
+func NewFaultPlan(cfg FaultConfig) *FaultPlan { return faults.NewPlan(cfg) }
+
+// KernelFault records one guarded-kernel fault event (detection, retry
+// recovery, scalar fallback, or kill-switch).
+type KernelFault = cv.KernelFault
+
+// FaultAction classifies a KernelFault.
+type FaultAction = cv.FaultAction
+
+// Guarded-kernel fault actions.
+const (
+	FaultDetected       = cv.ActionDetected
+	FaultRetryRecovered = cv.ActionRetryRecovered
+	FaultFallback       = cv.ActionFallback
+	FaultKillSwitch     = cv.ActionKillSwitch
+)
+
+// GuardPolicy tunes the guarded-execution mode of Ops (spot-check rows,
+// retry budget, kill-switch threshold).
+type GuardPolicy = cv.GuardPolicy
+
+// DefaultGuardPolicy returns the policy used when none is set.
+func DefaultGuardPolicy() GuardPolicy { return cv.DefaultGuardPolicy() }
+
 // --- Experiments ---
 
 // Grid holds AUTO/HAND results for one benchmark over sizes x platforms.
 type Grid = harness.Grid
+
+// GridOptions adds per-cell retry/backoff behavior to grid runs.
+type GridOptions = harness.GridOptions
 
 // RunGrid evaluates a benchmark across platforms and sizes.
 func RunGrid(bench string, platforms []Platform, sizes []Resolution) (*Grid, error) {
 	return harness.RunGrid(bench, platforms, sizes)
 }
 
+// RunGridCtx is RunGrid with deadline/cancellation support and per-cell
+// retry with backoff.
+func RunGridCtx(ctx context.Context, bench string, platforms []Platform, sizes []Resolution, opt GridOptions) (*Grid, error) {
+	return harness.RunGridCtx(ctx, bench, platforms, sizes, opt)
+}
+
 // VerifyBenchmark executes the real emulated kernels over the 5-image
 // burst, cross-checking hand-SIMD output against scalar output.
 func VerifyBenchmark(bench string, res Resolution) (int, error) {
 	return harness.Verify(bench, res)
+}
+
+// VerifyBenchmarkCtx is VerifyBenchmark with deadline/cancellation support.
+func VerifyBenchmarkCtx(ctx context.Context, bench string, res Resolution) (int, error) {
+	return harness.VerifyCtx(ctx, bench, res)
+}
+
+// CampaignConfig configures a fault-injection campaign.
+type CampaignConfig = harness.CampaignConfig
+
+// FaultReport summarizes a fault campaign: injected vs detected vs masked
+// per ISA.
+type FaultReport = harness.FaultReport
+
+// ISAFaultReport is the per-ISA row of a FaultReport.
+type ISAFaultReport = harness.ISAFaultReport
+
+// RunFaultCampaign runs a benchmark's guarded kernels under deterministic
+// fault injection and reports how the degradation ladder responded.
+func RunFaultCampaign(ctx context.Context, bench string, res Resolution, cfg CampaignConfig) (*FaultReport, error) {
+	return harness.RunFaultCampaign(ctx, bench, res, cfg)
 }
 
 // RenderTable1 prints the Table I platform catalogue.

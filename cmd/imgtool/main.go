@@ -19,7 +19,7 @@ import (
 func main() {
 	gen := flag.Bool("gen", false, "generate a synthetic image")
 	info := flag.String("info", "", "print statistics for a PGM file")
-	sizeName := flag.String("size", "640x480", "image size")
+	sizeName := flag.String("size", "640x480", "image size (paper name or WxH)")
 	seed := flag.Uint64("seed", 1, "generator seed (distinct seeds give the burst images)")
 	burst := flag.Int("burst", 1, "number of burst frames to generate")
 	out := flag.String("out", "frame.pgm", "output file (or prefix when -burst > 1)")
@@ -47,16 +47,8 @@ func main() {
 			*info, m.Width, m.Height, m.Kind, m.Pixels(), min, max,
 			float64(sum)/float64(m.Pixels()))
 	case *gen:
-		var res image.Resolution
-		found := false
-		for _, r := range image.Resolutions {
-			if r.Name == *sizeName {
-				res, found = r, true
-			}
-		}
-		if !found {
-			fail(fmt.Errorf("unknown size %q (paper sizes: 640x480, 1280x960, 2592x1920, 3264x2448)", *sizeName))
-		}
+		res, err := image.ParseResolution(*sizeName)
+		fail(err)
 		if *burst == 1 {
 			writeOne(res, *seed, *out)
 			return

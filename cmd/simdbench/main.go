@@ -8,10 +8,12 @@
 //
 //	simdbench -platform atom -bench ConvertFloatShort -size 3264x2448
 //	simdbench -platform tegra -bench GauBlu -size 640x480 -verify
+//	simdbench -bench GauBlu -verify -faults -fault-rate 1e-5 -fault-seed 7
 //	simdbench -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,8 +29,11 @@ import (
 func main() {
 	platName := flag.String("platform", "", "platform name or substring (empty = all)")
 	benchName := flag.String("bench", "ConvertFloatShort", "benchmark: "+strings.Join(timing.BenchNames, ", "))
-	sizeName := flag.String("size", "3264x2448", "image size: 640x480, 1280x960, 2592x1920 or 3264x2448")
+	sizeName := flag.String("size", "3264x2448", "image size: 640x480, 1280x960, 2592x1920, 3264x2448, or WxH")
 	verify := flag.Bool("verify", false, "execute the emulated kernels and cross-check outputs")
+	faultsOn := flag.Bool("faults", false, "run a fault-injection campaign through the guarded kernels")
+	faultRate := flag.Float64("fault-rate", 1e-5, "per-opportunity fault probability for -faults")
+	faultSeed := flag.Uint64("fault-seed", 7, "deterministic seed for the -faults plan")
 	energy := flag.Bool("energy", false, "also print the energy-per-image extension")
 	list := flag.Bool("list", false, "list platforms and benchmarks, then exit")
 	flag.Parse()
@@ -49,16 +54,8 @@ func main() {
 		return
 	}
 
-	var res image.Resolution
-	found := false
-	for _, r := range image.Resolutions {
-		if r.Name == *sizeName {
-			res, found = r, true
-		}
-	}
-	if !found {
-		fail(fmt.Errorf("unknown size %q", *sizeName))
-	}
+	res, err := image.ParseResolution(*sizeName)
+	fail(err)
 	ok := false
 	for _, b := range timing.BenchNames {
 		if b == *benchName {
@@ -78,11 +75,19 @@ func main() {
 		plats = []platform.Platform{p}
 	}
 
+	vres := image.Resolution{Width: 322, Height: 242, Name: "322x242"}
 	if *verify {
-		vres := image.Resolution{Width: 322, Height: 242, Name: "322x242"}
 		n, err := harness.Verify(*benchName, vres)
 		fail(err)
 		fmt.Printf("verified: hand-SIMD output matches scalar on %d images\n\n", n)
+	}
+
+	if *faultsOn {
+		rep, err := harness.RunFaultCampaign(context.Background(), *benchName, vres,
+			harness.CampaignConfig{Rate: *faultRate, Seed: *faultSeed})
+		fail(err)
+		rep.Render(os.Stdout)
+		fmt.Println()
 	}
 
 	fmt.Printf("%s on %s (%d runs averaged in the paper's protocol)\n\n", *benchName, res.Name, harness.Runs)

@@ -35,12 +35,19 @@ func (o *Ops) RGBToGray(src *image.RGB, dst *image.Mat) error {
 		return fmt.Errorf("cv: shape mismatch %dx%d vs %dx%d",
 			src.Width, src.Height, dst.Width, dst.Height)
 	}
-	if o.UseOptimized() && o.isa == ISANEON {
-		o.rgbToGrayNEON(src, dst)
+	run := func(op *Ops, d *image.Mat) error {
+		if op.UseOptimized() && op.isa == ISANEON {
+			op.rgbToGrayNEON(src, d)
+			return nil
+		}
+		op.rgbToGrayScalar(src, d)
 		return nil
 	}
-	o.rgbToGrayScalar(src, dst)
-	return nil
+	if o.UseOptimized() && o.isa == ISANEON {
+		return o.guardedRun("RGBToGray", dst, 0,
+			func() error { return run(o, dst) }, run)
+	}
+	return run(o, dst)
 }
 
 func grayPixel(r, g, b uint8) uint8 {

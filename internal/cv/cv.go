@@ -18,6 +18,7 @@ package cv
 import (
 	"fmt"
 
+	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
 	"simdstudy/internal/neon"
 	"simdstudy/internal/sse2"
@@ -57,6 +58,14 @@ type Ops struct {
 	T *trace.Counter
 	n *neon.Unit
 	s *sse2.Unit
+
+	// Guarded-mode state (see guard.go).
+	guarded      bool
+	inGuard      bool
+	policy       GuardPolicy
+	injector     faults.Injector
+	kernelFaults []KernelFault
+	fallbacks    int
 }
 
 // NewOps returns an Ops for the given ISA, recording dynamic instructions

@@ -21,26 +21,35 @@ func (o *Ops) DetectEdges(src, dst *image.Mat, thresh int16) error {
 	if err := sameShape(src, dst); err != nil {
 		return err
 	}
-	gx := image.NewMat(src.Width, src.Height, image.S16)
-	gy := image.NewMat(src.Width, src.Height, image.S16)
-	if err := o.SobelFilter(src, gx, 1, 0); err != nil {
-		return err
-	}
-	if err := o.SobelFilter(src, gy, 0, 1); err != nil {
-		return err
+	run := func(op *Ops, d *image.Mat) error {
+		gx := image.NewMat(src.Width, src.Height, image.S16)
+		gy := image.NewMat(src.Width, src.Height, image.S16)
+		if err := op.SobelFilter(src, gx, 1, 0); err != nil {
+			return err
+		}
+		if err := op.SobelFilter(src, gy, 0, 1); err != nil {
+			return err
+		}
+		if op.UseOptimized() {
+			switch op.isa {
+			case ISANEON:
+				op.magThreshNEON(gx, gy, d, thresh)
+				return nil
+			case ISASSE2:
+				op.magThreshSSE2(gx, gy, d, thresh)
+				return nil
+			}
+		}
+		op.magThreshScalar(gx, gy, d, thresh)
+		return nil
 	}
 	if o.UseOptimized() {
-		switch o.isa {
-		case ISANEON:
-			o.magThreshNEON(gx, gy, dst, thresh)
-			return nil
-		case ISASSE2:
-			o.magThreshSSE2(gx, gy, dst, thresh)
-			return nil
-		}
+		// One guard covers the whole pipeline; the nested SobelFilter
+		// calls see inGuard and skip their own referees.
+		return o.guardedRun("DetectEdges", dst, 0,
+			func() error { return run(o, dst) }, run)
 	}
-	o.magThreshScalar(gx, gy, dst, thresh)
-	return nil
+	return run(o, dst)
 }
 
 // magThreshPixel is the scalar combine: saturating |gx|+|gy| compared with

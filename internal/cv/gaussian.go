@@ -26,22 +26,29 @@ func (o *Ops) GaussianBlur(src, dst *image.Mat) error {
 	if err := sameShape(src, dst); err != nil {
 		return err
 	}
-	tmp := image.NewMat(src.Width, src.Height, image.U8)
-	if o.UseOptimized() {
-		switch o.isa {
-		case ISANEON:
-			o.gaussHorizNEON(src, tmp)
-			o.gaussVertNEON(tmp, dst)
-			return nil
-		case ISASSE2:
-			o.gaussHorizSSE2(src, tmp)
-			o.gaussVertSSE2(tmp, dst)
-			return nil
+	run := func(op *Ops, d *image.Mat) error {
+		tmp := image.NewMat(src.Width, src.Height, image.U8)
+		if op.UseOptimized() {
+			switch op.isa {
+			case ISANEON:
+				op.gaussHorizNEON(src, tmp)
+				op.gaussVertNEON(tmp, d)
+				return nil
+			case ISASSE2:
+				op.gaussHorizSSE2(src, tmp)
+				op.gaussVertSSE2(tmp, d)
+				return nil
+			}
 		}
+		op.gaussHorizScalar(src, tmp)
+		op.gaussVertScalar(tmp, d)
+		return nil
 	}
-	o.gaussHorizScalar(src, tmp)
-	o.gaussVertScalar(tmp, dst)
-	return nil
+	if o.UseOptimized() {
+		return o.guardedRun("GaussianBlur", dst, 0,
+			func() error { return run(o, dst) }, run)
+	}
+	return run(o, dst)
 }
 
 func clampIdx(i, n int) int {

@@ -1,0 +1,300 @@
+package cv
+
+import (
+	"fmt"
+
+	"simdstudy/internal/faults"
+	"simdstudy/internal/image"
+)
+
+// This file implements guarded mode: a self-checking dispatch wrapper that
+// runs a scalar referee after each hand-SIMD kernel, spot-checks sampled
+// rows, and degrades gracefully — detect, retry once, fall back to the
+// scalar result, and finally trip the setUseOptimized kill-switch — instead
+// of letting a corrupted lane reach the caller as silently wrong pixels.
+//
+// The referee is a fresh scalar Ops configured for the *same* ISA, because
+// rounding conventions are per-platform (cvRound is half-to-even on SSE2 and
+// half-away-from-zero on ARM); comparing against the other family's scalar
+// code would flag legitimate divergence as faults.
+
+// FaultAction classifies how a guarded kernel resolved a divergence.
+type FaultAction int
+
+// Guarded-mode outcomes, in escalation order.
+const (
+	// ActionDetected: the spot-check saw the SIMD output diverge from the
+	// scalar referee beyond tolerance.
+	ActionDetected FaultAction = iota
+	// ActionRetryRecovered: re-running the SIMD path produced output that
+	// matches the referee, so the fault was transient.
+	ActionRetryRecovered
+	// ActionFallback: retries exhausted; the scalar referee's output was
+	// substituted for the SIMD output.
+	ActionFallback
+	// ActionKillSwitch: repeated fallbacks disabled the optimized paths for
+	// this Ops entirely (setUseOptimized(false)).
+	ActionKillSwitch
+)
+
+var actionNames = [...]string{"detected", "retry-recovered", "fallback", "kill-switch"}
+
+// String names the action.
+func (a FaultAction) String() string {
+	if a < 0 || int(a) >= len(actionNames) {
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+	return actionNames[a]
+}
+
+// KernelFault is a typed record of one guarded-mode intervention.
+type KernelFault struct {
+	Kernel string      // entry point name, e.g. "GaussianBlur"
+	ISA    ISA         // the SIMD family that diverged
+	Action FaultAction // how the divergence was resolved
+	Rows   []int       // sampled rows that diverged at first detection
+	Diffs  int         // differing pixels across those rows
+}
+
+// String renders the fault for logs.
+func (f KernelFault) String() string {
+	return fmt.Sprintf("%s/%v: %v (%d diff pixels in rows %v)",
+		f.Kernel, f.ISA, f.Action, f.Diffs, f.Rows)
+}
+
+// GuardPolicy tunes the guarded dispatch.
+type GuardPolicy struct {
+	// SampleRows is how many rows the spot-check compares per image
+	// (clamped to the image height). Zero means the default of 8.
+	SampleRows int
+	// MaxRetries is how many times the SIMD path is re-run after a
+	// detection before falling back. Negative means zero retries.
+	MaxRetries int
+	// KillAfter trips the kill-switch (useOptimized=false) after this many
+	// fallbacks. Zero means the default of 3; negative disables the switch.
+	KillAfter int
+	// Seed drives the deterministic row sampler.
+	Seed uint64
+}
+
+// DefaultGuardPolicy returns the policy used when none is set.
+func DefaultGuardPolicy() GuardPolicy {
+	return GuardPolicy{SampleRows: 8, MaxRetries: 1, KillAfter: 3, Seed: 1}
+}
+
+func (p GuardPolicy) normalized() GuardPolicy {
+	if p.SampleRows <= 0 {
+		p.SampleRows = 8
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.KillAfter == 0 {
+		p.KillAfter = 3
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// SetGuarded toggles guarded mode. While on, every SIMD kernel entry point
+// cross-checks its output against a scalar referee before returning.
+func (o *Ops) SetGuarded(on bool) {
+	o.guarded = on
+	if on && o.policy == (GuardPolicy{}) {
+		o.policy = DefaultGuardPolicy()
+	}
+}
+
+// Guarded reports whether guarded mode is on.
+func (o *Ops) Guarded() bool { return o.guarded }
+
+// SetGuardPolicy installs a policy and enables guarded mode.
+func (o *Ops) SetGuardPolicy(p GuardPolicy) {
+	o.policy = p.normalized()
+	o.guarded = true
+}
+
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector to the
+// underlying NEON and SSE2 emulation units. The injector fires at every
+// instrumented intrinsic; the scalar paths and the guard referee are never
+// subject to injection.
+func (o *Ops) SetFaultInjector(inj faults.Injector) {
+	o.injector = inj
+	o.n.F = inj
+	o.s.F = inj
+}
+
+// FaultInjector returns the attached injector, or nil.
+func (o *Ops) FaultInjector() faults.Injector { return o.injector }
+
+// Faults returns the guarded-mode interventions recorded so far.
+func (o *Ops) Faults() []KernelFault { return o.kernelFaults }
+
+// Fallbacks returns how many times a kernel fell back to the scalar result.
+func (o *Ops) Fallbacks() int { return o.fallbacks }
+
+// ResetFaults clears recorded interventions and the fallback count, and
+// re-arms the kill-switch by re-enabling optimized paths if the ISA has any.
+func (o *Ops) ResetFaults() {
+	o.kernelFaults = nil
+	o.fallbacks = 0
+	if o.isa != ISAScalar {
+		o.useOptimized = true
+	}
+}
+
+func (o *Ops) recordFault(f KernelFault) {
+	o.kernelFaults = append(o.kernelFaults, f)
+	if o.T != nil {
+		o.T.Event("fault." + f.Action.String())
+	}
+}
+
+// sampleRows picks policy.SampleRows distinct rows of an h-row image
+// deterministically from the policy seed. The first and last rows are always
+// included: edge handling is where hand kernels historically diverge.
+func (o *Ops) sampleRows(h int) []int {
+	n := o.policy.SampleRows
+	if n >= h {
+		rows := make([]int, h)
+		for i := range rows {
+			rows[i] = i
+		}
+		return rows
+	}
+	seen := make(map[int]bool, n)
+	rows := make([]int, 0, n)
+	add := func(r int) {
+		if !seen[r] {
+			seen[r] = true
+			rows = append(rows, r)
+		}
+	}
+	add(0)
+	if n > 1 {
+		add(h - 1)
+	}
+	s := o.policy.Seed
+	for len(rows) < n {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		add(int((s * 0x2545F4914F6CDD1D) % uint64(h)))
+	}
+	return rows
+}
+
+// diffRows counts pixels in the sampled rows where got and want differ by
+// more than tol, and returns the diverging rows alongside the total.
+func diffRows(got, want *image.Mat, rows []int, tol int) (bad []int, diffs int) {
+	w := got.Width
+	absDiff := func(a, b int) int {
+		if a > b {
+			return a - b
+		}
+		return b - a
+	}
+	for _, r := range rows {
+		lo, hi := r*w, (r+1)*w
+		d := 0
+		switch got.Kind {
+		case image.U8:
+			for i := lo; i < hi; i++ {
+				if absDiff(int(got.U8Pix[i]), int(want.U8Pix[i])) > tol {
+					d++
+				}
+			}
+		case image.S16:
+			for i := lo; i < hi; i++ {
+				if absDiff(int(got.S16Pix[i]), int(want.S16Pix[i])) > tol {
+					d++
+				}
+			}
+		case image.F32:
+			for i := lo; i < hi; i++ {
+				a, b := got.F32Pix[i], want.F32Pix[i]
+				// NaN anywhere is a divergence: no kernel here produces one.
+				if a != a || b != b || absDiff(int(a-b), 0) > tol {
+					d++
+				}
+			}
+		}
+		if d > 0 {
+			bad = append(bad, r)
+			diffs += d
+		}
+	}
+	return bad, diffs
+}
+
+// copyPixels overwrites dst's pixel data with src's (shapes already match).
+func copyPixels(dst, src *image.Mat) {
+	copy(dst.U8Pix, src.U8Pix)
+	copy(dst.S16Pix, src.S16Pix)
+	copy(dst.F32Pix, src.F32Pix)
+}
+
+// guardedRun is the guarded dispatch wrapper every SIMD kernel entry point
+// routes through. simd runs the hand-optimized path into dst; rerun invokes
+// the same public entry point on a referee Ops so the scalar reference lands
+// in a scratch Mat. tol is the per-kernel pixel tolerance (nonzero only
+// where the SIMD path legitimately rounds differently from scalar code).
+//
+// Flow: run SIMD → spot-check sampled rows against the scalar referee → on
+// divergence record ActionDetected, retry the SIMD path up to MaxRetries →
+// still diverging: substitute the referee output (ActionFallback) → after
+// KillAfter fallbacks flip useOptimized off (ActionKillSwitch).
+func (o *Ops) guardedRun(kernel string, dst *image.Mat, tol int,
+	simd func() error, rerun func(ref *Ops, d *image.Mat) error) error {
+	if !o.guarded || o.inGuard {
+		// Unguarded, or a nested kernel call (DetectEdges → SobelFilter)
+		// already covered by the outer guard.
+		return simd()
+	}
+	o.inGuard = true
+	defer func() { o.inGuard = false }()
+
+	if err := simd(); err != nil {
+		return err
+	}
+
+	// Scalar referee: same ISA (same rounding conventions), optimizations
+	// off, no trace (its instructions are bookkeeping, not workload), and
+	// crucially no fault injector.
+	ref := NewOps(o.isa, nil)
+	ref.SetUseOptimized(false)
+	want := image.NewMat(dst.Width, dst.Height, dst.Kind)
+	if err := rerun(ref, want); err != nil {
+		return fmt.Errorf("cv: %s guard referee: %w", kernel, err)
+	}
+
+	rows := o.sampleRows(dst.Height)
+	bad, diffs := diffRows(dst, want, rows, tol)
+	if len(bad) == 0 {
+		return nil
+	}
+	o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionDetected, Rows: bad, Diffs: diffs})
+
+	for try := 0; try < o.policy.MaxRetries; try++ {
+		if err := simd(); err != nil {
+			return err
+		}
+		if b, _ := diffRows(dst, want, rows, tol); len(b) == 0 {
+			o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionRetryRecovered})
+			return nil
+		}
+	}
+
+	// Degrade gracefully: the referee already computed the full scalar
+	// image, so the fallback is a copy, not a recompute.
+	copyPixels(dst, want)
+	o.fallbacks++
+	o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionFallback})
+	if o.policy.KillAfter > 0 && o.fallbacks >= o.policy.KillAfter && o.useOptimized {
+		o.useOptimized = false
+		o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionKillSwitch})
+	}
+	return nil
+}

@@ -24,18 +24,25 @@ func (o *Ops) MedianBlur3x3(src, dst *image.Mat) error {
 	if err := sameShape(src, dst); err != nil {
 		return err
 	}
-	if o.UseOptimized() {
-		switch o.isa {
-		case ISANEON:
-			o.medianNEON(src, dst)
-			return nil
-		case ISASSE2:
-			o.medianSSE2(src, dst)
-			return nil
+	run := func(op *Ops, d *image.Mat) error {
+		if op.UseOptimized() {
+			switch op.isa {
+			case ISANEON:
+				op.medianNEON(src, d)
+				return nil
+			case ISASSE2:
+				op.medianSSE2(src, d)
+				return nil
+			}
 		}
+		op.medianScalar(src, d)
+		return nil
 	}
-	o.medianScalar(src, dst)
-	return nil
+	if o.UseOptimized() {
+		return o.guardedRun("MedianBlur3x3", dst, 0,
+			func() error { return run(o, dst) }, run)
+	}
+	return run(o, dst)
 }
 
 // median9 runs the canonical 19-comparator median-of-9 exchange network

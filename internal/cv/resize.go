@@ -31,18 +31,25 @@ func (o *Ops) ResizeHalf(src, dst *image.Mat) error {
 	if dst.Width == 0 || dst.Height == 0 {
 		return fmt.Errorf("cv: ResizeHalf source %dx%d too small", src.Width, src.Height)
 	}
-	if o.UseOptimized() {
-		switch o.isa {
-		case ISANEON:
-			o.resizeHalfNEON(src, dst)
-			return nil
-		case ISASSE2:
-			o.resizeHalfSSE2(src, dst)
-			return nil
+	run := func(op *Ops, d *image.Mat) error {
+		if op.UseOptimized() {
+			switch op.isa {
+			case ISANEON:
+				op.resizeHalfNEON(src, d)
+				return nil
+			case ISASSE2:
+				op.resizeHalfSSE2(src, d)
+				return nil
+			}
 		}
+		op.resizeHalfScalar(src, d)
+		return nil
 	}
-	o.resizeHalfScalar(src, dst)
-	return nil
+	if o.UseOptimized() {
+		return o.guardedRun("ResizeHalf", dst, 0,
+			func() error { return run(o, dst) }, run)
+	}
+	return run(o, dst)
 }
 
 func resizePixel(pix []uint8, w, x, y int) uint8 {

@@ -26,37 +26,44 @@ func (o *Ops) SobelFilter(src, dst *image.Mat, dx, dy int) error {
 	default:
 		return fmt.Errorf("cv: SobelFilter supports (dx,dy) of (1,0) or (0,1), got (%d,%d)", dx, dy)
 	}
-	tmp := image.NewMat(src.Width, src.Height, image.S16)
-	if o.UseOptimized() {
-		switch o.isa {
-		case ISANEON:
-			if dx == 1 {
-				o.sobelDiffHNEON(src, tmp)
-				o.sobelSmoothVNEON(tmp, dst)
-			} else {
-				o.sobelSmoothHNEON(src, tmp)
-				o.sobelDiffVNEON(tmp, dst)
+	run := func(op *Ops, d *image.Mat) error {
+		tmp := image.NewMat(src.Width, src.Height, image.S16)
+		if op.UseOptimized() {
+			switch op.isa {
+			case ISANEON:
+				if dx == 1 {
+					op.sobelDiffHNEON(src, tmp)
+					op.sobelSmoothVNEON(tmp, d)
+				} else {
+					op.sobelSmoothHNEON(src, tmp)
+					op.sobelDiffVNEON(tmp, d)
+				}
+				return nil
+			case ISASSE2:
+				if dx == 1 {
+					op.sobelDiffHSSE2(src, tmp)
+					op.sobelSmoothVSSE2(tmp, d)
+				} else {
+					op.sobelSmoothHSSE2(src, tmp)
+					op.sobelDiffVSSE2(tmp, d)
+				}
+				return nil
 			}
-			return nil
-		case ISASSE2:
-			if dx == 1 {
-				o.sobelDiffHSSE2(src, tmp)
-				o.sobelSmoothVSSE2(tmp, dst)
-			} else {
-				o.sobelSmoothHSSE2(src, tmp)
-				o.sobelDiffVSSE2(tmp, dst)
-			}
-			return nil
 		}
+		if dx == 1 {
+			op.sobelDiffHScalar(src, tmp)
+			op.sobelSmoothVScalar(tmp, d)
+		} else {
+			op.sobelSmoothHScalar(src, tmp)
+			op.sobelDiffVScalar(tmp, d)
+		}
+		return nil
 	}
-	if dx == 1 {
-		o.sobelDiffHScalar(src, tmp)
-		o.sobelSmoothVScalar(tmp, dst)
-	} else {
-		o.sobelSmoothHScalar(src, tmp)
-		o.sobelDiffVScalar(tmp, dst)
+	if o.UseOptimized() {
+		return o.guardedRun("SobelFilter", dst, 0,
+			func() error { return run(o, dst) }, run)
 	}
-	return nil
+	return run(o, dst)
 }
 
 // --- Scalar reference pieces. SIMD paths call these for borders so all

@@ -54,18 +54,25 @@ func (o *Ops) Threshold(src, dst *image.Mat, thresh, maxval uint8, typ ThreshTyp
 	if typ < ThreshBinary || typ > ThreshToZeroInv {
 		return fmt.Errorf("cv: unknown threshold type %d", int(typ))
 	}
-	if o.UseOptimized() {
-		switch o.isa {
-		case ISANEON:
-			o.thresholdNEON(src, dst, thresh, maxval, typ)
-			return nil
-		case ISASSE2:
-			o.thresholdSSE2(src, dst, thresh, maxval, typ)
-			return nil
+	run := func(op *Ops, d *image.Mat) error {
+		if op.UseOptimized() {
+			switch op.isa {
+			case ISANEON:
+				op.thresholdNEON(src, d, thresh, maxval, typ)
+				return nil
+			case ISASSE2:
+				op.thresholdSSE2(src, d, thresh, maxval, typ)
+				return nil
+			}
 		}
+		op.thresholdScalar(src, d, thresh, maxval, typ)
+		return nil
 	}
-	o.thresholdScalar(src, dst, thresh, maxval, typ)
-	return nil
+	if o.UseOptimized() {
+		return o.guardedRun("Threshold", dst, 0,
+			func() error { return run(o, dst) }, run)
+	}
+	return run(o, dst)
 }
 
 func thresholdPixel(v, thresh, maxval uint8, typ ThreshType) uint8 {

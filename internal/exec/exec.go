@@ -8,12 +8,45 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"simdstudy/internal/ir"
 	"simdstudy/internal/sat"
 )
+
+// ErrOutOfBounds is the sentinel wrapped by every BoundsError, so callers
+// can errors.Is on malformed IR instead of recovering a panic.
+var ErrOutOfBounds = errors.New("exec: index out of bounds")
+
+// BoundsError reports a load or store whose computed index falls outside
+// the backing slice — the result of malformed IR (bad stride/offset) or an
+// environment buffer sized smaller than the trip count implies.
+type BoundsError struct {
+	Loop  string // loop name
+	Array string // environment array name
+	Op    string // "load" or "store"
+	Index int    // computed element index
+	Len   int    // backing slice length
+}
+
+// Error implements error.
+func (e *BoundsError) Error() string {
+	return fmt.Sprintf("exec: %s: %s %q index %d out of range [0,%d)",
+		e.Loop, e.Op, e.Array, e.Index, e.Len)
+}
+
+// Unwrap ties the error to ErrOutOfBounds.
+func (e *BoundsError) Unwrap() error { return ErrOutOfBounds }
+
+// checkBounds validates idx against a backing slice of length n.
+func checkBounds(loop, array, op string, idx, n int) error {
+	if idx < 0 || idx >= n {
+		return &BoundsError{Loop: loop, Array: array, Op: op, Index: idx, Len: n}
+	}
+	return nil
+}
 
 // RoundMode selects the scalar cvRound semantics of the modeled platform
 // family (OpCvtF2I).
@@ -296,11 +329,17 @@ func load(env *Env, t ir.Type, array string, idx int, loop string) (value, error
 		if !ok {
 			return value{}, fmt.Errorf("exec: %s: no u8 array %q", loop, array)
 		}
+		if err := checkBounds(loop, array, "load", idx, len(b)); err != nil {
+			return value{}, err
+		}
 		return value{i: int64(b[idx])}, nil
 	case ir.I16:
 		b, ok := env.S16[array]
 		if !ok {
 			return value{}, fmt.Errorf("exec: %s: no s16 array %q", loop, array)
+		}
+		if err := checkBounds(loop, array, "load", idx, len(b)); err != nil {
+			return value{}, err
 		}
 		return value{i: int64(b[idx])}, nil
 	case ir.U16:
@@ -308,17 +347,26 @@ func load(env *Env, t ir.Type, array string, idx int, loop string) (value, error
 		if !ok {
 			return value{}, fmt.Errorf("exec: %s: no u16 array %q", loop, array)
 		}
+		if err := checkBounds(loop, array, "load", idx, len(b)); err != nil {
+			return value{}, err
+		}
 		return value{i: int64(b[idx])}, nil
 	case ir.I32:
 		b, ok := env.S32[array]
 		if !ok {
 			return value{}, fmt.Errorf("exec: %s: no s32 array %q", loop, array)
 		}
+		if err := checkBounds(loop, array, "load", idx, len(b)); err != nil {
+			return value{}, err
+		}
 		return value{i: int64(b[idx])}, nil
 	case ir.F32:
 		b, ok := env.F32[array]
 		if !ok {
 			return value{}, fmt.Errorf("exec: %s: no f32 array %q", loop, array)
+		}
+		if err := checkBounds(loop, array, "load", idx, len(b)); err != nil {
+			return value{}, err
 		}
 		return value{f: float64(b[idx])}, nil
 	}
@@ -332,12 +380,18 @@ func store(env *Env, t ir.Type, array string, idx int, v value, loop string) err
 		if !ok {
 			return fmt.Errorf("exec: %s: no u8 array %q", loop, array)
 		}
+		if err := checkBounds(loop, array, "store", idx, len(b)); err != nil {
+			return err
+		}
 		b[idx] = uint8(v.i)
 		return nil
 	case ir.I16:
 		b, ok := env.S16[array]
 		if !ok {
 			return fmt.Errorf("exec: %s: no s16 array %q", loop, array)
+		}
+		if err := checkBounds(loop, array, "store", idx, len(b)); err != nil {
+			return err
 		}
 		b[idx] = int16(v.i)
 		return nil
@@ -346,6 +400,9 @@ func store(env *Env, t ir.Type, array string, idx int, v value, loop string) err
 		if !ok {
 			return fmt.Errorf("exec: %s: no u16 array %q", loop, array)
 		}
+		if err := checkBounds(loop, array, "store", idx, len(b)); err != nil {
+			return err
+		}
 		b[idx] = uint16(v.i)
 		return nil
 	case ir.I32:
@@ -353,12 +410,18 @@ func store(env *Env, t ir.Type, array string, idx int, v value, loop string) err
 		if !ok {
 			return fmt.Errorf("exec: %s: no s32 array %q", loop, array)
 		}
+		if err := checkBounds(loop, array, "store", idx, len(b)); err != nil {
+			return err
+		}
 		b[idx] = int32(v.i)
 		return nil
 	case ir.F32:
 		b, ok := env.F32[array]
 		if !ok {
 			return fmt.Errorf("exec: %s: no f32 array %q", loop, array)
+		}
+		if err := checkBounds(loop, array, "store", idx, len(b)); err != nil {
+			return err
 		}
 		b[idx] = float32(v.f)
 		return nil

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -284,5 +285,52 @@ func TestQuickBlockedEqualsScalar(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestBoundsChecking: loads and stores past the backing slice must return a
+// typed BoundsError instead of an index-out-of-range panic.
+func TestBoundsChecking(t *testing.T) {
+	env := NewEnv()
+	env.U8["src"] = []uint8{1, 2, 3}
+	env.U8["dst"] = make([]uint8, 3)
+
+	// Trip count exceeds the buffers: the 4th load must fail.
+	err := Run(minLoop(), env, 4, RoundARM)
+	if !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("want ErrOutOfBounds, got %v", err)
+	}
+	var be *BoundsError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BoundsError, got %T", err)
+	}
+	if be.Loop != "min10" || be.Array != "src" || be.Op != "load" || be.Index != 3 || be.Len != 3 {
+		t.Errorf("wrong context: %+v", be)
+	}
+
+	// A store-side overflow: destination shorter than the source.
+	env.U8["src"] = []uint8{1, 2, 3, 4}
+	env.U8["dst"] = make([]uint8, 2)
+	err = Run(minLoop(), env, 4, RoundARM)
+	if !errors.As(err, &be) || be.Op != "store" || be.Array != "dst" {
+		t.Fatalf("want store BoundsError, got %v", err)
+	}
+
+	// A negative offset underflows on the first iteration.
+	b := ir.NewBuilder("neg")
+	v := b.Load(ir.U8, "src", 1, -1)
+	b.Store(ir.U8, "dst", 1, 0, v)
+	env.U8["src"] = []uint8{1}
+	env.U8["dst"] = make([]uint8, 1)
+	err = Run(b.Done(), env, 1, RoundARM)
+	if !errors.As(err, &be) || be.Index != -1 {
+		t.Fatalf("want index -1 BoundsError, got %v", err)
+	}
+
+	// RunBlocked must bounds-check the lane-major path too.
+	env.U8["src"] = []uint8{1, 2, 3}
+	env.U8["dst"] = make([]uint8, 3)
+	if err := RunBlocked(minLoop(), env, 8, 4, RoundARM); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("blocked: want ErrOutOfBounds, got %v", err)
 	}
 }

@@ -10,14 +10,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
-	"simdstudy/internal/cv"
 	"simdstudy/internal/image"
 	"simdstudy/internal/platform"
-	"simdstudy/internal/timing"
 )
 
 // Cell is one AUTO/HAND measurement pair.
@@ -48,114 +47,20 @@ type Grid struct {
 
 // RunGrid evaluates a benchmark for every platform and size. Reported
 // seconds are per single image run (the paper reports the average of 100
-// runs; the model is deterministic so mean == single run).
+// runs; the model is deterministic so mean == single run). It is RunGridCtx
+// with no deadline and no retries.
 func RunGrid(bench string, platforms []platform.Platform, sizes []image.Resolution) (*Grid, error) {
-	g := &Grid{Bench: bench, Platforms: platforms, Sizes: sizes}
-	for _, res := range sizes {
-		row := make([]Cell, len(platforms))
-		for i, p := range platforms {
-			auto, err := timing.EstimateRun(p, bench, res, timing.Auto)
-			if err != nil {
-				return nil, err
-			}
-			hand, err := timing.EstimateRun(p, bench, res, timing.Hand)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = Cell{AutoSeconds: auto.Seconds, HandSeconds: hand.Seconds}
-		}
-		g.Cells = append(g.Cells, row)
-	}
-	return g, nil
+	return RunGridCtx(context.Background(), bench, platforms, sizes, GridOptions{})
 }
 
 // Verify executes the real emulated kernels for a benchmark over the
 // 5-image burst at the given resolution on both ISAs, checking that the
 // hand-optimized output matches the scalar output (exactly for all integer
 // kernels; within 1 LSB for the NEON convert, whose vcvt truncates where
-// scalar code rounds). It returns the number of images checked.
+// scalar code rounds). It returns the number of images checked. It is
+// VerifyCtx with no deadline.
 func Verify(bench string, res image.Resolution) (int, error) {
-	const burst = 5
-	checkU8 := func(run func(o *cv.Ops, src, dst *image.Mat) error, srcs []*image.Mat) error {
-		for _, src := range srcs {
-			want := image.NewMat(res.Width, res.Height, image.U8)
-			got := image.NewMat(res.Width, res.Height, image.U8)
-			scalar := cv.NewOps(cv.ISAScalar, nil)
-			if err := run(scalar, src, want); err != nil {
-				return err
-			}
-			for _, isa := range []cv.ISA{cv.ISANEON, cv.ISASSE2} {
-				o := cv.NewOps(isa, nil)
-				if err := run(o, src, got); err != nil {
-					return err
-				}
-				if !want.EqualTo(got) {
-					return fmt.Errorf("harness: %s: %v output differs from scalar in %d pixels",
-						bench, isa, want.DiffCount(got, 0))
-				}
-			}
-		}
-		return nil
-	}
-
-	switch bench {
-	case "ConvertFloatShort":
-		srcs := image.BurstF32(res, burst)
-		for _, src := range srcs {
-			for _, isa := range []cv.ISA{cv.ISANEON, cv.ISASSE2} {
-				o := cv.NewOps(isa, nil)
-				want := image.NewMat(res.Width, res.Height, image.S16)
-				got := image.NewMat(res.Width, res.Height, image.S16)
-				o.SetUseOptimized(false)
-				if err := o.ConvertF32ToS16(src, want); err != nil {
-					return 0, err
-				}
-				o.SetUseOptimized(true)
-				if err := o.ConvertF32ToS16(src, got); err != nil {
-					return 0, err
-				}
-				tol := 0
-				if isa == cv.ISANEON {
-					tol = 1 // vcvt truncates; ARM scalar rounds
-				}
-				if d := want.DiffCount(got, tol); d != 0 {
-					return 0, fmt.Errorf("harness: convert: %v differs from scalar beyond tolerance in %d pixels", isa, d)
-				}
-			}
-		}
-		return burst, nil
-	case "BinThr":
-		return burst, checkU8(func(o *cv.Ops, src, dst *image.Mat) error {
-			return o.Threshold(src, dst, 128, 255, cv.ThreshTrunc)
-		}, image.Burst(res, burst))
-	case "GauBlu":
-		return burst, checkU8(func(o *cv.Ops, src, dst *image.Mat) error {
-			return o.GaussianBlur(src, dst)
-		}, image.Burst(res, burst))
-	case "SobFil":
-		srcs := image.Burst(res, burst)
-		for _, src := range srcs {
-			want := image.NewMat(res.Width, res.Height, image.S16)
-			got := image.NewMat(res.Width, res.Height, image.S16)
-			if err := cv.NewOps(cv.ISAScalar, nil).SobelFilter(src, want, 1, 0); err != nil {
-				return 0, err
-			}
-			for _, isa := range []cv.ISA{cv.ISANEON, cv.ISASSE2} {
-				if err := cv.NewOps(isa, nil).SobelFilter(src, got, 1, 0); err != nil {
-					return 0, err
-				}
-				if !want.EqualTo(got) {
-					return 0, fmt.Errorf("harness: sobel: %v differs from scalar", isa)
-				}
-			}
-		}
-		return burst, nil
-	case "EdgDet":
-		return burst, checkU8(func(o *cv.Ops, src, dst *image.Mat) error {
-			return o.DetectEdges(src, dst, 100)
-		}, image.Burst(res, burst))
-	}
-	return 0, fmt.Errorf("harness: unknown benchmark %q", bench)
+	return VerifyCtx(context.Background(), bench, res)
 }
 
 // --- Table rendering ---

@@ -1,0 +1,348 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"simdstudy/internal/cv"
+	"simdstudy/internal/faults"
+	"simdstudy/internal/image"
+	"simdstudy/internal/platform"
+	"simdstudy/internal/timing"
+	"simdstudy/internal/trace"
+)
+
+// This file is the harness's robustness layer: context-aware variants of
+// RunGrid and Verify (deadlines, per-cell retry with backoff) and the fault
+// campaign — run every hand-SIMD kernel under a seeded fault plan with the
+// cv guard enabled and report injected vs. detected vs. masked faults.
+
+// ErrBadResolution rejects non-positive image dimensions before any Mat is
+// allocated.
+var ErrBadResolution = errors.New("harness: invalid resolution")
+
+func validateResolution(res image.Resolution) error {
+	if res.Width <= 0 || res.Height <= 0 {
+		return fmt.Errorf("%w: %dx%d", ErrBadResolution, res.Width, res.Height)
+	}
+	return nil
+}
+
+// benchSpec describes how to execute one benchmark's kernel directly: the
+// source/destination pixel kinds, the per-ISA comparison tolerance, and the
+// entry point. Verify and RunFaultCampaign share it so both exercise the
+// exact same code paths.
+type benchSpec struct {
+	f32Src  bool
+	dstKind image.Type
+	tol     func(isa cv.ISA) int
+	run     func(o *cv.Ops, src, dst *image.Mat) error
+}
+
+func exactTol(cv.ISA) int { return 0 }
+
+func benchSpecFor(bench string) (benchSpec, error) {
+	switch bench {
+	case "ConvertFloatShort":
+		return benchSpec{
+			f32Src:  true,
+			dstKind: image.S16,
+			// vcvt truncates where the ARM scalar referee rounds: 1 LSB.
+			tol: func(isa cv.ISA) int {
+				if isa == cv.ISANEON {
+					return 1
+				}
+				return 0
+			},
+			run: func(o *cv.Ops, src, dst *image.Mat) error {
+				return o.ConvertF32ToS16(src, dst)
+			},
+		}, nil
+	case "BinThr":
+		return benchSpec{
+			dstKind: image.U8,
+			tol:     exactTol,
+			run: func(o *cv.Ops, src, dst *image.Mat) error {
+				return o.Threshold(src, dst, 128, 255, cv.ThreshTrunc)
+			},
+		}, nil
+	case "GauBlu":
+		return benchSpec{
+			dstKind: image.U8,
+			tol:     exactTol,
+			run: func(o *cv.Ops, src, dst *image.Mat) error {
+				return o.GaussianBlur(src, dst)
+			},
+		}, nil
+	case "SobFil":
+		return benchSpec{
+			dstKind: image.S16,
+			tol:     exactTol,
+			run: func(o *cv.Ops, src, dst *image.Mat) error {
+				return o.SobelFilter(src, dst, 1, 0)
+			},
+		}, nil
+	case "EdgDet":
+		return benchSpec{
+			dstKind: image.U8,
+			tol:     exactTol,
+			run: func(o *cv.Ops, src, dst *image.Mat) error {
+				return o.DetectEdges(src, dst, 100)
+			},
+		}, nil
+	}
+	return benchSpec{}, fmt.Errorf("harness: unknown benchmark %q", bench)
+}
+
+func (s benchSpec) burst(res image.Resolution, n int) []*image.Mat {
+	if s.f32Src {
+		return image.BurstF32(res, n)
+	}
+	return image.Burst(res, n)
+}
+
+// GridOptions tunes RunGridCtx.
+type GridOptions struct {
+	// Retries is how many extra attempts each grid cell gets after a
+	// failure before the grid run is abandoned.
+	Retries int
+	// Backoff is the wait before the first retry; it doubles per attempt.
+	// Zero means no wait.
+	Backoff time.Duration
+}
+
+// RunGridCtx is RunGrid with a context deadline and per-cell retry with
+// exponential backoff. The context is checked before every cell and while
+// backing off, so a deadline cancels mid-grid instead of after the fact.
+func RunGridCtx(ctx context.Context, bench string, platforms []platform.Platform,
+	sizes []image.Resolution, opt GridOptions) (*Grid, error) {
+	g := &Grid{Bench: bench, Platforms: platforms, Sizes: sizes}
+	for _, res := range sizes {
+		if err := validateResolution(res); err != nil {
+			return nil, err
+		}
+		row := make([]Cell, len(platforms))
+		for i, p := range platforms {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("harness: grid %s at %s/%s: %w", bench, res.Name, p.Name, err)
+			}
+			cell, err := runCell(ctx, bench, p, res, opt)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = cell
+		}
+		g.Cells = append(g.Cells, row)
+	}
+	return g, nil
+}
+
+// runCell evaluates one (platform, size) cell, retrying per GridOptions.
+func runCell(ctx context.Context, bench string, p platform.Platform,
+	res image.Resolution, opt GridOptions) (Cell, error) {
+	backoff := opt.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= opt.Retries; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			select {
+			case <-ctx.Done():
+				return Cell{}, fmt.Errorf("harness: grid cell retry: %w", ctx.Err())
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		auto, err := timing.EstimateRun(p, bench, res, timing.Auto)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		hand, err := timing.EstimateRun(p, bench, res, timing.Hand)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return Cell{AutoSeconds: auto.Seconds, HandSeconds: hand.Seconds}, nil
+	}
+	return Cell{}, lastErr
+}
+
+// VerifyCtx is Verify with a context deadline, checked between images so a
+// cancellation lands promptly even on large resolutions. Every hand-SIMD
+// output is compared against a same-ISA scalar reference (the rounding
+// conventions are per-platform) within the benchmark's tolerance.
+func VerifyCtx(ctx context.Context, bench string, res image.Resolution) (int, error) {
+	if err := validateResolution(res); err != nil {
+		return 0, err
+	}
+	spec, err := benchSpecFor(bench)
+	if err != nil {
+		return 0, err
+	}
+	const burst = 5
+	for _, src := range spec.burst(res, burst) {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("harness: verify %s: %w", bench, err)
+		}
+		for _, isa := range []cv.ISA{cv.ISANEON, cv.ISASSE2} {
+			ref := cv.NewOps(isa, nil)
+			ref.SetUseOptimized(false)
+			want := image.NewMat(res.Width, res.Height, spec.dstKind)
+			if err := spec.run(ref, src, want); err != nil {
+				return 0, err
+			}
+			got := image.NewMat(res.Width, res.Height, spec.dstKind)
+			if err := spec.run(cv.NewOps(isa, nil), src, got); err != nil {
+				return 0, err
+			}
+			if d := want.DiffCount(got, spec.tol(isa)); d != 0 {
+				return 0, fmt.Errorf("harness: %s: %v output differs from scalar beyond tolerance in %d pixels",
+					bench, isa, d)
+			}
+		}
+	}
+	return burst, nil
+}
+
+// CampaignConfig parameterizes RunFaultCampaign.
+type CampaignConfig struct {
+	// Rate and Seed feed the faults.Plan (see faults.Config).
+	Rate float64
+	Seed uint64
+	// Sites and Kinds optionally restrict the plan; empty means all.
+	Sites []faults.Site
+	Kinds []faults.Kind
+	// Burst is the number of images per ISA (default 5, the paper's burst).
+	Burst int
+	// Policy is the guard policy; the zero value selects the default.
+	Policy cv.GuardPolicy
+}
+
+// ISAFaultReport is the per-ISA outcome of a fault campaign.
+type ISAFaultReport struct {
+	ISA            cv.ISA
+	Images         int
+	Opportunities  uint64 // instrumented intrinsics executed
+	Injected       uint64 // faults the plan fired
+	Detected       int    // guard detections (images with divergence)
+	RetryRecovered int    // detections resolved by re-running the SIMD path
+	Fallbacks      int    // images resolved by substituting the scalar result
+	KillSwitch     int    // kill-switch trips (optimized paths disabled)
+	Masked         uint64 // faults injected into images the guard saw clean
+}
+
+// FaultReport summarizes a reproducible fault campaign.
+type FaultReport struct {
+	Bench  string
+	Res    image.Resolution
+	Rate   float64
+	Seed   uint64
+	PerISA []ISAFaultReport
+}
+
+// RunFaultCampaign executes bench's kernel over an image burst per ISA with
+// a seeded fault plan injected into the emulation units and the cv guard
+// enabled, and classifies every injected fault as detected (the guard saw
+// the divergence) or masked (the corruption never reached a sampled output
+// pixel — absorbed by saturation, thresholding, or an untouched lane).
+// Identical (bench, res, cfg) produce identical reports.
+func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, cfg CampaignConfig) (*FaultReport, error) {
+	if err := validateResolution(res); err != nil {
+		return nil, err
+	}
+	spec, err := benchSpecFor(bench)
+	if err != nil {
+		return nil, err
+	}
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = 5
+	}
+	rep := &FaultReport{Bench: bench, Res: res, Rate: cfg.Rate, Seed: cfg.Seed}
+	for _, isa := range []cv.ISA{cv.ISANEON, cv.ISASSE2} {
+		plan := faults.NewPlan(faults.Config{
+			Rate: cfg.Rate, Seed: cfg.Seed, Sites: cfg.Sites, Kinds: cfg.Kinds,
+		})
+		o := cv.NewOps(isa, &trace.Counter{})
+		if cfg.Policy == (cv.GuardPolicy{}) {
+			o.SetGuarded(true)
+		} else {
+			o.SetGuardPolicy(cfg.Policy)
+		}
+		o.SetFaultInjector(plan)
+
+		ir := ISAFaultReport{ISA: isa, Images: burst}
+		var prevInjected uint64
+		prevFaults := 0
+		for _, src := range spec.burst(res, burst) {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("harness: fault campaign %s/%v: %w", bench, isa, err)
+			}
+			dst := image.NewMat(res.Width, res.Height, spec.dstKind)
+			if err := spec.run(o, src, dst); err != nil {
+				return nil, fmt.Errorf("harness: fault campaign %s/%v: %w", bench, isa, err)
+			}
+			delta := plan.Injected() - prevInjected
+			prevInjected = plan.Injected()
+			detectedThisImage := false
+			for _, f := range o.Faults()[prevFaults:] {
+				switch f.Action {
+				case cv.ActionDetected:
+					ir.Detected++
+					detectedThisImage = true
+				case cv.ActionRetryRecovered:
+					ir.RetryRecovered++
+				case cv.ActionFallback:
+					ir.Fallbacks++
+				case cv.ActionKillSwitch:
+					ir.KillSwitch++
+				}
+			}
+			prevFaults = len(o.Faults())
+			if !detectedThisImage {
+				ir.Masked += delta
+			}
+		}
+		st := plan.Snapshot()
+		ir.Opportunities = st.Calls
+		ir.Injected = st.Injected
+		rep.PerISA = append(rep.PerISA, ir)
+	}
+	return rep, nil
+}
+
+// Render prints the report as a fixed-width table.
+func (r *FaultReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fault campaign: bench=%s size=%s rate=%g seed=%d\n\n",
+		r.Bench, r.Res.Name, r.Rate, r.Seed)
+	fmt.Fprintf(w, "%-8s %7s %14s %9s %9s %9s %9s %11s %7s\n",
+		"ISA", "images", "opportunities", "injected", "detected", "retry-ok", "fallback", "kill-switch", "masked")
+	for _, ir := range r.PerISA {
+		fmt.Fprintf(w, "%-8s %7d %14d %9d %9d %9d %9d %11d %7d\n",
+			ir.ISA, ir.Images, ir.Opportunities, ir.Injected, ir.Detected,
+			ir.RetryRecovered, ir.Fallbacks, ir.KillSwitch, ir.Masked)
+	}
+	var inj, masked uint64
+	for _, ir := range r.PerISA {
+		inj += ir.Injected
+		masked += ir.Masked
+	}
+	if inj > 0 {
+		fmt.Fprintf(w, "\n%d/%d injected faults landed in images the guard flagged (%.1f%% flagged, %.1f%% masked)\n",
+			inj-masked, inj,
+			100*float64(inj-masked)/float64(inj),
+			100*float64(masked)/float64(inj))
+	} else {
+		fmt.Fprintf(w, "\nno faults injected (rate=%g over %d opportunities)\n", r.Rate, r.totalOpportunities())
+	}
+}
+
+func (r *FaultReport) totalOpportunities() uint64 {
+	var n uint64
+	for _, ir := range r.PerISA {
+		n += ir.Opportunities
+	}
+	return n
+}

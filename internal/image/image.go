@@ -37,6 +37,50 @@ var Resolutions = []Resolution{Res03MP, Res1MP, Res5MP, Res8MP}
 // Pixels returns the pixel count.
 func (r Resolution) Pixels() int { return r.Width * r.Height }
 
+// ParseResolution parses a "WxH" string (e.g. "640x480") into a
+// Resolution, rejecting non-positive or absurd dimensions. It accepts the
+// paper's named sizes and arbitrary sizes alike, so CLI size flags flow
+// through one validated path.
+func ParseResolution(s string) (Resolution, error) {
+	for _, r := range Resolutions {
+		if r.Name == s {
+			return r, nil
+		}
+	}
+	parseInt := func(t string) (int, bool) {
+		if t == "" || len(t) > 7 {
+			return 0, false
+		}
+		n := 0
+		for _, c := range t {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			n = n*10 + int(c-'0')
+		}
+		return n, true
+	}
+	sep := -1
+	for i, c := range s {
+		if c == 'x' {
+			sep = i
+			break
+		}
+	}
+	if sep < 0 {
+		return Resolution{}, fmt.Errorf("image: resolution %q is not WxH", s)
+	}
+	w, okW := parseInt(s[:sep])
+	h, okH := parseInt(s[sep+1:])
+	if !okW || !okH || w <= 0 || h <= 0 || w > 1<<16 || h > 1<<16 {
+		return Resolution{}, fmt.Errorf("image: invalid resolution %q", s)
+	}
+	return Resolution{
+		Width: w, Height: h, Name: s,
+		Megapixels: float64(w) * float64(h) / 1e6,
+	}, nil
+}
+
 // Type is the element type of a Mat, mirroring OpenCV's depth codes.
 type Type int
 
@@ -86,10 +130,12 @@ type Mat struct {
 	F32Pix []float32
 }
 
-// NewMat allocates a zeroed image.
-func NewMat(width, height int, kind Type) *Mat {
+// TryNewMat allocates a zeroed image, returning an error for non-positive
+// dimensions or an unknown element type. Use it wherever the dimensions
+// come from external input (CLI flags, decoded file headers).
+func TryNewMat(width, height int, kind Type) (*Mat, error) {
 	if width <= 0 || height <= 0 {
-		panic(fmt.Sprintf("image: invalid dimensions %dx%d", width, height))
+		return nil, fmt.Errorf("image: invalid dimensions %dx%d", width, height)
 	}
 	m := &Mat{Width: width, Height: height, Kind: kind}
 	n := width * height
@@ -101,7 +147,18 @@ func NewMat(width, height int, kind Type) *Mat {
 	case F32:
 		m.F32Pix = make([]float32, n)
 	default:
-		panic(fmt.Sprintf("image: unknown type %d", int(kind)))
+		return nil, fmt.Errorf("image: unknown type %d", int(kind))
+	}
+	return m, nil
+}
+
+// NewMat allocates a zeroed image, panicking on invalid arguments. It is
+// the constructor for dimensions the program itself computed; external
+// input goes through TryNewMat.
+func NewMat(width, height int, kind Type) *Mat {
+	m, err := TryNewMat(width, height, kind)
+	if err != nil {
+		panic(err.Error())
 	}
 	return m
 }

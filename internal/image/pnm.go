@@ -22,35 +22,60 @@ func WritePGM(w io.Writer, m *Mat) error {
 	return bw.Flush()
 }
 
-// ReadPGM decodes a binary PGM (P5) image into a U8 Mat.
-func ReadPGM(r io.Reader) (*Mat, error) {
-	br := bufio.NewReader(r)
-	var magic string
-	if _, err := fmt.Fscan(br, &magic); err != nil {
-		return nil, fmt.Errorf("image: bad PGM header: %w", err)
+// maxPNMPixels caps the allocation a decoded header can demand. 1<<26
+// pixels (64 Mpx) is 8x the paper's largest resolution; a 65535x65535
+// header would otherwise commit 4 GiB before a single pixel byte is read.
+const maxPNMPixels = 1 << 26
+
+// readPNMHeader parses "<magic> <width> <height> <maxval>" with bounded
+// reads: the magic is exactly two bytes (never an unbounded token), header
+// integers are value-capped, and the width*height product is checked
+// against maxPNMPixels before any allocation.
+func readPNMHeader(br *bufio.Reader, wantMagic, format string) (width, height int, err error) {
+	var magic [2]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, 0, fmt.Errorf("image: bad %s header: %w", format, err)
 	}
-	if magic != "P5" {
-		return nil, fmt.Errorf("image: not a binary PGM (magic %q)", magic)
+	if string(magic[:]) != wantMagic {
+		return 0, 0, fmt.Errorf("image: not a binary %s (magic %q)", format, magic[:])
 	}
-	width, err := readPNMInt(br)
+	width, err = readPNMInt(br)
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
-	height, err := readPNMInt(br)
+	height, err = readPNMInt(br)
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
 	maxval, err := readPNMInt(br)
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
 	if maxval != 255 {
-		return nil, fmt.Errorf("image: unsupported PGM maxval %d", maxval)
+		return 0, 0, fmt.Errorf("image: unsupported %s maxval %d", format, maxval)
 	}
 	if width <= 0 || height <= 0 || width > 1<<16 || height > 1<<16 {
-		return nil, fmt.Errorf("image: unreasonable PGM dimensions %dx%d", width, height)
+		return 0, 0, fmt.Errorf("image: unreasonable %s dimensions %dx%d", format, width, height)
 	}
-	m := NewMat(width, height, U8)
+	if width*height > maxPNMPixels {
+		return 0, 0, fmt.Errorf("image: %s dimensions %dx%d exceed the %d-pixel limit",
+			format, width, height, maxPNMPixels)
+	}
+	return width, height, nil
+}
+
+// ReadPGM decodes a binary PGM (P5) image into a U8 Mat. Truncated or
+// hostile headers return errors; allocation is bounded by maxPNMPixels.
+func ReadPGM(r io.Reader) (*Mat, error) {
+	br := bufio.NewReader(r)
+	width, height, err := readPNMHeader(br, "P5", "PGM")
+	if err != nil {
+		return nil, err
+	}
+	m, err := TryNewMat(width, height, U8)
+	if err != nil {
+		return nil, err
+	}
 	if _, err := io.ReadFull(br, m.U8Pix); err != nil {
 		return nil, fmt.Errorf("image: short PGM pixel data: %w", err)
 	}
@@ -94,6 +119,11 @@ func readPNMInt(br *bufio.Reader) (int, error) {
 		if b >= '0' && b <= '9' {
 			n = n*10 + int(b-'0')
 			seen = true
+			// No PNM header field is this large; bail before a long digit
+			// run overflows int.
+			if n > 1<<30 {
+				return 0, fmt.Errorf("image: PNM header value too large")
+			}
 			continue
 		}
 		if !seen {

@@ -16,12 +16,23 @@ type RGB struct {
 	Pix    []uint8 // len = 3*Width*Height
 }
 
-// NewRGB allocates a zeroed color image.
-func NewRGB(width, height int) *RGB {
+// TryNewRGB allocates a zeroed color image, returning an error for
+// non-positive dimensions.
+func TryNewRGB(width, height int) (*RGB, error) {
 	if width <= 0 || height <= 0 {
-		panic(fmt.Sprintf("image: invalid dimensions %dx%d", width, height))
+		return nil, fmt.Errorf("image: invalid dimensions %dx%d", width, height)
 	}
-	return &RGB{Width: width, Height: height, Pix: make([]uint8, 3*width*height)}
+	return &RGB{Width: width, Height: height, Pix: make([]uint8, 3*width*height)}, nil
+}
+
+// NewRGB allocates a zeroed color image, panicking on invalid dimensions;
+// external input goes through TryNewRGB.
+func NewRGB(width, height int) *RGB {
+	m, err := TryNewRGB(width, height)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
 }
 
 // Pixels returns the pixel count.
@@ -82,35 +93,18 @@ func WritePPM(w io.Writer, m *RGB) error {
 	return bw.Flush()
 }
 
-// ReadPPM decodes a binary PPM (P6).
+// ReadPPM decodes a binary PPM (P6). Truncated or hostile headers return
+// errors; allocation is bounded the same way as ReadPGM.
 func ReadPPM(r io.Reader) (*RGB, error) {
 	br := bufio.NewReader(r)
-	var magic string
-	if _, err := fmt.Fscan(br, &magic); err != nil {
-		return nil, fmt.Errorf("image: bad PPM header: %w", err)
-	}
-	if magic != "P6" {
-		return nil, fmt.Errorf("image: not a binary PPM (magic %q)", magic)
-	}
-	width, err := readPNMInt(br)
+	width, height, err := readPNMHeader(br, "P6", "PPM")
 	if err != nil {
 		return nil, err
 	}
-	height, err := readPNMInt(br)
+	m, err := TryNewRGB(width, height)
 	if err != nil {
 		return nil, err
 	}
-	maxval, err := readPNMInt(br)
-	if err != nil {
-		return nil, err
-	}
-	if maxval != 255 {
-		return nil, fmt.Errorf("image: unsupported PPM maxval %d", maxval)
-	}
-	if width <= 0 || height <= 0 || width > 1<<16 || height > 1<<16 {
-		return nil, fmt.Errorf("image: unreasonable PPM dimensions %dx%d", width, height)
-	}
-	m := NewRGB(width, height)
 	if _, err := io.ReadFull(br, m.Pix); err != nil {
 		return nil, fmt.Errorf("image: short PPM pixel data: %w", err)
 	}

@@ -3,6 +3,7 @@ package neon
 import (
 	"math"
 
+	"simdstudy/internal/faults"
 	"simdstudy/internal/sat"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
@@ -17,7 +18,7 @@ func (u *Unit) VaddqF32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, a.F32(i)+b.F32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VaddqS16 adds eight int16 lanes with wraparound (vadd.i16).
@@ -27,7 +28,7 @@ func (u *Unit) VaddqS16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, a.I16(i)+b.I16(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VaddqS32 adds four int32 lanes with wraparound (vadd.i32).
@@ -37,7 +38,7 @@ func (u *Unit) VaddqS32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, a.I32(i)+b.I32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VaddqU8 adds sixteen uint8 lanes with wraparound (vadd.i8).
@@ -47,7 +48,7 @@ func (u *Unit) VaddqU8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, a.U8(i)+b.U8(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VaddqU16 adds eight uint16 lanes with wraparound (vadd.i16).
@@ -57,7 +58,7 @@ func (u *Unit) VaddqU16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, a.U16(i)+b.U16(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VqaddqS16 adds with signed saturation (vqadd.s16).
@@ -67,7 +68,7 @@ func (u *Unit) VqaddqS16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, sat.AddInt16(a.I16(i), b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VqaddqU8 adds with unsigned saturation (vqadd.u8).
@@ -77,7 +78,7 @@ func (u *Unit) VqaddqU8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, sat.AddUint8(a.U8(i), b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VaddlU8 widens and adds: sixteen->eight uint16 from the low halves
@@ -88,7 +89,7 @@ func (u *Unit) VaddlU8(a, b vec.V64) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, uint16(a.U8(i))+uint16(b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VaddlS16 widens and adds int16 pairs into int32 lanes (vaddl.s16).
@@ -98,7 +99,7 @@ func (u *Unit) VaddlS16(a, b vec.V64) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, int32(a.I16(i))+int32(b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VaddwU8 adds a widened D register of bytes to a Q register of uint16
@@ -109,7 +110,7 @@ func (u *Unit) VaddwU8(a vec.V128, b vec.V64) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, a.U16(i)+uint16(b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VhaddqU8 halving add: (a+b)>>1 without overflow (vhadd.u8).
@@ -119,7 +120,7 @@ func (u *Unit) VhaddqU8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, uint8((uint16(a.U8(i))+uint16(b.U8(i)))>>1))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VrhaddqU8 rounding halving add: (a+b+1)>>1 (vrhadd.u8).
@@ -129,7 +130,7 @@ func (u *Unit) VrhaddqU8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, uint8((uint16(a.U8(i))+uint16(b.U8(i))+1)>>1))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VpaddlqU8 pairwise long add: adjacent byte pairs summed into uint16 lanes
@@ -140,7 +141,7 @@ func (u *Unit) VpaddlqU8(a vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, uint16(a.U8(2*i))+uint16(a.U8(2*i+1)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VpaddlqU16 pairwise long add of uint16 lanes into uint32 (vpaddl.u16).
@@ -150,7 +151,7 @@ func (u *Unit) VpaddlqU16(a vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, uint32(a.U16(2*i))+uint32(a.U16(2*i+1)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VpaddF32 pairwise add of two D registers (vpadd.f32).
@@ -159,7 +160,7 @@ func (u *Unit) VpaddF32(a, b vec.V64) vec.V64 {
 	var r vec.V64
 	r.SetF32(0, a.F32(0)+a.F32(1))
 	r.SetF32(1, b.F32(0)+b.F32(1))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // --- Subtraction ---
@@ -171,7 +172,7 @@ func (u *Unit) VsubqF32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, a.F32(i)-b.F32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VsubqS16 subtracts eight int16 lanes with wraparound (vsub.i16).
@@ -181,7 +182,7 @@ func (u *Unit) VsubqS16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, a.I16(i)-b.I16(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VqsubqS16 subtracts with signed saturation (vqsub.s16).
@@ -191,7 +192,7 @@ func (u *Unit) VqsubqS16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, sat.SubInt16(a.I16(i), b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VqsubqU8 subtracts with unsigned saturation (vqsub.u8).
@@ -201,7 +202,7 @@ func (u *Unit) VqsubqU8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, sat.SubUint8(a.U8(i), b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VsublU8 widening subtract of byte D registers into uint16 lanes,
@@ -213,7 +214,7 @@ func (u *Unit) VsublU8(a, b vec.V64) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, int16(uint16(a.U8(i)))-int16(uint16(b.U8(i))))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VsublS16 widening subtract of int16 D registers into int32 lanes.
@@ -223,7 +224,7 @@ func (u *Unit) VsublS16(a, b vec.V64) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, int32(a.I16(i))-int32(b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // --- Multiplication ---
@@ -235,7 +236,7 @@ func (u *Unit) VmulqF32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, a.F32(i)*b.F32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmulqS16 multiplies eight int16 lanes, low half kept (vmul.i16).
@@ -245,7 +246,7 @@ func (u *Unit) VmulqS16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, a.I16(i)*b.I16(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmulqNF32 multiplies by a scalar (vmul.f32 q, q, d[0]).
@@ -255,7 +256,7 @@ func (u *Unit) VmulqNF32(a vec.V128, s float32) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, a.F32(i)*s)
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmulqNS16 multiplies eight int16 lanes by a scalar.
@@ -265,7 +266,7 @@ func (u *Unit) VmulqNS16(a vec.V128, s int16) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, a.I16(i)*s)
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmulqNU16 multiplies eight uint16 lanes by a scalar.
@@ -275,7 +276,7 @@ func (u *Unit) VmulqNU16(a vec.V128, s uint16) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, a.U16(i)*s)
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmlaqF32 fused multiply-accumulate a + b*c (vmla.f32).
@@ -285,7 +286,7 @@ func (u *Unit) VmlaqF32(a, b, c vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, a.F32(i)+b.F32(i)*c.F32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmlaqNF32 multiply-accumulate with scalar: a + b*s (vmla.f32 scalar).
@@ -295,7 +296,7 @@ func (u *Unit) VmlaqNF32(a, b vec.V128, s float32) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, a.F32(i)+b.F32(i)*s)
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmlaqS16 multiply-accumulate a + b*c on int16 lanes (vmla.i16).
@@ -305,7 +306,7 @@ func (u *Unit) VmlaqS16(a, b, c vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, a.I16(i)+b.I16(i)*c.I16(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmlaqNU16 multiply-accumulate with scalar on uint16 lanes. The fixed
@@ -316,7 +317,7 @@ func (u *Unit) VmlaqNU16(a, b vec.V128, s uint16) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, a.U16(i)+b.U16(i)*s)
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmlaqNS16 multiply-accumulate with scalar on int16 lanes.
@@ -326,7 +327,7 @@ func (u *Unit) VmlaqNS16(a, b vec.V128, s int16) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, a.I16(i)+b.I16(i)*s)
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmlalU8 widening multiply-accumulate: acc + a*b into uint16 lanes
@@ -337,7 +338,7 @@ func (u *Unit) VmlalU8(acc vec.V128, a, b vec.V64) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, acc.U16(i)+uint16(a.U8(i))*uint16(b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmlalS16 widening multiply-accumulate into int32 lanes (vmlal.s16).
@@ -347,7 +348,7 @@ func (u *Unit) VmlalS16(acc vec.V128, a, b vec.V64) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, acc.I32(i)+int32(a.I16(i))*int32(b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmullU8 widening multiply of byte D registers into uint16 lanes
@@ -358,7 +359,7 @@ func (u *Unit) VmullU8(a, b vec.V64) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, uint16(a.U8(i))*uint16(b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmullS16 widening multiply of int16 D registers into int32 lanes
@@ -369,7 +370,7 @@ func (u *Unit) VmullS16(a, b vec.V64) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, int32(a.I16(i))*int32(b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmlsqF32 multiply-subtract a - b*c (vmls.f32).
@@ -379,7 +380,7 @@ func (u *Unit) VmlsqF32(a, b, c vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, a.F32(i)-b.F32(i)*c.F32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // --- Absolute value / difference ---
@@ -395,7 +396,7 @@ func (u *Unit) VabsqS16(a vec.V128) vec.V128 {
 		}
 		r.SetI16(i, v)
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VqabsqS16 saturating absolute value (vqabs.s16).
@@ -405,7 +406,7 @@ func (u *Unit) VqabsqS16(a vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, sat.AbsInt16(a.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VabsqF32 lane-wise float absolute value (vabs.f32).
@@ -415,7 +416,7 @@ func (u *Unit) VabsqF32(a vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, float32(math.Abs(float64(a.F32(i)))))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VabdqU8 absolute difference |a-b| (vabd.u8).
@@ -430,7 +431,7 @@ func (u *Unit) VabdqU8(a, b vec.V128) vec.V128 {
 		}
 		r.SetU8(i, uint8(d))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VabaqU8 absolute difference and accumulate: acc + |a-b| (vaba.u8).
@@ -445,7 +446,7 @@ func (u *Unit) VabaqU8(acc, a, b vec.V128) vec.V128 {
 		}
 		r.SetU8(i, acc.U8(i)+uint8(d))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // --- Min / Max ---
@@ -458,7 +459,7 @@ func (u *Unit) VminqU8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, min(a.U8(i), b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmaxqU8 lane-wise unsigned byte maximum (vmax.u8).
@@ -468,7 +469,7 @@ func (u *Unit) VmaxqU8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, max(a.U8(i), b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VminqS16 lane-wise int16 minimum (vmin.s16).
@@ -478,7 +479,7 @@ func (u *Unit) VminqS16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, min(a.I16(i), b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmaxqS16 lane-wise int16 maximum (vmax.s16).
@@ -488,7 +489,7 @@ func (u *Unit) VmaxqS16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, max(a.I16(i), b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VminqF32 lane-wise float minimum (vmin.f32).
@@ -498,7 +499,7 @@ func (u *Unit) VminqF32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, float32(math.Min(float64(a.F32(i)), float64(b.F32(i)))))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VmaxqF32 lane-wise float maximum (vmax.f32).
@@ -508,7 +509,7 @@ func (u *Unit) VmaxqF32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, float32(math.Max(float64(a.F32(i)), float64(b.F32(i)))))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VpmaxU8 pairwise maximum across two D registers (vpmax.u8).
@@ -519,7 +520,7 @@ func (u *Unit) VpmaxU8(a, b vec.V64) vec.V64 {
 		r.SetU8(i, max(a.U8(2*i), a.U8(2*i+1)))
 		r.SetU8(4+i, max(b.U8(2*i), b.U8(2*i+1)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // --- Reciprocal estimates ---
@@ -534,7 +535,7 @@ func (u *Unit) VrecpeqF32(a vec.V128) vec.V128 {
 		// Quantize to ~8 significant bits to model the estimate table.
 		r.SetF32(i, quantizeEstimate(est))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VrecpsqF32 reciprocal refinement step: 2 - a*b (vrecps.f32).
@@ -544,7 +545,7 @@ func (u *Unit) VrecpsqF32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, 2-a.F32(i)*b.F32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VrsqrteqF32 reciprocal square root estimate (vrsqrte.f32).
@@ -555,7 +556,7 @@ func (u *Unit) VrsqrteqF32(a vec.V128) vec.V128 {
 		est := float32(1 / math.Sqrt(float64(a.F32(i))))
 		r.SetF32(i, quantizeEstimate(est))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VrsqrtsqF32 reciprocal sqrt refinement step: (3 - a*b)/2 (vrsqrts.f32).
@@ -565,7 +566,7 @@ func (u *Unit) VrsqrtsqF32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, (3-a.F32(i)*b.F32(i))/2)
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // quantizeEstimate truncates a float32 mantissa to 8 bits, modeling the

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 
+	"simdstudy/internal/faults"
 	"simdstudy/internal/sat"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
@@ -22,7 +23,7 @@ func (u *Unit) VnegqS16(a vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, -a.I16(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VqnegqS16 saturating negate (vqneg.s16): -MinInt16 -> MaxInt16.
@@ -32,7 +33,7 @@ func (u *Unit) VqnegqS16(a vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, sat.NegInt16(a.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VnegqF32 float negate (vneg.f32).
@@ -42,7 +43,7 @@ func (u *Unit) VnegqF32(a vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, -a.F32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VhsubqU8 halving subtract: (a-b)>>1 with the intermediate kept wide
@@ -54,7 +55,7 @@ func (u *Unit) VhsubqU8(a, b vec.V128) vec.V128 {
 		d := int16(a.U8(i)) - int16(b.U8(i))
 		r.SetU8(i, uint8(uint16(d)>>1)) // arithmetic shift of the wide value, truncated
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VcntqU8 per-byte population count (vcnt.8).
@@ -64,7 +65,7 @@ func (u *Unit) VcntqU8(a vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, uint8(bits.OnesCount8(a.U8(i))))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VclzqU8 per-byte count leading zeros (vclz.i8).
@@ -74,7 +75,7 @@ func (u *Unit) VclzqU8(a vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, uint8(bits.LeadingZeros8(a.U8(i))))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VclsqS16 count leading sign bits, excluding the sign bit itself
@@ -90,7 +91,7 @@ func (u *Unit) VclsqS16(a vec.V128) vec.V128 {
 		// Leading zeros of the magnitude pattern minus the sign position.
 		r.SetI16(i, int16(bits.LeadingZeros16(uint16(v))-1))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VqdmulhqS16 saturating doubling multiply returning the high half
@@ -105,7 +106,7 @@ func (u *Unit) VqdmulhqS16(a, b vec.V128) vec.V128 {
 		p := sat.Int32(2 * int64(a.I16(i)) * int64(b.I16(i)))
 		r.SetI16(i, int16(p>>16))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VqrdmulhqS16 rounding variant of VqdmulhqS16 (vqrdmulh.s16).
@@ -116,7 +117,7 @@ func (u *Unit) VqrdmulhqS16(a, b vec.V128) vec.V128 {
 		p := sat.Int32(2*int64(a.I16(i))*int64(b.I16(i)) + (1 << 15))
 		r.SetI16(i, int16(p>>16))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VaddhnS32 add and narrow, keeping the high halves (vaddhn.i32): the
@@ -127,7 +128,7 @@ func (u *Unit) VaddhnS32(a, b vec.V128) vec.V64 {
 	for i := 0; i < 4; i++ {
 		r.SetI16(i, int16((a.I32(i)+b.I32(i))>>16))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VsubhnS32 subtract and narrow high halves (vsubhn.i32).
@@ -137,7 +138,7 @@ func (u *Unit) VsubhnS32(a, b vec.V128) vec.V64 {
 	for i := 0; i < 4; i++ {
 		r.SetI16(i, int16((a.I32(i)-b.I32(i))>>16))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VpaddU8 pairwise add of two byte D registers (vpadd.u8).
@@ -148,7 +149,7 @@ func (u *Unit) VpaddU8(a, b vec.V64) vec.V64 {
 		r.SetU8(i, a.U8(2*i)+a.U8(2*i+1))
 		r.SetU8(4+i, b.U8(2*i)+b.U8(2*i+1))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VpminU8 pairwise minimum (vpmin.u8).
@@ -159,7 +160,7 @@ func (u *Unit) VpminU8(a, b vec.V64) vec.V64 {
 		r.SetU8(i, min(a.U8(2*i), a.U8(2*i+1)))
 		r.SetU8(4+i, min(b.U8(2*i), b.U8(2*i+1)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VpminF32 pairwise float minimum (vpmin.f32).
@@ -168,7 +169,7 @@ func (u *Unit) VpminF32(a, b vec.V64) vec.V64 {
 	var r vec.V64
 	r.SetF32(0, float32(math.Min(float64(a.F32(0)), float64(a.F32(1)))))
 	r.SetF32(1, float32(math.Min(float64(b.F32(0)), float64(b.F32(1)))))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VpmaxF32 pairwise float maximum (vpmax.f32).
@@ -177,7 +178,7 @@ func (u *Unit) VpmaxF32(a, b vec.V64) vec.V64 {
 	var r vec.V64
 	r.SetF32(0, float32(math.Max(float64(a.F32(0)), float64(a.F32(1)))))
 	r.SetF32(1, float32(math.Max(float64(b.F32(0)), float64(b.F32(1)))))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // Vld1qDupF32 loads one float and broadcasts it to all lanes
@@ -212,7 +213,7 @@ func (u *Unit) VtbxU8(d, t vec.V64, idx vec.V64) vec.V64 {
 			r.SetU8(i, t.U8(j))
 		}
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // Vrev16qU8 reverses bytes within each 16-bit halfword (vrev16.8), the
@@ -224,7 +225,7 @@ func (u *Unit) Vrev16qU8(a vec.V128) vec.V128 {
 		r.SetU8(i, a.U8(i+1))
 		r.SetU8(i+1, a.U8(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // Vrev32qU8 reverses bytes within each 32-bit word (vrev32.8).
@@ -237,7 +238,7 @@ func (u *Unit) Vrev32qU8(a vec.V128) vec.V128 {
 		r.SetU8(i+2, a.U8(i+1))
 		r.SetU8(i+3, a.U8(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VaddqS64 adds the two 64-bit lanes (vadd.i64).
@@ -246,7 +247,7 @@ func (u *Unit) VaddqS64(a, b vec.V128) vec.V128 {
 	var r vec.V128
 	r.SetI64(0, a.I64(0)+b.I64(0))
 	r.SetI64(1, a.I64(1)+b.I64(1))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VqaddqS64 saturating 64-bit add (vqadd.s64).
@@ -255,7 +256,7 @@ func (u *Unit) VqaddqS64(a, b vec.V128) vec.V128 {
 	var r vec.V128
 	r.SetI64(0, sat.AddInt64(a.I64(0), b.I64(0)))
 	r.SetI64(1, sat.AddInt64(a.I64(1), b.I64(1)))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VpadalqU8 pairwise add and accumulate long: adjacent byte pairs summed
@@ -266,5 +267,5 @@ func (u *Unit) VpadalqU8(acc, a vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, acc.U16(i)+uint16(a.U8(2*i))+uint16(a.U8(2*i+1)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }

@@ -1,6 +1,7 @@
 package neon
 
 import (
+	"simdstudy/internal/faults"
 	"simdstudy/internal/sat"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
@@ -16,7 +17,7 @@ func (u *Unit) VcvtqS32F32(a vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, sat.Float32ToInt32Truncate(a.F32(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VcvtqF32S32 converts four int32 lanes to float (vcvt.f32.s32).
@@ -26,7 +27,7 @@ func (u *Unit) VcvtqF32S32(a vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, float32(a.I32(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VcvtqU32F32 converts float lanes to uint32 with saturation at zero
@@ -45,7 +46,7 @@ func (u *Unit) VcvtqU32F32(a vec.V128) vec.V128 {
 			r.SetU32(i, uint32(f))
 		}
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VcvtqF32U32 converts uint32 lanes to float (vcvt.f32.u32).
@@ -55,7 +56,7 @@ func (u *Unit) VcvtqF32U32(a vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, float32(a.U32(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VcvtqNS32F32 converts float to fixed-point S32 with n fractional bits
@@ -67,7 +68,7 @@ func (u *Unit) VcvtqNS32F32(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, sat.Float64ToInt32(float64(a.F32(i))*scale))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // --- Narrowing moves ---
@@ -80,7 +81,7 @@ func (u *Unit) VqmovnS32(a vec.V128) vec.V64 {
 	for i := 0; i < 4; i++ {
 		r.SetI16(i, sat.NarrowInt32ToInt16(a.I32(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VqmovnS16 saturating narrow: eight int16 lanes to eight int8 lanes
@@ -91,7 +92,7 @@ func (u *Unit) VqmovnS16(a vec.V128) vec.V64 {
 	for i := 0; i < 8; i++ {
 		r.SetI8(i, sat.NarrowInt16ToInt8(a.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VqmovunS16 saturating narrow signed to unsigned: int16 lanes to uint8
@@ -102,7 +103,7 @@ func (u *Unit) VqmovunS16(a vec.V128) vec.V64 {
 	for i := 0; i < 8; i++ {
 		r.SetU8(i, sat.NarrowInt16ToUint8(a.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VqmovnU16 saturating narrow: uint16 lanes to uint8 (vqmovn.u16).
@@ -112,7 +113,7 @@ func (u *Unit) VqmovnU16(a vec.V128) vec.V64 {
 	for i := 0; i < 8; i++ {
 		r.SetU8(i, sat.NarrowUint16ToUint8(a.U16(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VmovnS32 truncating narrow: low halves of int32 lanes (vmovn.i32).
@@ -122,7 +123,7 @@ func (u *Unit) VmovnS32(a vec.V128) vec.V64 {
 	for i := 0; i < 4; i++ {
 		r.SetI16(i, int16(a.I32(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VmovnU16 truncating narrow: low bytes of uint16 lanes (vmovn.i16).
@@ -132,7 +133,7 @@ func (u *Unit) VmovnU16(a vec.V128) vec.V64 {
 	for i := 0; i < 8; i++ {
 		r.SetU8(i, uint8(a.U16(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // --- Widening moves ---
@@ -144,7 +145,7 @@ func (u *Unit) VmovlU8(a vec.V64) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, uint16(a.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VmovlS8 widens eight signed bytes to int16 lanes (vmovl.s8).
@@ -154,7 +155,7 @@ func (u *Unit) VmovlS8(a vec.V64) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, int16(a.I8(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VmovlS16 widens four int16 lanes to int32 (vmovl.s16).
@@ -164,7 +165,7 @@ func (u *Unit) VmovlS16(a vec.V64) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, int32(a.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VmovlU16 widens four uint16 lanes to uint32 (vmovl.u16).
@@ -174,7 +175,7 @@ func (u *Unit) VmovlU16(a vec.V64) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, uint32(a.U16(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // --- Shifts ---
@@ -186,7 +187,7 @@ func (u *Unit) VshlqNS16(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, a.I16(i)<<n)
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VshrqNS16 arithmetic shift right by constant (vshr.s16 #n).
@@ -196,7 +197,7 @@ func (u *Unit) VshrqNS16(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, a.I16(i)>>n)
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VshrqNU16 logical shift right by constant (vshr.u16 #n).
@@ -206,7 +207,7 @@ func (u *Unit) VshrqNU16(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, a.U16(i)>>n)
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VshrqNU8 logical shift right bytes by constant (vshr.u8 #n).
@@ -216,7 +217,7 @@ func (u *Unit) VshrqNU8(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, a.U8(i)>>n)
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VrshrqNU16 rounding shift right: (a + (1<<(n-1))) >> n (vrshr.u16 #n).
@@ -226,7 +227,7 @@ func (u *Unit) VrshrqNU16(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, uint16((uint32(a.U16(i))+(1<<(n-1)))>>n))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VrshrqNS32 rounding arithmetic shift right on int32 lanes (vrshr.s32 #n).
@@ -236,7 +237,7 @@ func (u *Unit) VrshrqNS32(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, int32((int64(a.I32(i))+(1<<(n-1)))>>n))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VrshrnNU16 rounding shift right and narrow: uint16 lanes to uint8 D
@@ -248,7 +249,7 @@ func (u *Unit) VrshrnNU16(a vec.V128, n uint) vec.V64 {
 		v := (uint32(a.U16(i)) + (1 << (n - 1))) >> n
 		r.SetU8(i, uint8(v)) // vrshrn truncates; callers keep values in range
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VqrshrnNS32 saturating rounding shift right narrow: int32 to int16
@@ -260,7 +261,7 @@ func (u *Unit) VqrshrnNS32(a vec.V128, n uint) vec.V64 {
 		v := (int64(a.I32(i)) + (1 << (n - 1))) >> n
 		r.SetI16(i, sat.Int16(v))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VqshlqNS16 saturating shift left by constant (vqshl.s16 #n).
@@ -270,7 +271,7 @@ func (u *Unit) VqshlqNS16(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, sat.ShiftLeftInt16(a.I16(i), n))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VshlqS16 shift left by signed per-lane variable; negative shifts right
@@ -292,7 +293,7 @@ func (u *Unit) VshlqS16(a, shifts vec.V128) vec.V128 {
 			r.SetI16(i, a.I16(i)>>uint(-s))
 		}
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // VsraqNS16 shift right and accumulate (vsra.s16 #n).
@@ -302,5 +303,5 @@ func (u *Unit) VsraqNS16(acc, a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, acc.I16(i)+(a.I16(i)>>n))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }

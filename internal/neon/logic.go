@@ -1,6 +1,7 @@
 package neon
 
 import (
+	"simdstudy/internal/faults"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
 )
@@ -109,7 +110,7 @@ func (u *Unit) VcgtqU8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, boolMask8(a.U8(i) > b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VcgeqU8 compare greater-or-equal, unsigned bytes (vcge.u8).
@@ -119,7 +120,7 @@ func (u *Unit) VcgeqU8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, boolMask8(a.U8(i) >= b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VcltqU8 compare less-than, unsigned bytes (vclt.u8).
@@ -129,7 +130,7 @@ func (u *Unit) VcltqU8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, boolMask8(a.U8(i) < b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VceqqU8 compare equal, bytes (vceq.i8).
@@ -139,7 +140,7 @@ func (u *Unit) VceqqU8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, boolMask8(a.U8(i) == b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VcgtqS16 compare greater-than, int16 (vcgt.s16).
@@ -149,7 +150,7 @@ func (u *Unit) VcgtqS16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, boolMask16(a.I16(i) > b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VcgeqS16 compare greater-or-equal, int16 (vcge.s16).
@@ -159,7 +160,7 @@ func (u *Unit) VcgeqS16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, boolMask16(a.I16(i) >= b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VcltqS16 compare less-than, int16 (vclt.s16).
@@ -169,7 +170,7 @@ func (u *Unit) VcltqS16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, boolMask16(a.I16(i) < b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VceqqS16 compare equal, int16 (vceq.i16).
@@ -179,7 +180,7 @@ func (u *Unit) VceqqS16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, boolMask16(a.I16(i) == b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VcgtqF32 compare greater-than, float (vcgt.f32).
@@ -189,7 +190,7 @@ func (u *Unit) VcgtqF32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, boolMask32(a.F32(i) > b.F32(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VcgeqF32 compare greater-or-equal, float (vcge.f32).
@@ -199,7 +200,7 @@ func (u *Unit) VcgeqF32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, boolMask32(a.F32(i) >= b.F32(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VcltqF32 compare less-than, float (vclt.f32).
@@ -209,7 +210,7 @@ func (u *Unit) VcltqF32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, boolMask32(a.F32(i) < b.F32(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VceqqF32 compare equal, float (vceq.f32).
@@ -219,7 +220,7 @@ func (u *Unit) VceqqF32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, boolMask32(a.F32(i) == b.F32(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VcagtqF32 compare absolute greater-than |a| > |b| (vacgt.f32).
@@ -236,7 +237,7 @@ func (u *Unit) VcagtqF32(a, b vec.V128) vec.V128 {
 		}
 		r.SetU32(i, boolMask32(x > y))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // VtstqU8 test bits: lane mask set where a&b is nonzero (vtst.8).
@@ -246,5 +247,5 @@ func (u *Unit) VtstqU8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, boolMask8(a.U8(i)&b.U8(i) != 0))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }

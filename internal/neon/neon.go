@@ -16,6 +16,7 @@
 package neon
 
 import (
+	"simdstudy/internal/faults"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
 )
@@ -24,10 +25,44 @@ import (
 // instruction accounting.
 type Unit struct {
 	T *trace.Counter
+
+	// F, when non-nil, is consulted at every instrumented intrinsic and may
+	// corrupt the value produced (or the address used), turning the unit
+	// into a fault-injection target. See internal/faults.
+	F faults.Injector
 }
 
 // New returns a Unit recording into t (which may be nil).
 func New(t *trace.Counter) *Unit { return &Unit{T: t} }
+
+// fault routes an intrinsic result (or store operand) through the unit's
+// fault hook, if any. It is the single choke point fault injection uses, so
+// every instrumented intrinsic is a potential fault site.
+func fault[V vec.V128 | vec.V64](u *Unit, site faults.Site, r V) V {
+	if u.F == nil {
+		return r
+	}
+	switch v := any(r).(type) {
+	case vec.V128:
+		return any(u.F.V128(site, v)).(V)
+	case vec.V64:
+		return any(u.F.V64(site, v)).(V)
+	}
+	return r
+}
+
+// skewed gives the fault hook a chance to slip a load/store base address by
+// one element, provided the slice has slack beyond the need elements the
+// intrinsic will touch (a real address slip would fault otherwise).
+func skewed[T any](u *Unit, site faults.Site, p []T, need int) []T {
+	if u.F == nil {
+		return p
+	}
+	if off := u.F.Skew(site, len(p)-need); off > 0 {
+		return p[off:]
+	}
+	return p
+}
 
 func (u *Unit) rec(name string, class trace.Class) {
 	if u.T != nil {
@@ -58,77 +93,87 @@ func (u *Unit) Overhead(addrCalcs, branches, moves int) {
 // Vld1qF32 loads four consecutive float32 (vld1.32 {dN-dN+1}).
 func (u *Unit) Vld1qF32(p []float32) vec.V128 {
 	u.recMem("vld1.32", trace.SIMDLoad, 16)
-	return vec.FromF32x4([4]float32{p[0], p[1], p[2], p[3]})
+	p = skewed(u, faults.SiteLoad, p, 4)
+	return fault(u, faults.SiteLoad, vec.FromF32x4([4]float32{p[0], p[1], p[2], p[3]}))
 }
 
 // Vld1F32 loads two consecutive float32 into a D register.
 func (u *Unit) Vld1F32(p []float32) vec.V64 {
 	u.recMem("vld1.32", trace.SIMDLoad, 8)
-	return vec.FromF32x2([2]float32{p[0], p[1]})
+	p = skewed(u, faults.SiteLoad, p, 2)
+	return fault(u, faults.SiteLoad, vec.FromF32x2([2]float32{p[0], p[1]}))
 }
 
 // Vld1qU8 loads sixteen consecutive uint8.
 func (u *Unit) Vld1qU8(p []uint8) vec.V128 {
 	u.recMem("vld1.8", trace.SIMDLoad, 16)
+	p = skewed(u, faults.SiteLoad, p, 16)
 	var a [16]uint8
 	copy(a[:], p[:16])
-	return vec.FromU8x16(a)
+	return fault(u, faults.SiteLoad, vec.FromU8x16(a))
 }
 
 // Vld1U8 loads eight consecutive uint8 into a D register.
 func (u *Unit) Vld1U8(p []uint8) vec.V64 {
 	u.recMem("vld1.8", trace.SIMDLoad, 8)
+	p = skewed(u, faults.SiteLoad, p, 8)
 	var a [8]uint8
 	copy(a[:], p[:8])
-	return vec.FromU8x8(a)
+	return fault(u, faults.SiteLoad, vec.FromU8x8(a))
 }
 
 // Vld1qS8 loads sixteen consecutive int8.
 func (u *Unit) Vld1qS8(p []int8) vec.V128 {
 	u.recMem("vld1.8", trace.SIMDLoad, 16)
+	p = skewed(u, faults.SiteLoad, p, 16)
 	var a [16]int8
 	copy(a[:], p[:16])
-	return vec.FromI8x16(a)
+	return fault(u, faults.SiteLoad, vec.FromI8x16(a))
 }
 
 // Vld1qS16 loads eight consecutive int16.
 func (u *Unit) Vld1qS16(p []int16) vec.V128 {
 	u.recMem("vld1.16", trace.SIMDLoad, 16)
+	p = skewed(u, faults.SiteLoad, p, 8)
 	var a [8]int16
 	copy(a[:], p[:8])
-	return vec.FromI16x8(a)
+	return fault(u, faults.SiteLoad, vec.FromI16x8(a))
 }
 
 // Vld1S16 loads four consecutive int16 into a D register.
 func (u *Unit) Vld1S16(p []int16) vec.V64 {
 	u.recMem("vld1.16", trace.SIMDLoad, 8)
+	p = skewed(u, faults.SiteLoad, p, 4)
 	var a [4]int16
 	copy(a[:], p[:4])
-	return vec.FromI16x4(a)
+	return fault(u, faults.SiteLoad, vec.FromI16x4(a))
 }
 
 // Vld1qU16 loads eight consecutive uint16.
 func (u *Unit) Vld1qU16(p []uint16) vec.V128 {
 	u.recMem("vld1.16", trace.SIMDLoad, 16)
+	p = skewed(u, faults.SiteLoad, p, 8)
 	var a [8]uint16
 	copy(a[:], p[:8])
-	return vec.FromU16x8(a)
+	return fault(u, faults.SiteLoad, vec.FromU16x8(a))
 }
 
 // Vld1qS32 loads four consecutive int32.
 func (u *Unit) Vld1qS32(p []int32) vec.V128 {
 	u.recMem("vld1.32", trace.SIMDLoad, 16)
+	p = skewed(u, faults.SiteLoad, p, 4)
 	var a [4]int32
 	copy(a[:], p[:4])
-	return vec.FromI32x4(a)
+	return fault(u, faults.SiteLoad, vec.FromI32x4(a))
 }
 
 // Vld1qU32 loads four consecutive uint32.
 func (u *Unit) Vld1qU32(p []uint32) vec.V128 {
 	u.recMem("vld1.32", trace.SIMDLoad, 16)
+	p = skewed(u, faults.SiteLoad, p, 4)
 	var a [4]uint32
 	copy(a[:], p[:4])
-	return vec.FromU32x4(a)
+	return fault(u, faults.SiteLoad, vec.FromU32x4(a))
 }
 
 // --- Data movement: stores ---
@@ -136,6 +181,8 @@ func (u *Unit) Vld1qU32(p []uint32) vec.V128 {
 // Vst1qF32 stores four float32 (vst1.32).
 func (u *Unit) Vst1qF32(p []float32, v vec.V128) {
 	u.recMem("vst1.32", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 4)
+	v = fault(u, faults.SiteStore, v)
 	f := v.ToF32x4()
 	copy(p[:4], f[:])
 }
@@ -144,6 +191,8 @@ func (u *Unit) Vst1qF32(p []float32, v vec.V128) {
 // the paper's hand-optimized convert loop.
 func (u *Unit) Vst1qS16(p []int16, v vec.V128) {
 	u.recMem("vst1.16", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 8)
+	v = fault(u, faults.SiteStore, v)
 	x := v.ToI16x8()
 	copy(p[:8], x[:])
 }
@@ -151,6 +200,8 @@ func (u *Unit) Vst1qS16(p []int16, v vec.V128) {
 // Vst1S16 stores four int16 from a D register.
 func (u *Unit) Vst1S16(p []int16, v vec.V64) {
 	u.recMem("vst1.16", trace.SIMDStore, 8)
+	p = skewed(u, faults.SiteStore, p, 4)
+	v = fault(u, faults.SiteStore, v)
 	x := v.ToI16x4()
 	copy(p[:4], x[:])
 }
@@ -158,6 +209,8 @@ func (u *Unit) Vst1S16(p []int16, v vec.V64) {
 // Vst1qU8 stores sixteen uint8.
 func (u *Unit) Vst1qU8(p []uint8, v vec.V128) {
 	u.recMem("vst1.8", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 16)
+	v = fault(u, faults.SiteStore, v)
 	x := v.ToU8x16()
 	copy(p[:16], x[:])
 }
@@ -165,6 +218,8 @@ func (u *Unit) Vst1qU8(p []uint8, v vec.V128) {
 // Vst1U8 stores eight uint8 from a D register.
 func (u *Unit) Vst1U8(p []uint8, v vec.V64) {
 	u.recMem("vst1.8", trace.SIMDStore, 8)
+	p = skewed(u, faults.SiteStore, p, 8)
+	v = fault(u, faults.SiteStore, v)
 	x := v.ToU8x8()
 	copy(p[:8], x[:])
 }
@@ -172,6 +227,8 @@ func (u *Unit) Vst1U8(p []uint8, v vec.V64) {
 // Vst1qU16 stores eight uint16.
 func (u *Unit) Vst1qU16(p []uint16, v vec.V128) {
 	u.recMem("vst1.16", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 8)
+	v = fault(u, faults.SiteStore, v)
 	x := v.ToU16x8()
 	copy(p[:8], x[:])
 }
@@ -179,6 +236,8 @@ func (u *Unit) Vst1qU16(p []uint16, v vec.V128) {
 // Vst1qS32 stores four int32.
 func (u *Unit) Vst1qS32(p []int32, v vec.V128) {
 	u.recMem("vst1.32", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 4)
+	v = fault(u, faults.SiteStore, v)
 	x := v.ToI32x4()
 	copy(p[:4], x[:])
 }
@@ -186,6 +245,8 @@ func (u *Unit) Vst1qS32(p []int32, v vec.V128) {
 // Vst1qU32 stores four uint32.
 func (u *Unit) Vst1qU32(p []uint32, v vec.V128) {
 	u.recMem("vst1.32", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 4)
+	v = fault(u, faults.SiteStore, v)
 	x := v.ToU32x4()
 	copy(p[:4], x[:])
 }

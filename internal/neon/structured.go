@@ -1,6 +1,7 @@
 package neon
 
 import (
+	"simdstudy/internal/faults"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
 )
@@ -16,11 +17,13 @@ import (
 // (vld2.8): out[0] gets even-indexed bytes, out[1] odd-indexed.
 func (u *Unit) Vld2U8(p []uint8) [2]vec.V64 {
 	u.recMem("vld2.8", trace.SIMDLoad, 16)
+	p = skewed(u, faults.SiteLoad, p, 16)
 	var out [2]vec.V64
 	for i := 0; i < 8; i++ {
 		out[0].SetU8(i, p[2*i])
 		out[1].SetU8(i, p[2*i+1])
 	}
+	out[0] = fault(u, faults.SiteLoad, out[0])
 	return out
 }
 
@@ -28,12 +31,14 @@ func (u *Unit) Vld2U8(p []uint8) [2]vec.V64 {
 // three D registers (vld3.8).
 func (u *Unit) Vld3U8(p []uint8) [3]vec.V64 {
 	u.recMem("vld3.8", trace.SIMDLoad, 24)
+	p = skewed(u, faults.SiteLoad, p, 24)
 	var out [3]vec.V64
 	for i := 0; i < 8; i++ {
 		out[0].SetU8(i, p[3*i])
 		out[1].SetU8(i, p[3*i+1])
 		out[2].SetU8(i, p[3*i+2])
 	}
+	out[0] = fault(u, faults.SiteLoad, out[0])
 	return out
 }
 
@@ -41,6 +46,7 @@ func (u *Unit) Vld3U8(p []uint8) [3]vec.V64 {
 // four D registers (vld4.8).
 func (u *Unit) Vld4U8(p []uint8) [4]vec.V64 {
 	u.recMem("vld4.8", trace.SIMDLoad, 32)
+	p = skewed(u, faults.SiteLoad, p, 32)
 	var out [4]vec.V64
 	for i := 0; i < 8; i++ {
 		out[0].SetU8(i, p[4*i])
@@ -48,12 +54,15 @@ func (u *Unit) Vld4U8(p []uint8) [4]vec.V64 {
 		out[2].SetU8(i, p[4*i+2])
 		out[3].SetU8(i, p[4*i+3])
 	}
+	out[0] = fault(u, faults.SiteLoad, out[0])
 	return out
 }
 
 // Vst2U8 stores two D registers as 2-way interleaved bytes (vst2.8).
 func (u *Unit) Vst2U8(p []uint8, v [2]vec.V64) {
 	u.recMem("vst2.8", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 16)
+	v[0] = fault(u, faults.SiteStore, v[0])
 	for i := 0; i < 8; i++ {
 		p[2*i] = v[0].U8(i)
 		p[2*i+1] = v[1].U8(i)
@@ -63,6 +72,8 @@ func (u *Unit) Vst2U8(p []uint8, v [2]vec.V64) {
 // Vst3U8 stores three D registers as 3-way interleaved bytes (vst3.8).
 func (u *Unit) Vst3U8(p []uint8, v [3]vec.V64) {
 	u.recMem("vst3.8", trace.SIMDStore, 24)
+	p = skewed(u, faults.SiteStore, p, 24)
+	v[0] = fault(u, faults.SiteStore, v[0])
 	for i := 0; i < 8; i++ {
 		p[3*i] = v[0].U8(i)
 		p[3*i+1] = v[1].U8(i)
@@ -73,6 +84,8 @@ func (u *Unit) Vst3U8(p []uint8, v [3]vec.V64) {
 // Vst4U8 stores four D registers as 4-way interleaved bytes (vst4.8).
 func (u *Unit) Vst4U8(p []uint8, v [4]vec.V64) {
 	u.recMem("vst4.8", trace.SIMDStore, 32)
+	p = skewed(u, faults.SiteStore, p, 32)
+	v[0] = fault(u, faults.SiteStore, v[0])
 	for i := 0; i < 8; i++ {
 		p[4*i] = v[0].U8(i)
 		p[4*i+1] = v[1].U8(i)
@@ -85,17 +98,21 @@ func (u *Unit) Vst4U8(p []uint8, v [4]vec.V64) {
 // (vld2.8 with quad registers).
 func (u *Unit) Vld2qU8(p []uint8) [2]vec.V128 {
 	u.recMem("vld2.8", trace.SIMDLoad, 32)
+	p = skewed(u, faults.SiteLoad, p, 32)
 	var out [2]vec.V128
 	for i := 0; i < 16; i++ {
 		out[0].SetU8(i, p[2*i])
 		out[1].SetU8(i, p[2*i+1])
 	}
+	out[0] = fault(u, faults.SiteLoad, out[0])
 	return out
 }
 
 // Vst2qU8 stores two Q registers as 2-way interleaved bytes.
 func (u *Unit) Vst2qU8(p []uint8, v [2]vec.V128) {
 	u.recMem("vst2.8", trace.SIMDStore, 32)
+	p = skewed(u, faults.SiteStore, p, 32)
+	v[0] = fault(u, faults.SiteStore, v[0])
 	for i := 0; i < 16; i++ {
 		p[2*i] = v[0].U8(i)
 		p[2*i+1] = v[1].U8(i)

@@ -3,6 +3,7 @@ package sse2
 import (
 	"math"
 
+	"simdstudy/internal/faults"
 	"simdstudy/internal/sat"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
@@ -17,7 +18,7 @@ func (u *Unit) AddPs(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, a.F32(i)+b.F32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // SubPs subtracts four float lanes (_mm_sub_ps).
@@ -27,7 +28,7 @@ func (u *Unit) SubPs(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, a.F32(i)-b.F32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MulPs multiplies four float lanes (_mm_mul_ps).
@@ -37,7 +38,7 @@ func (u *Unit) MulPs(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, a.F32(i)*b.F32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // DivPs divides four float lanes (_mm_div_ps). SSE2 has vector division;
@@ -48,7 +49,7 @@ func (u *Unit) DivPs(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, a.F32(i)/b.F32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // SqrtPs takes the square root of four float lanes (_mm_sqrt_ps).
@@ -58,7 +59,7 @@ func (u *Unit) SqrtPs(a vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, float32(math.Sqrt(float64(a.F32(i)))))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // RcpPs reciprocal estimate with ~12 bits of precision (_mm_rcp_ps).
@@ -70,7 +71,7 @@ func (u *Unit) RcpPs(a vec.V128) vec.V128 {
 		bits &= 0xFFFFF000 // 12-bit estimate precision
 		r.SetF32(i, math.Float32frombits(bits))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // AddPd adds two double lanes (_mm_add_pd).
@@ -80,7 +81,7 @@ func (u *Unit) AddPd(a, b vec.V128) vec.V128 {
 	for i := 0; i < 2; i++ {
 		r.SetF64(i, a.F64(i)+b.F64(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MulPd multiplies two double lanes (_mm_mul_pd).
@@ -90,7 +91,7 @@ func (u *Unit) MulPd(a, b vec.V128) vec.V128 {
 	for i := 0; i < 2; i++ {
 		r.SetF64(i, a.F64(i)*b.F64(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MinPs lane-wise float minimum (_mm_min_ps).
@@ -100,7 +101,7 @@ func (u *Unit) MinPs(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, float32(math.Min(float64(a.F32(i)), float64(b.F32(i)))))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MaxPs lane-wise float maximum (_mm_max_ps).
@@ -110,7 +111,7 @@ func (u *Unit) MaxPs(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, float32(math.Max(float64(a.F32(i)), float64(b.F32(i)))))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // --- Integer arithmetic ---
@@ -122,7 +123,7 @@ func (u *Unit) AddEpi8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, a.U8(i)+b.U8(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // AddEpi16 adds eight int16 lanes with wraparound (_mm_add_epi16).
@@ -132,7 +133,7 @@ func (u *Unit) AddEpi16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, a.I16(i)+b.I16(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // AddEpi32 adds four int32 lanes with wraparound (_mm_add_epi32).
@@ -142,7 +143,7 @@ func (u *Unit) AddEpi32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, a.I32(i)+b.I32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // SubEpi8 subtracts sixteen byte lanes with wraparound (_mm_sub_epi8).
@@ -152,7 +153,7 @@ func (u *Unit) SubEpi8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, a.U8(i)-b.U8(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // SubEpi16 subtracts eight int16 lanes with wraparound (_mm_sub_epi16).
@@ -162,7 +163,7 @@ func (u *Unit) SubEpi16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, a.I16(i)-b.I16(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // SubEpi32 subtracts four int32 lanes with wraparound (_mm_sub_epi32).
@@ -172,7 +173,7 @@ func (u *Unit) SubEpi32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, a.I32(i)-b.I32(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // AddsEpi16 adds with signed saturation (_mm_adds_epi16 / paddsw).
@@ -182,7 +183,7 @@ func (u *Unit) AddsEpi16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, sat.AddInt16(a.I16(i), b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // AddsEpu8 adds with unsigned saturation (_mm_adds_epu8 / paddusb).
@@ -192,7 +193,7 @@ func (u *Unit) AddsEpu8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, sat.AddUint8(a.U8(i), b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // SubsEpi16 subtracts with signed saturation (_mm_subs_epi16 / psubsw).
@@ -202,7 +203,7 @@ func (u *Unit) SubsEpi16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, sat.SubInt16(a.I16(i), b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // SubsEpu8 subtracts with unsigned saturation (_mm_subs_epu8 / psubusb).
@@ -212,7 +213,7 @@ func (u *Unit) SubsEpu8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, sat.SubUint8(a.U8(i), b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MulloEpi16 multiplies int16 lanes keeping the low half (_mm_mullo_epi16).
@@ -222,7 +223,7 @@ func (u *Unit) MulloEpi16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, a.I16(i)*b.I16(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MulhiEpi16 multiplies int16 lanes keeping the high half (_mm_mulhi_epi16).
@@ -232,7 +233,7 @@ func (u *Unit) MulhiEpi16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, int16((int32(a.I16(i))*int32(b.I16(i)))>>16))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MulhiEpu16 unsigned high multiply (_mm_mulhi_epu16).
@@ -242,7 +243,7 @@ func (u *Unit) MulhiEpu16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, uint16((uint32(a.U16(i))*uint32(b.U16(i)))>>16))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MaddEpi16 multiply and horizontally add pairs into int32 lanes
@@ -256,7 +257,7 @@ func (u *Unit) MaddEpi16(a, b vec.V128) vec.V128 {
 		p1 := int32(a.I16(2*i+1)) * int32(b.I16(2*i+1))
 		r.SetI32(i, p0+p1)
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // AvgEpu8 rounded average of unsigned bytes (_mm_avg_epu8 / pavgb).
@@ -266,7 +267,7 @@ func (u *Unit) AvgEpu8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, uint8((uint16(a.U8(i))+uint16(b.U8(i))+1)>>1))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // AvgEpu16 rounded average of unsigned words (_mm_avg_epu16 / pavgw).
@@ -276,7 +277,7 @@ func (u *Unit) AvgEpu16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, uint16((uint32(a.U16(i))+uint32(b.U16(i))+1)>>1))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // SadEpu8 sum of absolute differences over each 8-byte half
@@ -295,7 +296,7 @@ func (u *Unit) SadEpu8(a, b vec.V128) vec.V128 {
 		}
 		r.SetU64(h, s)
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MinEpu8 lane-wise unsigned byte minimum (_mm_min_epu8 / pminub). The
@@ -306,7 +307,7 @@ func (u *Unit) MinEpu8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, min(a.U8(i), b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MaxEpu8 lane-wise unsigned byte maximum (_mm_max_epu8 / pmaxub).
@@ -316,7 +317,7 @@ func (u *Unit) MaxEpu8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, max(a.U8(i), b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MinEpi16 lane-wise int16 minimum (_mm_min_epi16 / pminsw).
@@ -326,7 +327,7 @@ func (u *Unit) MinEpi16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, min(a.I16(i), b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MaxEpi16 lane-wise int16 maximum (_mm_max_epi16 / pmaxsw).
@@ -336,5 +337,5 @@ func (u *Unit) MaxEpi16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, max(a.I16(i), b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }

@@ -3,6 +3,7 @@ package sse2
 import (
 	"math"
 
+	"simdstudy/internal/faults"
 	"simdstudy/internal/sat"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
@@ -29,7 +30,7 @@ func (u *Unit) CvtpsEpi32(a vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, roundToEvenSat(float64(a.F32(i))))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // CvttpsEpi32 converts four floats to int32 truncating toward zero
@@ -45,7 +46,7 @@ func (u *Unit) CvttpsEpi32(a vec.V128) vec.V128 {
 			r.SetI32(i, int32(f))
 		}
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // Cvtepi32Ps converts four int32 lanes to float (_mm_cvtepi32_ps).
@@ -55,7 +56,7 @@ func (u *Unit) Cvtepi32Ps(a vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetF32(i, float32(a.I32(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // CvtpsPd converts the low two floats to doubles (_mm_cvtps_pd).
@@ -64,7 +65,7 @@ func (u *Unit) CvtpsPd(a vec.V128) vec.V128 {
 	var r vec.V128
 	r.SetF64(0, float64(a.F32(0)))
 	r.SetF64(1, float64(a.F32(1)))
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // CvtpdPs converts two doubles to floats in the low lanes (_mm_cvtpd_ps).
@@ -73,7 +74,7 @@ func (u *Unit) CvtpdPs(a vec.V128) vec.V128 {
 	var r vec.V128
 	r.SetF32(0, float32(a.F64(0)))
 	r.SetF32(1, float32(a.F64(1)))
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // --- Packs ---
@@ -89,7 +90,7 @@ func (u *Unit) PacksEpi32(a, b vec.V128) vec.V128 {
 		r.SetI16(i, sat.NarrowInt32ToInt16(a.I32(i)))
 		r.SetI16(4+i, sat.NarrowInt32ToInt16(b.I32(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // PacksEpi16 packs two registers of int16 into int8 with signed saturation
@@ -101,7 +102,7 @@ func (u *Unit) PacksEpi16(a, b vec.V128) vec.V128 {
 		r.SetI8(i, sat.NarrowInt16ToInt8(a.I16(i)))
 		r.SetI8(8+i, sat.NarrowInt16ToInt8(b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // PackusEpi16 packs two registers of int16 into uint8 with unsigned
@@ -113,7 +114,7 @@ func (u *Unit) PackusEpi16(a, b vec.V128) vec.V128 {
 		r.SetU8(i, sat.NarrowInt16ToUint8(a.I16(i)))
 		r.SetU8(8+i, sat.NarrowInt16ToUint8(b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // --- Unpacks ---
@@ -127,7 +128,7 @@ func (u *Unit) UnpackloEpi8(a, b vec.V128) vec.V128 {
 		r.SetU8(2*i, a.U8(i))
 		r.SetU8(2*i+1, b.U8(i))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // UnpackhiEpi8 interleaves the high eight bytes (_mm_unpackhi_epi8).
@@ -138,7 +139,7 @@ func (u *Unit) UnpackhiEpi8(a, b vec.V128) vec.V128 {
 		r.SetU8(2*i, a.U8(8+i))
 		r.SetU8(2*i+1, b.U8(8+i))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // UnpackloEpi16 interleaves the low four words (_mm_unpacklo_epi16).
@@ -149,7 +150,7 @@ func (u *Unit) UnpackloEpi16(a, b vec.V128) vec.V128 {
 		r.SetU16(2*i, a.U16(i))
 		r.SetU16(2*i+1, b.U16(i))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // UnpackhiEpi16 interleaves the high four words (_mm_unpackhi_epi16).
@@ -160,7 +161,7 @@ func (u *Unit) UnpackhiEpi16(a, b vec.V128) vec.V128 {
 		r.SetU16(2*i, a.U16(4+i))
 		r.SetU16(2*i+1, b.U16(4+i))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // UnpackloEpi32 interleaves the low two dwords (_mm_unpacklo_epi32).
@@ -171,7 +172,7 @@ func (u *Unit) UnpackloEpi32(a, b vec.V128) vec.V128 {
 	r.SetU32(1, b.U32(0))
 	r.SetU32(2, a.U32(1))
 	r.SetU32(3, b.U32(1))
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // UnpackhiEpi32 interleaves the high two dwords (_mm_unpackhi_epi32).
@@ -182,7 +183,7 @@ func (u *Unit) UnpackhiEpi32(a, b vec.V128) vec.V128 {
 	r.SetU32(1, b.U32(2))
 	r.SetU32(2, a.U32(3))
 	r.SetU32(3, b.U32(3))
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // UnpackloEpi64 concatenates the low qwords (_mm_unpacklo_epi64).
@@ -191,7 +192,7 @@ func (u *Unit) UnpackloEpi64(a, b vec.V128) vec.V128 {
 	var r vec.V128
 	r.SetU64(0, a.U64(0))
 	r.SetU64(1, b.U64(0))
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // UnpackhiEpi64 concatenates the high qwords (_mm_unpackhi_epi64).
@@ -200,7 +201,7 @@ func (u *Unit) UnpackhiEpi64(a, b vec.V128) vec.V128 {
 	var r vec.V128
 	r.SetU64(0, a.U64(1))
 	r.SetU64(1, b.U64(1))
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // --- Shuffles ---
@@ -214,7 +215,7 @@ func (u *Unit) ShuffleEpi32(a vec.V128, imm uint8) vec.V128 {
 		sel := (imm >> (2 * i)) & 3
 		r.SetU32(i, a.U32(int(sel)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // ShuffleloEpi16 rearranges the low four word lanes (_mm_shufflelo_epi16).
@@ -225,7 +226,7 @@ func (u *Unit) ShuffleloEpi16(a vec.V128, imm uint8) vec.V128 {
 		sel := (imm >> (2 * i)) & 3
 		r.SetU16(i, a.U16(int(sel)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // ShufflehiEpi16 rearranges the high four word lanes (_mm_shufflehi_epi16).
@@ -236,7 +237,7 @@ func (u *Unit) ShufflehiEpi16(a vec.V128, imm uint8) vec.V128 {
 		sel := (imm >> (2 * i)) & 3
 		r.SetU16(4+i, a.U16(4+int(sel)))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // ShufflePs selects two lanes from a then two from b (_mm_shuffle_ps).
@@ -247,7 +248,7 @@ func (u *Unit) ShufflePs(a, b vec.V128, imm uint8) vec.V128 {
 	r.SetF32(1, a.F32(int((imm>>2)&3)))
 	r.SetF32(2, b.F32(int((imm>>4)&3)))
 	r.SetF32(3, b.F32(int((imm>>6)&3)))
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // --- Shifts ---
@@ -262,7 +263,7 @@ func (u *Unit) SlliEpi16(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, a.U16(i)<<n)
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // SrliEpi16 logical shift right words (_mm_srli_epi16 / psrlw).
@@ -275,7 +276,7 @@ func (u *Unit) SrliEpi16(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, a.U16(i)>>n)
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // SraiEpi16 arithmetic shift right words (_mm_srai_epi16 / psraw).
@@ -288,7 +289,7 @@ func (u *Unit) SraiEpi16(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetI16(i, a.I16(i)>>n)
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // SlliEpi32 shift left dwords (_mm_slli_epi32 / pslld).
@@ -301,7 +302,7 @@ func (u *Unit) SlliEpi32(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, a.U32(i)<<n)
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // SrliEpi32 logical shift right dwords (_mm_srli_epi32 / psrld).
@@ -314,7 +315,7 @@ func (u *Unit) SrliEpi32(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, a.U32(i)>>n)
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // SraiEpi32 arithmetic shift right dwords (_mm_srai_epi32 / psrad).
@@ -327,7 +328,7 @@ func (u *Unit) SraiEpi32(a vec.V128, n uint) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetI32(i, a.I32(i)>>n)
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // SlliSi128 byte shift left of the whole register (_mm_slli_si128 / pslldq).
@@ -340,7 +341,7 @@ func (u *Unit) SlliSi128(a vec.V128, n int) vec.V128 {
 	for i := 15; i >= n; i-- {
 		r.SetU8(i, a.U8(i-n))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }
 
 // SrliSi128 byte shift right of the whole register (_mm_srli_si128 / psrldq).
@@ -353,5 +354,5 @@ func (u *Unit) SrliSi128(a vec.V128, n int) vec.V128 {
 	for i := 0; i < 16-n; i++ {
 		r.SetU8(i, a.U8(i+n))
 	}
-	return r
+	return fault(u, faults.SiteConvert, r)
 }

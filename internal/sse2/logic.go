@@ -1,6 +1,7 @@
 package sse2
 
 import (
+	"simdstudy/internal/faults"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
 )
@@ -81,7 +82,7 @@ func (u *Unit) CmpeqEpi8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, mask8(a.U8(i) == b.U8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpgtEpi8 compare greater-than signed bytes (_mm_cmpgt_epi8 / pcmpgtb).
@@ -94,7 +95,7 @@ func (u *Unit) CmpgtEpi8(a, b vec.V128) vec.V128 {
 	for i := 0; i < 16; i++ {
 		r.SetU8(i, mask8(a.I8(i) > b.I8(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpeqEpi16 compare equal words (_mm_cmpeq_epi16 / pcmpeqw).
@@ -104,7 +105,7 @@ func (u *Unit) CmpeqEpi16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, mask16(a.I16(i) == b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpgtEpi16 compare greater-than signed words (_mm_cmpgt_epi16 / pcmpgtw).
@@ -114,7 +115,7 @@ func (u *Unit) CmpgtEpi16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, mask16(a.I16(i) > b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpltEpi16 compare less-than signed words (_mm_cmplt_epi16).
@@ -124,7 +125,7 @@ func (u *Unit) CmpltEpi16(a, b vec.V128) vec.V128 {
 	for i := 0; i < 8; i++ {
 		r.SetU16(i, mask16(a.I16(i) < b.I16(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpgtEpi32 compare greater-than signed dwords (_mm_cmpgt_epi32).
@@ -134,7 +135,7 @@ func (u *Unit) CmpgtEpi32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, mask32(a.I32(i) > b.I32(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpeqEpi32 compare equal dwords (_mm_cmpeq_epi32).
@@ -144,7 +145,7 @@ func (u *Unit) CmpeqEpi32(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, mask32(a.I32(i) == b.I32(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpgtPs compare greater-than floats (_mm_cmpgt_ps / cmpps).
@@ -154,7 +155,7 @@ func (u *Unit) CmpgtPs(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, mask32(a.F32(i) > b.F32(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpgePs compare greater-or-equal floats (_mm_cmpge_ps).
@@ -164,7 +165,7 @@ func (u *Unit) CmpgePs(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, mask32(a.F32(i) >= b.F32(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpltPs compare less-than floats (_mm_cmplt_ps).
@@ -174,7 +175,7 @@ func (u *Unit) CmpltPs(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, mask32(a.F32(i) < b.F32(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpeqPs compare equal floats (_mm_cmpeq_ps).
@@ -184,7 +185,7 @@ func (u *Unit) CmpeqPs(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, mask32(a.F32(i) == b.F32(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpneqPs compare not-equal floats (_mm_cmpneq_ps) — SSE2 provides this
@@ -195,5 +196,5 @@ func (u *Unit) CmpneqPs(a, b vec.V128) vec.V128 {
 	for i := 0; i < 4; i++ {
 		r.SetU32(i, mask32(a.F32(i) != b.F32(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }

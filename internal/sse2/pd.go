@@ -3,6 +3,7 @@ package sse2
 import (
 	"math"
 
+	"simdstudy/internal/faults"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
 )
@@ -19,7 +20,7 @@ func (u *Unit) SubPd(a, b vec.V128) vec.V128 {
 	for i := 0; i < 2; i++ {
 		r.SetF64(i, a.F64(i)-b.F64(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // DivPd divides two double lanes (_mm_div_pd) — packed FP division, which
@@ -30,7 +31,7 @@ func (u *Unit) DivPd(a, b vec.V128) vec.V128 {
 	for i := 0; i < 2; i++ {
 		r.SetF64(i, a.F64(i)/b.F64(i))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // SqrtPd takes square roots of two double lanes (_mm_sqrt_pd).
@@ -40,7 +41,7 @@ func (u *Unit) SqrtPd(a vec.V128) vec.V128 {
 	for i := 0; i < 2; i++ {
 		r.SetF64(i, math.Sqrt(a.F64(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MinPd lane-wise double minimum (_mm_min_pd).
@@ -50,7 +51,7 @@ func (u *Unit) MinPd(a, b vec.V128) vec.V128 {
 	for i := 0; i < 2; i++ {
 		r.SetF64(i, math.Min(a.F64(i), b.F64(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MaxPd lane-wise double maximum (_mm_max_pd).
@@ -60,7 +61,7 @@ func (u *Unit) MaxPd(a, b vec.V128) vec.V128 {
 	for i := 0; i < 2; i++ {
 		r.SetF64(i, math.Max(a.F64(i), b.F64(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 func maskF64(c bool) uint64 {
@@ -77,7 +78,7 @@ func (u *Unit) CmpltPd(a, b vec.V128) vec.V128 {
 	for i := 0; i < 2; i++ {
 		r.SetU64(i, maskF64(a.F64(i) < b.F64(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpeqPd compare equal doubles (_mm_cmpeq_pd).
@@ -87,7 +88,7 @@ func (u *Unit) CmpeqPd(a, b vec.V128) vec.V128 {
 	for i := 0; i < 2; i++ {
 		r.SetU64(i, maskF64(a.F64(i) == b.F64(i)))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpordPs ordered compare: mask set where neither operand is NaN
@@ -99,7 +100,7 @@ func (u *Unit) CmpordPs(a, b vec.V128) vec.V128 {
 		fa, fb := a.F32(i), b.F32(i)
 		r.SetU32(i, mask32(fa == fa && fb == fb))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CmpunordPs unordered compare: mask set where either operand is NaN
@@ -111,7 +112,7 @@ func (u *Unit) CmpunordPs(a, b vec.V128) vec.V128 {
 		fa, fb := a.F32(i), b.F32(i)
 		r.SetU32(i, mask32(fa != fa || fb != fb))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MovemaskPd gathers the sign bits of the double lanes (_mm_movemask_pd).
@@ -132,7 +133,7 @@ func (u *Unit) ShufflePd(a, b vec.V128, imm uint8) vec.V128 {
 	var r vec.V128
 	r.SetF64(0, a.F64(int(imm&1)))
 	r.SetF64(1, b.F64(int((imm>>1)&1)))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // RsqrtPs reciprocal square-root estimate, ~12 bits (_mm_rsqrt_ps).
@@ -144,7 +145,7 @@ func (u *Unit) RsqrtPs(a vec.V128) vec.V128 {
 		bits &= 0xFFFFF000
 		r.SetF32(i, math.Float32frombits(bits))
 	}
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // --- Scalar (ss/sd) forms: operate on lane 0, pass the rest through ---
@@ -154,7 +155,7 @@ func (u *Unit) AddSs(a, b vec.V128) vec.V128 {
 	u.rec("addss", trace.SIMDALU)
 	r := a
 	r.SetF32(0, a.F32(0)+b.F32(0))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MulSs scalar float multiply (_mm_mul_ss).
@@ -162,7 +163,7 @@ func (u *Unit) MulSs(a, b vec.V128) vec.V128 {
 	u.rec("mulss", trace.SIMDMul)
 	r := a
 	r.SetF32(0, a.F32(0)*b.F32(0))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // AddSd scalar double add (_mm_add_sd).
@@ -170,7 +171,7 @@ func (u *Unit) AddSd(a, b vec.V128) vec.V128 {
 	u.rec("addsd", trace.SIMDALU)
 	r := a
 	r.SetF64(0, a.F64(0)+b.F64(0))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // CvtssSd widens the low float to a double in lane 0 (_mm_cvtss_sd).
@@ -178,7 +179,7 @@ func (u *Unit) CvtssSd(a, b vec.V128) vec.V128 {
 	u.rec("cvtss2sd", trace.SIMDCvt)
 	r := a
 	r.SetF64(0, float64(b.F32(0)))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // Cvtsi32Sd converts an int32 into the low double (_mm_cvtsi32_sd).
@@ -186,7 +187,7 @@ func (u *Unit) Cvtsi32Sd(a vec.V128, x int32) vec.V128 {
 	u.rec("cvtsi2sd", trace.SIMDCvt)
 	r := a
 	r.SetF64(0, float64(x))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // --- 64-bit integer lanes ---
@@ -197,7 +198,7 @@ func (u *Unit) AddEpi64(a, b vec.V128) vec.V128 {
 	var r vec.V128
 	r.SetI64(0, a.I64(0)+b.I64(0))
 	r.SetI64(1, a.I64(1)+b.I64(1))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // SubEpi64 subtracts the 64-bit lanes (_mm_sub_epi64 / psubq).
@@ -206,7 +207,7 @@ func (u *Unit) SubEpi64(a, b vec.V128) vec.V128 {
 	var r vec.V128
 	r.SetI64(0, a.I64(0)-b.I64(0))
 	r.SetI64(1, a.I64(1)-b.I64(1))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MulEpu32 multiplies the even unsigned 32-bit lanes into 64-bit products
@@ -216,7 +217,7 @@ func (u *Unit) MulEpu32(a, b vec.V128) vec.V128 {
 	var r vec.V128
 	r.SetU64(0, uint64(a.U32(0))*uint64(b.U32(0)))
 	r.SetU64(1, uint64(a.U32(2))*uint64(b.U32(2)))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // SlliEpi64 shifts the 64-bit lanes left (_mm_slli_epi64 / psllq).
@@ -228,7 +229,7 @@ func (u *Unit) SlliEpi64(a vec.V128, n uint) vec.V128 {
 	}
 	r.SetU64(0, a.U64(0)<<n)
 	r.SetU64(1, a.U64(1)<<n)
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // SrliEpi64 shifts the 64-bit lanes right logically (_mm_srli_epi64).
@@ -240,7 +241,7 @@ func (u *Unit) SrliEpi64(a vec.V128, n uint) vec.V128 {
 	}
 	r.SetU64(0, a.U64(0)>>n)
 	r.SetU64(1, a.U64(1)>>n)
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MoveEpi64 copies the low qword and zeroes the high (_mm_move_epi64).
@@ -248,7 +249,7 @@ func (u *Unit) MoveEpi64(a vec.V128) vec.V128 {
 	u.rec("movq(reg)", trace.Move)
 	var r vec.V128
 	r.SetU64(0, a.U64(0))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // InsertEpi16 inserts a 16-bit value into the given lane (_mm_insert_epi16
@@ -267,7 +268,7 @@ func (u *Unit) UnpackloPs(a, b vec.V128) vec.V128 {
 	r.SetF32(1, b.F32(0))
 	r.SetF32(2, a.F32(1))
 	r.SetF32(3, b.F32(1))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // UnpackhiPs interleaves the high float lanes (_mm_unpackhi_ps).
@@ -278,7 +279,7 @@ func (u *Unit) UnpackhiPs(a, b vec.V128) vec.V128 {
 	r.SetF32(1, b.F32(2))
 	r.SetF32(2, a.F32(3))
 	r.SetF32(3, b.F32(3))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MovehlPs moves the high pair of b into the low pair of the result, with
@@ -290,7 +291,7 @@ func (u *Unit) MovehlPs(a, b vec.V128) vec.V128 {
 	r.SetF32(1, b.F32(3))
 	r.SetF32(2, a.F32(2))
 	r.SetF32(3, a.F32(3))
-	return r
+	return fault(u, faults.SiteALU, r)
 }
 
 // MovelhPs concatenates the low pairs (_mm_movelh_ps).
@@ -301,5 +302,5 @@ func (u *Unit) MovelhPs(a, b vec.V128) vec.V128 {
 	r.SetF32(1, a.F32(1))
 	r.SetF32(2, b.F32(0))
 	r.SetF32(3, b.F32(1))
-	return r
+	return fault(u, faults.SiteALU, r)
 }

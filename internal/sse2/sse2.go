@@ -9,6 +9,7 @@
 package sse2
 
 import (
+	"simdstudy/internal/faults"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
 )
@@ -17,10 +18,44 @@ import (
 // instruction accounting.
 type Unit struct {
 	T *trace.Counter
+
+	// F, when non-nil, is consulted at every instrumented intrinsic and may
+	// corrupt the value produced (or the address used), turning the unit
+	// into a fault-injection target. See internal/faults.
+	F faults.Injector
 }
 
 // New returns a Unit recording into t (which may be nil).
 func New(t *trace.Counter) *Unit { return &Unit{T: t} }
+
+// fault routes an intrinsic result (or store operand) through the unit's
+// fault hook, if any. It is the single choke point fault injection uses, so
+// every instrumented intrinsic is a potential fault site.
+func fault[V vec.V128 | vec.V64](u *Unit, site faults.Site, r V) V {
+	if u.F == nil {
+		return r
+	}
+	switch v := any(r).(type) {
+	case vec.V128:
+		return any(u.F.V128(site, v)).(V)
+	case vec.V64:
+		return any(u.F.V64(site, v)).(V)
+	}
+	return r
+}
+
+// skewed gives the fault hook a chance to slip a load/store base address by
+// one element, provided the slice has slack beyond the need elements the
+// intrinsic will touch (a real address slip would fault otherwise).
+func skewed[T any](u *Unit, site faults.Site, p []T, need int) []T {
+	if u.F == nil {
+		return p
+	}
+	if off := u.F.Skew(site, len(p)-need); off > 0 {
+		return p[off:]
+	}
+	return p
+}
 
 func (u *Unit) rec(name string, class trace.Class) {
 	if u.T != nil {
@@ -50,86 +85,97 @@ func (u *Unit) Overhead(addrCalcs, branches, moves int) {
 // LoaduPs loads four unaligned float32 (_mm_loadu_ps / movups).
 func (u *Unit) LoaduPs(p []float32) vec.V128 {
 	u.recMem("movups", trace.SIMDLoad, 16)
-	return vec.FromF32x4([4]float32{p[0], p[1], p[2], p[3]})
+	p = skewed(u, faults.SiteLoad, p, 4)
+	return fault(u, faults.SiteLoad, vec.FromF32x4([4]float32{p[0], p[1], p[2], p[3]}))
 }
 
 // LoadPs loads four aligned float32 (_mm_load_ps / movaps).
 func (u *Unit) LoadPs(p []float32) vec.V128 {
 	u.recMem("movaps", trace.SIMDLoad, 16)
-	return vec.FromF32x4([4]float32{p[0], p[1], p[2], p[3]})
+	p = skewed(u, faults.SiteLoad, p, 4)
+	return fault(u, faults.SiteLoad, vec.FromF32x4([4]float32{p[0], p[1], p[2], p[3]}))
 }
 
 // LoaduSi128 loads 16 unaligned bytes (_mm_loadu_si128 / movdqu).
 func (u *Unit) LoaduSi128(p []byte) vec.V128 {
 	u.recMem("movdqu", trace.SIMDLoad, 16)
-	return vec.LoadV128(p)
+	p = skewed(u, faults.SiteLoad, p, 16)
+	return fault(u, faults.SiteLoad, vec.LoadV128(p))
 }
 
 // LoaduSi128U8 loads sixteen uint8 (typed convenience over movdqu).
 func (u *Unit) LoaduSi128U8(p []uint8) vec.V128 {
 	u.recMem("movdqu", trace.SIMDLoad, 16)
+	p = skewed(u, faults.SiteLoad, p, 16)
 	var a [16]uint8
 	copy(a[:], p[:16])
-	return vec.FromU8x16(a)
+	return fault(u, faults.SiteLoad, vec.FromU8x16(a))
 }
 
 // LoaduSi128S16 loads eight int16 (typed convenience over movdqu).
 func (u *Unit) LoaduSi128S16(p []int16) vec.V128 {
 	u.recMem("movdqu", trace.SIMDLoad, 16)
+	p = skewed(u, faults.SiteLoad, p, 8)
 	var a [8]int16
 	copy(a[:], p[:8])
-	return vec.FromI16x8(a)
+	return fault(u, faults.SiteLoad, vec.FromI16x8(a))
 }
 
 // LoaduSi128U16 loads eight uint16 (typed convenience over movdqu).
 func (u *Unit) LoaduSi128U16(p []uint16) vec.V128 {
 	u.recMem("movdqu", trace.SIMDLoad, 16)
+	p = skewed(u, faults.SiteLoad, p, 8)
 	var a [8]uint16
 	copy(a[:], p[:8])
-	return vec.FromU16x8(a)
+	return fault(u, faults.SiteLoad, vec.FromU16x8(a))
 }
 
 // LoaduSi128S32 loads four int32 (typed convenience over movdqu).
 func (u *Unit) LoaduSi128S32(p []int32) vec.V128 {
 	u.recMem("movdqu", trace.SIMDLoad, 16)
+	p = skewed(u, faults.SiteLoad, p, 4)
 	var a [4]int32
 	copy(a[:], p[:4])
-	return vec.FromI32x4(a)
+	return fault(u, faults.SiteLoad, vec.FromI32x4(a))
 }
 
 // LoaduPd loads two unaligned float64 (_mm_loadu_pd / movupd).
 func (u *Unit) LoaduPd(p []float64) vec.V128 {
 	u.recMem("movupd", trace.SIMDLoad, 16)
-	return vec.FromF64x2([2]float64{p[0], p[1]})
+	p = skewed(u, faults.SiteLoad, p, 2)
+	return fault(u, faults.SiteLoad, vec.FromF64x2([2]float64{p[0], p[1]}))
 }
 
 // LoadlEpi64U8 loads eight bytes into the low qword, zeroing the high
 // (_mm_loadl_epi64 / movq).
 func (u *Unit) LoadlEpi64U8(p []uint8) vec.V128 {
 	u.recMem("movq", trace.SIMDLoad, 8)
+	p = skewed(u, faults.SiteLoad, p, 8)
 	var v vec.V128
 	for i := 0; i < 8; i++ {
 		v.SetU8(i, p[i])
 	}
-	return v
+	return fault(u, faults.SiteLoad, v)
 }
 
 // LoadlEpi64S16 loads four int16 into the low qword (_mm_loadl_epi64).
 func (u *Unit) LoadlEpi64S16(p []int16) vec.V128 {
 	u.recMem("movq", trace.SIMDLoad, 8)
+	p = skewed(u, faults.SiteLoad, p, 4)
 	var v vec.V128
 	for i := 0; i < 4; i++ {
 		v.SetI16(i, p[i])
 	}
-	return v
+	return fault(u, faults.SiteLoad, v)
 }
 
 // LoadSs loads a single float32 into lane 0, zeroing the rest (movss).
 func (u *Unit) LoadSs(p []float32) vec.V128 {
 	u.recMem("movss", trace.SIMDLoad, 4)
+	p = skewed(u, faults.SiteLoad, p, 1)
 	var v vec.V128
 	v.SetF32(0, p[0])
-	return v
+	return fault(u, faults.SiteLoad, v)
 }
 
 // --- Stores ---
@@ -137,6 +183,8 @@ func (u *Unit) LoadSs(p []float32) vec.V128 {
 // StoreuPs stores four float32 (_mm_storeu_ps / movups).
 func (u *Unit) StoreuPs(p []float32, v vec.V128) {
 	u.recMem("movups", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 4)
+	v = fault(u, faults.SiteStore, v)
 	f := v.ToF32x4()
 	copy(p[:4], f[:])
 }
@@ -144,6 +192,8 @@ func (u *Unit) StoreuPs(p []float32, v vec.V128) {
 // StoreuSi128 stores 16 bytes (_mm_storeu_si128 / movdqu).
 func (u *Unit) StoreuSi128(p []byte, v vec.V128) {
 	u.recMem("movdqu", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 16)
+	v = fault(u, faults.SiteStore, v)
 	vec.StoreV128(p, v)
 }
 
@@ -151,6 +201,8 @@ func (u *Unit) StoreuSi128(p []byte, v vec.V128) {
 // paper's SSE2 convert loop.
 func (u *Unit) StoreuSi128S16(p []int16, v vec.V128) {
 	u.recMem("movdqu", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 8)
+	v = fault(u, faults.SiteStore, v)
 	x := v.ToI16x8()
 	copy(p[:8], x[:])
 }
@@ -158,6 +210,8 @@ func (u *Unit) StoreuSi128S16(p []int16, v vec.V128) {
 // StoreuSi128U8 stores sixteen uint8.
 func (u *Unit) StoreuSi128U8(p []uint8, v vec.V128) {
 	u.recMem("movdqu", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 16)
+	v = fault(u, faults.SiteStore, v)
 	x := v.ToU8x16()
 	copy(p[:16], x[:])
 }
@@ -165,6 +219,8 @@ func (u *Unit) StoreuSi128U8(p []uint8, v vec.V128) {
 // StoreuSi128U16 stores eight uint16.
 func (u *Unit) StoreuSi128U16(p []uint16, v vec.V128) {
 	u.recMem("movdqu", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 8)
+	v = fault(u, faults.SiteStore, v)
 	x := v.ToU16x8()
 	copy(p[:8], x[:])
 }
@@ -172,6 +228,8 @@ func (u *Unit) StoreuSi128U16(p []uint16, v vec.V128) {
 // StoreuSi128S32 stores four int32.
 func (u *Unit) StoreuSi128S32(p []int32, v vec.V128) {
 	u.recMem("movdqu", trace.SIMDStore, 16)
+	p = skewed(u, faults.SiteStore, p, 4)
+	v = fault(u, faults.SiteStore, v)
 	x := v.ToI32x4()
 	copy(p[:4], x[:])
 }
@@ -179,6 +237,8 @@ func (u *Unit) StoreuSi128S32(p []int32, v vec.V128) {
 // StorelEpi64U8 stores the low eight bytes (_mm_storel_epi64 / movq).
 func (u *Unit) StorelEpi64U8(p []uint8, v vec.V128) {
 	u.recMem("movq", trace.SIMDStore, 8)
+	p = skewed(u, faults.SiteStore, p, 8)
+	v = fault(u, faults.SiteStore, v)
 	for i := 0; i < 8; i++ {
 		p[i] = v.U8(i)
 	}
@@ -187,6 +247,8 @@ func (u *Unit) StorelEpi64U8(p []uint8, v vec.V128) {
 // StorelEpi64S16 stores the low four int16 (_mm_storel_epi64 / movq).
 func (u *Unit) StorelEpi64S16(p []int16, v vec.V128) {
 	u.recMem("movq", trace.SIMDStore, 8)
+	p = skewed(u, faults.SiteStore, p, 4)
+	v = fault(u, faults.SiteStore, v)
 	for i := 0; i < 4; i++ {
 		p[i] = v.I16(i)
 	}

@@ -97,6 +97,12 @@ type Counter struct {
 	// (Section V style analysis). Disabled unless SeqCap > 0.
 	SeqCap int
 	seq    []Op
+
+	// events counts named out-of-band occurrences that are not
+	// instructions — fault detections, scalar fallbacks, kill-switch
+	// trips — so robustness telemetry rides the same Counter plumbing
+	// (Add/Reset/Summary) as the instruction stream.
+	events map[string]uint64
 }
 
 // Record notes one occurrence of op.
@@ -137,6 +143,42 @@ func (t *Counter) RecordN(name string, class Class, n uint64, bytesEach int) {
 		t.opcodes = make(map[string]uint64)
 	}
 	t.opcodes[name] += n
+}
+
+// Event notes one occurrence of a named non-instruction event.
+func (t *Counter) Event(name string) {
+	t.EventN(name, 1)
+}
+
+// EventN notes n occurrences of a named non-instruction event.
+func (t *Counter) EventN(name string, n uint64) {
+	if t == nil || n == 0 {
+		return
+	}
+	if t.events == nil {
+		t.events = make(map[string]uint64)
+	}
+	t.events[name] += n
+}
+
+// EventCount returns the count for a named event.
+func (t *Counter) EventCount(name string) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.events[name]
+}
+
+// Events returns a copy of the event counters.
+func (t *Counter) Events() map[string]uint64 {
+	if t == nil || len(t.events) == 0 {
+		return nil
+	}
+	m := make(map[string]uint64, len(t.events))
+	for k, v := range t.events {
+		m[k] = v
+	}
+	return m
 }
 
 // Count returns the number of instructions recorded in class c.
@@ -215,6 +257,7 @@ func (t *Counter) Reset() {
 	t.bytesStored = 0
 	t.opcodes = nil
 	t.seq = nil
+	t.events = nil
 }
 
 // Add accumulates other into t.
@@ -233,6 +276,14 @@ func (t *Counter) Add(other *Counter) {
 		}
 		for k, v := range other.opcodes {
 			t.opcodes[k] += v
+		}
+	}
+	if other.events != nil {
+		if t.events == nil {
+			t.events = make(map[string]uint64, len(other.events))
+		}
+		for k, v := range other.events {
+			t.events[k] += v
 		}
 	}
 }
@@ -280,6 +331,16 @@ func (t *Counter) Summary() string {
 	sort.Strings(names)
 	for _, k := range names {
 		fmt.Fprintf(&sb, "    %-16s %d\n", k, t.opcodes[k])
+	}
+	if len(t.events) > 0 {
+		evs := make([]string, 0, len(t.events))
+		for k := range t.events {
+			evs = append(evs, k)
+		}
+		sort.Strings(evs)
+		for _, k := range evs {
+			fmt.Fprintf(&sb, "  event %-12s %d\n", k, t.events[k])
+		}
 	}
 	return sb.String()
 }
