@@ -27,6 +27,7 @@ import (
 	"simdstudy/internal/harness"
 	"simdstudy/internal/image"
 	"simdstudy/internal/neon"
+	"simdstudy/internal/obs"
 	"simdstudy/internal/platform"
 	"simdstudy/internal/sse2"
 	"simdstudy/internal/timing"
@@ -341,6 +342,35 @@ func RunFaultCampaign(ctx context.Context, bench string, res Resolution, cfg Cam
 
 // RenderTable1 prints the Table I platform catalogue.
 func RenderTable1(w io.Writer, platforms []Platform) { harness.RenderTable1(w, platforms) }
+
+// --- Observability ---
+
+// MetricsRegistry collects counters, gauges, histograms, events and spans
+// from an instrumented run, and exports them as Prometheus text, a JSONL
+// event stream, or Chrome trace_event JSON. Safe for concurrent use; all
+// methods are nil-safe, so an unset registry costs nothing.
+type MetricsRegistry = obs.Registry
+
+// Span is a hierarchical interval of observed work (grid cell, kernel,
+// guard action) carrying wall-clock time, modeled cycles and a dynamic
+// instruction delta.
+type Span = obs.Span
+
+// SpanRecord is one completed span as stored in a MetricsRegistry.
+type SpanRecord = obs.SpanRecord
+
+// MetricsSnapshot is a point-in-time map of series name to value.
+type MetricsSnapshot = obs.Snapshot
+
+// MetricLabel is one name=value dimension of a metric series.
+type MetricLabel = obs.Label
+
+// NewMetricsRegistry returns an empty registry. Attach it with
+// Ops.SetObserver, GridOptions.Obs or CampaignConfig.Obs.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Label constructs a metric label.
+func Label(key, value string) MetricLabel { return obs.L(key, value) }
 
 // SectionVComparison renders the paper's Section V assembly analysis for
 // an ISA.

@@ -6,6 +6,7 @@
 //	imgtool -gen -size 640x480 -seed 1 -out frame.pgm
 //	imgtool -info frame.pgm
 //	imgtool -gen -burst 5 -size 1280x960 -out frames   # frames-1.pgm ...
+//	imgtool -gen -burst 5 -out frames -metrics-out m.prom -events-out e.jsonl
 package main
 
 import (
@@ -13,7 +14,9 @@ import (
 	"fmt"
 	"os"
 
+	"simdstudy/cmd/internal/cliobs"
 	"simdstudy/internal/image"
+	"simdstudy/internal/obs"
 )
 
 func main() {
@@ -23,10 +26,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed (distinct seeds give the burst images)")
 	burst := flag.Int("burst", 1, "number of burst frames to generate")
 	out := flag.String("out", "frame.pgm", "output file (or prefix when -burst > 1)")
+	obsFlags := cliobs.Register(flag.CommandLine, false)
 	flag.Parse()
+	reg := obsFlags.NewRegistry()
 
 	switch {
 	case *info != "":
+		sp := reg.StartSpan("imgtool.info", obs.L("file", *info))
 		f, err := os.Open(*info)
 		fail(err)
 		defer f.Close()
@@ -43,6 +49,9 @@ func main() {
 			}
 			sum += int(v)
 		}
+		reg.Counter("imgtool_images_read_total").Inc()
+		reg.Counter("imgtool_bytes_read_total").Add(uint64(m.Bytes()))
+		sp.End()
 		fmt.Printf("%s: %dx%d %v, %d pixels, min %d max %d mean %.1f\n",
 			*info, m.Width, m.Height, m.Kind, m.Pixels(), min, max,
 			float64(sum)/float64(m.Pixels()))
@@ -50,24 +59,30 @@ func main() {
 		res, err := image.ParseResolution(*sizeName)
 		fail(err)
 		if *burst == 1 {
-			writeOne(res, *seed, *out)
-			return
-		}
-		for i := 0; i < *burst; i++ {
-			writeOne(res, uint64(i+1), fmt.Sprintf("%s-%d.pgm", *out, i+1))
+			writeOne(reg, res, *seed, *out)
+		} else {
+			for i := 0; i < *burst; i++ {
+				writeOne(reg, res, uint64(i+1), fmt.Sprintf("%s-%d.pgm", *out, i+1))
+			}
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	fail(obsFlags.Export(reg))
 }
 
-func writeOne(res image.Resolution, seed uint64, path string) {
+func writeOne(reg *obs.Registry, res image.Resolution, seed uint64, path string) {
+	sp := reg.StartSpan("imgtool.gen",
+		obs.L("size", res.Name), obs.L("file", path))
 	m := image.Synthetic(res, seed)
 	f, err := os.Create(path)
 	fail(err)
 	defer f.Close()
 	fail(image.WritePGM(f, m))
+	reg.Counter("imgtool_images_written_total", obs.L("size", res.Name)).Inc()
+	reg.Counter("imgtool_bytes_written_total").Add(uint64(m.Bytes()))
+	sp.End()
 	fmt.Printf("wrote %s (%dx%d, %d bytes raw)\n", path, m.Width, m.Height, m.Bytes())
 }
 

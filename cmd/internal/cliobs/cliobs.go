@@ -1,0 +1,101 @@
+// Package cliobs is the shared observability flag surface of the study's
+// CLIs: both simdbench and imgtool register their export flags here so the
+// flag names, help strings and file-writing behavior cannot drift apart.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+
+	"simdstudy/internal/obs"
+)
+
+// Flags holds the parsed observability destinations of one CLI.
+type Flags struct {
+	MetricsOut  string // Prometheus text exposition
+	EventsOut   string // JSONL event stream
+	ChromeTrace string // Chrome trace_event JSON (Perfetto)
+	PprofAddr   string // net/http/pprof listen address
+}
+
+// Register installs the shared flags on fs. full also registers
+// -chrome-trace and -pprof (simdbench); imgtool keeps just the two export
+// flags.
+func Register(fs *flag.FlagSet, full bool) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.MetricsOut, "metrics-out", "",
+		"write Prometheus text metrics to this file at exit")
+	fs.StringVar(&f.EventsOut, "events-out", "",
+		"write the JSONL event stream to this file at exit")
+	if full {
+		fs.StringVar(&f.ChromeTrace, "chrome-trace", "",
+			"write Chrome trace_event JSON (load in Perfetto or chrome://tracing) to this file at exit")
+		fs.StringVar(&f.PprofAddr, "pprof", "",
+			"serve net/http/pprof on this address (e.g. localhost:6060)")
+	}
+	return f
+}
+
+// Enabled reports whether any export destination was requested.
+func (f *Flags) Enabled() bool {
+	return f.MetricsOut != "" || f.EventsOut != "" || f.ChromeTrace != ""
+}
+
+// NewRegistry returns a fresh registry when any export is enabled, nil
+// otherwise — every obs call site is nil-safe, so a nil registry makes the
+// whole instrumentation layer a no-op.
+func (f *Flags) NewRegistry() *obs.Registry {
+	if !f.Enabled() {
+		return nil
+	}
+	return obs.NewRegistry()
+}
+
+// StartPprof serves the default mux (with /debug/pprof registered) on the
+// configured address from a background goroutine. No-op without -pprof.
+func (f *Flags) StartPprof() {
+	if f.PprofAddr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(f.PprofAddr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "pprof:", err)
+		}
+	}()
+}
+
+// Export writes every requested format from reg. A nil registry (exports
+// disabled) writes nothing.
+func (f *Flags) Export(reg *obs.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	writes := []struct {
+		path  string
+		write func(*os.File) error
+	}{
+		{f.MetricsOut, func(w *os.File) error { return reg.WritePrometheus(w) }},
+		{f.EventsOut, func(w *os.File) error { return reg.WriteJSONL(w) }},
+		{f.ChromeTrace, func(w *os.File) error { return reg.WriteChromeTrace(w) }},
+	}
+	for _, wr := range writes {
+		if wr.path == "" {
+			continue
+		}
+		file, err := os.Create(wr.path)
+		if err != nil {
+			return err
+		}
+		if err := wr.write(file); err != nil {
+			file.Close()
+			return fmt.Errorf("cliobs: writing %s: %w", wr.path, err)
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// Command obscheck validates the machine-readable observability artifacts
+// the other CLIs export, so CI can assert that a benchmark run produced
+// well-formed, non-empty telemetry instead of just "a file exists".
+//
+// Usage:
+//
+//	obscheck -metrics m.prom -events e.jsonl -trace t.json
+//	obscheck -metrics m.prom -require simd_instructions_total -require guard_actions_total
+//
+// Every given file is checked; any malformed content exits non-zero.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// requireList collects repeated -require flags.
+type requireList []string
+
+func (r *requireList) String() string     { return strings.Join(*r, ",") }
+func (r *requireList) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	metrics := flag.String("metrics", "", "Prometheus text exposition file to validate")
+	events := flag.String("events", "", "JSONL event stream file to validate")
+	trace := flag.String("trace", "", "Chrome trace_event JSON file to validate")
+	var require requireList
+	flag.Var(&require, "require", "metric family that must appear with a non-zero sample (repeatable; implies -metrics)")
+	flag.Parse()
+
+	ok := true
+	if *metrics != "" {
+		ok = checkMetrics(*metrics, require) && ok
+	} else if len(require) > 0 {
+		fmt.Fprintln(os.Stderr, "obscheck: -require needs -metrics")
+		ok = false
+	}
+	if *events != "" {
+		ok = checkEvents(*events) && ok
+	}
+	if *trace != "" {
+		ok = checkTrace(*trace) && ok
+	}
+	if *metrics == "" && *events == "" && *trace == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func complain(path, format string, args ...any) bool {
+	fmt.Fprintf(os.Stderr, "obscheck: %s: %s\n", path, fmt.Sprintf(format, args...))
+	return false
+}
+
+// checkMetrics parses the Prometheus 0.0.4 text format: every non-comment
+// line must be `series value`, and each required family must have at least
+// one non-zero sample.
+func checkMetrics(path string, require []string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return complain(path, "%v", err)
+	}
+	defer f.Close()
+	nonzero := map[string]bool{}
+	samples := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(text, ' ')
+		if sp < 1 {
+			return complain(path, "line %d: no value field: %q", line, text)
+		}
+		series, valStr := text[:sp], text[sp+1:]
+		val, err := parseValue(valStr)
+		if err != nil {
+			return complain(path, "line %d: bad value %q: %v", line, valStr, err)
+		}
+		family := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return complain(path, "line %d: unterminated label set: %q", line, series)
+			}
+			family = series[:i]
+		}
+		samples++
+		if val != 0 {
+			nonzero[family] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return complain(path, "%v", err)
+	}
+	if samples == 0 {
+		return complain(path, "no samples")
+	}
+	ok := true
+	for _, fam := range require {
+		if !nonzero[fam] {
+			ok = complain(path, "required family %q has no non-zero sample", fam)
+		}
+	}
+	if ok {
+		fmt.Printf("obscheck: %s: %d samples, %d non-zero families ok\n", path, samples, len(nonzero))
+	}
+	return ok
+}
+
+// parseValue accepts the exposition format's float spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return 0, nil // legal, but never counts as a non-zero sample
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkEvents requires every line to be one JSON object with ts and event.
+func checkEvents(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return complain(path, "%v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		var ev struct {
+			TS    string `json:"ts"`
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return complain(path, "line %d: %v", line, err)
+		}
+		if ev.TS == "" || ev.Event == "" {
+			return complain(path, "line %d: missing ts or event: %s", line, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return complain(path, "%v", err)
+	}
+	if line == 0 {
+		return complain(path, "no events")
+	}
+	fmt.Printf("obscheck: %s: %d events ok\n", path, line)
+	return true
+}
+
+// checkTrace requires a traceEvents array whose complete events carry the
+// fields Perfetto needs (name, ph, ts; dur for ph "X").
+func checkTrace(path string) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return complain(path, "%v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return complain(path, "%v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return complain(path, "no traceEvents")
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.TS == nil {
+			return complain(path, "traceEvents[%d]: missing name, ph or ts", i)
+		}
+		if ev.Ph == "X" && ev.Dur == nil {
+			return complain(path, "traceEvents[%d]: complete event without dur", i)
+		}
+	}
+	fmt.Printf("obscheck: %s: %d trace events ok\n", path, len(doc.TraceEvents))
+	return true
+}

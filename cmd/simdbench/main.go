@@ -9,6 +9,7 @@
 //	simdbench -platform atom -bench ConvertFloatShort -size 3264x2448
 //	simdbench -platform tegra -bench GauBlu -size 640x480 -verify
 //	simdbench -bench GauBlu -verify -faults -fault-rate 1e-5 -fault-seed 7
+//	simdbench -faults -metrics-out m.prom -events-out e.jsonl -chrome-trace t.json
 //	simdbench -list
 package main
 
@@ -19,8 +20,10 @@ import (
 	"os"
 	"strings"
 
+	"simdstudy/cmd/internal/cliobs"
 	"simdstudy/internal/harness"
 	"simdstudy/internal/image"
+	"simdstudy/internal/obs"
 	"simdstudy/internal/platform"
 	"simdstudy/internal/timing"
 	"simdstudy/internal/vectorizer"
@@ -36,7 +39,9 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 7, "deterministic seed for the -faults plan")
 	energy := flag.Bool("energy", false, "also print the energy-per-image extension")
 	list := flag.Bool("list", false, "list platforms and benchmarks, then exit")
+	obsFlags := cliobs.Register(flag.CommandLine, true)
 	flag.Parse()
+	obsFlags.StartPprof()
 
 	if *list {
 		fmt.Println("Platforms:")
@@ -75,16 +80,24 @@ func main() {
 		plats = []platform.Platform{p}
 	}
 
+	reg := obsFlags.NewRegistry()
+	reg.Emit("run.start", map[string]any{
+		"bench": *benchName, "size": res.Name, "platforms": len(plats),
+	})
+
 	vres := image.Resolution{Width: 322, Height: 242, Name: "322x242"}
 	if *verify {
+		vSpan := reg.StartSpan("verify."+*benchName, obs.L("size", vres.Name))
 		n, err := harness.Verify(*benchName, vres)
+		vSpan.SetAttr("images", n)
+		vSpan.End()
 		fail(err)
 		fmt.Printf("verified: hand-SIMD output matches scalar on %d images\n\n", n)
 	}
 
 	if *faultsOn {
 		rep, err := harness.RunFaultCampaign(context.Background(), *benchName, vres,
-			harness.CampaignConfig{Rate: *faultRate, Seed: *faultSeed})
+			harness.CampaignConfig{Rate: *faultRate, Seed: *faultSeed, Obs: reg})
 		fail(err)
 		rep.Render(os.Stdout)
 		fmt.Println()
@@ -94,10 +107,19 @@ func main() {
 	fmt.Printf("%-26s %-6s %10s %9s %9s %9s %8s\n",
 		"Platform", "build", "seconds", "insns/px", "B/px", "cyc/px", "speedup")
 	for _, p := range plats {
+		eSpan := reg.StartSpan("estimate."+*benchName,
+			obs.L("platform", p.Name), obs.L("size", res.Name))
 		auto, err := timing.EstimateRun(p, *benchName, res, timing.Auto)
 		fail(err)
 		hand, err := timing.EstimateRun(p, *benchName, res, timing.Hand)
 		fail(err)
+		eSpan.SetAttr("auto_seconds", auto.Seconds)
+		eSpan.SetAttr("hand_seconds", hand.Seconds)
+		eSpan.SetCycles(hand.CyclesPerPixel * float64(res.Width) * float64(res.Height))
+		eSpan.End()
+		reg.Gauge("estimate_speedup",
+			obs.L("bench", *benchName), obs.L("platform", p.Name),
+			obs.L("size", res.Name)).Set(auto.Seconds / hand.Seconds)
 		fmt.Printf("%-26s %-6s %10.5f %9.2f %9.2f %9.2f %8s\n",
 			p.Name, "AUTO", auto.Seconds, auto.InstrPerPixel, auto.BytesPerPixel, auto.CyclesPerPixel, "")
 		fmt.Printf("%-26s %-6s %10.5f %9.2f %9.2f %9.2f %7.2fx\n",
@@ -121,6 +143,9 @@ func main() {
 			fmt.Print("  " + d.Explain())
 		}
 	}
+
+	reg.Emit("run.finish", map[string]any{"bench": *benchName})
+	fail(obsFlags.Export(reg))
 }
 
 func fail(err error) {

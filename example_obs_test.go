@@ -1,0 +1,38 @@
+package simdstudy_test
+
+import (
+	"fmt"
+	"strings"
+
+	"simdstudy"
+)
+
+// ExampleMetricsRegistry runs a guarded kernel with an attached metrics
+// registry and exports the Prometheus text exposition, checking that the
+// Section V instruction-class accounting reached the export.
+func ExampleMetricsRegistry() {
+	reg := simdstudy.NewMetricsRegistry()
+	ops := simdstudy.NewOps(simdstudy.ISANEON, simdstudy.NewTrace())
+	ops.SetObserver(reg)
+	ops.SetGuarded(true)
+
+	res := simdstudy.Resolution{Width: 64, Height: 48, Name: "64x48"}
+	src := simdstudy.SyntheticF32(res, 1)
+	dst := simdstudy.NewMat(res.Width, res.Height, simdstudy.S16)
+	if err := ops.ConvertF32ToS16(src, dst); err != nil {
+		panic(err)
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		panic(err)
+	}
+	out := buf.String()
+	fmt.Println(strings.Contains(out, `simd_instructions_total{class="simd.cvt",isa="neon"}`))
+	fmt.Println(reg.Snapshot()[`kernel_runs_total{isa="neon",kernel="ConvertF32ToS16"}`] == 1)
+	fmt.Println(len(reg.Spans()) > 0)
+	// Output:
+	// true
+	// true
+	// true
+}

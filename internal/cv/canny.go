@@ -20,7 +20,9 @@ import (
 // suppression is direction-dependent per pixel and hysteresis is a
 // worklist traversal, both inherently serial. Amdahl's law caps the
 // whole-kernel speedup regardless of how fast the vector stages run.
-func (o *Ops) Canny(src, dst *image.Mat, lowThresh, highThresh int16) error {
+func (o *Ops) Canny(src, dst *image.Mat, lowThresh, highThresh int16) (err error) {
+	o.beginKernel("Canny")
+	defer func() { o.endKernel("Canny", err) }()
 	if err := requireKind(src, image.U8, "Canny src"); err != nil {
 		return err
 	}

@@ -27,7 +27,9 @@ const (
 // deinterleaves the color planes in one instruction, which SSE2 has no
 // counterpart for — OpenCV 2.4 shipped no SSE2 cvtColor(RGB2GRAY) kernel
 // either, so on Intel the operation runs scalar, faithfully.
-func (o *Ops) RGBToGray(src *image.RGB, dst *image.Mat) error {
+func (o *Ops) RGBToGray(src *image.RGB, dst *image.Mat) (err error) {
+	o.beginKernel("RGBToGray")
+	defer func() { o.endKernel("RGBToGray", err) }()
 	if err := requireKind(dst, image.U8, "RGBToGray dst"); err != nil {
 		return err
 	}

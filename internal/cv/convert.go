@@ -18,7 +18,9 @@ import (
 //     zero), while the hand NEON path uses vcvt.s32.f32 which truncates —
 //     a genuine, documented divergence of the real NEON port that shows up
 //     as off-by-one results on fractional pixels.
-func (o *Ops) ConvertF32ToS16(src, dst *image.Mat) error {
+func (o *Ops) ConvertF32ToS16(src, dst *image.Mat) (err error) {
+	o.beginKernel("ConvertF32ToS16")
+	defer func() { o.endKernel("ConvertF32ToS16", err) }()
 	if err := requireKind(src, image.F32, "ConvertF32ToS16 src"); err != nil {
 		return err
 	}
@@ -91,6 +93,7 @@ func (o *Ops) cvRound(v float32) int32 {
 // Section III-A listing: 8 pixels per iteration, 8 NEON instructions plus 6
 // bookkeeping instructions.
 func (o *Ops) convertNEON(src, dst *image.Mat) {
+	defer o.n.Session("convert", o.curSpan()).End()
 	s, d := src.F32Pix, dst.S16Pix
 	width := len(s)
 	u := o.n
@@ -123,6 +126,7 @@ func (o *Ops) convertNEON(src, dst *image.Mat) {
 // convertSSE2 is the paper's hand-optimized SSE2 loop, transcribed from its
 // Section III-A listing: 8 pixels per iteration, 6 SSE2 instructions.
 func (o *Ops) convertSSE2(src, dst *image.Mat) {
+	defer o.s.Session("convert", o.curSpan()).End()
 	s, d := src.F32Pix, dst.S16Pix
 	width := len(s)
 	u := o.s

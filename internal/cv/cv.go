@@ -21,6 +21,7 @@ import (
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
 	"simdstudy/internal/neon"
+	"simdstudy/internal/obs"
 	"simdstudy/internal/sse2"
 	"simdstudy/internal/trace"
 )
@@ -66,6 +67,12 @@ type Ops struct {
 	injector     faults.Injector
 	kernelFaults []KernelFault
 	fallbacks    int
+
+	// Observability state (see observe.go). Obs is optional; when nil all
+	// span and metric instrumentation is a no-op.
+	Obs       *obs.Registry
+	obsParent *obs.Span
+	frames    []kernelFrame
 }
 
 // NewOps returns an Ops for the given ISA, recording dynamic instructions

@@ -11,7 +11,9 @@ import (
 // (horizontal and vertical passes), combine gradient magnitudes with the
 // saturating L1 norm |gx|+|gy|, then binarize — pixels whose gradient
 // intensity exceeds thresh become 255, the rest 0.
-func (o *Ops) DetectEdges(src, dst *image.Mat, thresh int16) error {
+func (o *Ops) DetectEdges(src, dst *image.Mat, thresh int16) (err error) {
+	o.beginKernel("DetectEdges")
+	defer func() { o.endKernel("DetectEdges", err) }()
 	if err := requireKind(src, image.U8, "DetectEdges src"); err != nil {
 		return err
 	}
@@ -78,6 +80,7 @@ func (o *Ops) magThreshScalar(gx, gy, dst *image.Mat, thresh int16) {
 // magThreshNEON combines 8 pixels per iteration: two saturating absolutes,
 // a saturating add, a compare and a narrowing store of the mask.
 func (o *Ops) magThreshNEON(gx, gy, dst *image.Mat, thresh int16) {
+	defer o.n.Session("magthresh", o.curSpan()).End()
 	n := dst.Pixels()
 	u := o.n
 	vthresh := u.VdupqNS16(thresh)
@@ -104,6 +107,7 @@ func (o *Ops) magThreshNEON(gx, gy, dst *image.Mat, thresh int16) {
 // three-instruction sign-mask idiom — an asymmetry versus NEON's single
 // vqabs that shows up in the instruction counts.
 func (o *Ops) magThreshSSE2(gx, gy, dst *image.Mat, thresh int16) {
+	defer o.s.Session("magthresh", o.curSpan()).End()
 	n := dst.Pixels()
 	u := o.s
 	vthresh := u.Set1Epi16(thresh)
@@ -132,7 +136,9 @@ func (o *Ops) magThreshSSE2(gx, gy, dst *image.Mat, thresh int16) {
 
 // GradientMagnitude exposes the |gx|+|gy| combine on its own for callers
 // composing custom pipelines (used by examples).
-func (o *Ops) GradientMagnitude(gx, gy, dst *image.Mat) error {
+func (o *Ops) GradientMagnitude(gx, gy, dst *image.Mat) (err error) {
+	o.beginKernel("GradientMagnitude")
+	defer func() { o.endKernel("GradientMagnitude", err) }()
 	if err := requireKind(gx, image.S16, "GradientMagnitude gx"); err != nil {
 		return err
 	}

@@ -16,7 +16,9 @@ const gaussShift = 8 // fixed-point fractional bits; kernel sums to 1<<8
 
 // GaussianBlur convolves a U8 image with the separable 7x7 Gaussian
 // (sigma=1), replicating borders, the paper's benchmark 3.
-func (o *Ops) GaussianBlur(src, dst *image.Mat) error {
+func (o *Ops) GaussianBlur(src, dst *image.Mat) (err error) {
+	o.beginKernel("GaussianBlur")
+	defer func() { o.endKernel("GaussianBlur", err) }()
 	if err := requireKind(src, image.U8, "GaussianBlur src"); err != nil {
 		return err
 	}
@@ -130,6 +132,7 @@ func (o *Ops) scalarEdgeCost(pixels uint64) {
 // multiply plus six widening multiply-accumulates against dup'd weights,
 // then a rounding shift-narrow.
 func (o *Ops) gaussHorizNEON(src, dst *image.Mat) {
+	defer o.n.Session("gauss.horiz", o.curSpan()).End()
 	w, h := src.Width, src.Height
 	u := o.n
 	// Weight bytes broadcast once per image, hoisted out of the loops.
@@ -167,6 +170,7 @@ func (o *Ops) gaussHorizNEON(src, dst *image.Mat) {
 // gaussVertNEON filters columns, 8 pixels per iteration across each row;
 // all columns vectorize because the taps come from neighbouring rows.
 func (o *Ops) gaussVertNEON(src, dst *image.Mat) {
+	defer o.n.Session("gauss.vert", o.curSpan()).End()
 	w, h := src.Width, src.Height
 	u := o.n
 	var wd [7]vec.V64
@@ -201,6 +205,7 @@ func (o *Ops) gaussVertNEON(src, dst *image.Mat) {
 // gaussHorizSSE2 filters rows, 8 pixels per iteration: bytes are unpacked
 // against zero to words, multiplied with pmullw and accumulated with paddw.
 func (o *Ops) gaussHorizSSE2(src, dst *image.Mat) {
+	defer o.s.Session("gauss.horiz", o.curSpan()).End()
 	w, h := src.Width, src.Height
 	u := o.s
 	zero := u.SetzeroSi128()
@@ -239,6 +244,7 @@ func (o *Ops) gaussHorizSSE2(src, dst *image.Mat) {
 
 // gaussVertSSE2 filters columns, 8 pixels per iteration.
 func (o *Ops) gaussVertSSE2(src, dst *image.Mat) {
+	defer o.s.Session("gauss.vert", o.curSpan()).End()
 	w, h := src.Width, src.Height
 	u := o.s
 	zero := u.SetzeroSi128()

@@ -5,6 +5,7 @@ import (
 
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
+	"simdstudy/internal/obs"
 )
 
 // This file implements guarded mode: a self-checking dispatch wrapper that
@@ -150,6 +151,21 @@ func (o *Ops) recordFault(f KernelFault) {
 	if o.T != nil {
 		o.T.Event("fault." + f.Action.String())
 	}
+	if o.Obs != nil {
+		o.Obs.Counter("guard_actions_total",
+			obs.L("kernel", f.Kernel), obs.L("isa", f.ISA.String()),
+			obs.L("action", f.Action.String())).Inc()
+		fields := map[string]any{
+			"kernel": f.Kernel,
+			"isa":    f.ISA.String(),
+			"action": f.Action.String(),
+		}
+		if len(f.Rows) > 0 {
+			fields["rows"] = f.Rows
+			fields["diffs"] = f.Diffs
+		}
+		o.Obs.Emit("guard.fault", fields)
+	}
 }
 
 // sampleRows picks policy.SampleRows distinct rows of an h-row image
@@ -263,32 +279,40 @@ func (o *Ops) guardedRun(kernel string, dst *image.Mat, tol int,
 	// Scalar referee: same ISA (same rounding conventions), optimizations
 	// off, no trace (its instructions are bookkeeping, not workload), and
 	// crucially no fault injector.
+	refSpan := o.curSpan().Child("guard.referee")
 	ref := NewOps(o.isa, nil)
 	ref.SetUseOptimized(false)
 	want := image.NewMat(dst.Width, dst.Height, dst.Kind)
 	if err := rerun(ref, want); err != nil {
+		refSpan.End()
 		return fmt.Errorf("cv: %s guard referee: %w", kernel, err)
 	}
 
 	rows := o.sampleRows(dst.Height)
 	bad, diffs := diffRows(dst, want, rows, tol)
+	refSpan.End()
 	if len(bad) == 0 {
 		return nil
 	}
 	o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionDetected, Rows: bad, Diffs: diffs})
 
 	for try := 0; try < o.policy.MaxRetries; try++ {
+		retrySpan := o.curSpan().Child("guard.retry")
 		if err := simd(); err != nil {
+			retrySpan.End()
 			return err
 		}
 		if b, _ := diffRows(dst, want, rows, tol); len(b) == 0 {
+			retrySpan.End()
 			o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionRetryRecovered})
 			return nil
 		}
+		retrySpan.End()
 	}
 
 	// Degrade gracefully: the referee already computed the full scalar
 	// image, so the fallback is a copy, not a recompute.
+	fbSpan := o.curSpan().Child("guard.fallback")
 	copyPixels(dst, want)
 	o.fallbacks++
 	o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionFallback})
@@ -296,5 +320,6 @@ func (o *Ops) guardedRun(kernel string, dst *image.Mat, tol int,
 		o.useOptimized = false
 		o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionKillSwitch})
 	}
+	fbSpan.End()
 	return nil
 }

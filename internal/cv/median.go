@@ -14,7 +14,9 @@ import (
 // same network one pixel at a time — and gcc cannot auto-vectorize it
 // because each pixel's network is a different data-dependent permutation
 // in source form.
-func (o *Ops) MedianBlur3x3(src, dst *image.Mat) error {
+func (o *Ops) MedianBlur3x3(src, dst *image.Mat) (err error) {
+	o.beginKernel("MedianBlur3x3")
+	defer func() { o.endKernel("MedianBlur3x3", err) }()
 	if err := requireKind(src, image.U8, "MedianBlur3x3 src"); err != nil {
 		return err
 	}

@@ -17,7 +17,9 @@ import (
 // load: one instruction splits each row into even and odd pixel columns,
 // so 8 output pixels cost two loads, three widening adds and a rounding
 // shift-narrow.
-func (o *Ops) ResizeHalf(src, dst *image.Mat) error {
+func (o *Ops) ResizeHalf(src, dst *image.Mat) (err error) {
+	o.beginKernel("ResizeHalf")
+	defer func() { o.endKernel("ResizeHalf", err) }()
 	if err := requireKind(src, image.U8, "ResizeHalf src"); err != nil {
 		return err
 	}

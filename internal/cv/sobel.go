@@ -11,7 +11,9 @@ import (
 // using the separable 3x3 Sobel operator, the paper's benchmark 4. dx=1,dy=0
 // selects the horizontal gradient ([-1 0 1] differentiator with [1 2 1]
 // cross-smoothing); dx=0,dy=1 the vertical. Borders are replicated.
-func (o *Ops) SobelFilter(src, dst *image.Mat, dx, dy int) error {
+func (o *Ops) SobelFilter(src, dst *image.Mat, dx, dy int) (err error) {
+	o.beginKernel("SobelFilter")
+	defer func() { o.endKernel("SobelFilter", err) }()
 	if err := requireKind(src, image.U8, "SobelFilter src"); err != nil {
 		return err
 	}
@@ -155,6 +157,7 @@ func (o *Ops) sobelTailCost(pixels uint64) {
 
 // sobelDiffHNEON: 8 pixels/iter via one widening subtract.
 func (o *Ops) sobelDiffHNEON(src, tmp *image.Mat) {
+	defer o.n.Session("sobel.diffH", o.curSpan()).End()
 	w, h := src.Width, src.Height
 	u := o.n
 	edge := 0
@@ -182,6 +185,7 @@ func (o *Ops) sobelDiffHNEON(src, tmp *image.Mat) {
 // sobelSmoothHNEON: 8 pixels/iter: widening add of the outer taps plus two
 // widening adds of the centre.
 func (o *Ops) sobelSmoothHNEON(src, tmp *image.Mat) {
+	defer o.n.Session("sobel.smoothH", o.curSpan()).End()
 	w, h := src.Width, src.Height
 	u := o.n
 	edge := 0
@@ -212,6 +216,7 @@ func (o *Ops) sobelSmoothHNEON(src, tmp *image.Mat) {
 // sobelSmoothVNEON: 8 pixels/iter on S16 rows: add outer rows, add centre
 // shifted left by one.
 func (o *Ops) sobelSmoothVNEON(tmp, dst *image.Mat) {
+	defer o.n.Session("sobel.smoothV", o.curSpan()).End()
 	w, h := tmp.Width, tmp.Height
 	u := o.n
 	edge := 0
@@ -237,6 +242,7 @@ func (o *Ops) sobelSmoothVNEON(tmp, dst *image.Mat) {
 
 // sobelDiffVNEON: 8 pixels/iter on S16 rows: one subtract.
 func (o *Ops) sobelDiffVNEON(tmp, dst *image.Mat) {
+	defer o.n.Session("sobel.diffV", o.curSpan()).End()
 	w, h := tmp.Width, tmp.Height
 	u := o.n
 	edge := 0
@@ -262,6 +268,7 @@ func (o *Ops) sobelDiffVNEON(tmp, dst *image.Mat) {
 
 // sobelDiffHSSE2: 8 pixels/iter: unpack both neighbours to words, subtract.
 func (o *Ops) sobelDiffHSSE2(src, tmp *image.Mat) {
+	defer o.s.Session("sobel.diffH", o.curSpan()).End()
 	w, h := src.Width, src.Height
 	u := o.s
 	zero := u.SetzeroSi128()
@@ -290,6 +297,7 @@ func (o *Ops) sobelDiffHSSE2(src, tmp *image.Mat) {
 
 // sobelSmoothHSSE2: 8 pixels/iter.
 func (o *Ops) sobelSmoothHSSE2(src, tmp *image.Mat) {
+	defer o.s.Session("sobel.smoothH", o.curSpan()).End()
 	w, h := src.Width, src.Height
 	u := o.s
 	zero := u.SetzeroSi128()
@@ -320,6 +328,7 @@ func (o *Ops) sobelSmoothHSSE2(src, tmp *image.Mat) {
 
 // sobelSmoothVSSE2: 8 pixels/iter on S16 rows.
 func (o *Ops) sobelSmoothVSSE2(tmp, dst *image.Mat) {
+	defer o.s.Session("sobel.smoothV", o.curSpan()).End()
 	w, h := tmp.Width, tmp.Height
 	u := o.s
 	edge := 0
@@ -345,6 +354,7 @@ func (o *Ops) sobelSmoothVSSE2(tmp, dst *image.Mat) {
 
 // sobelDiffVSSE2: 8 pixels/iter on S16 rows.
 func (o *Ops) sobelDiffVSSE2(tmp, dst *image.Mat) {
+	defer o.s.Session("sobel.diffV", o.curSpan()).End()
 	w, h := tmp.Width, tmp.Height
 	u := o.s
 	edge := 0

@@ -41,7 +41,9 @@ func (t ThreshType) String() string {
 
 // Threshold applies an element-wise threshold to a U8 image, the paper's
 // benchmark 2 (cv::threshold on 8-bit images).
-func (o *Ops) Threshold(src, dst *image.Mat, thresh, maxval uint8, typ ThreshType) error {
+func (o *Ops) Threshold(src, dst *image.Mat, thresh, maxval uint8, typ ThreshType) (err error) {
+	o.beginKernel("Threshold")
+	defer func() { o.endKernel("Threshold", err) }()
 	if err := requireKind(src, image.U8, "Threshold src"); err != nil {
 		return err
 	}
@@ -124,6 +126,7 @@ func (o *Ops) thresholdScalar(src, dst *image.Mat, thresh, maxval uint8, typ Thr
 // thresholdNEON processes 16 pixels per iteration. Truncation is a single
 // vmin.u8; the masked variants compare and bit-select.
 func (o *Ops) thresholdNEON(src, dst *image.Mat, thresh, maxval uint8, typ ThreshType) {
+	defer o.n.Session("threshold", o.curSpan()).End()
 	s, d := src.U8Pix, dst.U8Pix
 	n := len(s)
 	u := o.n
@@ -169,6 +172,7 @@ func (o *Ops) thresholdNEON(src, dst *image.Mat, thresh, maxval uint8, typ Thres
 // the signed pcmpgtb — two extra pxor instructions per loop that NEON does
 // not pay, one of the micro-architectural asymmetries the paper discusses.
 func (o *Ops) thresholdSSE2(src, dst *image.Mat, thresh, maxval uint8, typ ThreshType) {
+	defer o.s.Session("threshold", o.curSpan()).End()
 	s, d := src.U8Pix, dst.U8Pix
 	n := len(s)
 	u := o.s

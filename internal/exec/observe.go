@@ -1,0 +1,36 @@
+package exec
+
+import (
+	"simdstudy/internal/ir"
+	"simdstudy/internal/obs"
+)
+
+// RunObserved executes the loop like Run, wrapped in an observability span
+// and counters. The span is named "ir."+l.Name and nests under parent when
+// one is given; the registry gains
+//
+//	ir_loop_runs_total{loop}   — executor invocations per loop
+//	ir_loop_trips_total{loop}  — total trip count across invocations
+//
+// so IR-executor activity lines up next to the cv kernel families in the
+// same export. A nil registry degrades to plain Run.
+func RunObserved(reg *obs.Registry, parent *obs.Span, l *ir.Loop, env *Env, n int, mode RoundMode) (err error) {
+	if reg != nil {
+		var sp *obs.Span
+		if parent != nil {
+			sp = parent.Child("ir." + l.Name)
+		} else {
+			sp = reg.StartSpan("ir." + l.Name)
+		}
+		sp.SetAttr("trips", n)
+		reg.Counter("ir_loop_runs_total", obs.L("loop", l.Name)).Inc()
+		reg.Counter("ir_loop_trips_total", obs.L("loop", l.Name)).Add(uint64(n))
+		defer func() {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+		}()
+	}
+	return Run(l, env, n, mode)
+}

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"simdstudy/internal/ir"
+	"simdstudy/internal/obs"
+)
+
+// doubleLoop builds dst[i] = src[i] + src[i] over i16.
+func doubleLoop() *ir.Loop {
+	b := ir.NewBuilder("double")
+	x := b.Load(ir.I16, "src", 1, 0)
+	b.Store(ir.I16, "dst", 1, 0, b.Bin(ir.OpAdd, ir.I16, x, x))
+	return b.Done()
+}
+
+func TestRunObserved(t *testing.T) {
+	l := doubleLoop()
+	env := NewEnv()
+	env.S16["src"] = []int16{1, 2, 3, 4}
+	env.S16["dst"] = make([]int16, 4)
+
+	reg := obs.NewRegistry()
+	if err := RunObserved(reg, nil, l, env, 4, RoundARM); err != nil {
+		t.Fatalf("RunObserved: %v", err)
+	}
+	if err := RunObserved(reg, nil, l, env, 4, RoundARM); err != nil {
+		t.Fatalf("RunObserved: %v", err)
+	}
+	for i, want := range []int16{2, 4, 6, 8} {
+		if env.S16["dst"][i] != want {
+			t.Fatalf("dst[%d] = %d, want %d", i, env.S16["dst"][i], want)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap[`ir_loop_runs_total{loop="double"}`]; got != 2 {
+		t.Errorf("ir_loop_runs_total = %v, want 2", got)
+	}
+	if got := snap[`ir_loop_trips_total{loop="double"}`]; got != 8 {
+		t.Errorf("ir_loop_trips_total = %v, want 8", got)
+	}
+	spans := reg.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "ir.double" {
+		t.Errorf("span name = %q", spans[0].Name)
+	}
+	if spans[0].Attrs["trips"] != 4 {
+		t.Errorf("trips attr = %v", spans[0].Attrs["trips"])
+	}
+}
+
+func TestRunObservedNesting(t *testing.T) {
+	l := doubleLoop()
+	env := NewEnv()
+	env.S16["src"] = []int16{5}
+	env.S16["dst"] = make([]int16, 1)
+
+	reg := obs.NewRegistry()
+	root := reg.StartSpan("session")
+	if err := RunObserved(reg, root, l, env, 1, RoundX86); err != nil {
+		t.Fatalf("RunObserved: %v", err)
+	}
+	root.End()
+
+	spans := reg.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	var child, parent *obs.SpanRecord
+	for i := range spans {
+		if spans[i].Name == "ir.double" {
+			child = &spans[i]
+		}
+		if spans[i].Name == "session" {
+			parent = &spans[i]
+		}
+	}
+	if child == nil || parent == nil {
+		t.Fatalf("missing spans: %+v", spans)
+	}
+	if child.Parent != parent.ID {
+		t.Errorf("child.Parent = %d, want %d", child.Parent, parent.ID)
+	}
+}
+
+func TestRunObservedError(t *testing.T) {
+	l := doubleLoop()
+	env := NewEnv() // no arrays registered → load error
+	reg := obs.NewRegistry()
+	err := RunObserved(reg, nil, l, env, 1, RoundARM)
+	if err == nil {
+		t.Fatal("want error for missing array")
+	}
+	spans := reg.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	msg, _ := spans[0].Attrs["error"].(string)
+	if !strings.Contains(msg, "src") {
+		t.Errorf("error attr = %q, want mention of src", msg)
+	}
+
+	// Nil registry degrades to plain Run.
+	if err := RunObserved(nil, nil, l, env, 1, RoundARM); err == nil {
+		t.Fatal("nil-registry path should still surface the error")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"simdstudy/internal/image"
+	"simdstudy/internal/obs"
 	"simdstudy/internal/platform"
 )
 
@@ -23,6 +24,11 @@ import (
 type Cell struct {
 	AutoSeconds float64
 	HandSeconds float64
+	// Metrics is the cell's private observability snapshot (attempt and
+	// retry counters, modeled-seconds gauges), taken just before the
+	// per-cell registry is merged into GridOptions.Obs. Nil when the grid
+	// ran without a registry.
+	Metrics obs.Snapshot
 }
 
 // Speedup returns HAND-over-AUTO gain.

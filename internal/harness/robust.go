@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"simdstudy/internal/cv"
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
+	"simdstudy/internal/obs"
 	"simdstudy/internal/platform"
 	"simdstudy/internal/timing"
 	"simdstudy/internal/trace"
@@ -112,48 +114,130 @@ type GridOptions struct {
 	// Backoff is the wait before the first retry; it doubles per attempt.
 	// Zero means no wait.
 	Backoff time.Duration
+	// Obs, when non-nil, receives grid observability: a root span per
+	// grid, one span per cell (on its own Chrome-trace track, carrying the
+	// modeled seconds and cycles), attempt/retry counters and per-cell
+	// modeled-seconds gauges. Each cell records into a private registry
+	// that is merged in at cell completion, so concurrent cells contend
+	// only at the merge.
+	Obs *obs.Registry
+	// Concurrency is the number of cells evaluated in flight at once.
+	// Values below 2 run the grid sequentially.
+	Concurrency int
 }
 
 // RunGridCtx is RunGrid with a context deadline and per-cell retry with
 // exponential backoff. The context is checked before every cell and while
 // backing off, so a deadline cancels mid-grid instead of after the fact.
+// With opt.Concurrency > 1 cells are evaluated by a bounded worker pool;
+// the first cell error cancels the remaining work.
 func RunGridCtx(ctx context.Context, bench string, platforms []platform.Platform,
 	sizes []image.Resolution, opt GridOptions) (*Grid, error) {
-	g := &Grid{Bench: bench, Platforms: platforms, Sizes: sizes}
 	for _, res := range sizes {
 		if err := validateResolution(res); err != nil {
 			return nil, err
 		}
-		row := make([]Cell, len(platforms))
-		for i, p := range platforms {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("harness: grid %s at %s/%s: %w", bench, res.Name, p.Name, err)
-			}
-			cell, err := runCell(ctx, bench, p, res, opt)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = cell
+	}
+	g := &Grid{Bench: bench, Platforms: platforms, Sizes: sizes,
+		Cells: make([][]Cell, len(sizes))}
+	for i := range g.Cells {
+		g.Cells[i] = make([]Cell, len(platforms))
+	}
+	gridSpan := opt.Obs.StartSpan("grid."+bench)
+	defer gridSpan.End()
+
+	conc := opt.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, conc)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
-		g.Cells = append(g.Cells, row)
+		errMu.Unlock()
+		cancel()
+	}
+	track := 1
+launch:
+	for si := range sizes {
+		for pi := range platforms {
+			track++
+			select {
+			case <-cctx.Done():
+				break launch
+			case sem <- struct{}{}:
+			}
+			wg.Add(1)
+			go func(si, pi, track int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				cell, err := runCell(cctx, bench, platforms[pi], sizes[si], opt, track)
+				if err != nil {
+					fail(err)
+					return
+				}
+				g.Cells[si][pi] = cell
+			}(si, pi, track)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("harness: grid %s: %w", bench, err)
 	}
 	return g, nil
 }
 
 // runCell evaluates one (platform, size) cell, retrying per GridOptions.
+// track is the Chrome-trace timeline row the cell's span renders on.
 func runCell(ctx context.Context, bench string, p platform.Platform,
-	res image.Resolution, opt GridOptions) (Cell, error) {
+	res image.Resolution, opt GridOptions, track int) (Cell, error) {
+	var reg *obs.Registry
+	var sp *obs.Span
+	if opt.Obs != nil {
+		reg = obs.NewRegistry()
+		sp = reg.StartSpan("cell."+bench,
+			obs.L("platform", p.Name), obs.L("size", res.Name))
+		sp.SetTrack(track)
+	}
+	lBench := obs.L("bench", bench)
+	lPlat := obs.L("platform", p.Name)
+	finish := func(cell Cell, err error) (Cell, error) {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+		cell.Metrics = reg.Snapshot()
+		opt.Obs.Merge(reg)
+		return cell, err
+	}
+
 	backoff := opt.Backoff
 	var lastErr error
 	for attempt := 0; attempt <= opt.Retries; attempt++ {
-		if attempt > 0 && backoff > 0 {
-			select {
-			case <-ctx.Done():
-				return Cell{}, fmt.Errorf("harness: grid cell retry: %w", ctx.Err())
-			case <-time.After(backoff):
+		if attempt > 0 {
+			reg.Counter("grid_cell_retries_total", lBench, lPlat).Inc()
+			if backoff > 0 {
+				select {
+				case <-ctx.Done():
+					return finish(Cell{}, fmt.Errorf("harness: grid cell retry: %w", ctx.Err()))
+				case <-time.After(backoff):
+				}
+				backoff *= 2
 			}
-			backoff *= 2
 		}
+		reg.Counter("grid_cell_attempts_total", lBench, lPlat).Inc()
 		auto, err := timing.EstimateRun(p, bench, res, timing.Auto)
 		if err != nil {
 			lastErr = err
@@ -164,9 +248,15 @@ func runCell(ctx context.Context, bench string, p platform.Platform,
 			lastErr = err
 			continue
 		}
-		return Cell{AutoSeconds: auto.Seconds, HandSeconds: hand.Seconds}, nil
+		lSize := obs.L("size", res.Name)
+		reg.Gauge("cell_auto_seconds", lBench, lPlat, lSize).Set(auto.Seconds)
+		reg.Gauge("cell_hand_seconds", lBench, lPlat, lSize).Set(hand.Seconds)
+		sp.SetAttr("auto_seconds", auto.Seconds)
+		sp.SetAttr("hand_seconds", hand.Seconds)
+		sp.SetCycles(hand.CyclesPerPixel * float64(res.Width) * float64(res.Height))
+		return finish(Cell{AutoSeconds: auto.Seconds, HandSeconds: hand.Seconds}, nil)
 	}
-	return Cell{}, lastErr
+	return finish(Cell{}, lastErr)
 }
 
 // VerifyCtx is Verify with a context deadline, checked between images so a
@@ -218,6 +308,12 @@ type CampaignConfig struct {
 	Burst int
 	// Policy is the guard policy; the zero value selects the default.
 	Policy cv.GuardPolicy
+	// Obs, when non-nil, receives campaign observability: a span per
+	// campaign, ISA, and image (kernels and guard actions nest under the
+	// image spans), fault_injected_total{isa} and
+	// fault_classified_total{isa,outcome} counters, and a "fault.masked"
+	// event per image whose injected faults never reached a sampled pixel.
+	Obs *obs.Registry
 }
 
 // ISAFaultReport is the per-ISA outcome of a fault campaign.
@@ -261,6 +357,8 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 		burst = 5
 	}
 	rep := &FaultReport{Bench: bench, Res: res, Rate: cfg.Rate, Seed: cfg.Seed}
+	campSpan := cfg.Obs.StartSpan("campaign."+bench, obs.L("size", res.Name))
+	defer campSpan.End()
 	for _, isa := range []cv.ISA{cv.ISANEON, cv.ISASSE2} {
 		plan := faults.NewPlan(faults.Config{
 			Rate: cfg.Rate, Seed: cfg.Seed, Sites: cfg.Sites, Kinds: cfg.Kinds,
@@ -272,20 +370,32 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 			o.SetGuardPolicy(cfg.Policy)
 		}
 		o.SetFaultInjector(plan)
+		o.SetObserver(cfg.Obs)
+		lISA := obs.L("isa", isa.String())
+		isaSpan := campSpan.Child("campaign.isa", lISA)
 
 		ir := ISAFaultReport{ISA: isa, Images: burst}
 		var prevInjected uint64
 		prevFaults := 0
-		for _, src := range spec.burst(res, burst) {
+		for imgIdx, src := range spec.burst(res, burst) {
 			if err := ctx.Err(); err != nil {
+				isaSpan.End()
 				return nil, fmt.Errorf("harness: fault campaign %s/%v: %w", bench, isa, err)
 			}
+			imgSpan := isaSpan.Child("cell."+bench, lISA, obs.L("size", res.Name))
+			imgSpan.SetAttr("image", imgIdx)
+			o.SetSpanParent(imgSpan)
 			dst := image.NewMat(res.Width, res.Height, spec.dstKind)
 			if err := spec.run(o, src, dst); err != nil {
+				o.SetSpanParent(nil)
+				imgSpan.End()
+				isaSpan.End()
 				return nil, fmt.Errorf("harness: fault campaign %s/%v: %w", bench, isa, err)
 			}
+			o.SetSpanParent(nil)
 			delta := plan.Injected() - prevInjected
 			prevInjected = plan.Injected()
+			cfg.Obs.Counter("fault_injected_total", lISA).Add(delta)
 			detectedThisImage := false
 			for _, f := range o.Faults()[prevFaults:] {
 				switch f.Action {
@@ -299,12 +409,24 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 				case cv.ActionKillSwitch:
 					ir.KillSwitch++
 				}
+				cfg.Obs.Counter("fault_classified_total", lISA,
+					obs.L("outcome", f.Action.String())).Inc()
 			}
 			prevFaults = len(o.Faults())
 			if !detectedThisImage {
 				ir.Masked += delta
+				if delta > 0 {
+					cfg.Obs.Counter("fault_classified_total", lISA,
+						obs.L("outcome", "masked")).Add(delta)
+					cfg.Obs.Emit("fault.masked", map[string]any{
+						"bench": bench, "isa": isa.String(),
+						"image": imgIdx, "count": delta,
+					})
+				}
 			}
+			imgSpan.End()
 		}
+		isaSpan.End()
 		st := plan.Snapshot()
 		ir.Opportunities = st.Calls
 		ir.Injected = st.Injected

@@ -17,6 +17,7 @@ package neon
 
 import (
 	"simdstudy/internal/faults"
+	"simdstudy/internal/obs"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
 )
@@ -30,10 +31,35 @@ type Unit struct {
 	// corrupt the value produced (or the address used), turning the unit
 	// into a fault-injection target. See internal/faults.
 	F faults.Injector
+
+	// Obs, when non-nil, receives Session spans so stretches of intrinsic
+	// work appear as slices in the exported Chrome trace.
+	Obs *obs.Registry
 }
 
 // New returns a Unit recording into t (which may be nil).
 func New(t *trace.Counter) *Unit { return &Unit{T: t} }
+
+// Session opens an observability span named "neon.<name>" covering a
+// stretch of intrinsic work (one SIMD pass of a kernel, a custom-kernel
+// run). The span samples the unit's trace counter so its instruction
+// delta is attributed on End. Nested under parent when given; returns nil
+// (all methods of which are no-ops) when no registry is attached.
+func (u *Unit) Session(name string, parent *obs.Span) *obs.Span {
+	if u.Obs == nil {
+		return nil
+	}
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.Child("neon." + name)
+	} else {
+		sp = u.Obs.StartSpan("neon." + name)
+	}
+	if t := u.T; t != nil {
+		sp.SampleInstr(t.Total)
+	}
+	return sp
+}
 
 // fault routes an intrinsic result (or store operand) through the unit's
 // fault hook, if any. It is the single choke point fault injection uses, so

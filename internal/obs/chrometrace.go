@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// understood by chrome://tracing and Perfetto). Spans export as complete
+// ("X") events; registry events export as instant ("i") events.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders every completed span and emitted event as a
+// Chrome trace_event JSON document. Load the file in chrome://tracing or
+// https://ui.perfetto.dev to see a whole RunGrid or RunFaultCampaign as a
+// nested timeline: grid cells on their own tracks, kernels inside cells,
+// guard actions inside kernels. Span attrs, instruction deltas and
+// modeled cycles land in each slice's args pane.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	start := r.start
+	spans := make([]SpanRecord, len(r.spans))
+	copy(spans, r.spans)
+	events := make([]Event, len(r.events))
+	copy(events, r.events)
+	r.mu.Unlock()
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	micros := func(ns int64) float64 { return float64(ns) / 1e3 }
+	for _, sp := range spans {
+		args := map[string]any{}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		if sp.Instr > 0 {
+			args["instructions"] = sp.Instr
+		}
+		if sp.Cycles > 0 {
+			args["modeled_cycles"] = sp.Cycles
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: sp.Name,
+			Cat:  "span",
+			Ph:   "X",
+			TS:   micros(sp.Start.Sub(start).Nanoseconds()),
+			Dur:  micros(sp.End.Sub(sp.Start).Nanoseconds()),
+			PID:  1,
+			TID:  sp.Track,
+			Args: args,
+		})
+	}
+	for _, ev := range events {
+		var args map[string]any
+		if len(ev.Fields) > 0 {
+			args = ev.Fields
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.Name,
+			Cat:  "event",
+			Ph:   "i",
+			TS:   micros(ev.Time.Sub(start).Nanoseconds()),
+			PID:  1,
+			TID:  1,
+			S:    "g",
+			Args: args,
+		})
+	}
+	// Stable order: by timestamp, then enclosing-first (longer duration
+	// first) so viewers nest slices correctly.
+	sort.SliceStable(out.TraceEvents, func(i, j int) bool {
+		a, b := out.TraceEvents[i], out.TraceEvents[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		return a.Dur > b.Dur
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the exporter golden files")
+
+// goldenRegistry builds a deterministic registry: fake clock, a slice of
+// every metric kind, a three-level span tree and two events — the same
+// shapes a real fault-campaign run produces.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tick := 0
+	r.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * 100 * time.Microsecond)
+	})
+
+	r.Counter("simd_instructions_total", L("isa", "neon"), L("class", "simd.cvt")).Add(9600)
+	r.Counter("simd_instructions_total", L("isa", "neon"), L("class", "simd.load")).Add(19200)
+	r.Counter("guard_actions_total", L("kernel", "ConvertF32ToS16"), L("isa", "neon"), L("action", "detected")).Add(2)
+	r.Counter("guard_actions_total", L("kernel", "ConvertF32ToS16"), L("isa", "neon"), L("action", "fallback")).Inc()
+	r.Counter("fault_classified_total", L("isa", "neon"), L("outcome", "masked")).Add(3)
+	r.Gauge("speedup", L("bench", "BinThr"), L("platform", "Intel Atom N2800")).Set(2.25)
+	h := r.Histogram("kernel_wall_seconds", []float64{1e-4, 1e-3, 1e-2}, L("kernel", "GauBlu"))
+	h.Observe(5e-5)
+	h.Observe(1e-3)
+	h.Observe(0.5)
+
+	cell := r.StartSpan("cell", L("platform", "atom"), L("size", "VGA"))
+	cell.SetCycles(1234.5)
+	kern := cell.Child("kernel.ConvertF32ToS16", L("isa", "neon"))
+	kern.AddInstr(16800)
+	guard := kern.Child("guard.referee")
+	guard.End()
+	kern.End()
+	cell.End()
+
+	r.Emit("guard.fault", map[string]any{
+		"kernel": "ConvertF32ToS16", "isa": "neon", "action": "detected", "diffs": 12,
+	})
+	r.Emit("fault.masked", map[string]any{"isa": "neon", "count": 3})
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Sanity beyond the byte-compare: the acceptance families are present
+	// with non-zero samples and the cumulative +Inf bucket equals _count.
+	for _, want := range []string{
+		`simd_instructions_total{class="simd.cvt",isa="neon"} 9600`,
+		`guard_actions_total{action="detected",isa="neon",kernel="ConvertF32ToS16"} 2`,
+		`fault_classified_total{isa="neon",outcome="masked"} 3`,
+		`kernel_wall_seconds_bucket{kernel="GauBlu",le="+Inf"} 3`,
+		`kernel_wall_seconds_count{kernel="GauBlu"} 3`,
+		"# TYPE speedup gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "metrics.prom.golden", buf.Bytes())
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The document must be valid JSON with nested complete events.
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	byName := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		byName[ev.Name] = i
+	}
+	for _, name := range []string{"cell", "kernel.ConvertF32ToS16", "guard.referee", "guard.fault"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("trace missing event %q", name)
+		}
+	}
+	cell := doc.TraceEvents[byName["cell"]]
+	kern := doc.TraceEvents[byName["kernel.ConvertF32ToS16"]]
+	guard := doc.TraceEvents[byName["guard.referee"]]
+	if !(cell.TS <= kern.TS && kern.TS+kern.Dur <= cell.TS+cell.Dur) {
+		t.Errorf("kernel span not nested in cell: %+v vs %+v", kern, cell)
+	}
+	if !(kern.TS <= guard.TS && guard.TS+guard.Dur <= kern.TS+kern.Dur) {
+		t.Errorf("guard span not nested in kernel: %+v vs %+v", guard, kern)
+	}
+	checkGolden(t, "trace.json.golden", buf.Bytes())
+}
+
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+		for _, k := range []string{"ts", "event"} {
+			if _, ok := rec[k]; !ok {
+				t.Fatalf("line %q missing key %q", line, k)
+			}
+		}
+	}
+	checkGolden(t, "events.jsonl.golden", buf.Bytes())
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonlRecord is the wire form of one event stream line.
+type jsonlRecord struct {
+	TS     string         `json:"ts"`
+	Event  string         `json:"event"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// WriteJSONL renders the event stream as JSON Lines: one object per
+// event, in emission order, with an RFC3339Nano timestamp. Every line is
+// independently parseable, so partial files (a run killed mid-campaign)
+// remain machine-readable up to the cut.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		rec := jsonlRecord{
+			TS:     ev.Time.UTC().Format("2006-01-02T15:04:05.000000000Z07:00"),
+			Event:  ev.Name,
+			Fields: ev.Fields,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. All methods are safe for
+// concurrent use and nil-safe, so instrumentation can be left in place
+// when no registry is attached.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (e.g. modeled seconds of the
+// latest run). Safe for concurrent use; nil-safe.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + d
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefBuckets are the default histogram bucket upper bounds, spanning
+// microsecond kernels to multi-second grid runs.
+var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
+// Histogram is a fixed-bucket histogram with Prometheus cumulative-export
+// semantics: a sample lands in the first bucket whose upper bound is >= v
+// (bounds are inclusive, matching the `le` label). Safe for concurrent
+// use; nil-safe.
+type Histogram struct {
+	mu     sync.Mutex
+	upper  []float64 // ascending; +Inf bucket is implicit at the end
+	counts []uint64  // len(upper)+1, the last one is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, counts: make([]uint64, len(upper)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.upper, v) // first bound >= v: inclusive le
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Bounds returns a copy of the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]float64, len(h.upper))
+	copy(out, h.upper)
+	return out
+}
+
+// Buckets returns a copy of the per-bucket counts; the final element is
+// the +Inf bucket.
+func (h *Histogram) Buckets() []uint64 {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// CountSum returns the total sample count and sum.
+func (h *Histogram) CountSum() (uint64, float64) {
+	if h == nil {
+		return 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum
+}
+
+// merge folds other into h when the bucket layouts match; mismatched
+// layouts fold into count/sum only (the samples are not recoverable).
+func (h *Histogram) merge(other *Histogram) {
+	if h == nil || other == nil || h == other {
+		return
+	}
+	other.mu.Lock()
+	counts := make([]uint64, len(other.counts))
+	copy(counts, other.counts)
+	upper := make([]float64, len(other.upper))
+	copy(upper, other.upper)
+	count, sum := other.count, other.sum
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	same := len(upper) == len(h.upper)
+	for i := 0; same && i < len(upper); i++ {
+		same = upper[i] == h.upper[i]
+	}
+	if same {
+		for i := range counts {
+			h.counts[i] += counts[i]
+		}
+	} else {
+		h.counts[len(h.counts)-1] += count
+	}
+	h.count += count
+	h.sum += sum
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", L("isa", "neon"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels in any order returns the same series.
+	if r.Counter("requests_total", L("isa", "neon")) != c {
+		t.Fatal("counter lookup did not dedupe")
+	}
+	g := r.Gauge("speedup", L("bench", "BinThr"), L("size", "VGA"))
+	g.Set(3.5)
+	g.Add(0.5)
+	if got := g.Value(); got != 4.0 {
+		t.Fatalf("gauge = %v, want 4.0", got)
+	}
+	if r.Gauge("speedup", L("size", "VGA"), L("bench", "BinThr")) != g {
+		t.Fatal("gauge lookup is label-order sensitive")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z", nil).Observe(1)
+	r.Emit("e", nil)
+	var s *Span
+	s.SetAttr("k", 1)
+	s.AddInstr(3)
+	s.SetCycles(1)
+	s.SampleInstr(func() uint64 { return 0 })
+	if d := s.End(); d != 0 {
+		t.Fatalf("nil span End = %v", d)
+	}
+	if c := s.Child("c"); c != nil {
+		t.Fatalf("nil span Child = %v", c)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound (`le`)
+// semantics: a sample exactly on a bound lands in that bound's bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4, 4.5, 100} {
+		h.Observe(v)
+	}
+	got := h.Buckets()
+	want := []uint64{2, 2, 1, 2} // le=1: {0.5,1}, le=2: {1.0000001,2}, le=4: {4}, +Inf: {4.5,100}
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+	count, sum := h.CountSum()
+	if count != 7 {
+		t.Fatalf("count = %d, want 7", count)
+	}
+	if sum < 113 || sum > 113.1 {
+		t.Fatalf("sum = %v", sum)
+	}
+	// Unsorted bucket bounds are sorted at creation.
+	h2 := r.Histogram("lat2", []float64{4, 1, 2})
+	h2.Observe(3)
+	if b := h2.Buckets(); b[2] != 1 {
+		t.Fatalf("unsorted bounds not normalized: %v", b)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from 8 goroutines; run
+// with -race this is the satellite's concurrency check for the whole
+// metrics path (counters, gauges, histograms, events, spans, export).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := L("worker", string(rune('a'+w)))
+			for i := 0; i < iters; i++ {
+				r.Counter("ops_total", lbl).Inc()
+				r.Counter("shared_total").Inc()
+				r.Gauge("last", lbl).Set(float64(i))
+				r.Histogram("lat", nil, lbl).Observe(float64(i) * 1e-6)
+				if i%50 == 0 {
+					r.Emit("tick", map[string]any{"worker": w, "i": i})
+				}
+				sp := r.StartSpan("work", lbl)
+				sp.Child("inner").End()
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*iters {
+		t.Fatalf("shared_total = %d, want %d", got, workers*iters)
+	}
+	if got := len(r.Spans()); got != workers*iters*2 {
+		t.Fatalf("spans = %d, want %d", got, workers*iters*2)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# TYPE ops_total counter") {
+		t.Fatal("export missing ops_total family")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	main := NewRegistry()
+	main.Counter("runs_total").Add(2)
+	sp := main.StartSpan("grid")
+	sp.End()
+
+	cell := NewRegistry()
+	cell.Counter("runs_total").Add(3)
+	cell.Counter("retries_total", L("platform", "atom")).Inc()
+	cell.Gauge("speedup").Set(2.5)
+	cell.Histogram("sec", []float64{1, 2}).Observe(1.5)
+	cell.Emit("cell.done", map[string]any{"platform": "atom"})
+	cs := cell.StartSpan("cell")
+	cs.Child("kernel").End()
+	cs.End()
+
+	main.Merge(cell)
+	if got := main.Counter("runs_total").Value(); got != 5 {
+		t.Fatalf("merged counter = %d, want 5", got)
+	}
+	if got := main.Counter("retries_total", L("platform", "atom")).Value(); got != 1 {
+		t.Fatalf("merged labeled counter = %d, want 1", got)
+	}
+	if got := main.Gauge("speedup").Value(); got != 2.5 {
+		t.Fatalf("merged gauge = %v", got)
+	}
+	if c, _ := main.Histogram("sec", []float64{1, 2}).CountSum(); c != 1 {
+		t.Fatalf("merged histogram count = %d", c)
+	}
+	spans := main.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("merged spans = %d, want 3", len(spans))
+	}
+	// Span IDs must stay unique and parent links intact after the remap.
+	seen := map[int]bool{}
+	var kernel, cellSpan SpanRecord
+	for _, s := range spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span id %d after merge", s.ID)
+		}
+		seen[s.ID] = true
+		switch s.Name {
+		case "kernel":
+			kernel = s
+		case "cell":
+			cellSpan = s
+		}
+	}
+	if kernel.Parent != cellSpan.ID {
+		t.Fatalf("kernel parent = %d, want %d", kernel.Parent, cellSpan.ID)
+	}
+	if len(main.Events()) != 1 {
+		t.Fatalf("merged events = %d, want 1", len(main.Events()))
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", L("k", "v")).Add(7)
+	r.Gauge("g").Set(1.25)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if s[`a_total{k="v"}`] != 7 {
+		t.Fatalf("snapshot counter: %v", s)
+	}
+	if s["g"] != 1.25 {
+		t.Fatalf("snapshot gauge: %v", s)
+	}
+	if s["h_count"] != 1 || s["h_sum"] != 0.5 {
+		t.Fatalf("snapshot histogram: %v", s)
+	}
+}
+
+func TestSpanInstrAttribution(t *testing.T) {
+	r := NewRegistry()
+	base := time.Unix(0, 0)
+	tick := 0
+	r.SetClock(func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Millisecond)
+	})
+	var retired uint64
+	sp := r.StartSpan("kernel")
+	sp.SampleInstr(func() uint64 { return retired })
+	retired = 1234
+	sp.AddInstr(10)
+	if d := sp.End(); d <= 0 {
+		t.Fatalf("duration = %v", d)
+	}
+	recs := r.Spans()
+	if len(recs) != 1 || recs[0].Instr != 1244 {
+		t.Fatalf("instr attribution = %+v", recs)
+	}
+	// Double End is a no-op.
+	sp.End()
+	if len(r.Spans()) != 1 {
+		t.Fatal("double End appended a second record")
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every metric family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one # TYPE
+// line each, series sorted by label set, histograms as cumulative
+// _bucket{le=...}/_sum/_count. The output is deterministic, so it is
+// golden-testable and diffable across runs.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make([]counterEntry, 0, len(r.counters))
+	for _, e := range r.counters {
+		counters = append(counters, *e)
+	}
+	gauges := make([]gaugeEntry, 0, len(r.gauges))
+	for _, e := range r.gauges {
+		gauges = append(gauges, *e)
+	}
+	hists := make([]histEntry, 0, len(r.hists))
+	for _, e := range r.hists {
+		hists = append(hists, *e)
+	}
+	r.mu.Unlock()
+
+	type family struct {
+		name string
+		typ  string
+		rows []string
+	}
+	fams := map[string]*family{}
+	get := func(name, typ string) *family {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{name: name, typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+
+	for _, e := range counters {
+		f := get(e.name, "counter")
+		f.rows = append(f.rows, fmt.Sprintf("%s %s",
+			renderSeries(e.name, e.labels), strconv.FormatUint(e.c.Value(), 10)))
+	}
+	for _, e := range gauges {
+		f := get(e.name, "gauge")
+		f.rows = append(f.rows, fmt.Sprintf("%s %s",
+			renderSeries(e.name, e.labels), formatFloat(e.g.Value())))
+	}
+	for _, e := range hists {
+		f := get(e.name, "histogram")
+		bounds := e.h.Bounds()
+		buckets := e.h.Buckets()
+		count, sum := e.h.CountSum()
+		var cum uint64
+		for i, b := range bounds {
+			cum += buckets[i]
+			le := append(append([]Label{}, e.labels...), L("le", formatFloat(b)))
+			f.rows = append(f.rows, fmt.Sprintf("%s %d",
+				renderSeries(e.name+"_bucket", sortLabels(le)), cum))
+		}
+		inf := append(append([]Label{}, e.labels...), L("le", "+Inf"))
+		f.rows = append(f.rows, fmt.Sprintf("%s %d",
+			renderSeries(e.name+"_bucket", sortLabels(inf)), count))
+		f.rows = append(f.rows, fmt.Sprintf("%s %s",
+			renderSeries(e.name+"_sum", e.labels), formatFloat(sum)))
+		f.rows = append(f.rows, fmt.Sprintf("%s %d",
+			renderSeries(e.name+"_count", e.labels), count))
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		sort.Strings(f.rows)
+		for _, row := range f.rows {
+			if _, err := fmt.Fprintln(w, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// representation that round-trips, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanRecord is one completed span as stored in the registry: the unit of
+// the Chrome trace export. IDs are registry-unique and Parent is 0 for
+// roots.
+type SpanRecord struct {
+	ID     int
+	Parent int
+	// Track is the Chrome trace "tid" the span renders on. Children
+	// inherit it; concurrent workers (grid cells) set distinct tracks so
+	// their spans do not interleave on one timeline row.
+	Track  int
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Cycles float64 // modeled cycles attributed to the span, 0 if none
+	Instr  uint64  // dynamic instruction delta attributed to the span
+	Attrs  map[string]any
+}
+
+// Span is an in-flight interval of work. Spans form a hierarchy via
+// Child; ending a span appends its record to the registry. All methods
+// are nil-safe so instrumentation costs nothing when observability is
+// off. A single span is not safe for concurrent mutation, but different
+// spans of one registry may run on different goroutines.
+type Span struct {
+	r      *Registry
+	mu     sync.Mutex
+	rec    SpanRecord
+	instr0 uint64
+	instr  func() uint64
+	ended  bool
+}
+
+// StartSpan opens a root span. labels become string attributes.
+func (r *Registry) StartSpan(name string, labels ...Label) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.nextSpanID++
+	id := r.nextSpanID
+	start := r.clock()
+	r.mu.Unlock()
+	s := &Span{r: r, rec: SpanRecord{ID: id, Track: 1, Name: name, Start: start}}
+	for _, l := range labels {
+		s.SetAttr(l.Key, l.Value)
+	}
+	return s
+}
+
+// Child opens a span nested under s, inheriting its track.
+func (s *Span) Child(name string, labels ...Label) *Span {
+	if s == nil || s.r == nil {
+		return nil
+	}
+	c := s.r.StartSpan(name, labels...)
+	s.mu.Lock()
+	c.rec.Parent = s.rec.ID
+	c.rec.Track = s.rec.Track
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches one JSON-encodable attribute.
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = map[string]any{}
+	}
+	s.rec.Attrs[key] = v
+}
+
+// SetCycles attributes modeled cycles (the timing model's currency) to
+// the span.
+func (s *Span) SetCycles(c float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec.Cycles = c
+}
+
+// SetTrack moves the span (and subsequently created children) to a
+// distinct Chrome trace timeline row.
+func (s *Span) SetTrack(track int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec.Track = track
+}
+
+// SampleInstr installs a cumulative instruction sampler (typically
+// trace.Counter.Total of the unit the span observes) and snapshots it;
+// End attributes the delta to the span.
+func (s *Span) SampleInstr(total func() uint64) {
+	if s == nil || total == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.instr = total
+	s.instr0 = total()
+}
+
+// AddInstr attributes n instructions to the span directly.
+func (s *Span) AddInstr(n uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec.Instr += n
+}
+
+// End closes the span, folds in the instruction sampler delta, appends
+// the record to the registry and returns the wall-clock duration. Ending
+// twice is a no-op.
+func (s *Span) End() time.Duration {
+	if s == nil || s.r == nil {
+		return 0
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return s.rec.End.Sub(s.rec.Start)
+	}
+	s.ended = true
+	if s.instr != nil {
+		if now := s.instr(); now > s.instr0 {
+			s.rec.Instr += now - s.instr0
+		}
+	}
+	rec := s.rec
+	s.mu.Unlock()
+
+	s.r.mu.Lock()
+	rec.End = s.r.clock()
+	s.r.spans = append(s.r.spans, rec)
+	s.r.mu.Unlock()
+
+	s.mu.Lock()
+	s.rec.End = rec.End
+	s.mu.Unlock()
+	return rec.End.Sub(rec.Start)
+}

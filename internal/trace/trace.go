@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Class buckets instructions by the execution resource they occupy. The
@@ -85,9 +86,13 @@ type Op struct {
 }
 
 // Counter accumulates a dynamic instruction trace. The zero value is ready
-// to use. Counters are not safe for concurrent use; the paper's experiments
-// are single-threaded and so are ours.
+// to use. All methods are safe for concurrent use: the harness's per-cell
+// goroutines may record into a shared Counter directly, though the cheaper
+// fan-in pattern is one private Counter per goroutine folded into a shared
+// one with Merge (with Snapshot to publish a consistent copy). SeqCap must
+// be set before the first Record.
 type Counter struct {
+	mu          sync.Mutex
 	counts      [numClasses]uint64
 	bytesLoaded uint64
 	bytesStored uint64
@@ -110,6 +115,8 @@ func (t *Counter) Record(op Op) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.counts[op.Class]++
 	switch op.Class {
 	case SIMDLoad, ScalarLoad:
@@ -132,6 +139,8 @@ func (t *Counter) RecordN(name string, class Class, n uint64, bytesEach int) {
 	if t == nil || n == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.counts[class] += n
 	switch class {
 	case SIMDLoad, ScalarLoad:
@@ -155,6 +164,8 @@ func (t *Counter) EventN(name string, n uint64) {
 	if t == nil || n == 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.events == nil {
 		t.events = make(map[string]uint64)
 	}
@@ -166,12 +177,19 @@ func (t *Counter) EventCount(name string) uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.events[name]
 }
 
 // Events returns a copy of the event counters.
 func (t *Counter) Events() map[string]uint64 {
-	if t == nil || len(t.events) == 0 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) == 0 {
 		return nil
 	}
 	m := make(map[string]uint64, len(t.events))
@@ -186,6 +204,8 @@ func (t *Counter) Count(c Class) uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.counts[c]
 }
 
@@ -194,6 +214,8 @@ func (t *Counter) Opcode(name string) uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.opcodes[name]
 }
 
@@ -202,6 +224,12 @@ func (t *Counter) Total() uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.totalLocked()
+}
+
+func (t *Counter) totalLocked() uint64 {
 	var s uint64
 	for _, c := range t.counts {
 		s += c
@@ -214,6 +242,12 @@ func (t *Counter) SIMDTotal() uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.simdTotalLocked()
+}
+
+func (t *Counter) simdTotalLocked() uint64 {
 	var s uint64
 	for c := Class(0); c < numClasses; c++ {
 		if c.IsSIMD() {
@@ -228,6 +262,8 @@ func (t *Counter) BytesLoaded() uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.bytesLoaded
 }
 
@@ -236,6 +272,8 @@ func (t *Counter) BytesStored() uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.bytesStored
 }
 
@@ -244,7 +282,11 @@ func (t *Counter) Sequence() []Op {
 	if t == nil {
 		return nil
 	}
-	return t.seq
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Op, len(t.seq))
+	copy(out, t.seq)
+	return out
 }
 
 // Reset zeroes the counter, retaining SeqCap.
@@ -252,6 +294,8 @@ func (t *Counter) Reset() {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.counts = [numClasses]uint64{}
 	t.bytesLoaded = 0
 	t.bytesStored = 0
@@ -260,32 +304,74 @@ func (t *Counter) Reset() {
 	t.events = nil
 }
 
-// Add accumulates other into t.
+// Add accumulates other into t. It locks each counter in turn (never
+// both at once), so concurrent cross-merges cannot deadlock.
 func (t *Counter) Add(other *Counter) {
-	if t == nil || other == nil {
+	if t == nil || other == nil || t == other {
 		return
 	}
+	snap := other.Snapshot()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for i := range t.counts {
-		t.counts[i] += other.counts[i]
+		t.counts[i] += snap.counts[i]
 	}
-	t.bytesLoaded += other.bytesLoaded
-	t.bytesStored += other.bytesStored
-	if other.opcodes != nil {
+	t.bytesLoaded += snap.bytesLoaded
+	t.bytesStored += snap.bytesStored
+	if snap.opcodes != nil {
 		if t.opcodes == nil {
-			t.opcodes = make(map[string]uint64, len(other.opcodes))
+			t.opcodes = make(map[string]uint64, len(snap.opcodes))
 		}
-		for k, v := range other.opcodes {
+		for k, v := range snap.opcodes {
 			t.opcodes[k] += v
 		}
 	}
-	if other.events != nil {
+	if snap.events != nil {
 		if t.events == nil {
-			t.events = make(map[string]uint64, len(other.events))
+			t.events = make(map[string]uint64, len(snap.events))
 		}
-		for k, v := range other.events {
+		for k, v := range snap.events {
 			t.events[k] += v
 		}
 	}
+}
+
+// Merge is Add under the name the fan-in pattern reads naturally as: each
+// harness grid-cell goroutine records into its own Counter and merges it
+// into the shared one when the cell completes.
+func (t *Counter) Merge(other *Counter) { t.Add(other) }
+
+// Snapshot returns a consistent copy of the counter, safe to read without
+// synchronization while the original keeps recording.
+func (t *Counter) Snapshot() *Counter {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := &Counter{
+		counts:      t.counts,
+		bytesLoaded: t.bytesLoaded,
+		bytesStored: t.bytesStored,
+		SeqCap:      t.SeqCap,
+	}
+	if t.opcodes != nil {
+		n.opcodes = make(map[string]uint64, len(t.opcodes))
+		for k, v := range t.opcodes {
+			n.opcodes[k] = v
+		}
+	}
+	if t.events != nil {
+		n.events = make(map[string]uint64, len(t.events))
+		for k, v := range t.events {
+			n.events[k] = v
+		}
+	}
+	if t.seq != nil {
+		n.seq = make([]Op, len(t.seq))
+		copy(n.seq, t.seq)
+	}
+	return n
 }
 
 // Classes returns a snapshot of per-class counts indexed by Class.
@@ -293,6 +379,8 @@ func (t *Counter) Classes() [NumClasses]uint64 {
 	if t == nil {
 		return [NumClasses]uint64{}
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.counts
 }
 
@@ -303,6 +391,8 @@ func (t *Counter) PerPixel(pixels int) map[Class]float64 {
 	if t == nil || pixels <= 0 {
 		return m
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for c := Class(0); c < numClasses; c++ {
 		if t.counts[c] > 0 {
 			m[c] = float64(t.counts[c]) / float64(pixels)
@@ -316,9 +406,11 @@ func (t *Counter) Summary() string {
 	if t == nil {
 		return "(nil trace)"
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "total=%d simd=%d loadB=%d storeB=%d\n",
-		t.Total(), t.SIMDTotal(), t.bytesLoaded, t.bytesStored)
+		t.totalLocked(), t.simdTotalLocked(), t.bytesLoaded, t.bytesStored)
 	for c := Class(0); c < numClasses; c++ {
 		if t.counts[c] > 0 {
 			fmt.Fprintf(&sb, "  %-12s %d\n", c, t.counts[c])

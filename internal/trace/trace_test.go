@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -163,5 +164,67 @@ func TestSummary(t *testing.T) {
 	s := c.Summary()
 	if !strings.Contains(s, "vcvt.s32.f32") || !strings.Contains(s, "simd.cvt") {
 		t.Fatalf("summary missing entries: %s", s)
+	}
+}
+
+// TestCounterConcurrent exercises the concurrent-use guarantee: multiple
+// goroutines record into one shared Counter while others merge private
+// counters in and read snapshots. Run with -race this is the regression
+// test for the harness's per-cell fan-in.
+func TestCounterConcurrent(t *testing.T) {
+	var shared Counter
+	const workers = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local Counter
+			for i := 0; i < iters; i++ {
+				shared.Record(Op{Name: "vadd.i16", Class: SIMDALU})
+				shared.RecordN("vld1.8", SIMDLoad, 1, 16)
+				shared.Event("fault.detected")
+				local.Record(Op{Name: "vmul.i16", Class: SIMDMul})
+			}
+			shared.Merge(&local)
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = shared.Snapshot().Total()
+				_ = shared.Summary()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	const n = workers * iters
+	if got := shared.Count(SIMDALU); got != n {
+		t.Fatalf("SIMDALU = %d, want %d", got, n)
+	}
+	if got := shared.Count(SIMDMul); got != n {
+		t.Fatalf("merged SIMDMul = %d, want %d", got, n)
+	}
+	if got := shared.EventCount("fault.detected"); got != n {
+		t.Fatalf("events = %d, want %d", got, n)
+	}
+	if got := shared.BytesLoaded(); got != n*16 {
+		t.Fatalf("bytesLoaded = %d, want %d", got, n*16)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	var c Counter
+	c.Record(Op{Name: "vadd.i16", Class: SIMDALU})
+	snap := c.Snapshot()
+	c.Record(Op{Name: "vadd.i16", Class: SIMDALU})
+	if snap.Total() != 1 || c.Total() != 2 {
+		t.Fatalf("snapshot not isolated: snap=%d live=%d", snap.Total(), c.Total())
 	}
 }
