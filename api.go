@@ -29,6 +29,8 @@ import (
 	"simdstudy/internal/neon"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/platform"
+	"simdstudy/internal/resilience"
+	"simdstudy/internal/serve"
 	"simdstudy/internal/sse2"
 	"simdstudy/internal/timing"
 	"simdstudy/internal/trace"
@@ -375,3 +377,55 @@ func Label(key, value string) MetricLabel { return obs.L(key, value) }
 // SectionVComparison renders the paper's Section V assembly analysis for
 // an ISA.
 func SectionVComparison(isa ISA) (string, error) { return asmgen.Comparison(isa) }
+
+// --- Resilience ---
+
+// BreakerState is a circuit breaker's position: BreakerClosed,
+// BreakerOpen, BreakerHalfOpen or BreakerStuckOpen.
+type BreakerState = resilience.State
+
+// Breaker states.
+const (
+	BreakerClosed    = resilience.StateClosed
+	BreakerOpen      = resilience.StateOpen
+	BreakerHalfOpen  = resilience.StateHalfOpen
+	BreakerStuckOpen = resilience.StateStuckOpen
+)
+
+// BreakerConfig tunes the per-(kernel, ISA) circuit breakers: failure-rate
+// window, cooldown, half-open probe budget, and the give-up threshold that
+// maps onto the kill-switch.
+type BreakerConfig = resilience.BreakerConfig
+
+// BreakerSet is a family of per-(kernel, ISA) circuit breakers. Attach it
+// with Ops.SetBreakers so guard verdicts drive it and open breakers demote
+// calls to the scalar path.
+type BreakerSet = resilience.BreakerSet
+
+// Backoff is an exponential backoff schedule with deterministic jitter,
+// used by GuardPolicy.Backoff to space SIMD retries.
+type Backoff = resilience.Backoff
+
+// DeadlineError is the typed cancellation error returned by the Ctx entry
+// points, carrying partial-progress accounting (rows, trips, cells or
+// images completed).
+type DeadlineError = resilience.DeadlineError
+
+// NewBreakerSet builds an empty breaker family reporting into reg (which
+// may be nil).
+func NewBreakerSet(cfg BreakerConfig, reg *MetricsRegistry) *BreakerSet {
+	return resilience.NewBreakerSet(cfg, reg)
+}
+
+// --- Serving ---
+
+// ServeConfig tunes the HTTP serving front-end: admission bounds,
+// deadlines, guard policy and breaker policy.
+type ServeConfig = serve.Config
+
+// Server is the hardened HTTP front-end over the kernel pipeline; see
+// cmd/simdserved for the standalone binary.
+type Server = serve.Server
+
+// NewServer builds a serving front-end from cfg.
+func NewServer(cfg ServeConfig) *Server { return serve.NewServer(cfg) }

@@ -1,0 +1,110 @@
+// Command simdload is the load generator for simdserved soak runs: a
+// fixed worker pool hammers /process across kernels and ISAs with
+// aggressive per-request deadlines for a set duration, then reports the
+// status breakdown. Exit status is non-zero if any response falls outside
+// the resilience contract — 200 (served, possibly by scalar fallback) or
+// 429 (deliberately shed) — or if the transport fails, so CI can use it
+// as a pass/fail oracle.
+//
+// Usage:
+//
+//	simdload -url http://127.0.0.1:8080 -duration 30s -concurrency 8 -deadline-ms 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	base := flag.String("url", "http://127.0.0.1:8080", "simdserved base URL")
+	duration := flag.Duration("duration", 30*time.Second, "how long to generate load")
+	concurrency := flag.Int("concurrency", 8, "concurrent request workers")
+	deadlineMS := flag.Int("deadline-ms", 100, "per-request deadline sent to the server")
+	size := flag.String("size", "640x480", "image size as WxH")
+	kernelList := flag.String("kernels", "gaussian,sobel,edges,median,resize,threshold,convert",
+		"comma-separated kernels to exercise")
+	isaList := flag.String("isas", "neon,sse2,scalar", "comma-separated ISAs to exercise")
+	flag.Parse()
+
+	var w, h int
+	if _, err := fmt.Sscanf(*size, "%dx%d", &w, &h); err != nil || w < 1 || h < 1 {
+		fmt.Fprintf(os.Stderr, "simdload: bad -size %q\n", *size)
+		os.Exit(2)
+	}
+	kernels := strings.Split(*kernelList, ",")
+	isas := strings.Split(*isaList, ",")
+
+	client := &http.Client{
+		// Transport timeout well above the server deadline: the server is
+		// responsible for shedding; the client only guards against hangs.
+		Timeout: time.Duration(*deadlineMS)*time.Millisecond + 10*time.Second,
+	}
+
+	var (
+		mu       sync.Mutex
+		byStatus = map[int]int{}
+		errs     int
+		firstErr string
+	)
+	stop := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < *concurrency; wkr++ {
+		wkr := wkr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := wkr; time.Now().Before(stop); i++ {
+				url := fmt.Sprintf("%s/process?kernel=%s&isa=%s&width=%d&height=%d&seed=%d&deadline_ms=%d",
+					*base, kernels[i%len(kernels)], isas[i%len(isas)], w, h, i%16+1, *deadlineMS)
+				resp, err := client.Get(url)
+				mu.Lock()
+				if err != nil {
+					errs++
+					if firstErr == "" {
+						firstErr = err.Error()
+					}
+				} else {
+					byStatus[resp.StatusCode]++
+				}
+				mu.Unlock()
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total, bad := 0, 0
+	for code, n := range byStatus {
+		total += n
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			bad += n
+		}
+	}
+	fmt.Printf("simdload: %d requests in %v: 200=%d 429=%d other=%d transport-errors=%d\n",
+		total+errs, *duration, byStatus[http.StatusOK], byStatus[http.StatusTooManyRequests], bad, errs)
+	for code, n := range byStatus {
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			fmt.Printf("simdload: unexpected status %d x%d\n", code, n)
+		}
+	}
+	if firstErr != "" {
+		fmt.Printf("simdload: first transport error: %s\n", firstErr)
+	}
+	if total == 0 {
+		fmt.Println("simdload: no requests completed")
+		os.Exit(1)
+	}
+	if bad > 0 || errs > 0 {
+		os.Exit(1)
+	}
+}

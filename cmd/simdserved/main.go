@@ -1,0 +1,117 @@
+// Command simdserved is the hardened HTTP front-end over the guarded
+// kernel pipeline: bounded admission with load shedding, per-request
+// deadlines, per-(kernel, ISA) circuit breakers that demote flaky SIMD
+// units to scalar and re-arm them via half-open probes, and the standard
+// operational endpoints (/healthz, /readyz, /metrics).
+//
+// Usage:
+//
+//	simdserved -addr :8080
+//	simdserved -addr :8080 -max-concurrent 2 -queue 4 -deadline-ms 500
+//	simdserved -fault-rate 1e-4 -fault-isa neon   # soak: sabotage one ISA
+//
+// Endpoints:
+//
+//	GET /process?kernel=gaussian&width=640&height=480&isa=neon&deadline_ms=100
+//	GET /healthz   liveness
+//	GET /readyz    readiness + per-(kernel, ISA) breaker states
+//	GET /metrics   Prometheus text exposition
+//
+// SIGINT/SIGTERM starts a graceful drain: /readyz flips to 503, in-flight
+// requests finish, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"simdstudy/internal/faults"
+	"simdstudy/internal/resilience"
+	"simdstudy/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 4, "kernel dispatches running at once")
+	queue := flag.Int("queue", 16, "requests allowed to wait for a slot before shedding")
+	deadlineMS := flag.Int("deadline-ms", 2000, "default per-request deadline")
+	maxDeadlineMS := flag.Int("max-deadline-ms", 10000, "ceiling on client-requested deadlines")
+	maxPixels := flag.Int("max-pixels", 1<<22, "ceiling on width*height per request")
+	faultRate := flag.Float64("fault-rate", 0, "per-opportunity fault probability (0 = no injection)")
+	faultISA := flag.String("fault-isa", "", "restrict fault injection to one ISA: neon or sse2 (empty = all SIMD)")
+	faultSeed := flag.Uint64("fault-seed", 7, "deterministic seed for the fault plan")
+	breakerWindow := flag.Int("breaker-window", 16, "breaker sliding-window size")
+	breakerMinSamples := flag.Int("breaker-min-samples", 4, "verdicts required before a breaker may trip")
+	breakerRate := flag.Float64("breaker-rate", 0.5, "failure rate that opens a breaker")
+	breakerOpenFor := flag.Duration("breaker-open-for", 5*time.Second, "cooldown before an open breaker half-opens")
+	breakerGiveUp := flag.Int("breaker-give-up", 0, "failed re-arm cycles before a breaker latches stuck-open (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget after SIGTERM")
+	flag.Parse()
+
+	if *faultISA != "" && *faultISA != "neon" && *faultISA != "sse2" {
+		fmt.Fprintf(os.Stderr, "simdserved: -fault-isa %q: want neon or sse2\n", *faultISA)
+		os.Exit(2)
+	}
+
+	s := serve.NewServer(serve.Config{
+		MaxConcurrent:   *maxConcurrent,
+		QueueDepth:      *queue,
+		DefaultDeadline: time.Duration(*deadlineMS) * time.Millisecond,
+		MaxDeadline:     time.Duration(*maxDeadlineMS) * time.Millisecond,
+		MaxPixels:       *maxPixels,
+		FaultISA:        *faultISA,
+		Breaker: resilience.BreakerConfig{
+			Window:      *breakerWindow,
+			MinSamples:  *breakerMinSamples,
+			FailureRate: *breakerRate,
+			OpenFor:     *breakerOpenFor,
+			GiveUpAfter: *breakerGiveUp,
+		},
+	})
+	if *faultRate > 0 {
+		plan := faults.NewPlan(faults.Config{Rate: *faultRate, Seed: *faultSeed})
+		s.SetFaultInjector(serve.LockInjector(plan))
+		fmt.Fprintf(os.Stderr, "simdserved: injecting faults at rate %g (isa %q, seed %d)\n",
+			*faultRate, *faultISA, *faultSeed)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "simdserved: listening on %s (kernels: %s)\n",
+		*addr, strings.Join(serve.KernelNames(), ", "))
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "simdserved: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "simdserved: draining")
+	s.StartDrain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "simdserved: drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "simdserved: drained cleanly")
+}

@@ -16,12 +16,14 @@
 package cv
 
 import (
+	"context"
 	"fmt"
 
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
 	"simdstudy/internal/neon"
 	"simdstudy/internal/obs"
+	"simdstudy/internal/resilience"
 	"simdstudy/internal/sse2"
 	"simdstudy/internal/trace"
 )
@@ -68,6 +70,21 @@ type Ops struct {
 	kernelFaults []KernelFault
 	fallbacks    int
 
+	// Resilience state (see guard.go and ctx.go). brk, when set, is
+	// consulted once per outermost kernel call: an open breaker demotes
+	// that call to the scalar path via denySIMD without touching the
+	// useOptimized latch. depth counts nested public entry points so the
+	// breaker decision is made exactly once per call tree.
+	brk        *resilience.BreakerSet
+	denySIMD   bool
+	depth      int
+	brkPending string // kernel admitted by the breaker, verdict outstanding
+
+	// Context plumbing for the Ctx kernel variants: the bound context and
+	// the rows completed under it (partial-progress accounting).
+	ctx     context.Context
+	ctxRows int
+
 	// Observability state (see observe.go). Obs is optional; when nil all
 	// span and metric instrumentation is a no-op.
 	Obs       *obs.Registry
@@ -92,8 +109,23 @@ func NewOps(isa ISA, t *trace.Counter) *Ops {
 // equivalent of cv::setUseOptimized(bool).
 func (o *Ops) SetUseOptimized(on bool) { o.useOptimized = on }
 
-// UseOptimized reports whether SIMD paths are active.
-func (o *Ops) UseOptimized() bool { return o.useOptimized && o.isa != ISAScalar }
+// UseOptimized reports whether SIMD paths are active for the current call:
+// the latch must be on, the ISA must have SIMD, and — when a breaker set is
+// attached — the breaker for the running kernel must have admitted it.
+func (o *Ops) UseOptimized() bool {
+	return o.useOptimized && o.isa != ISAScalar && !o.denySIMD
+}
+
+// SetBreakers attaches a circuit-breaker set consulted at every outermost
+// guarded kernel call: a per-(kernel, ISA) breaker that is open demotes that
+// call to the scalar path, and guard verdicts feed back into it so a flaky
+// unit re-arms via half-open probes instead of staying dead forever. nil
+// detaches. The breaker only sees traffic in guarded mode — without the
+// referee there is no success/failure signal to drive it.
+func (o *Ops) SetBreakers(b *resilience.BreakerSet) { o.brk = b }
+
+// Breakers returns the attached breaker set, or nil.
+func (o *Ops) Breakers() *resilience.BreakerSet { return o.brk }
 
 // ISA returns the configured instruction set.
 func (o *Ops) ISA() ISA { return o.isa }

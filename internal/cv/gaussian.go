@@ -104,6 +104,7 @@ func (o *Ops) gaussHorizScalar(src, dst *image.Mat) {
 		for x := 0; x < w; x++ {
 			out[x] = gaussPixelH(row, w, x)
 		}
+		o.rowTick()
 	}
 	o.gaussScalarRowCost(uint64(w*h), 1)
 }
@@ -114,6 +115,7 @@ func (o *Ops) gaussVertScalar(src, dst *image.Mat) {
 		for x := 0; x < w; x++ {
 			dst.U8Pix[y*w+x] = gaussPixelV(src.U8Pix, w, h, x, y)
 		}
+		o.rowTick()
 	}
 	o.gaussScalarRowCost(uint64(w*h), 1)
 }
@@ -163,6 +165,7 @@ func (o *Ops) gaussHorizNEON(src, dst *image.Mat) {
 			out[x] = gaussPixelH(row, w, x)
 			edge++
 		}
+		o.rowTick()
 	}
 	o.scalarEdgeCost(uint64(edge))
 }
@@ -198,6 +201,7 @@ func (o *Ops) gaussVertNEON(src, dst *image.Mat) {
 			out[x] = gaussPixelV(src.U8Pix, w, h, x, y)
 			edge++
 		}
+		o.rowTick()
 	}
 	o.scalarEdgeCost(uint64(edge))
 }
@@ -238,6 +242,7 @@ func (o *Ops) gaussHorizSSE2(src, dst *image.Mat) {
 			out[x] = gaussPixelH(row, w, x)
 			edge++
 		}
+		o.rowTick()
 	}
 	o.scalarEdgeCost(uint64(edge))
 }
@@ -277,6 +282,7 @@ func (o *Ops) gaussVertSSE2(src, dst *image.Mat) {
 			out[x] = gaussPixelV(src.U8Pix, w, h, x, y)
 			edge++
 		}
+		o.rowTick()
 	}
 	o.scalarEdgeCost(uint64(edge))
 }

@@ -6,6 +6,7 @@ import (
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
 	"simdstudy/internal/obs"
+	"simdstudy/internal/resilience"
 )
 
 // This file implements guarded mode: a self-checking dispatch wrapper that
@@ -73,9 +74,15 @@ type GuardPolicy struct {
 	MaxRetries int
 	// KillAfter trips the kill-switch (useOptimized=false) after this many
 	// fallbacks. Zero means the default of 3; negative disables the switch.
+	// Ignored when a breaker set is attached (SetBreakers): there, the
+	// breaker's GiveUpAfter policy owns the terminal demotion.
 	KillAfter int
 	// Seed drives the deterministic row sampler.
 	Seed uint64
+	// Backoff spaces SIMD retries after a detection. The zero value keeps
+	// the historical immediate retry; waits are interruptible by the
+	// context bound through the Ctx kernel variants.
+	Backoff resilience.Backoff
 }
 
 // DefaultGuardPolicy returns the policy used when none is set.
@@ -278,7 +285,9 @@ func (o *Ops) guardedRun(kernel string, dst *image.Mat, tol int,
 
 	// Scalar referee: same ISA (same rounding conventions), optimizations
 	// off, no trace (its instructions are bookkeeping, not workload), and
-	// crucially no fault injector.
+	// crucially no fault injector. Its Ops has no bound context either, so
+	// a deadline can never interrupt the reference computation mid-row.
+	o.ctxCheck()
 	refSpan := o.curSpan().Child("guard.referee")
 	ref := NewOps(o.isa, nil)
 	ref.SetUseOptimized(false)
@@ -292,11 +301,18 @@ func (o *Ops) guardedRun(kernel string, dst *image.Mat, tol int,
 	bad, diffs := diffRows(dst, want, rows, tol)
 	refSpan.End()
 	if len(bad) == 0 {
+		o.recordBreaker(kernel, true)
 		return nil
 	}
 	o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionDetected, Rows: bad, Diffs: diffs})
 
 	for try := 0; try < o.policy.MaxRetries; try++ {
+		if d := o.policy.Backoff.Delay(try); d > 0 {
+			if err := resilience.Sleep(o.ctx, d); err != nil {
+				panic(ctxCanceled{err})
+			}
+		}
+		o.ctxCheck()
 		retrySpan := o.curSpan().Child("guard.retry")
 		if err := simd(); err != nil {
 			retrySpan.End()
@@ -305,6 +321,7 @@ func (o *Ops) guardedRun(kernel string, dst *image.Mat, tol int,
 		if b, _ := diffRows(dst, want, rows, tol); len(b) == 0 {
 			retrySpan.End()
 			o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionRetryRecovered})
+			o.recordBreaker(kernel, true)
 			return nil
 		}
 		retrySpan.End()
@@ -316,10 +333,30 @@ func (o *Ops) guardedRun(kernel string, dst *image.Mat, tol int,
 	copyPixels(dst, want)
 	o.fallbacks++
 	o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionFallback})
-	if o.policy.KillAfter > 0 && o.fallbacks >= o.policy.KillAfter && o.useOptimized {
+	if o.brk == nil && o.policy.KillAfter > 0 && o.fallbacks >= o.policy.KillAfter && o.useOptimized {
+		// Legacy terminal demotion, only without a breaker: with one, the
+		// breaker's open/half-open cycle owns the decision and StuckOpen is
+		// the terminal action (see recordBreaker).
 		o.useOptimized = false
 		o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionKillSwitch})
 	}
 	fbSpan.End()
+	o.recordBreaker(kernel, false)
 	return nil
+}
+
+// recordBreaker feeds one guard verdict into the kernel's breaker, when one
+// is attached. A breaker that latches StuckOpen maps onto the legacy
+// kill-switch: optimized paths are disabled for this Ops and the terminal
+// action is recorded in the fault log.
+func (o *Ops) recordBreaker(kernel string, success bool) {
+	if o.brk == nil {
+		return
+	}
+	o.brkPending = ""
+	st := o.brk.Record(kernel, o.isa.String(), success)
+	if st == resilience.StateStuckOpen && o.useOptimized {
+		o.useOptimized = false
+		o.recordFault(KernelFault{Kernel: kernel, ISA: o.isa, Action: ActionKillSwitch})
+	}
 }

@@ -96,6 +96,7 @@ func (o *Ops) medianScalar(src, dst *image.Mat) {
 		for x := 0; x < w; x++ {
 			dst.U8Pix[y*w+x] = medianPixel(src.U8Pix, w, h, x, y)
 		}
+		o.rowTick()
 	}
 	if o.T != nil {
 		px := uint64(w * h)
@@ -167,6 +168,7 @@ func (o *Ops) medianNEON(src, dst *image.Mat) {
 			out[x] = medianPixel(src.U8Pix, w, h, x, y)
 			edge++
 		}
+		o.rowTick()
 	}
 	if o.T != nil && edge > 0 {
 		o.T.RecordN("median(tail)", trace.ScalarALU, 47*uint64(edge), 0)
@@ -234,6 +236,7 @@ func (o *Ops) medianSSE2(src, dst *image.Mat) {
 			out[x] = medianPixel(src.U8Pix, w, h, x, y)
 			edge++
 		}
+		o.rowTick()
 	}
 	if o.T != nil && edge > 0 {
 		o.T.RecordN("median(tail)", trace.ScalarALU, 47*uint64(edge), 0)

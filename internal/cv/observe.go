@@ -58,8 +58,23 @@ func (o *Ops) curSpan() *obs.Span {
 
 // beginKernel opens a span for a public kernel entry point and snapshots
 // the trace counters. Returns nil (and records nothing) when no registry
-// is attached.
+// is attached. It also counts call-tree depth and, at the outermost entry
+// of a guarded Ops with a breaker set attached, asks the kernel's breaker
+// whether the SIMD path may run — runs denied there fall through to the
+// scalar path via UseOptimized without consuming the useOptimized latch.
 func (o *Ops) beginKernel(name string) *obs.Span {
+	o.depth++
+	if o.depth == 1 && o.brk != nil && o.guarded && o.useOptimized && o.isa != ISAScalar {
+		// Only consult the breaker when the SIMD path is actually eligible;
+		// in half-open state Allow consumes a probe that must be resolved
+		// by a guard verdict, so asking on behalf of a call that would run
+		// scalar anyway would leak probes.
+		if o.brk.Allow(name, o.isa.String()) {
+			o.brkPending = name
+		} else {
+			o.denySIMD = true
+		}
+	}
 	if o.Obs == nil {
 		return nil
 	}
@@ -86,6 +101,19 @@ func (o *Ops) beginKernel(name string) *obs.Span {
 // deltas into the registry counters (inner kernels skip that so composite
 // pipelines are not double counted).
 func (o *Ops) endKernel(name string, err error) {
+	if o.depth > 0 {
+		o.depth--
+	}
+	if o.depth == 0 {
+		o.denySIMD = false
+		if o.brkPending != "" {
+			// The call ended without a guard verdict (validation error or
+			// cancellation unwind): hand any half-open probe back so the
+			// breaker cannot wedge with its budget consumed.
+			o.brk.Release(o.brkPending, o.isa.String())
+			o.brkPending = ""
+		}
+	}
 	if o.Obs == nil || len(o.frames) == 0 {
 		return
 	}

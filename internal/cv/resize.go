@@ -67,6 +67,7 @@ func (o *Ops) resizeHalfScalar(src, dst *image.Mat) {
 		for x := 0; x < dst.Width; x++ {
 			dst.U8Pix[y*dst.Width+x] = resizePixel(src.U8Pix, w, x, y)
 		}
+		o.rowTick()
 	}
 	if o.T != nil {
 		px := uint64(dst.Pixels())
@@ -100,6 +101,7 @@ func (o *Ops) resizeHalfNEON(src, dst *image.Mat) {
 			out[x] = resizePixel(src.U8Pix, w, x, y)
 			edge++
 		}
+		o.rowTick()
 	}
 	if o.T != nil && edge > 0 {
 		o.T.RecordN("resize(tail)", trace.ScalarALU, 8*uint64(edge), 0)
@@ -138,6 +140,7 @@ func (o *Ops) resizeHalfSSE2(src, dst *image.Mat) {
 			out[x] = resizePixel(src.U8Pix, w, x, y)
 			edge++
 		}
+		o.rowTick()
 	}
 	if o.T != nil && edge > 0 {
 		o.T.RecordN("resize(tail)", trace.ScalarALU, 8*uint64(edge), 0)

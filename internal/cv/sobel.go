@@ -109,6 +109,7 @@ func (o *Ops) sobelDiffHScalar(src, tmp *image.Mat) {
 		for x := 0; x < w; x++ {
 			out[x] = diffHPixel(row, w, x)
 		}
+		o.rowTick()
 	}
 	o.sobelRowCost(uint64(w*h), 2)
 }
@@ -121,6 +122,7 @@ func (o *Ops) sobelSmoothHScalar(src, tmp *image.Mat) {
 		for x := 0; x < w; x++ {
 			out[x] = smoothHPixel(row, w, x)
 		}
+		o.rowTick()
 	}
 	o.sobelRowCost(uint64(w*h), 3)
 }
@@ -131,6 +133,7 @@ func (o *Ops) sobelSmoothVScalar(tmp, dst *image.Mat) {
 		for x := 0; x < w; x++ {
 			dst.S16Pix[y*w+x] = smoothVPixel(tmp.S16Pix, w, h, x, y)
 		}
+		o.rowTick()
 	}
 	o.sobelRowCost(uint64(w*h), 3)
 }
@@ -141,6 +144,7 @@ func (o *Ops) sobelDiffVScalar(tmp, dst *image.Mat) {
 		for x := 0; x < w; x++ {
 			dst.S16Pix[y*w+x] = diffVPixel(tmp.S16Pix, w, h, x, y)
 		}
+		o.rowTick()
 	}
 	o.sobelRowCost(uint64(w*h), 2)
 }
@@ -178,6 +182,7 @@ func (o *Ops) sobelDiffHNEON(src, tmp *image.Mat) {
 			out[x] = diffHPixel(row, w, x)
 			edge++
 		}
+		o.rowTick()
 	}
 	o.sobelTailCost(uint64(edge))
 }
@@ -209,6 +214,7 @@ func (o *Ops) sobelSmoothHNEON(src, tmp *image.Mat) {
 			out[x] = smoothHPixel(row, w, x)
 			edge++
 		}
+		o.rowTick()
 	}
 	o.sobelTailCost(uint64(edge))
 }
@@ -236,6 +242,7 @@ func (o *Ops) sobelSmoothVNEON(tmp, dst *image.Mat) {
 			out[x] = smoothVPixel(tmp.S16Pix, w, h, x, y)
 			edge++
 		}
+		o.rowTick()
 	}
 	o.sobelTailCost(uint64(edge))
 }
@@ -260,6 +267,7 @@ func (o *Ops) sobelDiffVNEON(tmp, dst *image.Mat) {
 			out[x] = diffVPixel(tmp.S16Pix, w, h, x, y)
 			edge++
 		}
+		o.rowTick()
 	}
 	o.sobelTailCost(uint64(edge))
 }
@@ -291,6 +299,7 @@ func (o *Ops) sobelDiffHSSE2(src, tmp *image.Mat) {
 			out[x] = diffHPixel(row, w, x)
 			edge++
 		}
+		o.rowTick()
 	}
 	o.sobelTailCost(uint64(edge))
 }
@@ -322,6 +331,7 @@ func (o *Ops) sobelSmoothHSSE2(src, tmp *image.Mat) {
 			out[x] = smoothHPixel(row, w, x)
 			edge++
 		}
+		o.rowTick()
 	}
 	o.sobelTailCost(uint64(edge))
 }
@@ -348,6 +358,7 @@ func (o *Ops) sobelSmoothVSSE2(tmp, dst *image.Mat) {
 			out[x] = smoothVPixel(tmp.S16Pix, w, h, x, y)
 			edge++
 		}
+		o.rowTick()
 	}
 	o.sobelTailCost(uint64(edge))
 }
@@ -371,6 +382,7 @@ func (o *Ops) sobelDiffVSSE2(tmp, dst *image.Mat) {
 			out[x] = diffVPixel(tmp.S16Pix, w, h, x, y)
 			edge++
 		}
+		o.rowTick()
 	}
 	o.sobelTailCost(uint64(edge))
 }

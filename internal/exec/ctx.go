@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"context"
+
+	"simdstudy/internal/ir"
+	"simdstudy/internal/obs"
+	"simdstudy/internal/resilience"
+)
+
+// ctxStride is how many trips run between context polls in RunCtx. Loop
+// bodies are a handful of interpreted instructions, so polling every trip
+// would dominate the interpreter; every 256 trips bounds the cancellation
+// latency to microseconds while keeping the poll cost invisible.
+const ctxStride = 256
+
+// RunCtx is Run with deadline/cancellation checking every ctxStride trips.
+// On cancellation it returns a *resilience.DeadlineError recording how many
+// trips completed. A nil ctx degrades to plain Run.
+func RunCtx(ctx context.Context, l *ir.Loop, env *Env, n int, mode RoundMode) error {
+	if ctx == nil {
+		return Run(l, env, n, mode)
+	}
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	regs := make([]value, len(l.Body))
+	for i := 0; i < n; i++ {
+		if i%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return &resilience.DeadlineError{
+					Op: "exec." + l.Name, Cause: err, Completed: i, Total: n, Unit: "trips",
+				}
+			}
+		}
+		if err := runIter(l, env, i, mode, regs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunObservedCtx is RunObserved with the cancellation behavior of RunCtx.
+func RunObservedCtx(ctx context.Context, reg *obs.Registry, parent *obs.Span,
+	l *ir.Loop, env *Env, n int, mode RoundMode) (err error) {
+	if reg != nil {
+		var sp *obs.Span
+		if parent != nil {
+			sp = parent.Child("ir." + l.Name)
+		} else {
+			sp = reg.StartSpan("ir." + l.Name)
+		}
+		sp.SetAttr("trips", n)
+		reg.Counter("ir_loop_runs_total", obs.L("loop", l.Name)).Inc()
+		reg.Counter("ir_loop_trips_total", obs.L("loop", l.Name)).Add(uint64(n))
+		defer func() {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+		}()
+	}
+	return RunCtx(ctx, l, env, n, mode)
+}

@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"simdstudy/internal/obs"
+	"simdstudy/internal/resilience"
+)
+
+// TestRunCtxMatchesRun: with a live context the output must be identical to
+// plain Run; with a nil context RunCtx must degrade to Run.
+func TestRunCtxMatchesRun(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		env := NewEnv()
+		env.U8["src"] = []uint8{1, 20, 5, 200, 10, 11}
+		env.U8["dst"] = make([]uint8, 6)
+		if err := RunCtx(ctx, minLoop(), env, 6, RoundARM); err != nil {
+			t.Fatal(err)
+		}
+		want := []uint8{1, 10, 5, 10, 10, 10}
+		for i := range want {
+			if env.U8["dst"][i] != want[i] {
+				t.Errorf("pixel %d: got %d want %d", i, env.U8["dst"][i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunCtxCancelled: an expired context must stop the interpreter with a
+// trip-granular DeadlineError instead of running the loop to completion.
+func TestRunCtxCancelled(t *testing.T) {
+	const n = 4096
+	env := NewEnv()
+	env.U8["src"] = make([]uint8, n)
+	env.U8["dst"] = make([]uint8, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := RunCtx(ctx, minLoop(), env, n, RoundARM)
+	var de *resilience.DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *resilience.DeadlineError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("DeadlineError must unwrap to context.Canceled")
+	}
+	if de.Unit != "trips" || de.Total != n || de.Completed != 0 {
+		t.Errorf("accounting = %d/%d %s, want 0/%d trips", de.Completed, de.Total, de.Unit, n)
+	}
+}
+
+// TestRunObservedCtx: the observed variant must keep its counters while
+// honoring cancellation, and record the error on the span.
+func TestRunObservedCtx(t *testing.T) {
+	const n = 1024
+	env := NewEnv()
+	env.U8["src"] = make([]uint8, n)
+	env.U8["dst"] = make([]uint8, n)
+	reg := obs.NewRegistry()
+	if err := RunObservedCtx(context.Background(), reg, nil, minLoop(), env, n, RoundARM); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap[`ir_loop_runs_total{loop="min10"}`] != 1 || snap[`ir_loop_trips_total{loop="min10"}`] != n {
+		t.Errorf("counters wrong: %v", snap)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := RunObservedCtx(ctx, reg, nil, minLoop(), env, n, RoundARM); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled RunObservedCtx: got %v", err)
+	}
+}

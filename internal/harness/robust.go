@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"simdstudy/internal/cv"
@@ -13,6 +14,7 @@ import (
 	"simdstudy/internal/image"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/platform"
+	"simdstudy/internal/resilience"
 	"simdstudy/internal/timing"
 	"simdstudy/internal/trace"
 )
@@ -126,11 +128,22 @@ type GridOptions struct {
 	Concurrency int
 }
 
+// testCellStart, when non-nil, is invoked at the start of every grid cell
+// evaluation. Tests use it to cancel a context deterministically mid-grid;
+// cells are analytic estimates that complete in microseconds, so wall-clock
+// deadlines cannot land between two specific cells reliably.
+var testCellStart func()
+
 // RunGridCtx is RunGrid with a context deadline and per-cell retry with
 // exponential backoff. The context is checked before every cell and while
 // backing off, so a deadline cancels mid-grid instead of after the fact.
 // With opt.Concurrency > 1 cells are evaluated by a bounded worker pool;
 // the first cell error cancels the remaining work.
+//
+// When the caller's context expires mid-grid, the partially filled grid is
+// returned alongside a *resilience.DeadlineError accounting for the cells
+// that completed (each keeps its Metrics snapshot); callers may render what
+// finished or discard it.
 func RunGridCtx(ctx context.Context, bench string, platforms []platform.Platform,
 	sizes []image.Resolution, opt GridOptions) (*Grid, error) {
 	for _, res := range sizes {
@@ -143,7 +156,7 @@ func RunGridCtx(ctx context.Context, bench string, platforms []platform.Platform
 	for i := range g.Cells {
 		g.Cells[i] = make([]Cell, len(platforms))
 	}
-	gridSpan := opt.Obs.StartSpan("grid."+bench)
+	gridSpan := opt.Obs.StartSpan("grid." + bench)
 	defer gridSpan.End()
 
 	conc := opt.Concurrency
@@ -154,9 +167,10 @@ func RunGridCtx(ctx context.Context, bench string, platforms []platform.Platform
 	defer cancel()
 	sem := make(chan struct{}, conc)
 	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
+		wg        sync.WaitGroup
+		errMu     sync.Mutex
+		firstErr  error
+		completed atomic.Int64
 	)
 	fail := func(err error) {
 		errMu.Lock()
@@ -186,15 +200,21 @@ launch:
 					return
 				}
 				g.Cells[si][pi] = cell
+				completed.Add(1)
 			}(si, pi, track)
 		}
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return g, &resilience.DeadlineError{
+			Op: "harness.grid." + bench, Cause: err,
+			Completed: int(completed.Load()),
+			Total:     len(sizes) * len(platforms),
+			Unit:      "cells",
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("harness: grid %s: %w", bench, err)
 	}
 	return g, nil
 }
@@ -203,6 +223,9 @@ launch:
 // track is the Chrome-trace timeline row the cell's span renders on.
 func runCell(ctx context.Context, bench string, p platform.Platform,
 	res image.Resolution, opt GridOptions, track int) (Cell, error) {
+	if testCellStart != nil {
+		testCellStart()
+	}
 	var reg *obs.Registry
 	var sp *obs.Span
 	if opt.Obs != nil {
@@ -272,9 +295,12 @@ func VerifyCtx(ctx context.Context, bench string, res image.Resolution) (int, er
 		return 0, err
 	}
 	const burst = 5
-	for _, src := range spec.burst(res, burst) {
+	for i, src := range spec.burst(res, burst) {
 		if err := ctx.Err(); err != nil {
-			return 0, fmt.Errorf("harness: verify %s: %w", bench, err)
+			return 0, &resilience.DeadlineError{
+				Op: "harness.verify." + bench, Cause: err,
+				Completed: i, Total: burst, Unit: "images",
+			}
 		}
 		for _, isa := range []cv.ISA{cv.ISANEON, cv.ISASSE2} {
 			ref := cv.NewOps(isa, nil)
@@ -359,6 +385,7 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 	rep := &FaultReport{Bench: bench, Res: res, Rate: cfg.Rate, Seed: cfg.Seed}
 	campSpan := cfg.Obs.StartSpan("campaign."+bench, obs.L("size", res.Name))
 	defer campSpan.End()
+	imagesDone := 0
 	for _, isa := range []cv.ISA{cv.ISANEON, cv.ISASSE2} {
 		plan := faults.NewPlan(faults.Config{
 			Rate: cfg.Rate, Seed: cfg.Seed, Sites: cfg.Sites, Kinds: cfg.Kinds,
@@ -380,7 +407,10 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 		for imgIdx, src := range spec.burst(res, burst) {
 			if err := ctx.Err(); err != nil {
 				isaSpan.End()
-				return nil, fmt.Errorf("harness: fault campaign %s/%v: %w", bench, isa, err)
+				return nil, &resilience.DeadlineError{
+					Op: "harness.campaign." + bench, Cause: err,
+					Completed: imagesDone, Total: 2 * burst, Unit: "images",
+				}
 			}
 			imgSpan := isaSpan.Child("cell."+bench, lISA, obs.L("size", res.Name))
 			imgSpan.SetAttr("image", imgIdx)
@@ -425,6 +455,7 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 				}
 			}
 			imgSpan.End()
+			imagesDone++
 		}
 		isaSpan.End()
 		st := plan.Snapshot()

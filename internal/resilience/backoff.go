@@ -1,0 +1,94 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff computes exponential retry delays with deterministic jitter: the
+// delay for a given attempt is a pure function of (config, seed, attempt),
+// so a retry schedule can be replayed exactly — the property every other
+// reproducibility knob in this repo (fault plans, image synthesis, row
+// sampling) already has. The zero value disables waiting entirely, which
+// keeps the guard's historical no-sleep retry behavior when no backoff is
+// configured.
+type Backoff struct {
+	// Base is the delay before the first retry; zero disables all waits.
+	Base time.Duration
+	// Max caps the grown delay; zero means no cap.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier; values < 1 (including
+	// the zero value) mean the conventional doubling.
+	Factor float64
+	// Jitter is the fraction of the delay randomized, in [0, 1]: the
+	// delay is scaled by a factor drawn uniformly from [1-Jitter, 1].
+	// Jittering downward only keeps Max an actual upper bound.
+	Jitter float64
+	// Seed drives the jitter stream. Zero is replaced with a fixed
+	// constant so the zero Backoff still behaves sanely.
+	Seed uint64
+}
+
+// Delay returns the wait before retry number attempt (0-based). It is
+// deterministic: identical (Backoff, attempt) pairs yield identical delays.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if b.Max > 0 && d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if j := b.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		// Stateless xorshift64* hash of (seed, attempt): jitter needs no
+		// shared state, so concurrent retriers never contend or diverge.
+		s := b.Seed
+		if s == 0 {
+			s = 0x9E3779B97F4A7C15
+		}
+		s ^= uint64(attempt+1) * 0xBF58476D1CE4E5B9
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		u := float64((s*0x2545F4914F6CDD1D)>>11) / (1 << 53) // [0,1)
+		d *= 1 - j*u
+	}
+	return time.Duration(d)
+}
+
+// Sleep waits for d or until ctx is done, whichever comes first, returning
+// the context error in the latter case. A nil ctx never cancels.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if ctx != nil {
+			return ctx.Err()
+		}
+		return nil
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return ctx.Err()
+	}
+}

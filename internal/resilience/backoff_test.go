@@ -1,0 +1,91 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffGrowth: no jitter means pure exponential growth capped at Max.
+func TestBackoffGrowth(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 60 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond,
+		40 * time.Millisecond, 60 * time.Millisecond, 60 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestBackoffZeroValue: the zero Backoff never waits, preserving the
+// guard's historical immediate-retry behavior.
+func TestBackoffZeroValue(t *testing.T) {
+	var b Backoff
+	for i := 0; i < 4; i++ {
+		if d := b.Delay(i); d != 0 {
+			t.Fatalf("zero Backoff Delay(%d) = %v, want 0", i, d)
+		}
+	}
+}
+
+// TestBackoffJitterDeterministic: jitter from a fixed seed is a pure
+// function of (config, attempt) — equal across calls and instances — and
+// different seeds give different schedules.
+func TestBackoffJitterDeterministic(t *testing.T) {
+	a := Backoff{Base: 100 * time.Millisecond, Factor: 2, Jitter: 0.5, Seed: 42}
+	b := Backoff{Base: 100 * time.Millisecond, Factor: 2, Jitter: 0.5, Seed: 42}
+	other := Backoff{Base: 100 * time.Millisecond, Factor: 2, Jitter: 0.5, Seed: 43}
+	var differs bool
+	for i := 0; i < 6; i++ {
+		d1, d2 := a.Delay(i), b.Delay(i)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, d1, d2)
+		}
+		if d1 != a.Delay(i) {
+			t.Fatalf("attempt %d: Delay is not idempotent", i)
+		}
+		unjittered := Backoff{Base: a.Base, Factor: a.Factor}.Delay(i)
+		if d1 > unjittered || d1 < unjittered/2 {
+			t.Fatalf("attempt %d: jittered delay %v outside [%v, %v]",
+				i, d1, unjittered/2, unjittered)
+		}
+		if other.Delay(i) != d1 {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestSleepHonorsContext: Sleep must return promptly with the context
+// error when cancelled mid-wait.
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Minute); err != context.Canceled {
+		t.Fatalf("Sleep = %v, want context.Canceled", err)
+	}
+	if err := Sleep(nil, 0); err != nil {
+		t.Fatalf("Sleep(nil, 0) = %v", err)
+	}
+	if err := Sleep(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("Sleep = %v", err)
+	}
+}
+
+// TestDeadlineError: formatting and errors.Is through the wrap.
+func TestDeadlineError(t *testing.T) {
+	e := &DeadlineError{Op: "cv.GaussianBlur", Cause: context.DeadlineExceeded,
+		Completed: 37, Total: 960, Unit: "rows"}
+	if got := e.Error(); got != "resilience: cv.GaussianBlur: context deadline exceeded after 37/960 rows" {
+		t.Errorf("Error() = %q", got)
+	}
+	if !errors.Is(e, context.DeadlineExceeded) {
+		t.Error("errors.Is failed through DeadlineError")
+	}
+}

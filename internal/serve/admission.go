@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"simdstudy/internal/obs"
+)
+
+// errShed is returned by acquire when the bounded wait queue is full; the
+// handler maps it to 429 + Retry-After (load shedding).
+var errShed = errors.New("serve: admission queue full")
+
+// admission is a bounded-concurrency gate with a bounded wait queue. Up to
+// `cap(sem)` requests run concurrently; up to `queue` more may wait for a
+// slot; anything beyond that is shed immediately so queueing delay stays
+// bounded under overload (the server fails fast instead of building an
+// unbounded backlog of doomed work).
+type admission struct {
+	sem     chan struct{}
+	queue   int64
+	waiting atomic.Int64
+	depth   *obs.Gauge // queue_depth: requests currently waiting
+}
+
+func newAdmission(slots, queue int, reg *obs.Registry) *admission {
+	return &admission{
+		sem:   make(chan struct{}, slots),
+		queue: int64(queue),
+		depth: reg.Gauge("queue_depth"),
+	}
+}
+
+// acquire takes a run slot, waiting in the bounded queue if none is free.
+// It returns errShed when the queue is full and ctx.Err() when the
+// request's deadline expires while queued. Callers that get nil back must
+// call release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.sem <- struct{}{}:
+		return nil // free slot, no queueing
+	default:
+	}
+	if a.waiting.Add(1) > a.queue {
+		a.depth.Set(float64(a.waiting.Add(-1)))
+		return errShed
+	}
+	a.depth.Set(float64(a.waiting.Load()))
+	defer func() {
+		a.depth.Set(float64(a.waiting.Add(-1)))
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees a slot taken by a successful acquire.
+func (a *admission) release() { <-a.sem }

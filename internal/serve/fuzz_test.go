@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"net/url"
+	"testing"
+	"time"
+)
+
+// FuzzParseRequest hammers the request decoder with arbitrary query
+// strings: malformed input must come back as an error (the handler's 400),
+// never a panic, and every accepted request must sit inside the configured
+// resource bounds so no request-controlled size reaches an allocation.
+func FuzzParseRequest(f *testing.F) {
+	f.Add("kernel=gaussian&width=64&height=48")
+	f.Add("kernel=resize&width=640&height=480&isa=sse2&seed=9&deadline_ms=100")
+	f.Add("kernel=convert&width=1&height=1&isa=scalar")
+	f.Add("kernel=warp&width=64&height=48")
+	f.Add("width=-1&height=99999999999999999999")
+	f.Add("kernel=gaussian&width=1048576&height=1048576")
+	f.Add("kernel=gaussian&width=64&height=48&deadline_ms=-5")
+	f.Add("%gh&%ij=%zz")
+	f.Add("kernel=gaussian&kernel=sobel&width=64&width=2&height=48")
+
+	lim := Limits{MaxPixels: 1 << 22, DefaultDeadline: 2 * time.Second, MaxDeadline: 10 * time.Second}
+	f.Fuzz(func(t *testing.T, raw string) {
+		vals, err := url.ParseQuery(raw)
+		if err != nil {
+			return // transport-level reject; the decoder never sees it
+		}
+		req, err := ParseRequest(vals, lim)
+		if err != nil {
+			return // 400: any error is acceptable, panics are not
+		}
+		if req.Width < 1 || req.Height < 1 || req.Width > maxDim || req.Height > maxDim {
+			t.Fatalf("accepted out-of-range dims %dx%d from %q", req.Width, req.Height, raw)
+		}
+		if int64(req.Width)*int64(req.Height) > int64(lim.MaxPixels) {
+			t.Fatalf("accepted %dx%d over the pixel limit from %q", req.Width, req.Height, raw)
+		}
+		if req.Deadline <= 0 || req.Deadline > lim.MaxDeadline {
+			t.Fatalf("accepted deadline %v outside (0, %v] from %q", req.Deadline, lim.MaxDeadline, raw)
+		}
+		if _, ok := kernels[req.Kernel]; !ok {
+			t.Fatalf("accepted unknown kernel %q from %q", req.Kernel, raw)
+		}
+	})
+}

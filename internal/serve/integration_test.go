@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"simdstudy/internal/resilience"
+)
+
+// TestBreakerLifecycleOverHTTP drives the acceptance scenario end to end:
+// a fault campaign against one ISA opens its breaker (visible in
+// breaker_transitions_total and /readyz), requests keep getting 200s from
+// the transparent scalar fallback, and once the faults clear a half-open
+// probe closes the breaker again.
+func TestBreakerLifecycleOverHTTP(t *testing.T) {
+	clk := &testClock{t: time.Unix(0, 0)}
+	s := NewServer(Config{
+		MaxConcurrent: 2,
+		QueueDepth:    4,
+		FaultISA:      "neon",
+		Breaker: resilience.BreakerConfig{
+			Window: 8, MinSamples: 2, FailureRate: 0.5,
+			OpenFor: time.Second, Clock: clk.Now,
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	url := ts.URL + "/process?kernel=gaussian&width=64&height=48&isa=neon"
+
+	// Phase 1: persistent NEON faults. The guard absorbs each one (scalar
+	// referee substitutes the output, so the client still gets a 200) and
+	// the fallbacks trip the breaker.
+	s.SetFaultInjector(LockInjector(saboteur{}))
+	for i := 0; i < 2; i++ {
+		code, body := get(t, url)
+		if code != http.StatusOK {
+			t.Fatalf("faulted request %d = %d %v, want 200", i, code, body)
+		}
+		if body["faults"].(float64) < 1 {
+			t.Fatalf("faulted request %d recorded no guard intervention: %v", i, body)
+		}
+	}
+	if st := s.Breakers().State("GaussianBlur", "neon"); st != resilience.StateOpen {
+		t.Fatalf("breaker = %v after sustained fallbacks, want open", st)
+	}
+	code, ready := get(t, ts.URL+"/readyz")
+	if code != http.StatusOK || ready["status"] != "degraded" {
+		t.Fatalf("/readyz = %d %v, want 200/degraded", code, ready)
+	}
+	if st := ready["breakers"].(map[string]any)["GaussianBlur/neon"]; st != "open" {
+		t.Fatalf("/readyz breakers = %v, want GaussianBlur/neon open", ready["breakers"])
+	}
+
+	// Phase 2: breaker open, faults still firing. The SIMD path (and its
+	// injector) is bypassed entirely: 200, zero faults, output identical
+	// to an explicit scalar request.
+	code, body := get(t, url)
+	if code != http.StatusOK || body["breaker"] != "open" || body["faults"].(float64) != 0 {
+		t.Fatalf("open-breaker request = %d %v, want 200/open/0 faults", code, body)
+	}
+	_, scalar := get(t, ts.URL+"/process?kernel=gaussian&width=64&height=48&isa=scalar")
+	if body["checksum"] != scalar["checksum"] {
+		t.Fatalf("open-breaker checksum %v != scalar %v", body["checksum"], scalar["checksum"])
+	}
+
+	// Phase 3: faults clear, cooldown lapses; the next request is the
+	// half-open probe and its clean verdict closes the breaker.
+	s.SetFaultInjector(nil)
+	clk.Advance(2 * time.Second)
+	code, body = get(t, url)
+	if code != http.StatusOK || body["breaker"] != "closed" {
+		t.Fatalf("probe request = %d %v, want 200/closed", code, body)
+	}
+	if _, ready := get(t, ts.URL+"/readyz"); ready["status"] != "ok" {
+		t.Fatalf("/readyz after recovery = %v, want ok", ready)
+	}
+
+	// The whole episode must be visible in the exported metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	prom := string(promBytes)
+	for _, want := range []string{
+		`breaker_transitions_total{from="closed",isa="neon",kernel="GaussianBlur",to="open"}`,
+		`breaker_transitions_total{from="half-open",isa="neon",kernel="GaussianBlur",to="closed"}`,
+		"requests_total",
+		"queue_depth",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simdstudy/internal/cv"
+	"simdstudy/internal/faults"
+	"simdstudy/internal/image"
+	"simdstudy/internal/obs"
+	"simdstudy/internal/resilience"
+	"simdstudy/internal/vec"
+)
+
+// Config tunes a Server. The zero value selects the defaults noted per
+// field.
+type Config struct {
+	// MaxConcurrent is how many kernel dispatches run at once. Default 4.
+	MaxConcurrent int
+	// QueueDepth is how many requests may wait for a slot before the
+	// server sheds load with 429. Default 16.
+	QueueDepth int
+	// DefaultDeadline applies when a request carries no deadline_ms.
+	// Default 2s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-requested deadlines. Default 10s.
+	MaxDeadline time.Duration
+	// MaxPixels caps width*height per request. Default 1<<22 (4 Mpx).
+	MaxPixels int
+	// Guard is the guarded-dispatch policy shared by every worker Ops.
+	// The zero value takes cv.DefaultGuardPolicy with the kill-switch
+	// disabled — terminal demotion belongs to the breaker's GiveUpAfter.
+	Guard cv.GuardPolicy
+	// Breaker configures the per-(kernel, ISA) circuit breakers.
+	Breaker resilience.BreakerConfig
+	// FaultISA restricts the attached fault injector to one ISA name
+	// ("neon", "sse2"); empty applies it to every SIMD ISA.
+	FaultISA string
+	// Registry receives all metrics, spans, and events; nil allocates a
+	// private one.
+	Registry *obs.Registry
+}
+
+func (c Config) normalized() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 10 * time.Second
+	}
+	if c.MaxPixels <= 0 {
+		c.MaxPixels = 1 << 22
+	}
+	if c.Guard == (cv.GuardPolicy{}) {
+		c.Guard = cv.DefaultGuardPolicy()
+		c.Guard.KillAfter = -1
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+func (c Config) limits() Limits {
+	return Limits{
+		MaxPixels:       c.MaxPixels,
+		DefaultDeadline: c.DefaultDeadline,
+		MaxDeadline:     c.MaxDeadline,
+	}
+}
+
+// injCell wraps an injector for atomic.Value (which needs a consistent
+// concrete type across stores).
+type injCell struct{ inj faults.Injector }
+
+// Server is the serving front-end: bounded admission, per-request
+// deadlines, breaker-mediated SIMD dispatch, and the observability
+// endpoints. Create with NewServer; serve via Handler.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	brk *resilience.BreakerSet
+	adm *admission
+
+	pools    map[cv.ISA]*sync.Pool
+	inj      atomic.Value // injCell
+	draining atomic.Bool
+}
+
+// testProcessStart, when non-nil, runs after a request clears admission
+// and before its kernel dispatch. Tests use it to hold slots open
+// deterministically; production never sets it.
+var testProcessStart func()
+
+// NewServer builds a Server from cfg.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.normalized()
+	s := &Server{
+		cfg: cfg,
+		reg: cfg.Registry,
+		brk: resilience.NewBreakerSet(cfg.Breaker, cfg.Registry),
+		adm: newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.Registry),
+	}
+	s.inj.Store(injCell{})
+	s.pools = make(map[cv.ISA]*sync.Pool, 3)
+	for _, isa := range []cv.ISA{cv.ISAScalar, cv.ISANEON, cv.ISASSE2} {
+		isa := isa
+		s.pools[isa] = &sync.Pool{New: func() any {
+			o := cv.NewOps(isa, nil)
+			o.SetGuarded(true)
+			o.SetGuardPolicy(cfg.Guard)
+			o.SetBreakers(s.brk)
+			o.SetObserver(s.reg)
+			return o
+		}}
+	}
+	return s
+}
+
+// Registry returns the server's observability registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Breakers returns the server's circuit-breaker set.
+func (s *Server) Breakers() *resilience.BreakerSet { return s.brk }
+
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector
+// handed to worker Ops whose ISA matches Config.FaultISA. The injector
+// must be safe for concurrent use; wrap single-threaded plans with
+// LockInjector.
+func (s *Server) SetFaultInjector(inj faults.Injector) { s.inj.Store(injCell{inj: inj}) }
+
+// StartDrain flips the server to draining: /readyz turns 503 so load
+// balancers stop routing here, while in-flight requests finish normally.
+// The caller then runs http.Server.Shutdown for the connection-level
+// drain.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the route table wrapped in panic recovery.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/process", s.handleProcess)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return s.recoverWrap(mux)
+}
+
+// recoverWrap turns handler panics into 500s and a panics_total sample —
+// one bad request must not take down the process.
+func (s *Server) recoverWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.reg.Counter("panics_total").Inc()
+				s.reg.Emit("serve.panic", map[string]any{
+					"path": r.URL.Path, "panic": fmt.Sprint(rec),
+				})
+				s.writeJSON(w, http.StatusInternalServerError,
+					map[string]any{"error": "internal error"})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writeJSON emits one JSON response and counts it under requests_total.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, body any) {
+	s.reg.Counter("requests_total", obs.L("code", strconv.Itoa(code))).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
+}
+
+// shed emits the load-shedding response: 429 with Retry-After, counted
+// under requests_shed_total by reason ("queue" or "deadline").
+func (s *Server) shed(w http.ResponseWriter, reason string, detail string) {
+	s.reg.Counter("requests_shed_total", obs.L("reason", reason)).Inc()
+	w.Header().Set("Retry-After", "1")
+	s.writeJSON(w, http.StatusTooManyRequests,
+		map[string]any{"error": detail, "reason": reason})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReady reports readiness: 503 while draining, otherwise 200 with
+// the full breaker snapshot. Status "degraded" means at least one
+// (kernel, ISA) pair is not closed — those calls are being served by the
+// scalar path, so the process still accepts traffic.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	snap := s.brk.Snapshot()
+	states := make(map[string]string, len(snap))
+	status := "ok"
+	for k, st := range snap {
+		states[k] = st.String()
+		if st != resilience.StateClosed {
+			status = "degraded"
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": status, "breakers": states})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+
+// handleProcess runs one kernel dispatch: decode, admit (or shed),
+// synthesize the source frame, run the guarded Ctx kernel under the
+// request deadline, and report the outcome with the breaker's view of the
+// (kernel, ISA) pair.
+func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		s.writeJSON(w, http.StatusMethodNotAllowed,
+			map[string]any{"error": "use GET or POST"})
+		return
+	}
+	req, err := ParseRequest(r.URL.Query(), s.cfg.limits())
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), req.Deadline)
+	defer cancel()
+
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, errShed) {
+			s.shed(w, "queue", "admission queue full")
+		} else {
+			s.shed(w, "deadline", "deadline expired while queued")
+		}
+		return
+	}
+	defer s.adm.release()
+	if testProcessStart != nil {
+		testProcessStart()
+	}
+
+	spec := kernels[req.Kernel]
+	src := synthesize(spec.srcKind, req.Width, req.Height, req.Seed)
+	dst, err := spec.dst(req.Width, req.Height)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+
+	o := s.pools[req.ISA].Get().(*cv.Ops)
+	defer s.pools[req.ISA].Put(o)
+	o.ResetFaults()
+	o.SetFaultInjector(s.injectorFor(req.ISA))
+
+	start := time.Now()
+	err = spec.run(ctx, o, src, dst)
+	elapsed := time.Since(start)
+	s.reg.Histogram("request_seconds", requestBuckets,
+		obs.L("kernel", spec.name)).Observe(elapsed.Seconds())
+
+	if err != nil {
+		var de *resilience.DeadlineError
+		if errors.As(err, &de) {
+			// Mid-kernel deadline expiry is shed like queue overflow: the
+			// client's budget is spent, and backing off is the remedy.
+			s.shed(w, "deadline", de.Error())
+			return
+		}
+		// Kernels only fail on invalid geometry (faults are absorbed by
+		// the guard); report it as the client error it is.
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"kernel":     spec.name,
+		"isa":        req.ISA.String(),
+		"width":      req.Width,
+		"height":     req.Height,
+		"seed":       req.Seed,
+		"checksum":   strconv.FormatUint(checksum(dst), 16),
+		"elapsed_us": elapsed.Microseconds(),
+		"faults":     len(o.Faults()),
+		"breaker":    s.brk.State(spec.name, req.ISA.String()).String(),
+	})
+}
+
+// requestBuckets are the request_seconds histogram bounds.
+var requestBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// injectorFor returns the attached injector when it applies to this ISA:
+// scalar Ops never get one (the referee must stay trustworthy), and
+// Config.FaultISA narrows injection to a single SIMD family.
+func (s *Server) injectorFor(isa cv.ISA) faults.Injector {
+	cell := s.inj.Load().(injCell)
+	if cell.inj == nil || isa == cv.ISAScalar {
+		return nil
+	}
+	if s.cfg.FaultISA != "" && s.cfg.FaultISA != isa.String() {
+		return nil
+	}
+	return cell.inj
+}
+
+func synthesize(kind image.Type, w, h int, seed uint64) *image.Mat {
+	res := image.Resolution{Width: w, Height: h}
+	if kind == image.F32 {
+		return image.SyntheticF32(res, seed)
+	}
+	return image.Synthetic(res, seed)
+}
+
+// LockInjector wraps an injector with a mutex so single-threaded fault
+// plans (faults.Plan mutates its RNG state on every call) can be shared
+// across concurrent worker Ops.
+func LockInjector(inner faults.Injector) faults.Injector {
+	return &lockedInjector{inner: inner}
+}
+
+type lockedInjector struct {
+	mu    sync.Mutex
+	inner faults.Injector
+}
+
+func (l *lockedInjector) V128(site faults.Site, v vec.V128) vec.V128 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.V128(site, v)
+}
+
+func (l *lockedInjector) V64(site faults.Site, v vec.V64) vec.V64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.V64(site, v)
+}
+
+func (l *lockedInjector) Skew(site faults.Site, slack int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Skew(site, slack)
+}
+
+// BreakerKeys returns the sorted (kernel, ISA) pairs with live breakers —
+// the sort is a stable order for logs and tests.
+func (s *Server) BreakerKeys() []string {
+	keys := s.brk.Keys()
+	sort.Strings(keys)
+	return keys
+}
