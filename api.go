@@ -140,6 +140,14 @@ const (
 	ThreshToZeroInv = cv.ThreshToZeroInv
 )
 
+// ParallelConfig sizes intra-kernel row-banded parallelism; attach it with
+// Ops.SetParallel, ServeConfig.Parallel or CampaignConfig.Parallel. The
+// zero value runs serially; Workers > 1 splits each kernel pass into that
+// many row (or element-block) bands executed on a shared worker pool, with
+// bit-identical outputs, merged instruction counts and fault-injection
+// schedules for every worker count.
+type ParallelConfig = cv.ParallelConfig
+
 // NewOps returns the kernel library for an ISA, recording dynamic
 // instructions into t (which may be nil).
 func NewOps(isa ISA, t *trace.Counter) *Ops { return cv.NewOps(isa, t) }

@@ -9,6 +9,7 @@ package simdstudy
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -323,6 +324,43 @@ func BenchmarkHostRGBToGrayNEONEmu(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkHostParallel measures row-banded multi-core execution of the
+// heaviest kernels at several worker counts on a 1080p frame; workers=1 is
+// the serial baseline, so the sub-benchmark ratios are the intra-kernel
+// scaling curve (compare with benchstat).
+func BenchmarkHostParallel(b *testing.B) {
+	res := Resolution{Width: 1920, Height: 1080}
+	gsrc := Synthetic(res, 1)
+	gdst := NewMat(res.Width, res.Height, U8)
+	csrc := SyntheticF32(res, 1)
+	cdst := NewMat(res.Width, res.Height, S16)
+
+	type bench struct {
+		name string
+		run  func(o *Ops) error
+	}
+	benches := []bench{
+		{"Gaussian", func(o *Ops) error { return o.GaussianBlur(gsrc, gdst) }},
+		{"Convert", func(o *Ops) error { return o.ConvertF32ToS16(csrc, cdst) }},
+		{"Median", func(o *Ops) error { return o.MedianBlur3x3(gsrc, gdst) }},
+	}
+	for _, k := range benches {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", k.name, workers), func(b *testing.B) {
+				o := NewOps(ISANEON, nil)
+				o.SetParallel(ParallelConfig{Workers: workers})
+				b.SetBytes(int64(res.Width * res.Height))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := k.run(o); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkExtensionEnergyTable regenerates the performance-per-watt

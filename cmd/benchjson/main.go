@@ -1,0 +1,184 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so CI can archive benchmark runs as machine-readable
+// artifacts and gate on them. It also enforces the zero-allocation
+// contract for the hot kernel paths: with -fail-allocs, any matching
+// benchmark that reports a non-zero allocs/op fails the run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Host -benchmem . | benchjson -out BENCH.json
+//	benchjson -in bench.txt -out BENCH.json -fail-allocs '^BenchmarkHostConvert'
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// HasMem records whether the line carried -benchmem columns, so a
+	// zero AllocsPerOp from a run without -benchmem is not mistaken for
+	// a verified zero-allocation result.
+	HasMem bool `json:"has_mem"`
+}
+
+// Document is the whole run: the go test environment header plus every
+// benchmark line, in input order.
+type Document struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   	 100	 123 ns/op	..." including
+// sub-benchmark names with slashes and the optional -GOMAXPROCS suffix.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: %q: bad iteration count: %v", line, err)
+		}
+		res := Result{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %q: bad value %q: %v", line, fields[i], err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = val
+			case "MB/s":
+				res.MBPerS = val
+			case "B/op":
+				res.BytesPerOp = int64(val)
+				res.HasMem = true
+			case "allocs/op":
+				res.AllocsPerOp = int64(val)
+				res.HasMem = true
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// checkAllocs returns the names of benchmarks matching pat that either
+// allocate or were run without -benchmem (unverifiable counts as failure:
+// the gate must not silently pass because the columns were missing).
+func checkAllocs(doc *Document, pat *regexp.Regexp) []string {
+	var bad []string
+	matched := false
+	for _, b := range doc.Benchmarks {
+		if !pat.MatchString(b.Name) {
+			continue
+		}
+		matched = true
+		if !b.HasMem {
+			bad = append(bad, b.Name+" (no -benchmem columns)")
+		} else if b.AllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("%s (%d allocs/op)", b.Name, b.AllocsPerOp))
+		}
+	}
+	if !matched {
+		bad = append(bad, fmt.Sprintf("no benchmark matched %q", pat))
+	}
+	return bad
+}
+
+func main() {
+	in := flag.String("in", "-", "benchmark text input file (- for stdin)")
+	out := flag.String("out", "-", "JSON output file (- for stdout)")
+	failAllocs := flag.String("fail-allocs", "", "regexp of benchmark names that must report 0 allocs/op")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	doc, err := parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *failAllocs != "" {
+		pat, err := regexp.Compile(*failAllocs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -fail-allocs:", err)
+			os.Exit(1)
+		}
+		if bad := checkAllocs(doc, pat); len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintln(os.Stderr, "benchjson: allocation gate failed:", b)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: allocation gate passed for %s\n", *failAllocs)
+	}
+}

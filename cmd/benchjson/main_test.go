@@ -1,0 +1,63 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: simdstudy
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHostConvertScalar   	      20	   3597104 ns/op	 341.61 MB/s	       0 B/op	       0 allocs/op
+BenchmarkHostConvertNEONEmu  	      20	   8275715 ns/op	 148.48 MB/s	       0 B/op	       0 allocs/op
+BenchmarkHostParallel/Gaussian/workers=4-8         	       2	 135796402 ns/op	  15.27 MB/s	    3524 B/op	      33 allocs/op
+BenchmarkNoMemColumns 	     100	     12345 ns/op
+PASS
+ok  	simdstudy	6.610s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Pkg != "simdstudy" {
+		t.Fatalf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkHostConvertScalar" || b.Iterations != 20 ||
+		b.NsPerOp != 3597104 || b.MBPerS != 341.61 || b.AllocsPerOp != 0 || !b.HasMem {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	par := doc.Benchmarks[2]
+	if par.Name != "BenchmarkHostParallel/Gaussian/workers=4-8" || par.AllocsPerOp != 33 {
+		t.Fatalf("sub-benchmark: %+v", par)
+	}
+	if doc.Benchmarks[3].HasMem {
+		t.Fatal("line without -benchmem columns must not claim memory data")
+	}
+}
+
+func TestCheckAllocs(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := checkAllocs(doc, regexp.MustCompile(`^BenchmarkHostConvert`)); len(bad) != 0 {
+		t.Fatalf("zero-alloc benchmarks failed the gate: %v", bad)
+	}
+	if bad := checkAllocs(doc, regexp.MustCompile(`^BenchmarkHostParallel`)); len(bad) != 1 {
+		t.Fatalf("allocating benchmark passed the gate: %v", bad)
+	}
+	if bad := checkAllocs(doc, regexp.MustCompile(`^BenchmarkNoMem`)); len(bad) != 1 {
+		t.Fatalf("missing -benchmem columns must fail the gate: %v", bad)
+	}
+	if bad := checkAllocs(doc, regexp.MustCompile(`^BenchmarkNothingMatches`)); len(bad) != 1 {
+		t.Fatalf("an unmatched pattern must fail the gate: %v", bad)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"simdstudy/internal/cv"
 	"simdstudy/internal/faults"
 	"simdstudy/internal/resilience"
 	"simdstudy/internal/serve"
@@ -40,8 +41,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	maxConcurrent := flag.Int("max-concurrent", 4, "kernel dispatches running at once")
+	maxConcurrent := flag.Int("max-concurrent", 0, "kernel dispatches running at once (0 = auto: 4, or GOMAXPROCS/workers with -workers > 1)")
 	queue := flag.Int("queue", 16, "requests allowed to wait for a slot before shedding")
+	workers := flag.Int("workers", 1, "row-band workers per kernel dispatch (1 = serial, -1 = one per core)")
 	deadlineMS := flag.Int("deadline-ms", 2000, "default per-request deadline")
 	maxDeadlineMS := flag.Int("max-deadline-ms", 10000, "ceiling on client-requested deadlines")
 	maxPixels := flag.Int("max-pixels", 1<<22, "ceiling on width*height per request")
@@ -68,6 +70,7 @@ func main() {
 		MaxDeadline:     time.Duration(*maxDeadlineMS) * time.Millisecond,
 		MaxPixels:       *maxPixels,
 		FaultISA:        *faultISA,
+		Parallel:        cv.ParallelConfig{Workers: *workers},
 		Breaker: resilience.BreakerConfig{
 			Window:      *breakerWindow,
 			MinSamples:  *breakerMinSamples,

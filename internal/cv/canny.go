@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"simdstudy/internal/image"
+	"simdstudy/internal/par"
 	"simdstudy/internal/sat"
 	"simdstudy/internal/trace"
 )
@@ -38,9 +39,13 @@ func (o *Ops) Canny(src, dst *image.Mat, lowThresh, highThresh int16) (err error
 	}
 	w, h := src.Width, src.Height
 
-	// Stage 1: gradients (SIMD-accelerated when enabled).
-	gx := image.NewMat(w, h, image.S16)
-	gy := image.NewMat(w, h, image.S16)
+	// Stage 1: gradients (SIMD-accelerated when enabled). The scratch
+	// planes come from the shared pool; GetMat zero-fills them, which the
+	// NMS marker plane below relies on.
+	gx := par.GetMat(w, h, image.S16)
+	defer par.PutMat(gx)
+	gy := par.GetMat(w, h, image.S16)
+	defer par.PutMat(gy)
 	if err := o.SobelFilter(src, gx, 1, 0); err != nil {
 		return err
 	}
@@ -49,60 +54,24 @@ func (o *Ops) Canny(src, dst *image.Mat, lowThresh, highThresh int16) (err error
 	}
 
 	// Stage 2: L1 magnitude (saturating), scalar or SIMD-equivalent
-	// arithmetic — identical across paths.
-	mag := image.NewMat(w, h, image.S16)
+	// arithmetic — identical across paths. Element-wise, so it bands
+	// freely.
+	mag := par.GetMat(w, h, image.S16)
+	defer par.PutMat(mag)
 	n := w * h
-	for i := 0; i < n; i++ {
-		mag.S16Pix[i] = sat.AddInt16(sat.AbsInt16(gx.S16Pix[i]), sat.AbsInt16(gy.S16Pix[i]))
-	}
-	if o.T != nil {
-		o.T.RecordN("mag", trace.ScalarALU, uint64(3*n), 0)
-		o.scalarOverhead(uint64(n))
-	}
+	parFlat(o, n, cannyMagArgs{gx.S16Pix, gy.S16Pix, mag.S16Pix}, cannyMagChunk)
 
 	// Stage 3: non-maximum suppression. Direction is quantized to
 	// horizontal / vertical / the two diagonals using the |gy| vs |gx|
 	// ratio with the classic tan(22.5 deg) ~ 13/32 fixed-point test.
-	nms := image.NewMat(w, h, image.U8) // 0 none, 1 weak, 2 strong
-	for y := 1; y < h-1; y++ {
-		for x := 1; x < w-1; x++ {
-			i := y*w + x
-			m := mag.S16Pix[i]
-			if m < lowThresh {
-				continue
-			}
-			ax := int32(sat.AbsInt16(gx.S16Pix[i]))
-			ay := int32(sat.AbsInt16(gy.S16Pix[i]))
-			var m1, m2 int16
-			switch {
-			case ay*32 <= ax*13:
-				// Near-horizontal gradient: compare left/right.
-				m1, m2 = mag.S16Pix[i-1], mag.S16Pix[i+1]
-			case ax*32 <= ay*13:
-				// Near-vertical gradient: compare up/down.
-				m1, m2 = mag.S16Pix[i-w], mag.S16Pix[i+w]
-			case (gx.S16Pix[i] > 0) == (gy.S16Pix[i] > 0):
-				// 45-degree gradient.
-				m1, m2 = mag.S16Pix[i-w-1], mag.S16Pix[i+w+1]
-			default:
-				// 135-degree gradient.
-				m1, m2 = mag.S16Pix[i-w+1], mag.S16Pix[i+w-1]
-			}
-			// Strict on the first neighbour, non-strict on the second
-			// (OpenCV's tie-break), so plateau edges stay one pixel wide.
-			if m > m1 && m >= m2 {
-				if m >= highThresh {
-					nms.U8Pix[i] = 2
-				} else {
-					nms.U8Pix[i] = 1
-				}
-			}
-		}
-	}
-	if o.T != nil {
-		o.T.RecordN("nms(cmp/sel)", trace.ScalarALU, uint64(8*n), 0)
-		o.T.RecordN("nms(branch)", trace.Branch, uint64(2*n), 0)
-	}
+	// Each output row reads only its own and adjacent magnitude rows, all
+	// read-only by now, so the stage row-bands with one halo row each way.
+	nms := par.GetMat(w, h, image.U8) // 0 none, 1 weak, 2 strong
+	defer par.PutMat(nms)
+	parRows(o, h, cannyNMSArgs{
+		gx: gx.S16Pix, gy: gy.S16Pix, mag: mag.S16Pix, nms: nms.U8Pix,
+		w: w, h: h, low: lowThresh, high: highThresh,
+	}, cannyNMSRow)
 
 	// Stage 4: hysteresis. BFS from strong pixels through 8-connected
 	// weak pixels.
@@ -145,4 +114,71 @@ func (o *Ops) Canny(src, dst *image.Mat, lowThresh, highThresh int16) (err error
 		o.T.RecordN("hysteresis(br)", trace.Branch, uint64(visits), 0)
 	}
 	return nil
+}
+
+type cannyMagArgs struct {
+	gx, gy, mag []int16
+}
+
+func cannyMagChunk(b *Ops, a cannyMagArgs, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a.mag[i] = sat.AddInt16(sat.AbsInt16(a.gx[i]), sat.AbsInt16(a.gy[i]))
+	}
+	if b.T != nil {
+		n := uint64(hi - lo)
+		b.T.RecordN("mag", trace.ScalarALU, 3*n, 0)
+		b.scalarOverhead(n)
+	}
+}
+
+type cannyNMSArgs struct {
+	gx, gy, mag []int16
+	nms         []uint8
+	w, h        int
+	low, high   int16
+}
+
+func cannyNMSRow(b *Ops, a cannyNMSArgs, y int) {
+	w := a.w
+	if y >= 1 && y < a.h-1 {
+		for x := 1; x < w-1; x++ {
+			i := y*w + x
+			m := a.mag[i]
+			if m < a.low {
+				continue
+			}
+			ax := int32(sat.AbsInt16(a.gx[i]))
+			ay := int32(sat.AbsInt16(a.gy[i]))
+			var m1, m2 int16
+			switch {
+			case ay*32 <= ax*13:
+				// Near-horizontal gradient: compare left/right.
+				m1, m2 = a.mag[i-1], a.mag[i+1]
+			case ax*32 <= ay*13:
+				// Near-vertical gradient: compare up/down.
+				m1, m2 = a.mag[i-w], a.mag[i+w]
+			case (a.gx[i] > 0) == (a.gy[i] > 0):
+				// 45-degree gradient.
+				m1, m2 = a.mag[i-w-1], a.mag[i+w+1]
+			default:
+				// 135-degree gradient.
+				m1, m2 = a.mag[i-w+1], a.mag[i+w-1]
+			}
+			// Strict on the first neighbour, non-strict on the second
+			// (OpenCV's tie-break), so plateau edges stay one pixel wide.
+			if m > m1 && m >= m2 {
+				if m >= a.high {
+					a.nms[i] = 2
+				} else {
+					a.nms[i] = 1
+				}
+			}
+		}
+	}
+	// Cost is modeled per full-width row (border rows included), matching
+	// the whole-image accounting of the serial implementation.
+	if b.T != nil {
+		b.T.RecordN("nms(cmp/sel)", trace.ScalarALU, uint64(8*w), 0)
+		b.T.RecordN("nms(branch)", trace.Branch, uint64(2*w), 0)
+	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"simdstudy/internal/image"
 	"simdstudy/internal/trace"
+	"simdstudy/internal/vec"
 )
 
 // BT.601 luma weights in 8.8 fixed point (sum exactly 256), the classic
@@ -56,19 +57,32 @@ func grayPixel(r, g, b uint8) uint8 {
 	return uint8((uint32(r)*grayR + uint32(g)*grayG + uint32(b)*grayB + 1<<(grayShift-1)) >> grayShift)
 }
 
+// grayArgs bundles the color-conversion planes for the banded chunk bodies,
+// with the NEON luma weights hoisted once on the parent unit.
+type grayArgs struct {
+	rgb        []uint8
+	d          []uint8
+	wr, wg, wb vec.V64
+}
+
 func (o *Ops) rgbToGrayScalar(src *image.RGB, dst *image.Mat) {
-	n := dst.Pixels()
-	for i := 0; i < n; i++ {
-		dst.U8Pix[i] = grayPixel(src.Pix[3*i], src.Pix[3*i+1], src.Pix[3*i+2])
+	a := grayArgs{rgb: src.Pix, d: dst.U8Pix}
+	parFlat(o, dst.Pixels(), a, grayScalarChunk)
+}
+
+func grayScalarChunk(b *Ops, a grayArgs, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a.d[i] = grayPixel(a.rgb[3*i], a.rgb[3*i+1], a.rgb[3*i+2])
 	}
-	if o.T != nil {
+	if b.T != nil {
 		// Per pixel: three byte loads, three multiplies, two adds, a
 		// shift-round and a store.
-		o.T.RecordN("ldrb(rgb)", trace.ScalarLoad, uint64(3*n), 1)
-		o.T.RecordN("mul(luma)", trace.ScalarALU, uint64(3*n), 0)
-		o.T.RecordN("add/shr", trace.ScalarALU, uint64(3*n), 0)
-		o.T.RecordN("strb", trace.ScalarStore, uint64(n), 1)
-		o.scalarOverhead(uint64(n))
+		n := uint64(hi - lo)
+		b.T.RecordN("ldrb(rgb)", trace.ScalarLoad, 3*n, 1)
+		b.T.RecordN("mul(luma)", trace.ScalarALU, 3*n, 0)
+		b.T.RecordN("add/shr", trace.ScalarALU, 3*n, 0)
+		b.T.RecordN("strb", trace.ScalarStore, n, 1)
+		b.scalarOverhead(n)
 	}
 }
 
@@ -76,25 +90,29 @@ func (o *Ops) rgbToGrayScalar(src *image.RGB, dst *image.Mat) {
 // a widening multiply and two widening multiply-accumulates against the
 // luma weights, a rounding narrow, and one store.
 func (o *Ops) rgbToGrayNEON(src *image.RGB, dst *image.Mat) {
-	u := o.n
-	wr := u.VdupNU8(grayR)
-	wg := u.VdupNU8(grayG)
-	wb := u.VdupNU8(grayB)
-	n := dst.Pixels()
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		planes := u.Vld3U8(src.Pix[3*i:])
-		acc := u.VmullU8(planes[0], wr)
-		acc = u.VmlalU8(acc, planes[1], wg)
-		acc = u.VmlalU8(acc, planes[2], wb)
-		u.Vst1U8(dst.U8Pix[i:], u.VrshrnNU16(acc, grayShift))
+	a := grayArgs{rgb: src.Pix, d: dst.U8Pix}
+	a.wr = o.n.VdupNU8(grayR)
+	a.wg = o.n.VdupNU8(grayG)
+	a.wb = o.n.VdupNU8(grayB)
+	parFlat(o, dst.Pixels(), a, grayNEONChunk)
+}
+
+func grayNEONChunk(b *Ops, a grayArgs, lo, hi int) {
+	u := b.n
+	i := lo
+	for ; i+8 <= hi; i += 8 {
+		planes := u.Vld3U8(a.rgb[3*i:])
+		acc := u.VmullU8(planes[0], a.wr)
+		acc = u.VmlalU8(acc, planes[1], a.wg)
+		acc = u.VmlalU8(acc, planes[2], a.wb)
+		u.Vst1U8(a.d[i:], u.VrshrnNU16(acc, grayShift))
 		u.Overhead(2, 1, 0)
 	}
-	for ; i < n; i++ {
-		dst.U8Pix[i] = grayPixel(src.Pix[3*i], src.Pix[3*i+1], src.Pix[3*i+2])
-		if o.T != nil {
-			o.T.RecordN("gray(tail)", trace.ScalarALU, 9, 0)
-			o.scalarOverhead(1)
+	for ; i < hi; i++ {
+		a.d[i] = grayPixel(a.rgb[3*i], a.rgb[3*i+1], a.rgb[3*i+2])
+		if b.T != nil {
+			b.T.RecordN("gray(tail)", trace.ScalarALU, 9, 0)
+			b.scalarOverhead(1)
 		}
 	}
 }

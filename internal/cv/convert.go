@@ -58,26 +58,37 @@ func (o *Ops) ConvertF32ToS16(src, dst *image.Mat) (err error) {
 	return run(o, dst)
 }
 
+// convArgs bundles the convert pass planes for the banded chunk bodies.
+// Bodies are package-level functions so dispatching them allocates nothing.
+type convArgs struct {
+	s []float32
+	d []int16
+}
+
 // convertScalar is the unoptimized OpenCV loop:
 //
 //	for (; x < size.width; x++) dst[x] = saturate_cast<short>(src[x]);
 func (o *Ops) convertScalar(src, dst *image.Mat) {
-	s, d := src.F32Pix, dst.S16Pix
-	n := len(s)
-	for i := 0; i < n; i++ {
-		d[i] = sat.NarrowInt32ToInt16(o.cvRound(s[i]))
+	parFlat(o, len(src.F32Pix), convArgs{src.F32Pix, dst.S16Pix}, convScalarChunk)
+}
+
+func convScalarChunk(b *Ops, a convArgs, lo, hi int) {
+	s, d := a.s, a.d
+	for i := lo; i < hi; i++ {
+		d[i] = sat.NarrowInt32ToInt16(b.cvRound(s[i]))
 	}
-	if o.T != nil {
+	if b.T != nil {
 		// Per-pixel cost of the scalar loop as compiled at -O3 without
 		// vectorization: load, round+convert (a scalar FP op plus a
 		// conversion; on ARM the cvRound inlines to VFP ops), two-branch
 		// clamp folded to ALU ops, store.
-		o.T.RecordN("ldr(f32)", trace.ScalarLoad, uint64(n), 4)
-		o.T.RecordN("round", trace.ScalarFP, uint64(n), 0)
-		o.T.RecordN("cvt(f2i)", trace.ScalarCvt, uint64(n), 0)
-		o.T.RecordN("clamp", trace.ScalarALU, uint64(2*n), 0)
-		o.T.RecordN("strh(s16)", trace.ScalarStore, uint64(n), 2)
-		o.scalarOverhead(uint64(n))
+		n := uint64(hi - lo)
+		b.T.RecordN("ldr(f32)", trace.ScalarLoad, n, 4)
+		b.T.RecordN("round", trace.ScalarFP, n, 0)
+		b.T.RecordN("cvt(f2i)", trace.ScalarCvt, n, 0)
+		b.T.RecordN("clamp", trace.ScalarALU, 2*n, 0)
+		b.T.RecordN("strh(s16)", trace.ScalarStore, n, 2)
+		b.scalarOverhead(n)
 	}
 }
 
@@ -94,11 +105,14 @@ func (o *Ops) cvRound(v float32) int32 {
 // bookkeeping instructions.
 func (o *Ops) convertNEON(src, dst *image.Mat) {
 	defer o.n.Session("convert", o.curSpan()).End()
-	s, d := src.F32Pix, dst.S16Pix
-	width := len(s)
-	u := o.n
-	x := 0
-	for ; x <= width-8; x += 8 {
+	parFlat(o, len(src.F32Pix), convArgs{src.F32Pix, dst.S16Pix}, convNEONChunk)
+}
+
+func convNEONChunk(b *Ops, a convArgs, lo, hi int) {
+	s, d := a.s, a.d
+	u := b.n
+	x := lo
+	for ; x <= hi-8; x += 8 {
 		src128 := u.Vld1qF32(s[x:])
 		srcInt128 := u.VcvtqS32F32(src128)
 		src0Int64 := u.VqmovnS32(srcInt128)
@@ -112,13 +126,14 @@ func (o *Ops) convertNEON(src, dst *image.Mat) {
 		// base-pointer update.
 		u.Overhead(3, 1, 2)
 	}
-	// Scalar epilogue for the remainder, truncating like vcvt so the whole
-	// image is consistent with the vector path.
-	for ; x < width; x++ {
+	// Scalar epilogue for the remainder (final chunk only: chunk bounds are
+	// vector-width aligned), truncating like vcvt so the whole image is
+	// consistent with the vector path.
+	for ; x < hi; x++ {
 		d[x] = sat.NarrowInt32ToInt16(sat.Float32ToInt32Truncate(s[x]))
-		if o.T != nil {
-			o.T.RecordN("vldr/vcvt/strh(tail)", trace.ScalarCvt, 1, 0)
-			o.scalarOverhead(1)
+		if b.T != nil {
+			b.T.RecordN("vldr/vcvt/strh(tail)", trace.ScalarCvt, 1, 0)
+			b.scalarOverhead(1)
 		}
 	}
 }
@@ -127,11 +142,14 @@ func (o *Ops) convertNEON(src, dst *image.Mat) {
 // Section III-A listing: 8 pixels per iteration, 6 SSE2 instructions.
 func (o *Ops) convertSSE2(src, dst *image.Mat) {
 	defer o.s.Session("convert", o.curSpan()).End()
-	s, d := src.F32Pix, dst.S16Pix
-	width := len(s)
-	u := o.s
-	x := 0
-	for ; x <= width-8; x += 8 {
+	parFlat(o, len(src.F32Pix), convArgs{src.F32Pix, dst.S16Pix}, convSSE2Chunk)
+}
+
+func convSSE2Chunk(b *Ops, a convArgs, lo, hi int) {
+	s, d := a.s, a.d
+	u := b.s
+	x := lo
+	for ; x <= hi-8; x += 8 {
 		src128 := u.LoaduPs(s[x:])
 		srcInt128 := u.CvtpsEpi32(src128)
 		src128 = u.LoaduPs(s[x+4:])
@@ -140,11 +158,11 @@ func (o *Ops) convertSSE2(src, dst *image.Mat) {
 		u.StoreuSi128S16(d[x:], src1Int128)
 		u.Overhead(3, 1, 2)
 	}
-	for ; x < width; x++ {
+	for ; x < hi; x++ {
 		d[x] = sat.NarrowInt32ToInt16(sat.RoundHalfToEvenIndefinite(float64(s[x])))
-		if o.T != nil {
-			o.T.RecordN("cvtss2si/clamp(tail)", trace.ScalarCvt, 1, 0)
-			o.scalarOverhead(1)
+		if b.T != nil {
+			b.T.RecordN("cvtss2si/clamp(tail)", trace.ScalarCvt, 1, 0)
+			b.scalarOverhead(1)
 		}
 	}
 }

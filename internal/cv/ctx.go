@@ -25,13 +25,33 @@ import (
 type ctxCanceled struct{ err error }
 
 // rowTick is called once per completed row by the kernel row loops. With no
-// bound context it is a nil check; with one, it counts the row and unwinds
-// if the context is done.
+// bound context it is a pair of nil checks; with one, it counts the row and
+// unwinds if the context is done. On a parallel band clone it additionally
+// polls the section's shared stop flag, so a sibling band's failure (or
+// cancellation) unwinds this band at its next row boundary.
 func (o *Ops) rowTick() {
+	if o.stop != nil && o.stop.Load() {
+		panic(bandStopped{})
+	}
 	if o.ctx == nil {
 		return
 	}
 	o.ctxRows++
+	if err := o.ctx.Err(); err != nil {
+		panic(ctxCanceled{err})
+	}
+}
+
+// flatTick is rowTick for the element-block loops of the flat kernels: it
+// polls the stop flag and the context at block granularity but does not
+// count rows (flat kernels report no partial-row progress, as before).
+func (o *Ops) flatTick() {
+	if o.stop != nil && o.stop.Load() {
+		panic(bandStopped{})
+	}
+	if o.ctx == nil {
+		return
+	}
 	if err := o.ctx.Err(); err != nil {
 		panic(ctxCanceled{err})
 	}

@@ -18,6 +18,8 @@ package cv
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
@@ -52,11 +54,28 @@ func (i ISA) String() string {
 }
 
 // Ops is a handle to the library configured for one ISA, analogous to an
-// OpenCV build compiled for one target. Methods are not safe for concurrent
-// use of a single Ops; the paper's harness is single-threaded.
+// OpenCV build compiled for one target.
+//
+// A plain Ops — no breaker set, observer, guard mode, or bound context —
+// is safe for concurrent use: the trace counter, the parallel band pool and
+// the pass sequence are all synchronized, so independent goroutines may run
+// kernels on private images through one shared Ops. The stateful extensions
+// (SetGuarded, SetBreakers, SetObserver, the Ctx variants) keep per-call
+// state on the Ops and remain single-caller-at-a-time, as the harness uses
+// them.
 type Ops struct {
 	isa          ISA
 	useOptimized bool
+
+	// Parallel banding state (see par.go). par sizes intra-kernel
+	// parallelism (zero: serial); passSeq numbers parallel sections so
+	// fault streams are per-(pass, row) deterministic; bandPool recycles
+	// per-band Ops clones; stop and reseed are set only on band clones.
+	par      ParallelConfig
+	passSeq  atomic.Uint64
+	bandPool sync.Pool
+	stop     *atomic.Bool
+	reseed   faults.Reseeder
 
 	T *trace.Counter
 	n *neon.Unit

@@ -2,6 +2,7 @@ package cv
 
 import (
 	"simdstudy/internal/image"
+	"simdstudy/internal/par"
 	"simdstudy/internal/sat"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
@@ -24,8 +25,10 @@ func (o *Ops) DetectEdges(src, dst *image.Mat, thresh int16) (err error) {
 		return err
 	}
 	run := func(op *Ops, d *image.Mat) error {
-		gx := image.NewMat(src.Width, src.Height, image.S16)
-		gy := image.NewMat(src.Width, src.Height, image.S16)
+		gx := par.GetMat(src.Width, src.Height, image.S16)
+		defer par.PutMat(gx)
+		gy := par.GetMat(src.Width, src.Height, image.S16)
+		defer par.PutMat(gy)
 		if err := op.SobelFilter(src, gx, 1, 0); err != nil {
 			return err
 		}
@@ -64,16 +67,30 @@ func magThreshPixel(gx, gy, thresh int16) uint8 {
 	return 0
 }
 
+// magThreshArgs bundles the combine stage for the banded chunk bodies, with
+// the threshold vector hoisted once on the parent unit.
+type magThreshArgs struct {
+	gx, gy  []int16
+	d       []uint8
+	thresh  int16
+	vthresh vec.V128
+}
+
 func (o *Ops) magThreshScalar(gx, gy, dst *image.Mat, thresh int16) {
-	n := dst.Pixels()
-	for i := 0; i < n; i++ {
-		dst.U8Pix[i] = magThreshPixel(gx.S16Pix[i], gy.S16Pix[i], thresh)
+	a := magThreshArgs{gx: gx.S16Pix, gy: gy.S16Pix, d: dst.U8Pix, thresh: thresh}
+	parFlat(o, dst.Pixels(), a, magThreshScalarChunk)
+}
+
+func magThreshScalarChunk(b *Ops, a magThreshArgs, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a.d[i] = magThreshPixel(a.gx[i], a.gy[i], a.thresh)
 	}
-	if o.T != nil {
-		o.T.RecordN("ldr(gx,gy)", trace.ScalarLoad, uint64(2*n), 2)
-		o.T.RecordN("abs/add/cmp", trace.ScalarALU, uint64(4*n), 0)
-		o.T.RecordN("strb", trace.ScalarStore, uint64(n), 1)
-		o.scalarOverhead(uint64(n))
+	if b.T != nil {
+		n := uint64(hi - lo)
+		b.T.RecordN("ldr(gx,gy)", trace.ScalarLoad, 2*n, 2)
+		b.T.RecordN("abs/add/cmp", trace.ScalarALU, 4*n, 0)
+		b.T.RecordN("strb", trace.ScalarStore, n, 1)
+		b.scalarOverhead(n)
 	}
 }
 
@@ -81,23 +98,27 @@ func (o *Ops) magThreshScalar(gx, gy, dst *image.Mat, thresh int16) {
 // a saturating add, a compare and a narrowing store of the mask.
 func (o *Ops) magThreshNEON(gx, gy, dst *image.Mat, thresh int16) {
 	defer o.n.Session("magthresh", o.curSpan()).End()
-	n := dst.Pixels()
-	u := o.n
-	vthresh := u.VdupqNS16(thresh)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		ax := u.VqabsqS16(u.Vld1qS16(gx.S16Pix[i:]))
-		ay := u.VqabsqS16(u.Vld1qS16(gy.S16Pix[i:]))
+	a := magThreshArgs{gx: gx.S16Pix, gy: gy.S16Pix, d: dst.U8Pix, thresh: thresh}
+	a.vthresh = o.n.VdupqNS16(thresh)
+	parFlat(o, dst.Pixels(), a, magThreshNEONChunk)
+}
+
+func magThreshNEONChunk(b *Ops, a magThreshArgs, lo, hi int) {
+	u := b.n
+	i := lo
+	for ; i+8 <= hi; i += 8 {
+		ax := u.VqabsqS16(u.Vld1qS16(a.gx[i:]))
+		ay := u.VqabsqS16(u.Vld1qS16(a.gy[i:]))
 		m := u.VqaddqS16(ax, ay)
-		mask := u.VcgtqS16(m, vthresh) // 0xFFFF where edge
-		u.Vst1U8(dst.U8Pix[i:], u.VmovnU16(u.VreinterpretqU16S16(mask)))
+		mask := u.VcgtqS16(m, a.vthresh) // 0xFFFF where edge
+		u.Vst1U8(a.d[i:], u.VmovnU16(u.VreinterpretqU16S16(mask)))
 		u.Overhead(3, 1, 0)
 	}
-	for ; i < n; i++ {
-		dst.U8Pix[i] = magThreshPixel(gx.S16Pix[i], gy.S16Pix[i], thresh)
-		if o.T != nil {
-			o.T.RecordN("mag(tail)", trace.ScalarALU, 5, 0)
-			o.scalarOverhead(1)
+	for ; i < hi; i++ {
+		a.d[i] = magThreshPixel(a.gx[i], a.gy[i], a.thresh)
+		if b.T != nil {
+			b.T.RecordN("mag(tail)", trace.ScalarALU, 5, 0)
+			b.scalarOverhead(1)
 		}
 	}
 }
@@ -108,28 +129,32 @@ func (o *Ops) magThreshNEON(gx, gy, dst *image.Mat, thresh int16) {
 // vqabs that shows up in the instruction counts.
 func (o *Ops) magThreshSSE2(gx, gy, dst *image.Mat, thresh int16) {
 	defer o.s.Session("magthresh", o.curSpan()).End()
-	n := dst.Pixels()
-	u := o.s
-	vthresh := u.Set1Epi16(thresh)
+	a := magThreshArgs{gx: gx.S16Pix, gy: gy.S16Pix, d: dst.U8Pix, thresh: thresh}
+	a.vthresh = o.s.Set1Epi16(thresh)
+	parFlat(o, dst.Pixels(), a, magThreshSSE2Chunk)
+}
+
+func magThreshSSE2Chunk(b *Ops, a magThreshArgs, lo, hi int) {
+	u := b.s
 	abs16 := func(v vec.V128) vec.V128 {
 		sign := u.SraiEpi16(v, 15)
 		return u.SubsEpi16(u.XorSi128(v, sign), sign)
 	}
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		ax := abs16(u.LoaduSi128S16(gx.S16Pix[i:]))
-		ay := abs16(u.LoaduSi128S16(gy.S16Pix[i:]))
+	i := lo
+	for ; i+8 <= hi; i += 8 {
+		ax := abs16(u.LoaduSi128S16(a.gx[i:]))
+		ay := abs16(u.LoaduSi128S16(a.gy[i:]))
 		m := u.AddsEpi16(ax, ay)
-		mask := u.CmpgtEpi16(m, vthresh)
+		mask := u.CmpgtEpi16(m, a.vthresh)
 		packed := u.PacksEpi16(mask, mask) // 0xFFFF -> 0xFF lanes
-		u.StorelEpi64U8(dst.U8Pix[i:], packed)
+		u.StorelEpi64U8(a.d[i:], packed)
 		u.Overhead(3, 1, 0)
 	}
-	for ; i < n; i++ {
-		dst.U8Pix[i] = magThreshPixel(gx.S16Pix[i], gy.S16Pix[i], thresh)
-		if o.T != nil {
-			o.T.RecordN("mag(tail)", trace.ScalarALU, 5, 0)
-			o.scalarOverhead(1)
+	for ; i < hi; i++ {
+		a.d[i] = magThreshPixel(a.gx[i], a.gy[i], a.thresh)
+		if b.T != nil {
+			b.T.RecordN("mag(tail)", trace.ScalarALU, 5, 0)
+			b.scalarOverhead(1)
 		}
 	}
 }
@@ -154,13 +179,6 @@ func (o *Ops) GradientMagnitude(gx, gy, dst *image.Mat) (err error) {
 	if err := sameShape(gy, dst); err != nil {
 		return err
 	}
-	n := dst.Pixels()
-	for i := 0; i < n; i++ {
-		dst.S16Pix[i] = sat.AddInt16(sat.AbsInt16(gx.S16Pix[i]), sat.AbsInt16(gy.S16Pix[i]))
-	}
-	if o.T != nil {
-		o.T.RecordN("mag", trace.ScalarALU, uint64(3*n), 0)
-		o.scalarOverhead(uint64(n))
-	}
+	parFlat(o, dst.Pixels(), cannyMagArgs{gx.S16Pix, gy.S16Pix, dst.S16Pix}, cannyMagChunk)
 	return nil
 }

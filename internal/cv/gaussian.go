@@ -2,6 +2,7 @@ package cv
 
 import (
 	"simdstudy/internal/image"
+	"simdstudy/internal/par"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
 )
@@ -16,6 +17,12 @@ const gaussShift = 8 // fixed-point fractional bits; kernel sums to 1<<8
 
 // GaussianBlur convolves a U8 image with the separable 7x7 Gaussian
 // (sigma=1), replicating borders, the paper's benchmark 3.
+//
+// Both separable passes are row-banded when parallelism is configured
+// (SetParallel): rows are independent within a pass — the vertical pass
+// reads up to three rows above and below its own from the intermediate
+// plane, but that plane was fully written before the pass started, so the
+// halo is plain shared-read data — and the pass boundary is a barrier.
 func (o *Ops) GaussianBlur(src, dst *image.Mat) (err error) {
 	o.beginKernel("GaussianBlur")
 	defer func() { o.endKernel("GaussianBlur", err) }()
@@ -29,7 +36,8 @@ func (o *Ops) GaussianBlur(src, dst *image.Mat) (err error) {
 		return err
 	}
 	run := func(op *Ops, d *image.Mat) error {
-		tmp := image.NewMat(src.Width, src.Height, image.U8)
+		tmp := par.GetMat(src.Width, src.Height, image.U8)
+		defer par.PutMat(tmp)
 		if op.UseOptimized() {
 			switch op.isa {
 			case ISANEON:
@@ -96,28 +104,43 @@ func (o *Ops) gaussScalarRowCost(pixels uint64, bytesPerLoad int) {
 	o.scalarOverhead(pixels)
 }
 
+// gaussArgs bundles one Gaussian pass for the banded row bodies: the source
+// and destination planes plus the vector weights, broadcast (and their setup
+// instructions recorded) once per pass on the parent Ops.
+type gaussArgs struct {
+	src, dst   []uint8
+	w, h       int
+	wd         [7]vec.V64  // NEON weight bytes
+	wv         [7]vec.V128 // SSE2 weight words
+	zero, half vec.V128
+}
+
 func (o *Ops) gaussHorizScalar(src, dst *image.Mat) {
-	w, h := src.Width, src.Height
-	for y := 0; y < h; y++ {
-		row := src.U8Pix[y*w : (y+1)*w]
-		out := dst.U8Pix[y*w : (y+1)*w]
-		for x := 0; x < w; x++ {
-			out[x] = gaussPixelH(row, w, x)
-		}
-		o.rowTick()
+	a := gaussArgs{src: src.U8Pix, dst: dst.U8Pix, w: src.Width, h: src.Height}
+	parRows(o, src.Height, a, gaussHorizScalarRow)
+}
+
+func gaussHorizScalarRow(b *Ops, a gaussArgs, y int) {
+	w := a.w
+	row := a.src[y*w : (y+1)*w]
+	out := a.dst[y*w : (y+1)*w]
+	for x := 0; x < w; x++ {
+		out[x] = gaussPixelH(row, w, x)
 	}
-	o.gaussScalarRowCost(uint64(w*h), 1)
+	b.gaussScalarRowCost(uint64(w), 1)
 }
 
 func (o *Ops) gaussVertScalar(src, dst *image.Mat) {
-	w, h := src.Width, src.Height
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			dst.U8Pix[y*w+x] = gaussPixelV(src.U8Pix, w, h, x, y)
-		}
-		o.rowTick()
+	a := gaussArgs{src: src.U8Pix, dst: dst.U8Pix, w: src.Width, h: src.Height}
+	parRows(o, src.Height, a, gaussVertScalarRow)
+}
+
+func gaussVertScalarRow(b *Ops, a gaussArgs, y int) {
+	w, h := a.w, a.h
+	for x := 0; x < w; x++ {
+		a.dst[y*w+x] = gaussPixelV(a.src, w, h, x, y)
 	}
-	o.gaussScalarRowCost(uint64(w*h), 1)
+	b.gaussScalarRowCost(uint64(w), 1)
 }
 
 // scalarEdgeCost records the cost of SIMD-path border pixels computed in
@@ -135,154 +158,158 @@ func (o *Ops) scalarEdgeCost(pixels uint64) {
 // then a rounding shift-narrow.
 func (o *Ops) gaussHorizNEON(src, dst *image.Mat) {
 	defer o.n.Session("gauss.horiz", o.curSpan()).End()
-	w, h := src.Width, src.Height
-	u := o.n
+	a := gaussArgs{src: src.U8Pix, dst: dst.U8Pix, w: src.Width, h: src.Height}
 	// Weight bytes broadcast once per image, hoisted out of the loops.
-	var wd [7]vec.V64
-	for k := range wd {
-		wd[k] = u.VdupNU8(uint8(GaussKernel7[k]))
+	for k := range a.wd {
+		a.wd[k] = o.n.VdupNU8(uint8(GaussKernel7[k]))
 	}
+	parRows(o, src.Height, a, gaussHorizNEONRow)
+}
+
+func gaussHorizNEONRow(b *Ops, a gaussArgs, y int) {
+	w := a.w
+	u := b.n
+	row := a.src[y*w : (y+1)*w]
+	out := a.dst[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		row := src.U8Pix[y*w : (y+1)*w]
-		out := dst.U8Pix[y*w : (y+1)*w]
-		x := 0
-		// Left border and narrow images: scalar.
-		for ; x < 3 && x < w; x++ {
-			out[x] = gaussPixelH(row, w, x)
-			edge++
-		}
-		// Vector body needs source bytes x-3 .. x+4+7.
-		for ; x+8 <= w-4; x += 8 {
-			acc := u.VmullU8(u.Vld1U8(row[x-3:]), wd[0])
-			for k := 1; k < 7; k++ {
-				acc = u.VmlalU8(acc, u.Vld1U8(row[x+k-3:]), wd[k])
-			}
-			u.Vst1U8(out[x:], u.VrshrnNU16(acc, gaussShift))
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = gaussPixelH(row, w, x)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	// Left border and narrow images: scalar.
+	for ; x < 3 && x < w; x++ {
+		out[x] = gaussPixelH(row, w, x)
+		edge++
 	}
-	o.scalarEdgeCost(uint64(edge))
+	// Vector body needs source bytes x-3 .. x+4+7.
+	for ; x+8 <= w-4; x += 8 {
+		acc := u.VmullU8(u.Vld1U8(row[x-3:]), a.wd[0])
+		for k := 1; k < 7; k++ {
+			acc = u.VmlalU8(acc, u.Vld1U8(row[x+k-3:]), a.wd[k])
+		}
+		u.Vst1U8(out[x:], u.VrshrnNU16(acc, gaussShift))
+		u.Overhead(2, 1, 0)
+	}
+	for ; x < w; x++ {
+		out[x] = gaussPixelH(row, w, x)
+		edge++
+	}
+	b.scalarEdgeCost(uint64(edge))
 }
 
 // gaussVertNEON filters columns, 8 pixels per iteration across each row;
 // all columns vectorize because the taps come from neighbouring rows.
 func (o *Ops) gaussVertNEON(src, dst *image.Mat) {
 	defer o.n.Session("gauss.vert", o.curSpan()).End()
-	w, h := src.Width, src.Height
-	u := o.n
-	var wd [7]vec.V64
-	for k := range wd {
-		wd[k] = u.VdupNU8(uint8(GaussKernel7[k]))
+	a := gaussArgs{src: src.U8Pix, dst: dst.U8Pix, w: src.Width, h: src.Height}
+	for k := range a.wd {
+		a.wd[k] = o.n.VdupNU8(uint8(GaussKernel7[k]))
 	}
+	parRows(o, src.Height, a, gaussVertNEONRow)
+}
+
+func gaussVertNEONRow(b *Ops, a gaussArgs, y int) {
+	w, h := a.w, a.h
+	u := b.n
+	r := [7][]uint8{}
+	for k := 0; k < 7; k++ {
+		ry := clampIdx(y+k-3, h)
+		r[k] = a.src[ry*w : (ry+1)*w]
+	}
+	out := a.dst[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		r := [7][]uint8{}
-		for k := 0; k < 7; k++ {
-			ry := clampIdx(y+k-3, h)
-			r[k] = src.U8Pix[ry*w : (ry+1)*w]
+	x := 0
+	for ; x+8 <= w; x += 8 {
+		acc := u.VmullU8(u.Vld1U8(r[0][x:]), a.wd[0])
+		for k := 1; k < 7; k++ {
+			acc = u.VmlalU8(acc, u.Vld1U8(r[k][x:]), a.wd[k])
 		}
-		out := dst.U8Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x+8 <= w; x += 8 {
-			acc := u.VmullU8(u.Vld1U8(r[0][x:]), wd[0])
-			for k := 1; k < 7; k++ {
-				acc = u.VmlalU8(acc, u.Vld1U8(r[k][x:]), wd[k])
-			}
-			u.Vst1U8(out[x:], u.VrshrnNU16(acc, gaussShift))
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = gaussPixelV(src.U8Pix, w, h, x, y)
-			edge++
-		}
-		o.rowTick()
+		u.Vst1U8(out[x:], u.VrshrnNU16(acc, gaussShift))
+		u.Overhead(2, 1, 0)
 	}
-	o.scalarEdgeCost(uint64(edge))
+	for ; x < w; x++ {
+		out[x] = gaussPixelV(a.src, w, h, x, y)
+		edge++
+	}
+	b.scalarEdgeCost(uint64(edge))
 }
 
 // gaussHorizSSE2 filters rows, 8 pixels per iteration: bytes are unpacked
 // against zero to words, multiplied with pmullw and accumulated with paddw.
 func (o *Ops) gaussHorizSSE2(src, dst *image.Mat) {
 	defer o.s.Session("gauss.horiz", o.curSpan()).End()
-	w, h := src.Width, src.Height
-	u := o.s
-	zero := u.SetzeroSi128()
-	var wv [7]vec.V128
-	for k := range wv {
-		wv[k] = u.Set1Epi16(int16(GaussKernel7[k]))
+	a := gaussArgs{src: src.U8Pix, dst: dst.U8Pix, w: src.Width, h: src.Height}
+	a.zero = o.s.SetzeroSi128()
+	for k := range a.wv {
+		a.wv[k] = o.s.Set1Epi16(int16(GaussKernel7[k]))
 	}
-	half := u.Set1Epi16(1 << (gaussShift - 1))
+	a.half = o.s.Set1Epi16(1 << (gaussShift - 1))
+	parRows(o, src.Height, a, gaussHorizSSE2Row)
+}
+
+func gaussHorizSSE2Row(b *Ops, a gaussArgs, y int) {
+	w := a.w
+	u := b.s
+	row := a.src[y*w : (y+1)*w]
+	out := a.dst[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		row := src.U8Pix[y*w : (y+1)*w]
-		out := dst.U8Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x < 3 && x < w; x++ {
-			out[x] = gaussPixelH(row, w, x)
-			edge++
-		}
-		for ; x+8 <= w-4; x += 8 {
-			v := u.UnpackloEpi8(u.LoadlEpi64U8(row[x-3:]), zero)
-			acc := u.MulloEpi16(v, wv[0])
-			for k := 1; k < 7; k++ {
-				v = u.UnpackloEpi8(u.LoadlEpi64U8(row[x+k-3:]), zero)
-				acc = u.AddEpi16(acc, u.MulloEpi16(v, wv[k]))
-			}
-			r := u.SrliEpi16(u.AddEpi16(acc, half), gaussShift)
-			u.StorelEpi64U8(out[x:], u.PackusEpi16(r, r))
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = gaussPixelH(row, w, x)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x < 3 && x < w; x++ {
+		out[x] = gaussPixelH(row, w, x)
+		edge++
 	}
-	o.scalarEdgeCost(uint64(edge))
+	for ; x+8 <= w-4; x += 8 {
+		v := u.UnpackloEpi8(u.LoadlEpi64U8(row[x-3:]), a.zero)
+		acc := u.MulloEpi16(v, a.wv[0])
+		for k := 1; k < 7; k++ {
+			v = u.UnpackloEpi8(u.LoadlEpi64U8(row[x+k-3:]), a.zero)
+			acc = u.AddEpi16(acc, u.MulloEpi16(v, a.wv[k]))
+		}
+		r := u.SrliEpi16(u.AddEpi16(acc, a.half), gaussShift)
+		u.StorelEpi64U8(out[x:], u.PackusEpi16(r, r))
+		u.Overhead(2, 1, 0)
+	}
+	for ; x < w; x++ {
+		out[x] = gaussPixelH(row, w, x)
+		edge++
+	}
+	b.scalarEdgeCost(uint64(edge))
 }
 
 // gaussVertSSE2 filters columns, 8 pixels per iteration.
 func (o *Ops) gaussVertSSE2(src, dst *image.Mat) {
 	defer o.s.Session("gauss.vert", o.curSpan()).End()
-	w, h := src.Width, src.Height
-	u := o.s
-	zero := u.SetzeroSi128()
-	var wv [7]vec.V128
-	for k := range wv {
-		wv[k] = u.Set1Epi16(int16(GaussKernel7[k]))
+	a := gaussArgs{src: src.U8Pix, dst: dst.U8Pix, w: src.Width, h: src.Height}
+	a.zero = o.s.SetzeroSi128()
+	for k := range a.wv {
+		a.wv[k] = o.s.Set1Epi16(int16(GaussKernel7[k]))
 	}
-	half := u.Set1Epi16(1 << (gaussShift - 1))
+	a.half = o.s.Set1Epi16(1 << (gaussShift - 1))
+	parRows(o, src.Height, a, gaussVertSSE2Row)
+}
+
+func gaussVertSSE2Row(b *Ops, a gaussArgs, y int) {
+	w, h := a.w, a.h
+	u := b.s
+	var r [7][]uint8
+	for k := 0; k < 7; k++ {
+		ry := clampIdx(y+k-3, h)
+		r[k] = a.src[ry*w : (ry+1)*w]
+	}
+	out := a.dst[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		var r [7][]uint8
-		for k := 0; k < 7; k++ {
-			ry := clampIdx(y+k-3, h)
-			r[k] = src.U8Pix[ry*w : (ry+1)*w]
+	x := 0
+	for ; x+8 <= w; x += 8 {
+		v := u.UnpackloEpi8(u.LoadlEpi64U8(r[0][x:]), a.zero)
+		acc := u.MulloEpi16(v, a.wv[0])
+		for k := 1; k < 7; k++ {
+			v = u.UnpackloEpi8(u.LoadlEpi64U8(r[k][x:]), a.zero)
+			acc = u.AddEpi16(acc, u.MulloEpi16(v, a.wv[k]))
 		}
-		out := dst.U8Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x+8 <= w; x += 8 {
-			v := u.UnpackloEpi8(u.LoadlEpi64U8(r[0][x:]), zero)
-			acc := u.MulloEpi16(v, wv[0])
-			for k := 1; k < 7; k++ {
-				v = u.UnpackloEpi8(u.LoadlEpi64U8(r[k][x:]), zero)
-				acc = u.AddEpi16(acc, u.MulloEpi16(v, wv[k]))
-			}
-			res := u.SrliEpi16(u.AddEpi16(acc, half), gaussShift)
-			u.StorelEpi64U8(out[x:], u.PackusEpi16(res, res))
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = gaussPixelV(src.U8Pix, w, h, x, y)
-			edge++
-		}
-		o.rowTick()
+		res := u.SrliEpi16(u.AddEpi16(acc, a.half), gaussShift)
+		u.StorelEpi64U8(out[x:], u.PackusEpi16(res, res))
+		u.Overhead(2, 1, 0)
 	}
-	o.scalarEdgeCost(uint64(edge))
+	for ; x < w; x++ {
+		out[x] = gaussPixelV(a.src, w, h, x, y)
+		edge++
+	}
+	b.scalarEdgeCost(uint64(edge))
 }

@@ -6,6 +6,7 @@ import (
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
 	"simdstudy/internal/obs"
+	"simdstudy/internal/par"
 	"simdstudy/internal/resilience"
 )
 
@@ -291,7 +292,8 @@ func (o *Ops) guardedRun(kernel string, dst *image.Mat, tol int,
 	refSpan := o.curSpan().Child("guard.referee")
 	ref := NewOps(o.isa, nil)
 	ref.SetUseOptimized(false)
-	want := image.NewMat(dst.Width, dst.Height, dst.Kind)
+	want := par.GetMat(dst.Width, dst.Height, dst.Kind)
+	defer par.PutMat(want)
 	if err := rerun(ref, want); err != nil {
 		refSpan.End()
 		return fmt.Errorf("cv: %s guard referee: %w", kernel, err)

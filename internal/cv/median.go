@@ -90,20 +90,30 @@ func medianPixel(pix []uint8, w, h, x, y int) uint8 {
 	return median9(&n)
 }
 
+// medianArgs bundles the median pass for the banded row bodies. Row bodies
+// read up to one halo row above and below via clamped indexing on the
+// read-only source plane.
+type medianArgs struct {
+	src, dst []uint8
+	w, h     int
+}
+
 func (o *Ops) medianScalar(src, dst *image.Mat) {
-	w, h := src.Width, src.Height
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			dst.U8Pix[y*w+x] = medianPixel(src.U8Pix, w, h, x, y)
-		}
-		o.rowTick()
+	a := medianArgs{src: src.U8Pix, dst: dst.U8Pix, w: src.Width, h: src.Height}
+	parRows(o, src.Height, a, medianScalarRow)
+}
+
+func medianScalarRow(b *Ops, a medianArgs, y int) {
+	w, h := a.w, a.h
+	for x := 0; x < w; x++ {
+		a.dst[y*w+x] = medianPixel(a.src, w, h, x, y)
 	}
-	if o.T != nil {
-		px := uint64(w * h)
-		o.T.RecordN("ldrb(9)", trace.ScalarLoad, 9*px, 1)
-		o.T.RecordN("cmp/sel(net)", trace.ScalarALU, 19*2*px, 0)
-		o.T.RecordN("strb", trace.ScalarStore, px, 1)
-		o.scalarOverhead(px)
+	if b.T != nil {
+		px := uint64(w)
+		b.T.RecordN("ldrb(9)", trace.ScalarLoad, 9*px, 1)
+		b.T.RecordN("cmp/sel(net)", trace.ScalarALU, 19*2*px, 0)
+		b.T.RecordN("strb", trace.ScalarStore, px, 1)
+		b.scalarOverhead(px)
 	}
 }
 
@@ -139,41 +149,48 @@ func (o *Ops) medianNetworkNEON(p *[9]vec.V128) vec.V128 {
 }
 
 func (o *Ops) medianNEON(src, dst *image.Mat) {
-	w, h := src.Width, src.Height
-	u := o.n
+	a := medianArgs{src: src.U8Pix, dst: dst.U8Pix, w: src.Width, h: src.Height}
+	parRows(o, src.Height, a, medianNEONRow)
+}
+
+func medianNEONRow(b *Ops, a medianArgs, y int) {
+	w, h := a.w, a.h
+	u := b.n
+	rows := [3][]uint8{
+		a.src[clampIdx(y-1, h)*w:],
+		a.src[y*w:],
+		a.src[clampIdx(y+1, h)*w:],
+	}
+	out := a.dst[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		rows := [3][]uint8{
-			src.U8Pix[clampIdx(y-1, h)*w:],
-			src.U8Pix[y*w:],
-			src.U8Pix[clampIdx(y+1, h)*w:],
-		}
-		out := dst.U8Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x < 1 && x < w; x++ {
-			out[x] = medianPixel(src.U8Pix, w, h, x, y)
-			edge++
-		}
-		for ; x+16 <= w-1; x += 16 {
-			var p [9]vec.V128
-			for r := 0; r < 3; r++ {
-				p[3*r] = u.Vld1qU8(rows[r][x-1:])
-				p[3*r+1] = u.Vld1qU8(rows[r][x:])
-				p[3*r+2] = u.Vld1qU8(rows[r][x+1:])
-			}
-			u.Vst1qU8(out[x:], o.medianNetworkNEON(&p))
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = medianPixel(src.U8Pix, w, h, x, y)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x < 1 && x < w; x++ {
+		out[x] = medianPixel(a.src, w, h, x, y)
+		edge++
 	}
-	if o.T != nil && edge > 0 {
-		o.T.RecordN("median(tail)", trace.ScalarALU, 47*uint64(edge), 0)
-		o.scalarOverhead(uint64(edge))
+	for ; x+16 <= w-1; x += 16 {
+		var p [9]vec.V128
+		for r := 0; r < 3; r++ {
+			p[3*r] = u.Vld1qU8(rows[r][x-1:])
+			p[3*r+1] = u.Vld1qU8(rows[r][x:])
+			p[3*r+2] = u.Vld1qU8(rows[r][x+1:])
+		}
+		u.Vst1qU8(out[x:], b.medianNetworkNEON(&p))
+		u.Overhead(2, 1, 0)
 	}
+	for ; x < w; x++ {
+		out[x] = medianPixel(a.src, w, h, x, y)
+		edge++
+	}
+	b.medianTailCost(uint64(edge))
+}
+
+func (o *Ops) medianTailCost(pixels uint64) {
+	if o.T == nil || pixels == 0 {
+		return
+	}
+	o.T.RecordN("median(tail)", trace.ScalarALU, 47*pixels, 0)
+	o.scalarOverhead(pixels)
 }
 
 // medianNetworkSSE2 is the same network on pminub/pmaxub.
@@ -207,39 +224,38 @@ func (o *Ops) medianNetworkSSE2(p *[9]vec.V128) vec.V128 {
 }
 
 func (o *Ops) medianSSE2(src, dst *image.Mat) {
-	w, h := src.Width, src.Height
-	u := o.s
+	a := medianArgs{src: src.U8Pix, dst: dst.U8Pix, w: src.Width, h: src.Height}
+	parRows(o, src.Height, a, medianSSE2Row)
+}
+
+func medianSSE2Row(b *Ops, a medianArgs, y int) {
+	w, h := a.w, a.h
+	u := b.s
+	rows := [3][]uint8{
+		a.src[clampIdx(y-1, h)*w:],
+		a.src[y*w:],
+		a.src[clampIdx(y+1, h)*w:],
+	}
+	out := a.dst[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		rows := [3][]uint8{
-			src.U8Pix[clampIdx(y-1, h)*w:],
-			src.U8Pix[y*w:],
-			src.U8Pix[clampIdx(y+1, h)*w:],
-		}
-		out := dst.U8Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x < 1 && x < w; x++ {
-			out[x] = medianPixel(src.U8Pix, w, h, x, y)
-			edge++
-		}
-		for ; x+16 <= w-1; x += 16 {
-			var p [9]vec.V128
-			for r := 0; r < 3; r++ {
-				p[3*r] = u.LoaduSi128U8(rows[r][x-1:])
-				p[3*r+1] = u.LoaduSi128U8(rows[r][x:])
-				p[3*r+2] = u.LoaduSi128U8(rows[r][x+1:])
-			}
-			u.StoreuSi128U8(out[x:], o.medianNetworkSSE2(&p))
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = medianPixel(src.U8Pix, w, h, x, y)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x < 1 && x < w; x++ {
+		out[x] = medianPixel(a.src, w, h, x, y)
+		edge++
 	}
-	if o.T != nil && edge > 0 {
-		o.T.RecordN("median(tail)", trace.ScalarALU, 47*uint64(edge), 0)
-		o.scalarOverhead(uint64(edge))
+	for ; x+16 <= w-1; x += 16 {
+		var p [9]vec.V128
+		for r := 0; r < 3; r++ {
+			p[3*r] = u.LoaduSi128U8(rows[r][x-1:])
+			p[3*r+1] = u.LoaduSi128U8(rows[r][x:])
+			p[3*r+2] = u.LoaduSi128U8(rows[r][x+1:])
+		}
+		u.StoreuSi128U8(out[x:], b.medianNetworkSSE2(&p))
+		u.Overhead(2, 1, 0)
 	}
+	for ; x < w; x++ {
+		out[x] = medianPixel(a.src, w, h, x, y)
+		edge++
+	}
+	b.medianTailCost(uint64(edge))
 }

@@ -63,6 +63,13 @@ func (o *Ops) curSpan() *obs.Span {
 // whether the SIMD path may run — runs denied there fall through to the
 // scalar path via UseOptimized without consuming the useOptimized latch.
 func (o *Ops) beginKernel(name string) *obs.Span {
+	if o.brk == nil && o.Obs == nil {
+		// Fast path: without a breaker or registry the depth/frame state is
+		// never consulted, and skipping it keeps a plain Ops free of
+		// unsynchronized writes — the property that makes one Ops shareable
+		// across goroutines.
+		return nil
+	}
 	o.depth++
 	if o.depth == 1 && o.brk != nil && o.guarded && o.useOptimized && o.isa != ISAScalar {
 		// Only consult the breaker when the SIMD path is actually eligible;
@@ -101,6 +108,9 @@ func (o *Ops) beginKernel(name string) *obs.Span {
 // deltas into the registry counters (inner kernels skip that so composite
 // pipelines are not double counted).
 func (o *Ops) endKernel(name string, err error) {
+	if o.brk == nil && o.Obs == nil {
+		return
+	}
 	if o.depth > 0 {
 		o.depth--
 	}

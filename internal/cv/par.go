@@ -1,0 +1,283 @@
+package cv
+
+import (
+	"sync/atomic"
+
+	"simdstudy/internal/faults"
+	"simdstudy/internal/neon"
+	"simdstudy/internal/par"
+	"simdstudy/internal/sse2"
+	"simdstudy/internal/trace"
+)
+
+// This file is the kernel library's parallel dispatch layer. Every kernel
+// pass — a row loop for the stencil kernels, an element loop for the flat
+// ones — routes through parRows or parFlat, which split the pass into
+// deterministic bands (see internal/par) and run each band on a clone of
+// the Ops:
+//
+//   - the clone's NEON/SSE2 units record into a private trace.Counter that
+//     is merged into the parent's counter when the band completes, so the
+//     merged per-class instruction counts are bit-identical to a serial run
+//     (band boundaries never split a vector iteration: rows are the natural
+//     quantum for stencil passes, and flat passes band on flatQuantum-
+//     element boundaries, a multiple of every vector width used here);
+//   - the clone's fault injector is a fork of the parent's plan, reseeded at
+//     every row/block boundary from (pass sequence number, row index), so
+//     the injection schedule is a pure function of the workload geometry —
+//     identical for any worker count — and fork counters join back into the
+//     parent plan in band order;
+//   - cancellation stays row-granular: each band polls the bound context
+//     per row, and the first band to unwind (cancellation or any other
+//     panic) flips a shared stop flag that makes sibling bands unwind at
+//     their next row boundary.
+//
+// The serial case (Workers=1, the default) runs the same banded bodies
+// inline on the parent Ops with no cloning, no goroutines and no
+// allocation; parallelism is an opt-in scheduling change, never a semantic
+// one.
+//
+// Stencil halos need no special machinery: the vertical passes read only
+// the source plane of the pass (never its destination), so a band may read
+// rows owned by its neighbors — including the clamped border rows — without
+// ordering concerns. Pass boundaries (horizontal -> vertical) are full
+// barriers because parRows returns only when every band has finished.
+
+// ParallelConfig sizes intra-kernel parallelism; see par.Config.
+type ParallelConfig = par.Config
+
+// flatQuantum is the element-block size flat (elementwise) kernels band on.
+// It is a multiple of every vector width used by the flat kernels (8 and 16
+// elements), so a band boundary always falls between vector iterations and
+// the vector/tail split — and with it the recorded instruction stream — is
+// identical to a serial sweep for every band layout.
+const flatQuantum = 4096
+
+// SetParallel configures intra-kernel parallelism for this Ops. Workers 0
+// or 1 selects pure serial execution (so the zero ParallelConfig is the
+// safe default everywhere); a negative Workers means one band per
+// available core; MinRowsPerBand<=0 uses par.DefaultMinRows.
+func (o *Ops) SetParallel(cfg ParallelConfig) {
+	if cfg.Workers == 0 || cfg.Workers == 1 {
+		o.par = ParallelConfig{Workers: 1}
+		return
+	}
+	o.par = cfg.Normalized()
+}
+
+// Parallel returns the configured parallelism (zero value: serial).
+func (o *Ops) Parallel() ParallelConfig { return o.par }
+
+// bandStopped is the private unwind token a band raises when a sibling has
+// already failed; the dispatcher swallows it and rethrows the original.
+type bandStopped struct{}
+
+// stripeSalt derives the injector stream position for one row (or element
+// block) of one parallel section. The section salt comes from the Ops'
+// monotone pass sequence — so a guard retry of the same pass draws fresh
+// streams and transient-fault recovery stays possible — and the final
+// mixing happens in Plan.Reseed.
+func stripeSalt(section uint64, stripe int) uint64 {
+	return section<<24 + uint64(stripe)
+}
+
+// sectionReseeder returns the injector's stream-seeding interface when the
+// attached injector supports it, else nil (no per-row reseeding: custom
+// injectors see the historical continuous stream).
+func (o *Ops) sectionReseeder() faults.Reseeder {
+	if o.injector == nil {
+		return nil
+	}
+	rs, _ := o.injector.(faults.Reseeder)
+	return rs
+}
+
+// nBandsRows returns the band count for a rows-high pass.
+func (o *Ops) nBandsRows(rows int) int {
+	if o.par.Workers <= 1 {
+		return 1
+	}
+	return par.NBands(rows, o.par.Workers, o.par.MinRowsPerBand)
+}
+
+// nBandsFlat returns the band count for an n-element flat pass.
+func (o *Ops) nBandsFlat(n int) int {
+	if o.par.Workers <= 1 {
+		return 1
+	}
+	return par.NBands((n+flatQuantum-1)/flatQuantum, o.par.Workers, 1)
+}
+
+// getBand returns a pooled Ops clone wired for one band of a parallel
+// section: private counter feeding the same units, forked injector, the
+// parent's context and the section's shared stop flag.
+func (o *Ops) getBand(stop *atomic.Bool) *Ops {
+	b, _ := o.bandPool.Get().(*Ops)
+	if b == nil {
+		t := &trace.Counter{}
+		b = &Ops{T: t, n: neon.New(t), s: sse2.New(t)}
+	}
+	b.isa = o.isa
+	b.useOptimized = o.useOptimized
+	b.denySIMD = o.denySIMD
+	b.stop = stop
+	b.ctx = o.ctx
+	b.ctxRows = 0
+	if o.T != nil {
+		b.n.T, b.s.T = b.T, b.T
+	} else {
+		b.n.T, b.s.T = nil, nil
+	}
+	if o.injector != nil {
+		inj := o.injector
+		if f, ok := inj.(faults.Forker); ok {
+			inj = f.Fork()
+		}
+		b.injector = inj
+		b.n.F, b.s.F = inj, inj
+		b.reseed, _ = inj.(faults.Reseeder)
+	}
+	return b
+}
+
+// putBand merges a band clone's results back into the parent — counter
+// fan-in via trace.Merge, injector counters via Forker.Join, context row
+// accounting — and recycles the clone.
+func (o *Ops) putBand(b *Ops) {
+	if o.T != nil {
+		o.T.Merge(b.T)
+	}
+	b.T.Reset()
+	if b.injector != nil {
+		if f, ok := o.injector.(faults.Forker); ok && b.injector != o.injector {
+			f.Join(b.injector)
+		}
+		b.injector, b.reseed = nil, nil
+		b.n.F, b.s.F = nil, nil
+	}
+	if o.ctx != nil {
+		o.ctxRows += b.ctxRows
+	}
+	b.ctx = nil
+	b.stop = nil
+	b.ctxRows = 0
+	o.bandPool.Put(b)
+}
+
+// rethrow repanics the first real (non-sentinel) band panic, in band order,
+// so cancellation unwinds and genuine bugs surface exactly as they would
+// serially.
+func rethrow(panics []any) {
+	for _, p := range panics {
+		if p == nil {
+			continue
+		}
+		if _, ok := p.(bandStopped); ok {
+			continue
+		}
+		panic(p)
+	}
+}
+
+// parRows runs body(b, a, y) for every row y in [0, rows), banded across
+// the configured workers. A is the pass's argument bundle; bodies are
+// package-level functions so the serial path allocates nothing.
+func parRows[A any](o *Ops, rows int, a A, body func(b *Ops, a A, y int)) {
+	nb := o.nBandsRows(rows)
+	rs := o.sectionReseeder()
+	var salt uint64
+	if rs != nil {
+		salt = o.passSeq.Add(1)
+	}
+	if nb == 1 {
+		for y := 0; y < rows; y++ {
+			if rs != nil {
+				rs.Reseed(stripeSalt(salt, y))
+			}
+			body(o, a, y)
+			o.rowTick()
+		}
+		return
+	}
+	// Copy the args into a branch-local before the closure captures them:
+	// capturing the parameter itself would move it to the heap at function
+	// entry and cost the serial path an allocation per pass.
+	aa := a
+	bands := make([]*Ops, nb)
+	var stop atomic.Bool
+	for i := range bands {
+		bands[i] = o.getBand(&stop)
+	}
+	panics := par.Run(nb, func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				stop.Store(true)
+				panic(r)
+			}
+		}()
+		b := bands[i]
+		lo, hi := par.Span(i, nb, rows)
+		for y := lo; y < hi; y++ {
+			if b.reseed != nil {
+				b.reseed.Reseed(stripeSalt(salt, y))
+			}
+			body(b, aa, y)
+			b.rowTick()
+		}
+	})
+	for _, b := range bands {
+		o.putBand(b)
+	}
+	rethrow(panics)
+}
+
+// parFlat runs body(b, a, lo, hi) over [0, n) in flatQuantum-aligned
+// blocks, banded across the configured workers. Only the final block can be
+// a partial quantum, so the scalar tail lives in exactly one band.
+func parFlat[A any](o *Ops, n int, a A, body func(b *Ops, a A, lo, hi int)) {
+	nb := o.nBandsFlat(n)
+	rs := o.sectionReseeder()
+	var salt uint64
+	if rs != nil {
+		salt = o.passSeq.Add(1)
+	}
+	if nb == 1 {
+		for c := 0; c < n; c += flatQuantum {
+			ce := min(c+flatQuantum, n)
+			if rs != nil {
+				rs.Reseed(stripeSalt(salt, c/flatQuantum))
+			}
+			body(o, a, c, ce)
+			o.flatTick()
+		}
+		return
+	}
+	aa := a // see parRows: keep the parameter off the heap on the serial path
+	bands := make([]*Ops, nb)
+	var stop atomic.Bool
+	for i := range bands {
+		bands[i] = o.getBand(&stop)
+	}
+	panics := par.Run(nb, func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				stop.Store(true)
+				panic(r)
+			}
+		}()
+		b := bands[i]
+		lo, hi := par.AlignedSpan(i, nb, n, flatQuantum)
+		for c := lo; c < hi; c += flatQuantum {
+			ce := min(c+flatQuantum, hi)
+			if b.reseed != nil {
+				b.reseed.Reseed(stripeSalt(salt, c/flatQuantum))
+			}
+			body(b, aa, c, ce)
+			b.flatTick()
+		}
+	})
+	for _, b := range bands {
+		o.putBand(b)
+	}
+	rethrow(panics)
+}

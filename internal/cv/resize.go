@@ -5,6 +5,7 @@ import (
 
 	"simdstudy/internal/image"
 	"simdstudy/internal/trace"
+	"simdstudy/internal/vec"
 )
 
 // ResizeHalf downsamples a U8 image by 2x in each dimension with a
@@ -16,7 +17,9 @@ import (
 // NEON speedup on Tegra 3). The NEON path showcases the structured vld2
 // load: one instruction splits each row into even and odd pixel columns,
 // so 8 output pixels cost two loads, three widening adds and a rounding
-// shift-narrow.
+// shift-narrow. Each output row reads exactly two source rows that no
+// other output row touches, so the kernel bands over destination rows
+// with no halo at all.
 func (o *Ops) ResizeHalf(src, dst *image.Mat) (err error) {
 	o.beginKernel("ResizeHalf")
 	defer func() { o.endKernel("ResizeHalf", err) }()
@@ -61,89 +64,102 @@ func resizePixel(pix []uint8, w, x, y int) uint8 {
 	return uint8((s + 2) >> 2)
 }
 
+// resizeArgs bundles the downsample pass for the banded row bodies, with
+// the SSE2 deinterleave constants hoisted once on the parent unit.
+type resizeArgs struct {
+	src, dst     []uint8
+	sw, dw       int
+	lowMask, two vec.V128
+}
+
 func (o *Ops) resizeHalfScalar(src, dst *image.Mat) {
-	w := src.Width
-	for y := 0; y < dst.Height; y++ {
-		for x := 0; x < dst.Width; x++ {
-			dst.U8Pix[y*dst.Width+x] = resizePixel(src.U8Pix, w, x, y)
-		}
-		o.rowTick()
+	a := resizeArgs{src: src.U8Pix, dst: dst.U8Pix, sw: src.Width, dw: dst.Width}
+	parRows(o, dst.Height, a, resizeScalarRow)
+}
+
+func resizeScalarRow(b *Ops, a resizeArgs, y int) {
+	for x := 0; x < a.dw; x++ {
+		a.dst[y*a.dw+x] = resizePixel(a.src, a.sw, x, y)
 	}
-	if o.T != nil {
-		px := uint64(dst.Pixels())
-		o.T.RecordN("ldrb(4)", trace.ScalarLoad, 4*px, 1)
-		o.T.RecordN("add/shr", trace.ScalarALU, 4*px, 0)
-		o.T.RecordN("strb", trace.ScalarStore, px, 1)
-		o.scalarOverhead(px)
+	if b.T != nil {
+		px := uint64(a.dw)
+		b.T.RecordN("ldrb(4)", trace.ScalarLoad, 4*px, 1)
+		b.T.RecordN("add/shr", trace.ScalarALU, 4*px, 0)
+		b.T.RecordN("strb", trace.ScalarStore, px, 1)
+		b.scalarOverhead(px)
 	}
 }
 
 func (o *Ops) resizeHalfNEON(src, dst *image.Mat) {
-	u := o.n
-	w := src.Width
+	a := resizeArgs{src: src.U8Pix, dst: dst.U8Pix, sw: src.Width, dw: dst.Width}
+	parRows(o, dst.Height, a, resizeNEONRow)
+}
+
+func resizeNEONRow(b *Ops, a resizeArgs, y int) {
+	u := b.n
+	row0 := a.src[2*y*a.sw:]
+	row1 := a.src[(2*y+1)*a.sw:]
+	out := a.dst[y*a.dw : (y+1)*a.dw]
 	edge := 0
-	for y := 0; y < dst.Height; y++ {
-		row0 := src.U8Pix[2*y*w:]
-		row1 := src.U8Pix[(2*y+1)*w:]
-		out := dst.U8Pix[y*dst.Width : (y+1)*dst.Width]
-		x := 0
-		for ; x+8 <= dst.Width; x += 8 {
-			// vld2 splits 16 source bytes into even/odd columns.
-			p0 := u.Vld2U8(row0[2*x:])
-			p1 := u.Vld2U8(row1[2*x:])
-			acc := u.VaddlU8(p0[0], p0[1])
-			acc = u.VaddwU8(acc, p1[0])
-			acc = u.VaddwU8(acc, p1[1])
-			u.Vst1U8(out[x:], u.VrshrnNU16(acc, 2))
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < dst.Width; x++ {
-			out[x] = resizePixel(src.U8Pix, w, x, y)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x+8 <= a.dw; x += 8 {
+		// vld2 splits 16 source bytes into even/odd columns.
+		p0 := u.Vld2U8(row0[2*x:])
+		p1 := u.Vld2U8(row1[2*x:])
+		acc := u.VaddlU8(p0[0], p0[1])
+		acc = u.VaddwU8(acc, p1[0])
+		acc = u.VaddwU8(acc, p1[1])
+		u.Vst1U8(out[x:], u.VrshrnNU16(acc, 2))
+		u.Overhead(2, 1, 0)
 	}
-	if o.T != nil && edge > 0 {
-		o.T.RecordN("resize(tail)", trace.ScalarALU, 8*uint64(edge), 0)
-		o.scalarOverhead(uint64(edge))
+	for ; x < a.dw; x++ {
+		out[x] = resizePixel(a.src, a.sw, x, y)
+		edge++
 	}
+	b.resizeTailCost(uint64(edge))
+}
+
+func (o *Ops) resizeTailCost(pixels uint64) {
+	if o.T == nil || pixels == 0 {
+		return
+	}
+	o.T.RecordN("resize(tail)", trace.ScalarALU, 8*pixels, 0)
+	o.scalarOverhead(pixels)
 }
 
 func (o *Ops) resizeHalfSSE2(src, dst *image.Mat) {
-	u := o.s
-	w := src.Width
-	lowMask := u.Set1Epi16(0x00FF)
-	two := u.Set1Epi16(2)
+	a := resizeArgs{src: src.U8Pix, dst: dst.U8Pix, sw: src.Width, dw: dst.Width}
+	a.lowMask = o.s.Set1Epi16(0x00FF)
+	a.two = o.s.Set1Epi16(2)
+	parRows(o, dst.Height, a, resizeSSE2Row)
+}
+
+func resizeSSE2Row(b *Ops, a resizeArgs, y int) {
+	u := b.s
+	row0 := a.src[2*y*a.sw:]
+	row1 := a.src[(2*y+1)*a.sw:]
+	out := a.dst[y*a.dw : (y+1)*a.dw]
 	edge := 0
-	for y := 0; y < dst.Height; y++ {
-		row0 := src.U8Pix[2*y*w:]
-		row1 := src.U8Pix[(2*y+1)*w:]
-		out := dst.U8Pix[y*dst.Width : (y+1)*dst.Width]
-		x := 0
-		for ; x+8 <= dst.Width; x += 8 {
-			// SSE2 has no deinterleaving load: split even/odd columns
-			// with a mask and a 16-bit shift — two extra ops per load
-			// that vld2 gets for free, the asymmetry behind NEON's edge
-			// on this kernel.
-			v0 := u.LoaduSi128U8(row0[2*x:])
-			v1 := u.LoaduSi128U8(row1[2*x:])
-			even0 := u.AndSi128(v0, lowMask)
-			odd0 := u.SrliEpi16(v0, 8)
-			even1 := u.AndSi128(v1, lowMask)
-			odd1 := u.SrliEpi16(v1, 8)
-			acc := u.AddEpi16(u.AddEpi16(even0, odd0), u.AddEpi16(even1, odd1))
-			acc = u.SrliEpi16(u.AddEpi16(acc, two), 2)
-			u.StorelEpi64U8(out[x:], u.PackusEpi16(acc, acc))
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < dst.Width; x++ {
-			out[x] = resizePixel(src.U8Pix, w, x, y)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x+8 <= a.dw; x += 8 {
+		// SSE2 has no deinterleaving load: split even/odd columns
+		// with a mask and a 16-bit shift — two extra ops per load
+		// that vld2 gets for free, the asymmetry behind NEON's edge
+		// on this kernel.
+		v0 := u.LoaduSi128U8(row0[2*x:])
+		v1 := u.LoaduSi128U8(row1[2*x:])
+		even0 := u.AndSi128(v0, a.lowMask)
+		odd0 := u.SrliEpi16(v0, 8)
+		even1 := u.AndSi128(v1, a.lowMask)
+		odd1 := u.SrliEpi16(v1, 8)
+		acc := u.AddEpi16(u.AddEpi16(even0, odd0), u.AddEpi16(even1, odd1))
+		acc = u.SrliEpi16(u.AddEpi16(acc, a.two), 2)
+		u.StorelEpi64U8(out[x:], u.PackusEpi16(acc, acc))
+		u.Overhead(2, 1, 0)
 	}
-	if o.T != nil && edge > 0 {
-		o.T.RecordN("resize(tail)", trace.ScalarALU, 8*uint64(edge), 0)
-		o.scalarOverhead(uint64(edge))
+	for ; x < a.dw; x++ {
+		out[x] = resizePixel(a.src, a.sw, x, y)
+		edge++
 	}
+	b.resizeTailCost(uint64(edge))
 }

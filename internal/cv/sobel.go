@@ -4,13 +4,19 @@ import (
 	"fmt"
 
 	"simdstudy/internal/image"
+	"simdstudy/internal/par"
 	"simdstudy/internal/trace"
+	"simdstudy/internal/vec"
 )
 
 // SobelFilter computes the first derivative of a U8 image into an S16 image
 // using the separable 3x3 Sobel operator, the paper's benchmark 4. dx=1,dy=0
 // selects the horizontal gradient ([-1 0 1] differentiator with [1 2 1]
 // cross-smoothing); dx=0,dy=1 the vertical. Borders are replicated.
+//
+// Each pass is row-banded when parallelism is configured: the vertical
+// passes read one halo row above and below from the intermediate plane,
+// which is read-only by then, and the pass boundary is a barrier.
 func (o *Ops) SobelFilter(src, dst *image.Mat, dx, dy int) (err error) {
 	o.beginKernel("SobelFilter")
 	defer func() { o.endKernel("SobelFilter", err) }()
@@ -29,7 +35,8 @@ func (o *Ops) SobelFilter(src, dst *image.Mat, dx, dy int) (err error) {
 		return fmt.Errorf("cv: SobelFilter supports (dx,dy) of (1,0) or (0,1), got (%d,%d)", dx, dy)
 	}
 	run := func(op *Ops, d *image.Mat) error {
-		tmp := image.NewMat(src.Width, src.Height, image.S16)
+		tmp := par.GetMat(src.Width, src.Height, image.S16)
+		defer par.PutMat(tmp)
 		if op.UseOptimized() {
 			switch op.isa {
 			case ISANEON:
@@ -101,52 +108,71 @@ func (o *Ops) sobelRowCost(pixels uint64, taps int) {
 	o.scalarOverhead(pixels)
 }
 
+// sobelArgs bundles one Sobel pass for the banded row bodies. in8 is the
+// source plane of the U8->S16 horizontal passes; in16 the S16 plane of the
+// vertical passes; out is always the S16 destination of the pass.
+type sobelArgs struct {
+	in8  []uint8
+	in16 []int16
+	out  []int16
+	w, h int
+	zero vec.V128 // SSE2 unpack constant, hoisted on the parent
+}
+
 func (o *Ops) sobelDiffHScalar(src, tmp *image.Mat) {
-	w, h := src.Width, src.Height
-	for y := 0; y < h; y++ {
-		row := src.U8Pix[y*w : (y+1)*w]
-		out := tmp.S16Pix[y*w : (y+1)*w]
-		for x := 0; x < w; x++ {
-			out[x] = diffHPixel(row, w, x)
-		}
-		o.rowTick()
+	a := sobelArgs{in8: src.U8Pix, out: tmp.S16Pix, w: src.Width, h: src.Height}
+	parRows(o, src.Height, a, sobelDiffHScalarRow)
+}
+
+func sobelDiffHScalarRow(b *Ops, a sobelArgs, y int) {
+	w := a.w
+	row := a.in8[y*w : (y+1)*w]
+	out := a.out[y*w : (y+1)*w]
+	for x := 0; x < w; x++ {
+		out[x] = diffHPixel(row, w, x)
 	}
-	o.sobelRowCost(uint64(w*h), 2)
+	b.sobelRowCost(uint64(w), 2)
 }
 
 func (o *Ops) sobelSmoothHScalar(src, tmp *image.Mat) {
-	w, h := src.Width, src.Height
-	for y := 0; y < h; y++ {
-		row := src.U8Pix[y*w : (y+1)*w]
-		out := tmp.S16Pix[y*w : (y+1)*w]
-		for x := 0; x < w; x++ {
-			out[x] = smoothHPixel(row, w, x)
-		}
-		o.rowTick()
+	a := sobelArgs{in8: src.U8Pix, out: tmp.S16Pix, w: src.Width, h: src.Height}
+	parRows(o, src.Height, a, sobelSmoothHScalarRow)
+}
+
+func sobelSmoothHScalarRow(b *Ops, a sobelArgs, y int) {
+	w := a.w
+	row := a.in8[y*w : (y+1)*w]
+	out := a.out[y*w : (y+1)*w]
+	for x := 0; x < w; x++ {
+		out[x] = smoothHPixel(row, w, x)
 	}
-	o.sobelRowCost(uint64(w*h), 3)
+	b.sobelRowCost(uint64(w), 3)
 }
 
 func (o *Ops) sobelSmoothVScalar(tmp, dst *image.Mat) {
-	w, h := tmp.Width, tmp.Height
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			dst.S16Pix[y*w+x] = smoothVPixel(tmp.S16Pix, w, h, x, y)
-		}
-		o.rowTick()
+	a := sobelArgs{in16: tmp.S16Pix, out: dst.S16Pix, w: tmp.Width, h: tmp.Height}
+	parRows(o, tmp.Height, a, sobelSmoothVScalarRow)
+}
+
+func sobelSmoothVScalarRow(b *Ops, a sobelArgs, y int) {
+	w, h := a.w, a.h
+	for x := 0; x < w; x++ {
+		a.out[y*w+x] = smoothVPixel(a.in16, w, h, x, y)
 	}
-	o.sobelRowCost(uint64(w*h), 3)
+	b.sobelRowCost(uint64(w), 3)
 }
 
 func (o *Ops) sobelDiffVScalar(tmp, dst *image.Mat) {
-	w, h := tmp.Width, tmp.Height
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			dst.S16Pix[y*w+x] = diffVPixel(tmp.S16Pix, w, h, x, y)
-		}
-		o.rowTick()
+	a := sobelArgs{in16: tmp.S16Pix, out: dst.S16Pix, w: tmp.Width, h: tmp.Height}
+	parRows(o, tmp.Height, a, sobelDiffVScalarRow)
+}
+
+func sobelDiffVScalarRow(b *Ops, a sobelArgs, y int) {
+	w, h := a.w, a.h
+	for x := 0; x < w; x++ {
+		a.out[y*w+x] = diffVPixel(a.in16, w, h, x, y)
 	}
-	o.sobelRowCost(uint64(w*h), 2)
+	b.sobelRowCost(uint64(w), 2)
 }
 
 func (o *Ops) sobelTailCost(pixels uint64) {
@@ -162,114 +188,122 @@ func (o *Ops) sobelTailCost(pixels uint64) {
 // sobelDiffHNEON: 8 pixels/iter via one widening subtract.
 func (o *Ops) sobelDiffHNEON(src, tmp *image.Mat) {
 	defer o.n.Session("sobel.diffH", o.curSpan()).End()
-	w, h := src.Width, src.Height
-	u := o.n
+	a := sobelArgs{in8: src.U8Pix, out: tmp.S16Pix, w: src.Width, h: src.Height}
+	parRows(o, src.Height, a, sobelDiffHNEONRow)
+}
+
+func sobelDiffHNEONRow(b *Ops, a sobelArgs, y int) {
+	w := a.w
+	u := b.n
+	row := a.in8[y*w : (y+1)*w]
+	out := a.out[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		row := src.U8Pix[y*w : (y+1)*w]
-		out := tmp.S16Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x < 1 && x < w; x++ {
-			out[x] = diffHPixel(row, w, x)
-			edge++
-		}
-		for ; x+8 <= w-1; x += 8 {
-			d := u.VsublU8(u.Vld1U8(row[x+1:]), u.Vld1U8(row[x-1:]))
-			u.Vst1qS16(out[x:], d)
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = diffHPixel(row, w, x)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x < 1 && x < w; x++ {
+		out[x] = diffHPixel(row, w, x)
+		edge++
 	}
-	o.sobelTailCost(uint64(edge))
+	for ; x+8 <= w-1; x += 8 {
+		d := u.VsublU8(u.Vld1U8(row[x+1:]), u.Vld1U8(row[x-1:]))
+		u.Vst1qS16(out[x:], d)
+		u.Overhead(2, 1, 0)
+	}
+	for ; x < w; x++ {
+		out[x] = diffHPixel(row, w, x)
+		edge++
+	}
+	b.sobelTailCost(uint64(edge))
 }
 
 // sobelSmoothHNEON: 8 pixels/iter: widening add of the outer taps plus two
 // widening adds of the centre.
 func (o *Ops) sobelSmoothHNEON(src, tmp *image.Mat) {
 	defer o.n.Session("sobel.smoothH", o.curSpan()).End()
-	w, h := src.Width, src.Height
-	u := o.n
+	a := sobelArgs{in8: src.U8Pix, out: tmp.S16Pix, w: src.Width, h: src.Height}
+	parRows(o, src.Height, a, sobelSmoothHNEONRow)
+}
+
+func sobelSmoothHNEONRow(b *Ops, a sobelArgs, y int) {
+	w := a.w
+	u := b.n
+	row := a.in8[y*w : (y+1)*w]
+	out := a.out[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		row := src.U8Pix[y*w : (y+1)*w]
-		out := tmp.S16Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x < 1 && x < w; x++ {
-			out[x] = smoothHPixel(row, w, x)
-			edge++
-		}
-		for ; x+8 <= w-1; x += 8 {
-			centre := u.Vld1U8(row[x:])
-			acc := u.VaddlU8(u.Vld1U8(row[x-1:]), u.Vld1U8(row[x+1:]))
-			acc = u.VaddwU8(acc, centre)
-			acc = u.VaddwU8(acc, centre)
-			u.Vst1qS16(out[x:], acc)
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = smoothHPixel(row, w, x)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x < 1 && x < w; x++ {
+		out[x] = smoothHPixel(row, w, x)
+		edge++
 	}
-	o.sobelTailCost(uint64(edge))
+	for ; x+8 <= w-1; x += 8 {
+		centre := u.Vld1U8(row[x:])
+		acc := u.VaddlU8(u.Vld1U8(row[x-1:]), u.Vld1U8(row[x+1:]))
+		acc = u.VaddwU8(acc, centre)
+		acc = u.VaddwU8(acc, centre)
+		u.Vst1qS16(out[x:], acc)
+		u.Overhead(2, 1, 0)
+	}
+	for ; x < w; x++ {
+		out[x] = smoothHPixel(row, w, x)
+		edge++
+	}
+	b.sobelTailCost(uint64(edge))
 }
 
 // sobelSmoothVNEON: 8 pixels/iter on S16 rows: add outer rows, add centre
 // shifted left by one.
 func (o *Ops) sobelSmoothVNEON(tmp, dst *image.Mat) {
 	defer o.n.Session("sobel.smoothV", o.curSpan()).End()
-	w, h := tmp.Width, tmp.Height
-	u := o.n
+	a := sobelArgs{in16: tmp.S16Pix, out: dst.S16Pix, w: tmp.Width, h: tmp.Height}
+	parRows(o, tmp.Height, a, sobelSmoothVNEONRow)
+}
+
+func sobelSmoothVNEONRow(b *Ops, a sobelArgs, y int) {
+	w, h := a.w, a.h
+	u := b.n
+	r0 := a.in16[clampIdx(y-1, h)*w:]
+	r1 := a.in16[y*w:]
+	r2 := a.in16[clampIdx(y+1, h)*w:]
+	out := a.out[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		r0 := tmp.S16Pix[clampIdx(y-1, h)*w:]
-		r1 := tmp.S16Pix[y*w:]
-		r2 := tmp.S16Pix[clampIdx(y+1, h)*w:]
-		out := dst.S16Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x+8 <= w; x += 8 {
-			acc := u.VaddqS16(u.Vld1qS16(r0[x:]), u.Vld1qS16(r2[x:]))
-			acc = u.VaddqS16(acc, u.VshlqNS16(u.Vld1qS16(r1[x:]), 1))
-			u.Vst1qS16(out[x:], acc)
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = smoothVPixel(tmp.S16Pix, w, h, x, y)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x+8 <= w; x += 8 {
+		acc := u.VaddqS16(u.Vld1qS16(r0[x:]), u.Vld1qS16(r2[x:]))
+		acc = u.VaddqS16(acc, u.VshlqNS16(u.Vld1qS16(r1[x:]), 1))
+		u.Vst1qS16(out[x:], acc)
+		u.Overhead(2, 1, 0)
 	}
-	o.sobelTailCost(uint64(edge))
+	for ; x < w; x++ {
+		out[x] = smoothVPixel(a.in16, w, h, x, y)
+		edge++
+	}
+	b.sobelTailCost(uint64(edge))
 }
 
 // sobelDiffVNEON: 8 pixels/iter on S16 rows: one subtract.
 func (o *Ops) sobelDiffVNEON(tmp, dst *image.Mat) {
 	defer o.n.Session("sobel.diffV", o.curSpan()).End()
-	w, h := tmp.Width, tmp.Height
-	u := o.n
+	a := sobelArgs{in16: tmp.S16Pix, out: dst.S16Pix, w: tmp.Width, h: tmp.Height}
+	parRows(o, tmp.Height, a, sobelDiffVNEONRow)
+}
+
+func sobelDiffVNEONRow(b *Ops, a sobelArgs, y int) {
+	w, h := a.w, a.h
+	u := b.n
+	r0 := a.in16[clampIdx(y-1, h)*w:]
+	r2 := a.in16[clampIdx(y+1, h)*w:]
+	out := a.out[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		r0 := tmp.S16Pix[clampIdx(y-1, h)*w:]
-		r2 := tmp.S16Pix[clampIdx(y+1, h)*w:]
-		out := dst.S16Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x+8 <= w; x += 8 {
-			d := u.VsubqS16(u.Vld1qS16(r2[x:]), u.Vld1qS16(r0[x:]))
-			u.Vst1qS16(out[x:], d)
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = diffVPixel(tmp.S16Pix, w, h, x, y)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x+8 <= w; x += 8 {
+		d := u.VsubqS16(u.Vld1qS16(r2[x:]), u.Vld1qS16(r0[x:]))
+		u.Vst1qS16(out[x:], d)
+		u.Overhead(2, 1, 0)
 	}
-	o.sobelTailCost(uint64(edge))
+	for ; x < w; x++ {
+		out[x] = diffVPixel(a.in16, w, h, x, y)
+		edge++
+	}
+	b.sobelTailCost(uint64(edge))
 }
 
 // --- SSE2 ---
@@ -277,112 +311,120 @@ func (o *Ops) sobelDiffVNEON(tmp, dst *image.Mat) {
 // sobelDiffHSSE2: 8 pixels/iter: unpack both neighbours to words, subtract.
 func (o *Ops) sobelDiffHSSE2(src, tmp *image.Mat) {
 	defer o.s.Session("sobel.diffH", o.curSpan()).End()
-	w, h := src.Width, src.Height
-	u := o.s
-	zero := u.SetzeroSi128()
+	a := sobelArgs{in8: src.U8Pix, out: tmp.S16Pix, w: src.Width, h: src.Height}
+	a.zero = o.s.SetzeroSi128()
+	parRows(o, src.Height, a, sobelDiffHSSE2Row)
+}
+
+func sobelDiffHSSE2Row(b *Ops, a sobelArgs, y int) {
+	w := a.w
+	u := b.s
+	row := a.in8[y*w : (y+1)*w]
+	out := a.out[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		row := src.U8Pix[y*w : (y+1)*w]
-		out := tmp.S16Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x < 1 && x < w; x++ {
-			out[x] = diffHPixel(row, w, x)
-			edge++
-		}
-		for ; x+8 <= w-1; x += 8 {
-			a := u.UnpackloEpi8(u.LoadlEpi64U8(row[x+1:]), zero)
-			b := u.UnpackloEpi8(u.LoadlEpi64U8(row[x-1:]), zero)
-			u.StoreuSi128S16(out[x:], u.SubEpi16(a, b))
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = diffHPixel(row, w, x)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x < 1 && x < w; x++ {
+		out[x] = diffHPixel(row, w, x)
+		edge++
 	}
-	o.sobelTailCost(uint64(edge))
+	for ; x+8 <= w-1; x += 8 {
+		p := u.UnpackloEpi8(u.LoadlEpi64U8(row[x+1:]), a.zero)
+		q := u.UnpackloEpi8(u.LoadlEpi64U8(row[x-1:]), a.zero)
+		u.StoreuSi128S16(out[x:], u.SubEpi16(p, q))
+		u.Overhead(2, 1, 0)
+	}
+	for ; x < w; x++ {
+		out[x] = diffHPixel(row, w, x)
+		edge++
+	}
+	b.sobelTailCost(uint64(edge))
 }
 
 // sobelSmoothHSSE2: 8 pixels/iter.
 func (o *Ops) sobelSmoothHSSE2(src, tmp *image.Mat) {
 	defer o.s.Session("sobel.smoothH", o.curSpan()).End()
-	w, h := src.Width, src.Height
-	u := o.s
-	zero := u.SetzeroSi128()
+	a := sobelArgs{in8: src.U8Pix, out: tmp.S16Pix, w: src.Width, h: src.Height}
+	a.zero = o.s.SetzeroSi128()
+	parRows(o, src.Height, a, sobelSmoothHSSE2Row)
+}
+
+func sobelSmoothHSSE2Row(b *Ops, a sobelArgs, y int) {
+	w := a.w
+	u := b.s
+	row := a.in8[y*w : (y+1)*w]
+	out := a.out[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		row := src.U8Pix[y*w : (y+1)*w]
-		out := tmp.S16Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x < 1 && x < w; x++ {
-			out[x] = smoothHPixel(row, w, x)
-			edge++
-		}
-		for ; x+8 <= w-1; x += 8 {
-			l := u.UnpackloEpi8(u.LoadlEpi64U8(row[x-1:]), zero)
-			c := u.UnpackloEpi8(u.LoadlEpi64U8(row[x:]), zero)
-			r := u.UnpackloEpi8(u.LoadlEpi64U8(row[x+1:]), zero)
-			acc := u.AddEpi16(u.AddEpi16(l, r), u.SlliEpi16(c, 1))
-			u.StoreuSi128S16(out[x:], acc)
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = smoothHPixel(row, w, x)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x < 1 && x < w; x++ {
+		out[x] = smoothHPixel(row, w, x)
+		edge++
 	}
-	o.sobelTailCost(uint64(edge))
+	for ; x+8 <= w-1; x += 8 {
+		l := u.UnpackloEpi8(u.LoadlEpi64U8(row[x-1:]), a.zero)
+		c := u.UnpackloEpi8(u.LoadlEpi64U8(row[x:]), a.zero)
+		r := u.UnpackloEpi8(u.LoadlEpi64U8(row[x+1:]), a.zero)
+		acc := u.AddEpi16(u.AddEpi16(l, r), u.SlliEpi16(c, 1))
+		u.StoreuSi128S16(out[x:], acc)
+		u.Overhead(2, 1, 0)
+	}
+	for ; x < w; x++ {
+		out[x] = smoothHPixel(row, w, x)
+		edge++
+	}
+	b.sobelTailCost(uint64(edge))
 }
 
 // sobelSmoothVSSE2: 8 pixels/iter on S16 rows.
 func (o *Ops) sobelSmoothVSSE2(tmp, dst *image.Mat) {
 	defer o.s.Session("sobel.smoothV", o.curSpan()).End()
-	w, h := tmp.Width, tmp.Height
-	u := o.s
+	a := sobelArgs{in16: tmp.S16Pix, out: dst.S16Pix, w: tmp.Width, h: tmp.Height}
+	parRows(o, tmp.Height, a, sobelSmoothVSSE2Row)
+}
+
+func sobelSmoothVSSE2Row(b *Ops, a sobelArgs, y int) {
+	w, h := a.w, a.h
+	u := b.s
+	r0 := a.in16[clampIdx(y-1, h)*w:]
+	r1 := a.in16[y*w:]
+	r2 := a.in16[clampIdx(y+1, h)*w:]
+	out := a.out[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		r0 := tmp.S16Pix[clampIdx(y-1, h)*w:]
-		r1 := tmp.S16Pix[y*w:]
-		r2 := tmp.S16Pix[clampIdx(y+1, h)*w:]
-		out := dst.S16Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x+8 <= w; x += 8 {
-			acc := u.AddEpi16(u.LoaduSi128S16(r0[x:]), u.LoaduSi128S16(r2[x:]))
-			acc = u.AddEpi16(acc, u.SlliEpi16(u.LoaduSi128S16(r1[x:]), 1))
-			u.StoreuSi128S16(out[x:], acc)
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = smoothVPixel(tmp.S16Pix, w, h, x, y)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x+8 <= w; x += 8 {
+		acc := u.AddEpi16(u.LoaduSi128S16(r0[x:]), u.LoaduSi128S16(r2[x:]))
+		acc = u.AddEpi16(acc, u.SlliEpi16(u.LoaduSi128S16(r1[x:]), 1))
+		u.StoreuSi128S16(out[x:], acc)
+		u.Overhead(2, 1, 0)
 	}
-	o.sobelTailCost(uint64(edge))
+	for ; x < w; x++ {
+		out[x] = smoothVPixel(a.in16, w, h, x, y)
+		edge++
+	}
+	b.sobelTailCost(uint64(edge))
 }
 
 // sobelDiffVSSE2: 8 pixels/iter on S16 rows.
 func (o *Ops) sobelDiffVSSE2(tmp, dst *image.Mat) {
 	defer o.s.Session("sobel.diffV", o.curSpan()).End()
-	w, h := tmp.Width, tmp.Height
-	u := o.s
+	a := sobelArgs{in16: tmp.S16Pix, out: dst.S16Pix, w: tmp.Width, h: tmp.Height}
+	parRows(o, tmp.Height, a, sobelDiffVSSE2Row)
+}
+
+func sobelDiffVSSE2Row(b *Ops, a sobelArgs, y int) {
+	w, h := a.w, a.h
+	u := b.s
+	r0 := a.in16[clampIdx(y-1, h)*w:]
+	r2 := a.in16[clampIdx(y+1, h)*w:]
+	out := a.out[y*w : (y+1)*w]
 	edge := 0
-	for y := 0; y < h; y++ {
-		r0 := tmp.S16Pix[clampIdx(y-1, h)*w:]
-		r2 := tmp.S16Pix[clampIdx(y+1, h)*w:]
-		out := dst.S16Pix[y*w : (y+1)*w]
-		x := 0
-		for ; x+8 <= w; x += 8 {
-			u.StoreuSi128S16(out[x:], u.SubEpi16(u.LoaduSi128S16(r2[x:]), u.LoaduSi128S16(r0[x:])))
-			u.Overhead(2, 1, 0)
-		}
-		for ; x < w; x++ {
-			out[x] = diffVPixel(tmp.S16Pix, w, h, x, y)
-			edge++
-		}
-		o.rowTick()
+	x := 0
+	for ; x+8 <= w; x += 8 {
+		u.StoreuSi128S16(out[x:], u.SubEpi16(u.LoaduSi128S16(r2[x:]), u.LoaduSi128S16(r0[x:])))
+		u.Overhead(2, 1, 0)
 	}
-	o.sobelTailCost(uint64(edge))
+	for ; x < w; x++ {
+		out[x] = diffVPixel(a.in16, w, h, x, y)
+		edge++
+	}
+	b.sobelTailCost(uint64(edge))
 }

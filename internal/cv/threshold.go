@@ -107,19 +107,36 @@ func thresholdPixel(v, thresh, maxval uint8, typ ThreshType) uint8 {
 	}
 }
 
+// threshArgs bundles one threshold pass for the banded chunk bodies; the
+// vector constants are hoisted (and their setup instructions recorded) once
+// on the parent Ops, then used by every band as plain register values —
+// exactly how the compiled loop keeps them live across iterations.
+type threshArgs struct {
+	s, d           []uint8
+	thresh, maxval uint8
+	typ            ThreshType
+	vthresh, vmax  vec.V128
+	bias, vbiased  vec.V128 // SSE2 signed-compare bias trick
+}
+
 func (o *Ops) thresholdScalar(src, dst *image.Mat, thresh, maxval uint8, typ ThreshType) {
-	s, d := src.U8Pix, dst.U8Pix
-	n := len(s)
-	for i := 0; i < n; i++ {
-		d[i] = thresholdPixel(s[i], thresh, maxval, typ)
+	a := threshArgs{s: src.U8Pix, d: dst.U8Pix, thresh: thresh, maxval: maxval, typ: typ}
+	parFlat(o, len(src.U8Pix), a, threshScalarChunk)
+}
+
+func threshScalarChunk(b *Ops, a threshArgs, lo, hi int) {
+	s, d := a.s, a.d
+	for i := lo; i < hi; i++ {
+		d[i] = thresholdPixel(s[i], a.thresh, a.maxval, a.typ)
 	}
-	if o.T != nil {
+	if b.T != nil {
 		// Per pixel: byte load, compare+conditional select (branchless at
 		// -O3), byte store.
-		o.T.RecordN("ldrb", trace.ScalarLoad, uint64(n), 1)
-		o.T.RecordN("cmp+sel", trace.ScalarALU, uint64(2*n), 0)
-		o.T.RecordN("strb", trace.ScalarStore, uint64(n), 1)
-		o.scalarOverhead(uint64(n))
+		n := uint64(hi - lo)
+		b.T.RecordN("ldrb", trace.ScalarLoad, n, 1)
+		b.T.RecordN("cmp+sel", trace.ScalarALU, 2*n, 0)
+		b.T.RecordN("strb", trace.ScalarStore, n, 1)
+		b.scalarOverhead(n)
 	}
 }
 
@@ -127,19 +144,23 @@ func (o *Ops) thresholdScalar(src, dst *image.Mat, thresh, maxval uint8, typ Thr
 // vmin.u8; the masked variants compare and bit-select.
 func (o *Ops) thresholdNEON(src, dst *image.Mat, thresh, maxval uint8, typ ThreshType) {
 	defer o.n.Session("threshold", o.curSpan()).End()
-	s, d := src.U8Pix, dst.U8Pix
-	n := len(s)
-	u := o.n
-	vthresh := u.VdupqNU8(thresh)
-	var vmax vec.V128
+	a := threshArgs{s: src.U8Pix, d: dst.U8Pix, thresh: thresh, maxval: maxval, typ: typ}
+	a.vthresh = o.n.VdupqNU8(thresh)
 	if typ == ThreshBinary || typ == ThreshBinaryInv {
-		vmax = u.VdupqNU8(maxval)
+		a.vmax = o.n.VdupqNU8(maxval)
 	}
-	x := 0
-	for ; x <= n-16; x += 16 {
+	parFlat(o, len(src.U8Pix), a, threshNEONChunk)
+}
+
+func threshNEONChunk(b *Ops, a threshArgs, lo, hi int) {
+	s, d := a.s, a.d
+	u := b.n
+	vthresh, vmax := a.vthresh, a.vmax
+	x := lo
+	for ; x <= hi-16; x += 16 {
 		v := u.Vld1qU8(s[x:])
 		var r vec.V128
-		switch typ {
+		switch a.typ {
 		case ThreshTrunc:
 			r = u.VminqU8(v, vthresh)
 		case ThreshBinary:
@@ -158,11 +179,11 @@ func (o *Ops) thresholdNEON(src, dst *image.Mat, thresh, maxval uint8, typ Thres
 		u.Vst1qU8(d[x:], r)
 		u.Overhead(2, 1, 0)
 	}
-	for ; x < n; x++ {
-		d[x] = thresholdPixel(s[x], thresh, maxval, typ)
-		if o.T != nil {
-			o.T.RecordN("ldrb/cmp/strb(tail)", trace.ScalarALU, 3, 0)
-			o.scalarOverhead(1)
+	for ; x < hi; x++ {
+		d[x] = thresholdPixel(s[x], a.thresh, a.maxval, a.typ)
+		if b.T != nil {
+			b.T.RecordN("ldrb/cmp/strb(tail)", trace.ScalarALU, 3, 0)
+			b.scalarOverhead(1)
 		}
 	}
 }
@@ -173,21 +194,25 @@ func (o *Ops) thresholdNEON(src, dst *image.Mat, thresh, maxval uint8, typ Thres
 // not pay, one of the micro-architectural asymmetries the paper discusses.
 func (o *Ops) thresholdSSE2(src, dst *image.Mat, thresh, maxval uint8, typ ThreshType) {
 	defer o.s.Session("threshold", o.curSpan()).End()
-	s, d := src.U8Pix, dst.U8Pix
-	n := len(s)
-	u := o.s
-	vthresh := u.Set1Epu8(thresh)
-	bias := u.Set1Epu8(0x80)
-	vthreshBiased := u.XorSi128(vthresh, bias)
-	var vmax vec.V128
+	a := threshArgs{s: src.U8Pix, d: dst.U8Pix, thresh: thresh, maxval: maxval, typ: typ}
+	a.vthresh = o.s.Set1Epu8(thresh)
+	a.bias = o.s.Set1Epu8(0x80)
+	a.vbiased = o.s.XorSi128(a.vthresh, a.bias)
 	if typ == ThreshBinary || typ == ThreshBinaryInv {
-		vmax = u.Set1Epu8(maxval)
+		a.vmax = o.s.Set1Epu8(maxval)
 	}
-	x := 0
-	for ; x <= n-16; x += 16 {
+	parFlat(o, len(src.U8Pix), a, threshSSE2Chunk)
+}
+
+func threshSSE2Chunk(b *Ops, a threshArgs, lo, hi int) {
+	s, d := a.s, a.d
+	u := b.s
+	vthresh, vmax, bias, vthreshBiased := a.vthresh, a.vmax, a.bias, a.vbiased
+	x := lo
+	for ; x <= hi-16; x += 16 {
 		v := u.LoaduSi128U8(s[x:])
 		var r vec.V128
-		switch typ {
+		switch a.typ {
 		case ThreshTrunc:
 			r = u.MinEpu8(v, vthresh)
 		case ThreshBinary:
@@ -206,11 +231,11 @@ func (o *Ops) thresholdSSE2(src, dst *image.Mat, thresh, maxval uint8, typ Thres
 		u.StoreuSi128U8(d[x:], r)
 		u.Overhead(2, 1, 0)
 	}
-	for ; x < n; x++ {
-		d[x] = thresholdPixel(s[x], thresh, maxval, typ)
-		if o.T != nil {
-			o.T.RecordN("mov/cmp/mov(tail)", trace.ScalarALU, 3, 0)
-			o.scalarOverhead(1)
+	for ; x < hi; x++ {
+		d[x] = thresholdPixel(s[x], a.thresh, a.maxval, a.typ)
+		if b.T != nil {
+			b.T.RecordN("mov/cmp/mov(tail)", trace.ScalarALU, 3, 0)
+			b.scalarOverhead(1)
 		}
 	}
 }

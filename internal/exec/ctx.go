@@ -2,9 +2,12 @@ package exec
 
 import (
 	"context"
+	"errors"
+	"sync/atomic"
 
 	"simdstudy/internal/ir"
 	"simdstudy/internal/obs"
+	"simdstudy/internal/par"
 	"simdstudy/internal/resilience"
 )
 
@@ -40,6 +43,76 @@ func RunCtx(ctx context.Context, l *ir.Loop, env *Env, n int, mode RoundMode) er
 	return nil
 }
 
+// RunCtxPar is RunCtx with the trip space split into contiguous bands run
+// on the shared worker pool (see internal/par). It relies on the same
+// property RunBlocked does — the IR loops are dependence-free across
+// iterations, asserted by tests — so band order cannot affect results.
+// Each band has a private register file and polls the context every
+// ctxStride trips; the first band to fail (cancellation or a bounds error)
+// flips a stop flag that halts the siblings at their next poll, and the
+// returned *resilience.DeadlineError accounts trips completed across all
+// bands. A cfg with Workers<=1 degrades to the serial RunCtx.
+func RunCtxPar(ctx context.Context, l *ir.Loop, env *Env, n int, mode RoundMode, cfg par.Config) error {
+	if cfg.Workers == 1 {
+		return RunCtx(ctx, l, env, n, mode)
+	}
+	cfg = cfg.Normalized()
+	// Trips are far finer-grained than image rows; scale the band floor so
+	// tiny loops never pay fan-out overhead.
+	nb := par.NBands(n, cfg.Workers, cfg.MinRowsPerBand*ctxStride)
+	if nb <= 1 {
+		return RunCtx(ctx, l, env, n, mode)
+	}
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	errs := make([]error, nb)
+	var done atomic.Int64
+	var stop atomic.Bool
+	panics := par.Run(nb, func(band int) {
+		lo, hi := par.Span(band, nb, n)
+		regs := make([]value, len(l.Body))
+		for i := lo; i < hi; i++ {
+			if (i-lo)%ctxStride == 0 {
+				if stop.Load() {
+					return
+				}
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						errs[band] = &resilience.DeadlineError{
+							Op: "exec." + l.Name, Cause: err, Total: n, Unit: "trips",
+						}
+						stop.Store(true)
+						return
+					}
+				}
+			}
+			if err := runIter(l, env, i, mode, regs); err != nil {
+				errs[band] = err
+				stop.Store(true)
+				return
+			}
+			done.Add(1)
+		}
+	})
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var de *resilience.DeadlineError
+		if errors.As(err, &de) {
+			de.Completed = int(done.Load())
+		}
+		return err
+	}
+	return nil
+}
+
 // RunObservedCtx is RunObserved with the cancellation behavior of RunCtx.
 func RunObservedCtx(ctx context.Context, reg *obs.Registry, parent *obs.Span,
 	l *ir.Loop, env *Env, n int, mode RoundMode) (err error) {
@@ -61,4 +134,28 @@ func RunObservedCtx(ctx context.Context, reg *obs.Registry, parent *obs.Span,
 		}()
 	}
 	return RunCtx(ctx, l, env, n, mode)
+}
+
+// RunObservedCtxPar is RunObservedCtx dispatching through RunCtxPar.
+func RunObservedCtxPar(ctx context.Context, reg *obs.Registry, parent *obs.Span,
+	l *ir.Loop, env *Env, n int, mode RoundMode, cfg par.Config) (err error) {
+	if reg != nil {
+		var sp *obs.Span
+		if parent != nil {
+			sp = parent.Child("ir." + l.Name)
+		} else {
+			sp = reg.StartSpan("ir." + l.Name)
+		}
+		sp.SetAttr("trips", n)
+		sp.SetAttr("workers", cfg.Normalized().Workers)
+		reg.Counter("ir_loop_runs_total", obs.L("loop", l.Name)).Inc()
+		reg.Counter("ir_loop_trips_total", obs.L("loop", l.Name)).Add(uint64(n))
+		defer func() {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+		}()
+	}
+	return RunCtxPar(ctx, l, env, n, mode, cfg)
 }

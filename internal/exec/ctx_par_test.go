@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"simdstudy/internal/par"
+	"simdstudy/internal/resilience"
+)
+
+// TestRunCtxParMatchesSerial: trip-banded execution must write exactly the
+// pixels RunCtx writes, for several worker counts and trip totals that are
+// not multiples of the band quantum.
+func TestRunCtxParMatchesSerial(t *testing.T) {
+	for _, n := range []int{1, 255, 4096, 4097, 10000} {
+		src := make([]uint8, n)
+		for i := range src {
+			src[i] = uint8(i*7 + 3)
+		}
+		want := make([]uint8, n)
+		env := NewEnv()
+		env.U8["src"] = src
+		env.U8["dst"] = want
+		if err := RunCtx(context.Background(), minLoop(), env, n, RoundARM); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 7} {
+			got := make([]uint8, n)
+			env := NewEnv()
+			env.U8["src"] = src
+			env.U8["dst"] = got
+			cfg := par.Config{Workers: workers, MinRowsPerBand: 1}
+			if err := RunCtxPar(context.Background(), minLoop(), env, n, RoundARM, cfg); err != nil {
+				t.Fatalf("n=%d w=%d: %v", n, workers, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d w=%d: pixel %d: got %d want %d", n, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunCtxParCancelled: a cancelled context must surface as a
+// trip-granular DeadlineError with partial accounting, not run to
+// completion.
+func TestRunCtxParCancelled(t *testing.T) {
+	const n = 8192
+	env := NewEnv()
+	env.U8["src"] = make([]uint8, n)
+	env.U8["dst"] = make([]uint8, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := RunCtxPar(ctx, minLoop(), env, n, RoundARM, par.Config{Workers: 4, MinRowsPerBand: 1})
+	var de *resilience.DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *resilience.DeadlineError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("DeadlineError must unwrap to context.Canceled")
+	}
+	if de.Unit != "trips" || de.Total != n {
+		t.Errorf("accounting = %d/%d %s, want x/%d trips", de.Completed, de.Total, de.Unit, n)
+	}
+	if de.Completed < 0 || de.Completed >= n {
+		t.Errorf("Completed = %d, want partial (pre-cancelled context)", de.Completed)
+	}
+}
+
+// TestRunCtxParSerialFallbacks: Workers=1 and tiny trip counts must take
+// the plain RunCtx path (still correct, no banding).
+func TestRunCtxParSerialFallbacks(t *testing.T) {
+	env := NewEnv()
+	env.U8["src"] = []uint8{1, 20, 5, 200, 10, 11}
+	env.U8["dst"] = make([]uint8, 6)
+	if err := RunCtxPar(context.Background(), minLoop(), env, 6, RoundARM, par.Config{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{1, 10, 5, 10, 10, 10}
+	for i := range want {
+		if env.U8["dst"][i] != want[i] {
+			t.Errorf("pixel %d: got %d want %d", i, env.U8["dst"][i], want[i])
+		}
+	}
+}

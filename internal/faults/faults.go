@@ -344,6 +344,95 @@ func (p *Plan) Snapshot() Stats {
 	return st
 }
 
+// Reseeder is the optional stream-seeding extension of Injector. The kernel
+// library reseeds the injector at every row (or element-block) boundary with
+// a salt derived from (kernel pass, row index), making the injection
+// schedule a pure function of the workload's geometry rather than of the
+// global intrinsic call order. That is what keeps fault campaigns
+// bit-deterministic when rows execute on different goroutines: any band
+// layout draws the same per-row streams.
+type Reseeder interface {
+	Injector
+	// Reseed rewinds the decision stream to a position derived from the
+	// plan's seed and the given salt. Counters are unaffected.
+	Reseed(salt uint64)
+}
+
+// Forker is the optional band-fan-out extension of Injector. A parallel
+// kernel section forks one child per band, points each band's emulation
+// units at its child, and joins the children back (in band order) when the
+// section completes, so the parent's counters and event log stay exact and
+// deterministic while bands never contend on one decision stream.
+type Forker interface {
+	Injector
+	// Fork returns a child injector sharing this injector's configuration
+	// with fresh counters.
+	Fork() Injector
+	// Join folds a child's counters and events back into this injector.
+	Join(child Injector)
+}
+
+// Reseed implements Reseeder: it rewinds the xorshift stream to a position
+// mixed from the plan seed and salt (splitmix64 finalization, so nearby
+// salts land on well-separated streams). Counters keep accumulating.
+func (p *Plan) Reseed(salt uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	z := p.seed + salt*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = p.seed
+	}
+	p.s = z
+}
+
+// Fork implements Forker.
+func (p *Plan) Fork() Injector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := &Plan{
+		rate:     p.rate,
+		seed:     p.seed,
+		s:        p.seed,
+		sites:    p.sites,
+		kinds:    p.kinds,
+		eventCap: p.eventCap,
+	}
+	return c
+}
+
+// Join implements Forker: child counters and events are added to p. Children
+// that are not *Plan (or nil) are ignored.
+func (p *Plan) Join(child Injector) {
+	c, ok := child.(*Plan)
+	if !ok || c == nil || c == p {
+		return
+	}
+	c.mu.Lock()
+	calls, injected := c.calls, c.injected
+	bySite, byKind := c.bySite, c.byKind
+	events := append([]Event(nil), c.events...)
+	c.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls += calls
+	p.injected += injected
+	for i, n := range bySite {
+		p.bySite[i] += n
+	}
+	for i, n := range byKind {
+		p.byKind[i] += n
+	}
+	for _, e := range events {
+		if len(p.events) >= p.eventCap {
+			break
+		}
+		p.events = append(p.events, e)
+	}
+}
+
 // Reset zeroes the counters and rewinds the random stream to the seed, so
 // the same workload replays the same faults.
 func (p *Plan) Reset() {

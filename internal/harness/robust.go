@@ -334,6 +334,11 @@ type CampaignConfig struct {
 	Burst int
 	// Policy is the guard policy; the zero value selects the default.
 	Policy cv.GuardPolicy
+	// Parallel configures intra-kernel row banding for the campaign Ops.
+	// The injection schedule is seeded per row, so the classified totals
+	// are identical for every worker count (tested); the zero value runs
+	// serially.
+	Parallel cv.ParallelConfig
 	// Obs, when non-nil, receives campaign observability: a span per
 	// campaign, ISA, and image (kernels and guard actions nest under the
 	// image spans), fault_injected_total{isa} and
@@ -396,6 +401,7 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 		} else {
 			o.SetGuardPolicy(cfg.Policy)
 		}
+		o.SetParallel(cfg.Parallel)
 		o.SetFaultInjector(plan)
 		o.SetObserver(cfg.Obs)
 		lISA := obs.L("isa", isa.String())

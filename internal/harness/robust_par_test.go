@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"simdstudy/internal/cv"
+)
+
+// TestFaultCampaignParallelMatchesSerial: the fault-injection schedule is
+// seeded per row/block, so a campaign must classify exactly the same totals
+// (injected/detected/masked/fallbacks/opportunities) for every worker
+// count. This is the end-to-end check that banding does not perturb the
+// reproduction's fault statistics.
+func TestFaultCampaignParallelMatchesSerial(t *testing.T) {
+	for _, bench := range []string{"BinThr", "GauBlu", "SobFil"} {
+		serial, err := RunFaultCampaign(context.Background(), bench, testRes,
+			CampaignConfig{Rate: 1e-4, Seed: 17})
+		if err != nil {
+			t.Fatalf("%s serial: %v", bench, err)
+		}
+		for _, workers := range []int{2, 4} {
+			parl, err := RunFaultCampaign(context.Background(), bench, testRes,
+				CampaignConfig{
+					Rate:     1e-4,
+					Seed:     17,
+					Parallel: cv.ParallelConfig{Workers: workers, MinRowsPerBand: 1},
+				})
+			if err != nil {
+				t.Fatalf("%s w=%d: %v", bench, workers, err)
+			}
+			if !reflect.DeepEqual(serial.PerISA, parl.PerISA) {
+				t.Errorf("%s w=%d: classified totals differ from serial\nserial:   %+v\nparallel: %+v",
+					bench, workers, serial.PerISA, parl.PerISA)
+			}
+		}
+	}
+}

@@ -475,10 +475,10 @@ func (u *Unit) VzipqU8(a, b vec.V128) (vec.V128, vec.V128) {
 func (u *Unit) VuzpqU8(a, b vec.V128) (vec.V128, vec.V128) {
 	u.rec("vuzp.8", trace.SIMDShuffle)
 	var ev, od vec.V128
-	all := make([]uint8, 0, 32)
+	var all [32]uint8
 	aa, bb := a.ToU8x16(), b.ToU8x16()
-	all = append(all, aa[:]...)
-	all = append(all, bb[:]...)
+	copy(all[:16], aa[:])
+	copy(all[16:], bb[:])
 	for i := 0; i < 16; i++ {
 		ev.SetU8(i, all[2*i])
 		od.SetU8(i, all[2*i+1])

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -44,6 +45,13 @@ type Config struct {
 	// FaultISA restricts the attached fault injector to one ISA name
 	// ("neon", "sse2"); empty applies it to every SIMD ISA.
 	FaultISA string
+	// Parallel configures intra-kernel row banding for every worker Ops
+	// (see cv.ParallelConfig). The zero value runs kernels serially. With
+	// Workers > 1 and MaxConcurrent unset, the admission limit defaults to
+	// GOMAXPROCS/Workers so request-level and band-level concurrency
+	// compose without oversubscribing cores (the shared band pool bounds
+	// true parallelism regardless; this only keeps queue sizing honest).
+	Parallel cv.ParallelConfig
 	// Registry receives all metrics, spans, and events; nil allocates a
 	// private one.
 	Registry *obs.Registry
@@ -52,6 +60,13 @@ type Config struct {
 func (c Config) normalized() Config {
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 4
+		w := c.Parallel.Workers
+		if w < 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if w > 1 {
+			c.MaxConcurrent = max(1, runtime.GOMAXPROCS(0)/w)
+		}
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 16
@@ -125,6 +140,7 @@ func NewServer(cfg Config) *Server {
 			o.SetGuardPolicy(cfg.Guard)
 			o.SetBreakers(s.brk)
 			o.SetObserver(s.reg)
+			o.SetParallel(cfg.Parallel)
 			return o
 		}}
 	}

@@ -137,7 +137,7 @@ func AutoProfile(bench string, target vectorizer.Target, w int) (vectorizer.Prof
 		var total vectorizer.Profile
 		for _, pass := range b.Passes {
 			trips, _ := pass.Trips(w, 1)
-			d := vectorizer.Analyze(pass.Loop, target)
+			d := vectorizer.AnalyzeCached(pass.Loop, target)
 			total = total.Plus(d.PerIteration(trips))
 		}
 		return total, nil
@@ -154,7 +154,7 @@ func Decisions(bench string, target vectorizer.Target) ([]vectorizer.Decision, e
 		}
 		out := make([]vectorizer.Decision, 0, len(b.Passes))
 		for _, pass := range b.Passes {
-			out = append(out, vectorizer.Analyze(pass.Loop, target))
+			out = append(out, vectorizer.AnalyzeCached(pass.Loop, target))
 		}
 		return out, nil
 	}
