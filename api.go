@@ -22,6 +22,7 @@ import (
 	"io"
 
 	"simdstudy/internal/asmgen"
+	"simdstudy/internal/checkpoint"
 	"simdstudy/internal/cv"
 	"simdstudy/internal/faults"
 	"simdstudy/internal/harness"
@@ -32,6 +33,7 @@ import (
 	"simdstudy/internal/resilience"
 	"simdstudy/internal/serve"
 	"simdstudy/internal/sse2"
+	"simdstudy/internal/super"
 	"simdstudy/internal/timing"
 	"simdstudy/internal/trace"
 	"simdstudy/internal/vec"
@@ -425,10 +427,95 @@ func NewBreakerSet(cfg BreakerConfig, reg *MetricsRegistry) *BreakerSet {
 	return resilience.NewBreakerSet(cfg, reg)
 }
 
+// --- Crash safety and supervision ---
+
+// CheckpointJournal is a versioned, checksummed, atomically-replaced record
+// journal (see internal/checkpoint). The harness entry points write one per
+// run when GridOptions.CheckpointPath / CampaignConfig.CheckpointPath is
+// set, and resume from it after a crash; the serving front-end persists
+// quarantine decisions in the same format.
+type CheckpointJournal = checkpoint.Journal
+
+// CheckpointRecord is one journaled entry: a sequence number, an opaque
+// JSON payload, and a CRC over both.
+type CheckpointRecord = checkpoint.Record
+
+// CorruptJournalError reports a journal that failed decoding — truncated,
+// bit-flipped, reordered, or otherwise not bit-exact. Resume paths treat it
+// as "no journal" (cold start with a warning), never as data.
+type CorruptJournalError = checkpoint.CorruptJournalError
+
+// CheckpointMismatchError reports a structurally valid journal written by a
+// different kind of run or a different configuration fingerprint. Resume
+// refuses it outright: silently recomputing under new parameters while
+// keeping old cells would corrupt results.
+type CheckpointMismatchError = checkpoint.MismatchError
+
+// CreateCheckpoint creates (truncating) a journal for a run kind and
+// configuration fingerprint.
+func CreateCheckpoint(path, kind, fingerprint string) (*CheckpointJournal, error) {
+	return checkpoint.Create(path, kind, fingerprint)
+}
+
+// OpenCheckpoint opens an existing journal, verifying its checksums and
+// that it was written for the same run kind and configuration fingerprint.
+func OpenCheckpoint(path, kind, fingerprint string) (*CheckpointJournal, error) {
+	return checkpoint.Open(path, kind, fingerprint)
+}
+
+// OpenOrCreateCheckpoint implements the standard resume policy: open a
+// matching journal (resumed=true), create a fresh one when the file is
+// missing or corrupt (warn non-nil in the corrupt case), and fail with a
+// *CheckpointMismatchError when the journal belongs to a different run.
+func OpenOrCreateCheckpoint(path, kind, fingerprint string) (j *CheckpointJournal, resumed bool, warn, err error) {
+	return checkpoint.OpenOrCreate(path, kind, fingerprint)
+}
+
+// StallError is the typed error returned when a stall watchdog declares a
+// kernel band wedged: it names the kernel, ISA and band, the last heartbeat
+// seen, and the deadline that expired.
+type StallError = super.StallError
+
+// PanicError wraps a recovered kernel panic with its stack, as recorded by
+// the supervisor.
+type PanicError = super.PanicError
+
+// QuarantinePolicy tunes panic quarantine: how many panics a (kernel, ISA)
+// pair may suffer before it is demoted to the scalar, serial path
+// permanently (its breaker latches stuck-open).
+type QuarantinePolicy = super.QuarantinePolicy
+
+// QuarantineRecord is one quarantine decision, as reported by
+// Supervisor.Quarantines and persisted to the quarantine journal.
+type QuarantineRecord = super.QuarantineRecord
+
+// Supervisor counts kernel panics and quarantines repeat offenders. Attach
+// it with Ops.SetSupervisor; the serving front-end wires one automatically.
+type Supervisor = super.Supervisor
+
+// Watchdog monitors per-band heartbeats and cancels kernel passes whose
+// bands go silent past the deadline. Attach it with Ops.SetWatchdog.
+type Watchdog = super.Watchdog
+
+// WatchdogConfig tunes a Watchdog (deadline, poll interval).
+type WatchdogConfig = super.WatchdogConfig
+
+// NewSupervisor builds a panic supervisor reporting into reg (may be nil).
+func NewSupervisor(policy QuarantinePolicy, reg *MetricsRegistry) *Supervisor {
+	return super.NewSupervisor(policy, reg)
+}
+
+// NewWatchdog builds a stall watchdog reporting into reg (may be nil).
+// Call Stop when done to release its monitor goroutine.
+func NewWatchdog(cfg WatchdogConfig, reg *MetricsRegistry) *Watchdog {
+	return super.NewWatchdog(cfg, reg)
+}
+
 // --- Serving ---
 
 // ServeConfig tunes the HTTP serving front-end: admission bounds,
-// deadlines, guard policy and breaker policy.
+// deadlines, guard policy, breaker policy, stall deadline and quarantine
+// policy.
 type ServeConfig = serve.Config
 
 // Server is the hardened HTTP front-end over the kernel pipeline; see

@@ -10,7 +10,16 @@
 //	simdbench -platform tegra -bench GauBlu -size 640x480 -verify
 //	simdbench -bench GauBlu -verify -faults -fault-rate 1e-5 -fault-seed 7
 //	simdbench -faults -metrics-out m.prom -events-out e.jsonl -chrome-trace t.json
+//	simdbench -bench GauBlu -faults -resume /var/tmp/ckpt     # crash-safe campaign
+//	simdbench -bench GauBlu -grid -resume /var/tmp/ckpt       # crash-safe CSV grid
 //	simdbench -list
+//
+// With -resume DIR, the fault campaign and the grid journal every completed
+// unit of work to DIR (internal/checkpoint format); a killed run re-invoked
+// with the same flags replays the journal and recomputes only the remainder,
+// producing byte-identical stdout. -chaos-kill-after N kills the process
+// (SIGKILL, no cleanup) after N journal records — the hook the chaos CI job
+// uses to prove that.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"simdstudy/cmd/internal/cliobs"
@@ -38,6 +48,10 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 1e-5, "per-opportunity fault probability for -faults")
 	faultSeed := flag.Uint64("fault-seed", 7, "deterministic seed for the -faults plan")
 	energy := flag.Bool("energy", false, "also print the energy-per-image extension")
+	grid := flag.Bool("grid", false, "emit the full platforms x sizes grid as CSV instead of the single-size table")
+	resumeDir := flag.String("resume", "", "journal completed work to this directory and resume from it after a crash")
+	stallDeadline := flag.Duration("stall-deadline", 0, "fail a campaign whose kernel band is silent this long (0 = no watchdog)")
+	chaosKillAfter := flag.Int("chaos-kill-after", 0, "SIGKILL this process after N checkpoint records (chaos testing; 0 = off)")
 	list := flag.Bool("list", false, "list platforms and benchmarks, then exit")
 	obsFlags := cliobs.Register(flag.CommandLine, true)
 	flag.Parse()
@@ -61,6 +75,9 @@ func main() {
 
 	res, err := image.ParseResolution(*sizeName)
 	fail(err)
+	if *resumeDir != "" {
+		fail(os.MkdirAll(*resumeDir, 0o755))
+	}
 	ok := false
 	for _, b := range timing.BenchNames {
 		if b == *benchName {
@@ -96,11 +113,37 @@ func main() {
 	}
 
 	if *faultsOn {
-		rep, err := harness.RunFaultCampaign(context.Background(), *benchName, vres,
-			harness.CampaignConfig{Rate: *faultRate, Seed: *faultSeed, Obs: reg})
+		ccfg := harness.CampaignConfig{
+			Rate: *faultRate, Seed: *faultSeed, Obs: reg,
+			StallDeadline: *stallDeadline,
+		}
+		if *resumeDir != "" {
+			ccfg.CheckpointPath = filepath.Join(*resumeDir,
+				fmt.Sprintf("campaign-%s-%s.journal", *benchName, vres.Name))
+			ccfg.CheckpointHook = chaosHook(*chaosKillAfter)
+			fmt.Fprintf(os.Stderr, "simdbench: campaign journal %s\n", ccfg.CheckpointPath)
+		}
+		rep, err := harness.RunFaultCampaign(context.Background(), *benchName, vres, ccfg)
 		fail(err)
 		rep.Render(os.Stdout)
 		fmt.Println()
+	}
+
+	if *grid {
+		gopt := harness.GridOptions{Obs: reg}
+		if *resumeDir != "" {
+			gopt.CheckpointPath = filepath.Join(*resumeDir,
+				fmt.Sprintf("grid-%s.journal", *benchName))
+			gopt.CheckpointHook = chaosHook(*chaosKillAfter)
+			fmt.Fprintf(os.Stderr, "simdbench: grid journal %s\n", gopt.CheckpointPath)
+		}
+		g, err := harness.RunGridCtx(context.Background(), *benchName, plats,
+			image.Resolutions, gopt)
+		fail(err)
+		g.RenderCSV(os.Stdout)
+		reg.Emit("run.finish", map[string]any{"bench": *benchName})
+		fail(obsFlags.Export(reg))
+		return
 	}
 
 	fmt.Printf("%s on %s (%d runs averaged in the paper's protocol)\n\n", *benchName, res.Name, harness.Runs)
@@ -146,6 +189,26 @@ func main() {
 
 	reg.Emit("run.finish", map[string]any{"bench": *benchName})
 	fail(obsFlags.Export(reg))
+}
+
+// chaosHook returns a CheckpointHook that SIGKILLs this process once the
+// journal holds killAfter records — a crash with no cleanup, deferred writes
+// or flushes, which is exactly what the resume path must survive. killAfter
+// <= 0 disables it.
+func chaosHook(killAfter int) func(int) {
+	if killAfter <= 0 {
+		return nil
+	}
+	return func(records int) {
+		if records >= killAfter {
+			fmt.Fprintf(os.Stderr, "simdbench: chaos kill at %d records\n", records)
+			p, err := os.FindProcess(os.Getpid())
+			if err == nil {
+				p.Kill()
+			}
+			select {} // never resume past the kill
+		}
+	}
 }
 
 func fail(err error) {

@@ -15,7 +15,13 @@
 //	GET /process?kernel=gaussian&width=640&height=480&isa=neon&deadline_ms=100
 //	GET /healthz   liveness
 //	GET /readyz    readiness + per-(kernel, ISA) breaker states
+//	GET /livez     supervision view: in-flight requests, stalls, quarantines
 //	GET /metrics   Prometheus text exposition
+//
+// Supervision: -stall-deadline arms a watchdog that cancels a request whose
+// kernel band goes silent; -quarantine-after N demotes a (kernel, ISA) pair
+// whose SIMD path panics N times to scalar permanently; -quarantine-journal
+// persists those demotions so a restarted process does not re-probe them.
 //
 // SIGINT/SIGTERM starts a graceful drain: /readyz flips to 503, in-flight
 // requests finish, then the listener closes.
@@ -37,6 +43,7 @@ import (
 	"simdstudy/internal/faults"
 	"simdstudy/internal/resilience"
 	"simdstudy/internal/serve"
+	"simdstudy/internal/super"
 )
 
 func main() {
@@ -55,6 +62,9 @@ func main() {
 	breakerRate := flag.Float64("breaker-rate", 0.5, "failure rate that opens a breaker")
 	breakerOpenFor := flag.Duration("breaker-open-for", 5*time.Second, "cooldown before an open breaker half-opens")
 	breakerGiveUp := flag.Int("breaker-give-up", 0, "failed re-arm cycles before a breaker latches stuck-open (0 = never)")
+	stallDeadline := flag.Duration("stall-deadline", 0, "cancel a request whose kernel band is silent this long (0 = no watchdog)")
+	quarantineAfter := flag.Int("quarantine-after", 0, "panics before a (kernel, ISA) pair is demoted to scalar permanently (0 = default 3)")
+	quarantineJournal := flag.String("quarantine-journal", "", "persist quarantine decisions here and replay them at startup")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget after SIGTERM")
 	flag.Parse()
 
@@ -78,7 +88,11 @@ func main() {
 			OpenFor:     *breakerOpenFor,
 			GiveUpAfter: *breakerGiveUp,
 		},
+		StallDeadline:     *stallDeadline,
+		Quarantine:        super.QuarantinePolicy{MaxPanics: *quarantineAfter},
+		QuarantineJournal: *quarantineJournal,
 	})
+	defer s.Close()
 	if *faultRate > 0 {
 		plan := faults.NewPlan(faults.Config{Rate: *faultRate, Seed: *faultSeed})
 		s.SetFaultInjector(serve.LockInjector(plan))

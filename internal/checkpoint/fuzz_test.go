@@ -1,0 +1,71 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzJournalDecode asserts the decoder's core safety contract: arbitrary
+// bytes never panic, every rejection is a typed *CorruptJournalError, and an
+// accepted journal is internally consistent (contiguous sequence numbers,
+// checksummed records) — a damaged file can never silently resume.
+func FuzzJournalDecode(f *testing.F) {
+	// Seed with a valid journal and its characteristic damage classes.
+	path := filepath.Join(f.TempDir(), "seed.journal")
+	j, err := Create(path, "campaign", "deadbeef")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(map[string]int{"image": i}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])                                                                        // unterminated
+	f.Add(valid[:len(valid)/2])                                                                        // truncated
+	f.Add([]byte{})                                                                                    // empty
+	f.Add([]byte("\n"))                                                                                // blank header
+	f.Add([]byte(`{"journal":"simdstudy.checkpoint","version":2,"kind":"x","fp":"y","crc":0}` + "\n")) // skew
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		meta, records, err := Decode(data)
+		if err != nil {
+			var ce *CorruptJournalError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Decode error is %T (%v), want *CorruptJournalError", err, err)
+			}
+			if ce.Line < 1 {
+				t.Fatalf("corrupt line = %d, want >= 1", ce.Line)
+			}
+			return
+		}
+		// Accepted input: the invariants resume logic relies on must hold.
+		if meta.Journal != magic || meta.Version != Version {
+			t.Fatalf("accepted journal with bad identity: %+v", meta)
+		}
+		if meta.CRC != metaCRC(meta.Version, meta.Kind, meta.Fingerprint) {
+			t.Fatal("accepted journal with bad header checksum")
+		}
+		for i, rec := range records {
+			if rec.Seq != i {
+				t.Fatalf("accepted journal with sequence gap at %d", i)
+			}
+			if len(rec.Data) == 0 {
+				t.Fatalf("accepted record %d without data", i)
+			}
+			if rec.CRC != recordCRC(rec.Seq, rec.Data) {
+				t.Fatalf("accepted record %d with bad checksum", i)
+			}
+		}
+	})
+}

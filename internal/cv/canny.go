@@ -23,7 +23,7 @@ import (
 // whole-kernel speedup regardless of how fast the vector stages run.
 func (o *Ops) Canny(src, dst *image.Mat, lowThresh, highThresh int16) (err error) {
 	o.beginKernel("Canny")
-	defer func() { o.endKernel("Canny", err) }()
+	defer o.endKernelP("Canny", &err)
 	if err := requireKind(src, image.U8, "Canny src"); err != nil {
 		return err
 	}

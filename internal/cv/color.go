@@ -30,7 +30,7 @@ const (
 // either, so on Intel the operation runs scalar, faithfully.
 func (o *Ops) RGBToGray(src *image.RGB, dst *image.Mat) (err error) {
 	o.beginKernel("RGBToGray")
-	defer func() { o.endKernel("RGBToGray", err) }()
+	defer o.endKernelP("RGBToGray", &err)
 	if err := requireKind(dst, image.U8, "RGBToGray dst"); err != nil {
 		return err
 	}

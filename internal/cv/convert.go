@@ -20,7 +20,7 @@ import (
 //     as off-by-one results on fractional pixels.
 func (o *Ops) ConvertF32ToS16(src, dst *image.Mat) (err error) {
 	o.beginKernel("ConvertF32ToS16")
-	defer func() { o.endKernel("ConvertF32ToS16", err) }()
+	defer o.endKernelP("ConvertF32ToS16", &err)
 	if err := requireKind(src, image.F32, "ConvertF32ToS16 src"); err != nil {
 		return err
 	}

@@ -25,11 +25,15 @@ import (
 type ctxCanceled struct{ err error }
 
 // rowTick is called once per completed row by the kernel row loops. With no
-// bound context it is a pair of nil checks; with one, it counts the row and
+// bound context it is a few nil checks; with one, it counts the row and
 // unwinds if the context is done. On a parallel band clone it additionally
-// polls the section's shared stop flag, so a sibling band's failure (or
-// cancellation) unwinds this band at its next row boundary.
+// beats the band's watchdog heart (when a watchdog is attached) and polls
+// the section's shared stop flag, so a sibling band's failure, a stall
+// verdict or cancellation unwinds this band at its next row boundary.
 func (o *Ops) rowTick() {
+	if o.heart != nil {
+		o.heart.Beat()
+	}
 	if o.stop != nil && o.stop.Load() {
 		panic(bandStopped{})
 	}
@@ -46,6 +50,9 @@ func (o *Ops) rowTick() {
 // polls the stop flag and the context at block granularity but does not
 // count rows (flat kernels report no partial-row progress, as before).
 func (o *Ops) flatTick() {
+	if o.heart != nil {
+		o.heart.Beat()
+	}
 	if o.stop != nil && o.stop.Load() {
 		panic(bandStopped{})
 	}

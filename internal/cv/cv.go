@@ -27,6 +27,7 @@ import (
 	"simdstudy/internal/obs"
 	"simdstudy/internal/resilience"
 	"simdstudy/internal/sse2"
+	"simdstudy/internal/super"
 	"simdstudy/internal/trace"
 )
 
@@ -99,6 +100,19 @@ type Ops struct {
 	depth      int
 	brkPending string // kernel admitted by the breaker, verdict outstanding
 
+	// Supervision state (see par.go and observe.go). wd watches parallel
+	// sections for wedged bands; sup quarantines (kernel, ISA) pairs that
+	// panic repeatedly — a quarantined outermost call runs scalar AND
+	// serial (serialOnly), isolating the poisonous path completely.
+	// curKernel names the outermost in-flight entry point so sections can
+	// be labeled; heart is set only on band clones (and, transiently, on a
+	// watched serial pass).
+	wd         *super.Watchdog
+	sup        *super.Supervisor
+	curKernel  string
+	serialOnly bool
+	heart      *super.Heart
+
 	// Context plumbing for the Ctx kernel variants: the bound context and
 	// the rows completed under it (partial-progress accounting).
 	ctx     context.Context
@@ -145,6 +159,54 @@ func (o *Ops) SetBreakers(b *resilience.BreakerSet) { o.brk = b }
 
 // Breakers returns the attached breaker set, or nil.
 func (o *Ops) Breakers() *resilience.BreakerSet { return o.brk }
+
+// SetWatchdog attaches a stall watchdog: every parallel section (and, when
+// a watchdog is attached, every serial pass) registers per-band heartbeats
+// that the kernel row loops beat, and a band silent past the watchdog
+// deadline stalls the section — siblings are cancelled through the stop
+// flag and the entry point returns a typed *super.StallError that is fed to
+// the kernel's breaker as a failure. nil detaches.
+func (o *Ops) SetWatchdog(w *super.Watchdog) { o.wd = w }
+
+// Watchdog returns the attached watchdog, or nil.
+func (o *Ops) Watchdog() *super.Watchdog { return o.wd }
+
+// SetSupervisor attaches a panic supervisor: a panic escaping an outermost
+// kernel call is recorded against its (kernel, ISA) pair, and a pair that
+// exceeds the supervisor's quarantine policy runs scalar-and-serial from
+// then on, with its breaker latched terminally open. nil detaches.
+func (o *Ops) SetSupervisor(s *super.Supervisor) { o.sup = s }
+
+// Supervisor returns the attached supervisor, or nil.
+func (o *Ops) Supervisor() *super.Supervisor { return o.sup }
+
+// ResumeState is the per-Ops execution position a checkpointed campaign
+// journals with each completed image: the pass sequence that salts the
+// per-row fault streams, and the guard's cumulative fallback/kill-switch
+// state. Restoring it into a fresh Ops after a crash makes the remaining
+// images draw exactly the streams (and guard decisions) the killed process
+// would have drawn.
+type ResumeState struct {
+	PassSeq      uint64 `json:"pass_seq"`
+	Fallbacks    int    `json:"fallbacks"`
+	UseOptimized bool   `json:"use_optimized"`
+}
+
+// ResumeState snapshots the Ops' checkpointable execution position.
+func (o *Ops) ResumeState() ResumeState {
+	return ResumeState{
+		PassSeq:      o.passSeq.Load(),
+		Fallbacks:    o.fallbacks,
+		UseOptimized: o.useOptimized,
+	}
+}
+
+// SetResumeState restores a position snapshotted by ResumeState.
+func (o *Ops) SetResumeState(st ResumeState) {
+	o.passSeq.Store(st.PassSeq)
+	o.fallbacks = st.Fallbacks
+	o.useOptimized = st.UseOptimized
+}
 
 // ISA returns the configured instruction set.
 func (o *Ops) ISA() ISA { return o.isa }

@@ -14,7 +14,7 @@ import (
 // intensity exceeds thresh become 255, the rest 0.
 func (o *Ops) DetectEdges(src, dst *image.Mat, thresh int16) (err error) {
 	o.beginKernel("DetectEdges")
-	defer func() { o.endKernel("DetectEdges", err) }()
+	defer o.endKernelP("DetectEdges", &err)
 	if err := requireKind(src, image.U8, "DetectEdges src"); err != nil {
 		return err
 	}
@@ -163,7 +163,7 @@ func magThreshSSE2Chunk(b *Ops, a magThreshArgs, lo, hi int) {
 // composing custom pipelines (used by examples).
 func (o *Ops) GradientMagnitude(gx, gy, dst *image.Mat) (err error) {
 	o.beginKernel("GradientMagnitude")
-	defer func() { o.endKernel("GradientMagnitude", err) }()
+	defer o.endKernelP("GradientMagnitude", &err)
 	if err := requireKind(gx, image.S16, "GradientMagnitude gx"); err != nil {
 		return err
 	}

@@ -25,7 +25,7 @@ const gaussShift = 8 // fixed-point fractional bits; kernel sums to 1<<8
 // halo is plain shared-read data — and the pass boundary is a barrier.
 func (o *Ops) GaussianBlur(src, dst *image.Mat) (err error) {
 	o.beginKernel("GaussianBlur")
-	defer func() { o.endKernel("GaussianBlur", err) }()
+	defer o.endKernelP("GaussianBlur", &err)
 	if err := requireKind(src, image.U8, "GaussianBlur src"); err != nil {
 		return err
 	}

@@ -16,7 +16,7 @@ import (
 // in source form.
 func (o *Ops) MedianBlur3x3(src, dst *image.Mat) (err error) {
 	o.beginKernel("MedianBlur3x3")
-	defer func() { o.endKernel("MedianBlur3x3", err) }()
+	defer o.endKernelP("MedianBlur3x3", &err)
 	if err := requireKind(src, image.U8, "MedianBlur3x3 src"); err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"simdstudy/internal/neon"
 	"simdstudy/internal/par"
 	"simdstudy/internal/sse2"
+	"simdstudy/internal/super"
 	"simdstudy/internal/trace"
 )
 
@@ -92,9 +93,11 @@ func (o *Ops) sectionReseeder() faults.Reseeder {
 	return rs
 }
 
-// nBandsRows returns the band count for a rows-high pass.
+// nBandsRows returns the band count for a rows-high pass. A quarantined
+// outermost call (serialOnly) always runs one band: the supervisor has
+// judged the pair's parallel bands poisonous.
 func (o *Ops) nBandsRows(rows int) int {
-	if o.par.Workers <= 1 {
+	if o.par.Workers <= 1 || o.serialOnly {
 		return 1
 	}
 	return par.NBands(rows, o.par.Workers, o.par.MinRowsPerBand)
@@ -102,7 +105,7 @@ func (o *Ops) nBandsRows(rows int) int {
 
 // nBandsFlat returns the band count for an n-element flat pass.
 func (o *Ops) nBandsFlat(n int) int {
-	if o.par.Workers <= 1 {
+	if o.par.Workers <= 1 || o.serialOnly {
 		return 1
 	}
 	return par.NBands((n+flatQuantum-1)/flatQuantum, o.par.Workers, 1)
@@ -160,23 +163,67 @@ func (o *Ops) putBand(b *Ops) {
 	}
 	b.ctx = nil
 	b.stop = nil
+	b.heart = nil
 	b.ctxRows = 0
 	o.bandPool.Put(b)
 }
+
+// stallUnwind is the private unwind token a dispatcher raises after the
+// watchdog stalled its section; endKernelP converts it into the entry
+// point's typed *super.StallError return.
+type stallUnwind struct{ err *super.StallError }
+
+// isBandStopped is the sentinel filter for par.FirstPanic.
+func isBandStopped(v any) bool { _, ok := v.(bandStopped); return ok }
 
 // rethrow repanics the first real (non-sentinel) band panic, in band order,
 // so cancellation unwinds and genuine bugs surface exactly as they would
 // serially.
 func rethrow(panics []any) {
-	for _, p := range panics {
-		if p == nil {
-			continue
-		}
-		if _, ok := p.(bandStopped); ok {
-			continue
-		}
+	if p := par.FirstPanic(panics, isBandStopped); p != nil {
 		panic(p)
 	}
+}
+
+// finishSection closes out a watched or parallel section: real band panics
+// (and cancellation) rethrow first, then a stall verdict that actually
+// aborted work — some band unwound on the stop flag — is raised for
+// endKernelP. A stall flagged after every band already completed is ignored:
+// the output is whole, so failing the call would discard correct work.
+func finishSection(sec *super.Section, panics []any) {
+	stopped := false
+	for _, p := range panics {
+		if isBandStopped(p) {
+			stopped = true
+			break
+		}
+	}
+	rethrow(panics)
+	if stopped && sec != nil {
+		if se := sec.Stalled(); se != nil {
+			panic(stallUnwind{se})
+		}
+	}
+}
+
+// watchSerial runs a serial pass under a watchdog section: the parent Ops
+// temporarily carries the section's single heart and stop flag, so the
+// existing rowTick/flatTick plumbing provides both the heartbeat and the
+// abort point, exactly as on a band clone.
+func (o *Ops) watchSerial(sec *super.Section, stop *atomic.Bool, loop func()) {
+	o.stop, o.heart = stop, sec.Heart(0)
+	defer func() {
+		o.stop, o.heart = nil, nil
+		if r := recover(); r != nil {
+			if isBandStopped(r) {
+				if se := sec.Stalled(); se != nil {
+					panic(stallUnwind{se})
+				}
+			}
+			panic(r)
+		}
+	}()
+	loop()
 }
 
 // parRows runs body(b, a, y) for every row y in [0, rows), banded across
@@ -189,7 +236,7 @@ func parRows[A any](o *Ops, rows int, a A, body func(b *Ops, a A, y int)) {
 	if rs != nil {
 		salt = o.passSeq.Add(1)
 	}
-	if nb == 1 {
+	if nb == 1 && o.wd == nil {
 		for y := 0; y < rows; y++ {
 			if rs != nil {
 				rs.Reseed(stripeSalt(salt, y))
@@ -203,10 +250,30 @@ func parRows[A any](o *Ops, rows int, a A, body func(b *Ops, a A, y int)) {
 	// capturing the parameter itself would move it to the heap at function
 	// entry and cost the serial path an allocation per pass.
 	aa := a
-	bands := make([]*Ops, nb)
 	var stop atomic.Bool
+	var sec *super.Section
+	if o.wd != nil {
+		sec = o.wd.Section(o.curKernel, o.isa.String(), nb, func() { stop.Store(true) })
+		defer sec.Close()
+	}
+	if nb == 1 {
+		o.watchSerial(sec, &stop, func() {
+			for y := 0; y < rows; y++ {
+				if rs != nil {
+					rs.Reseed(stripeSalt(salt, y))
+				}
+				body(o, aa, y)
+				o.rowTick()
+			}
+		})
+		return
+	}
+	bands := make([]*Ops, nb)
 	for i := range bands {
 		bands[i] = o.getBand(&stop)
+		if sec != nil {
+			bands[i].heart = sec.Heart(i)
+		}
 	}
 	panics := par.Run(nb, func(i int) {
 		defer func() {
@@ -228,7 +295,7 @@ func parRows[A any](o *Ops, rows int, a A, body func(b *Ops, a A, y int)) {
 	for _, b := range bands {
 		o.putBand(b)
 	}
-	rethrow(panics)
+	finishSection(sec, panics)
 }
 
 // parFlat runs body(b, a, lo, hi) over [0, n) in flatQuantum-aligned
@@ -241,7 +308,7 @@ func parFlat[A any](o *Ops, n int, a A, body func(b *Ops, a A, lo, hi int)) {
 	if rs != nil {
 		salt = o.passSeq.Add(1)
 	}
-	if nb == 1 {
+	if nb == 1 && o.wd == nil {
 		for c := 0; c < n; c += flatQuantum {
 			ce := min(c+flatQuantum, n)
 			if rs != nil {
@@ -253,10 +320,31 @@ func parFlat[A any](o *Ops, n int, a A, body func(b *Ops, a A, lo, hi int)) {
 		return
 	}
 	aa := a // see parRows: keep the parameter off the heap on the serial path
-	bands := make([]*Ops, nb)
 	var stop atomic.Bool
+	var sec *super.Section
+	if o.wd != nil {
+		sec = o.wd.Section(o.curKernel, o.isa.String(), nb, func() { stop.Store(true) })
+		defer sec.Close()
+	}
+	if nb == 1 {
+		o.watchSerial(sec, &stop, func() {
+			for c := 0; c < n; c += flatQuantum {
+				ce := min(c+flatQuantum, n)
+				if rs != nil {
+					rs.Reseed(stripeSalt(salt, c/flatQuantum))
+				}
+				body(o, aa, c, ce)
+				o.flatTick()
+			}
+		})
+		return
+	}
+	bands := make([]*Ops, nb)
 	for i := range bands {
 		bands[i] = o.getBand(&stop)
+		if sec != nil {
+			bands[i].heart = sec.Heart(i)
+		}
 	}
 	panics := par.Run(nb, func(i int) {
 		defer func() {
@@ -279,5 +367,5 @@ func parFlat[A any](o *Ops, n int, a A, body func(b *Ops, a A, lo, hi int)) {
 	for _, b := range bands {
 		o.putBand(b)
 	}
-	rethrow(panics)
+	finishSection(sec, panics)
 }

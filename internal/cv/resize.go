@@ -22,7 +22,7 @@ import (
 // with no halo at all.
 func (o *Ops) ResizeHalf(src, dst *image.Mat) (err error) {
 	o.beginKernel("ResizeHalf")
-	defer func() { o.endKernel("ResizeHalf", err) }()
+	defer o.endKernelP("ResizeHalf", &err)
 	if err := requireKind(src, image.U8, "ResizeHalf src"); err != nil {
 		return err
 	}

@@ -19,7 +19,7 @@ import (
 // which is read-only by then, and the pass boundary is a barrier.
 func (o *Ops) SobelFilter(src, dst *image.Mat, dx, dy int) (err error) {
 	o.beginKernel("SobelFilter")
-	defer func() { o.endKernel("SobelFilter", err) }()
+	defer o.endKernelP("SobelFilter", &err)
 	if err := requireKind(src, image.U8, "SobelFilter src"); err != nil {
 		return err
 	}

@@ -43,7 +43,7 @@ func (t ThreshType) String() string {
 // benchmark 2 (cv::threshold on 8-bit images).
 func (o *Ops) Threshold(src, dst *image.Mat, thresh, maxval uint8, typ ThreshType) (err error) {
 	o.beginKernel("Threshold")
-	defer func() { o.endKernel("Threshold", err) }()
+	defer o.endKernelP("Threshold", &err)
 	if err := requireKind(src, image.U8, "Threshold src"); err != nil {
 		return err
 	}

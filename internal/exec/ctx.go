@@ -9,6 +9,7 @@ import (
 	"simdstudy/internal/obs"
 	"simdstudy/internal/par"
 	"simdstudy/internal/resilience"
+	"simdstudy/internal/super"
 )
 
 // ctxStride is how many trips run between context polls in RunCtx. Loop
@@ -95,10 +96,11 @@ func RunCtxPar(ctx context.Context, l *ir.Loop, env *Env, n int, mode RoundMode,
 			done.Add(1)
 		}
 	})
-	for _, p := range panics {
-		if p != nil {
-			panic(p)
-		}
+	// A band panic here is an interpreter bug, not a scheduling artifact;
+	// promote it to a typed supervision error so the crash carries the loop
+	// name instead of a bare value from an anonymous pool goroutine.
+	if p := par.FirstPanic(panics, nil); p != nil {
+		panic(&super.PanicError{Op: "exec." + l.Name, Value: p})
 	}
 	for _, err := range errs {
 		if err == nil {

@@ -433,6 +433,21 @@ func (p *Plan) Join(child Injector) {
 	}
 }
 
+// RestoreCounters sets the opportunity and injection totals to a previously
+// checkpointed position, for crash-safe campaign resume: after a restart,
+// the harness replays journaled per-image deltas and then fast-forwards the
+// plan's totals so the remainder of the run accumulates from where the
+// killed process left off. The decision stream is untouched — campaign
+// kernels reseed it per (pass, row), so stream position is a function of
+// the workload, not of these counters. The per-site/per-kind breakdowns and
+// the retained event log are process-local diagnostics and are not
+// restored.
+func (p *Plan) RestoreCounters(calls, injected uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls, p.injected = calls, injected
+}
+
 // Reset zeroes the counters and rewinds the random stream to the seed, so
 // the same workload replays the same faults.
 func (p *Plan) Reset() {

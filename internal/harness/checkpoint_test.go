@@ -1,0 +1,302 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"simdstudy/internal/checkpoint"
+	"simdstudy/internal/cv"
+	"simdstudy/internal/image"
+	"simdstudy/internal/obs"
+	"simdstudy/internal/platform"
+	"simdstudy/internal/resilience"
+)
+
+// runCampaignToCompletion runs the campaign with a journal at path,
+// returning the report and the fault_* counter families of its registry.
+func runCampaignToCompletion(t *testing.T, path string, cfg CampaignConfig) (*FaultReport, obs.Snapshot) {
+	t.Helper()
+	cfg.Obs = obs.NewRegistry()
+	cfg.CheckpointPath = path
+	rep, err := RunFaultCampaign(context.Background(), "GauBlu", testRes, cfg)
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	return rep, cfg.Obs.Snapshot().Filter("fault_")
+}
+
+// TestCampaignKillAndResume is the tentpole determinism proof: a campaign
+// interrupted at an image boundary (simulating a SIGKILL after the journal
+// append) and resumed — possibly at a different worker count — produces a
+// report and fault counters bit-identical to an uninterrupted run.
+func TestCampaignKillAndResume(t *testing.T) {
+	base := CampaignConfig{Rate: 1e-3, Seed: 17, Burst: 3}
+
+	// Uninterrupted reference, no journal.
+	refReg := obs.NewRegistry()
+	refCfg := base
+	refCfg.Obs = refReg
+	ref, err := RunFaultCampaign(context.Background(), "GauBlu", testRes, refCfg)
+	if err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+	refFault := refReg.Snapshot().Filter("fault_")
+	total := 2 * base.Burst // images across both ISAs
+
+	for _, w := range []struct{ killed, resumed int }{
+		{1, 1}, {4, 4}, {1, 4}, {4, 1},
+	} {
+		for killAt := 1; killAt < total; killAt++ {
+			name := fmt.Sprintf("w%d-w%d/kill=%d", w.killed, w.resumed, killAt)
+			t.Run(name, func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "campaign.journal")
+
+				// The killed run: cancel at the killAt-th journal append; the
+				// campaign aborts at the next image boundary, exactly like a
+				// process killed right after a durable append.
+				ctx, cancel := context.WithCancel(context.Background())
+				cfg := base
+				cfg.Parallel = cv.ParallelConfig{Workers: w.killed, MinRowsPerBand: 1}
+				cfg.Obs = obs.NewRegistry()
+				cfg.CheckpointPath = path
+				cfg.CheckpointHook = func(records int) {
+					if records >= killAt {
+						cancel()
+					}
+				}
+				_, err := RunFaultCampaign(ctx, "GauBlu", testRes, cfg)
+				var de *resilience.DeadlineError
+				if !errors.As(err, &de) {
+					t.Fatalf("killed run = %v, want *resilience.DeadlineError", err)
+				}
+
+				// The resumed run replays the journaled prefix and recomputes
+				// the remainder — at its own worker count.
+				cfg2 := base
+				cfg2.Parallel = cv.ParallelConfig{Workers: w.resumed, MinRowsPerBand: 1}
+				rep, fault := runCampaignToCompletion(t, path, cfg2)
+
+				if !reflect.DeepEqual(rep, ref) {
+					t.Errorf("resumed report differs from uninterrupted run:\n got %+v\nwant %+v", rep, ref)
+				}
+				if !reflect.DeepEqual(fault, refFault) {
+					t.Errorf("resumed fault counters differ:\n got %v\nwant %v", fault, refFault)
+				}
+			})
+		}
+	}
+}
+
+// TestCampaignResumeNoRecompute: resuming a fully completed campaign
+// recomputes nothing — every image is served from the journal.
+func TestCampaignResumeComplete(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	cfg := CampaignConfig{Rate: 1e-3, Seed: 17, Burst: 2}
+	ref, refFault := runCampaignToCompletion(t, path, cfg)
+
+	appends := 0
+	cfg2 := cfg
+	cfg2.CheckpointHook = func(int) { appends++ }
+	rep, fault := runCampaignToCompletion(t, path, cfg2)
+	if appends != 0 {
+		t.Errorf("complete journal still appended %d records", appends)
+	}
+	if !reflect.DeepEqual(rep, ref) {
+		t.Errorf("fully replayed report differs:\n got %+v\nwant %+v", rep, ref)
+	}
+	if !reflect.DeepEqual(fault, refFault) {
+		t.Errorf("fully replayed fault counters differ:\n got %v\nwant %v", fault, refFault)
+	}
+}
+
+// TestCampaignJournalMismatch: a journal written under a different
+// configuration must refuse to resume with a typed error, not silently mix
+// two runs' results.
+func TestCampaignJournalMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	cfg := CampaignConfig{Rate: 1e-3, Seed: 17, Burst: 2, CheckpointPath: path}
+	if _, err := RunFaultCampaign(context.Background(), "GauBlu", testRes, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 18
+	_, err := RunFaultCampaign(context.Background(), "GauBlu", testRes, cfg)
+	var me *checkpoint.MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("seed-changed resume = %v, want *checkpoint.MismatchError", err)
+	}
+}
+
+// TestCampaignCorruptJournalColdStarts: a damaged journal is discarded with
+// a warning event and the campaign runs cold to the correct result.
+func TestCampaignCorruptJournalColdStarts(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.journal")
+	cfg := CampaignConfig{Rate: 1e-3, Seed: 17, Burst: 2}
+	ref, _ := runCampaignToCompletion(t, refPath, cfg)
+
+	path := filepath.Join(dir, "campaign.journal")
+	if err := os.WriteFile(path, []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg2 := cfg
+	cfg2.Obs = reg
+	cfg2.CheckpointPath = path
+	rep, err := RunFaultCampaign(context.Background(), "GauBlu", testRes, cfg2)
+	if err != nil {
+		t.Fatalf("cold start over corrupt journal: %v", err)
+	}
+	if !reflect.DeepEqual(rep, ref) {
+		t.Errorf("cold-start report differs from reference")
+	}
+	found := false
+	for _, ev := range reg.Events() {
+		if ev.Name == "checkpoint.corrupt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no checkpoint.corrupt event emitted")
+	}
+	// The recreated journal must now be resumable.
+	if _, err := checkpoint.Open(path, "campaign",
+		campaignFingerprint("GauBlu", testRes, cfg2, 2)); err != nil {
+		t.Fatalf("recreated journal unreadable: %v", err)
+	}
+}
+
+// TestCampaignStallDeadlineClean: a generous stall deadline changes nothing
+// about a healthy campaign's results.
+func TestCampaignStallDeadlineClean(t *testing.T) {
+	cfg := CampaignConfig{Rate: 1e-3, Seed: 17, Burst: 2}
+	ref, err := RunFaultCampaign(context.Background(), "GauBlu", testRes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.StallDeadline = time.Hour
+	cfg.Parallel = cv.ParallelConfig{Workers: 4, MinRowsPerBand: 1}
+	rep, err := RunFaultCampaign(context.Background(), "GauBlu", testRes, cfg)
+	if err != nil {
+		t.Fatalf("watched campaign: %v", err)
+	}
+	if !reflect.DeepEqual(rep, ref) {
+		t.Errorf("watched report differs:\n got %+v\nwant %+v", rep, ref)
+	}
+}
+
+// gridEnv is the small grid the resume tests run: 2 platforms x 2 sizes.
+func gridEnv() ([]platform.Platform, []image.Resolution) {
+	return []platform.Platform{platform.AtomD510(), platform.TIDM3730()},
+		[]image.Resolution{
+			{Width: 640, Height: 480, Name: "640x480"},
+			{Width: 1280, Height: 720, Name: "1280x720"},
+		}
+}
+
+// TestGridKillAndResume: a grid interrupted after k journaled cells resumes
+// to the same cells as an uninterrupted run, recomputing only the remainder.
+func TestGridKillAndResume(t *testing.T) {
+	plats, sizes := gridEnv()
+	ref, err := RunGridCtx(context.Background(), "GauBlu", plats, sizes, GridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(plats) * len(sizes)
+	for killAt := 1; killAt < total; killAt++ {
+		t.Run(fmt.Sprintf("kill=%d", killAt), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "grid.journal")
+			ctx, cancel := context.WithCancel(context.Background())
+			_, err := RunGridCtx(ctx, "GauBlu", plats, sizes, GridOptions{
+				CheckpointPath: path,
+				CheckpointHook: func(records int) {
+					if records >= killAt {
+						cancel()
+					}
+				},
+			})
+			var de *resilience.DeadlineError
+			if !errors.As(err, &de) {
+				t.Fatalf("killed grid = %v, want *resilience.DeadlineError", err)
+			}
+
+			recomputed := 0
+			g, err := RunGridCtx(context.Background(), "GauBlu", plats, sizes, GridOptions{
+				CheckpointPath: path,
+				CheckpointHook: func(int) { recomputed++ },
+			})
+			if err != nil {
+				t.Fatalf("resumed grid: %v", err)
+			}
+			if !reflect.DeepEqual(g.Cells, ref.Cells) {
+				t.Errorf("resumed cells differ from uninterrupted run")
+			}
+			if recomputed > total-killAt {
+				t.Errorf("resume recomputed %d cells; at most %d were outstanding", recomputed, total-killAt)
+			}
+		})
+	}
+}
+
+// TestGridJournalMismatch: a grid journal from different axes refuses resume.
+func TestGridJournalMismatch(t *testing.T) {
+	plats, sizes := gridEnv()
+	path := filepath.Join(t.TempDir(), "grid.journal")
+	if _, err := RunGridCtx(context.Background(), "GauBlu", plats, sizes,
+		GridOptions{CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RunGridCtx(context.Background(), "SobFil", plats, sizes,
+		GridOptions{CheckpointPath: path})
+	var me *checkpoint.MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("bench-changed resume = %v, want *checkpoint.MismatchError", err)
+	}
+}
+
+// TestDecodeCampaignJournalOrder: records that violate execution order are
+// rejected (treated as corruption) rather than replayed out of place.
+func TestDecodeCampaignJournalOrder(t *testing.T) {
+	isas := []cv.ISA{cv.ISANEON, cv.ISASSE2}
+	mk := func(t *testing.T, recs []campaignCellRecord) *checkpoint.Journal {
+		t.Helper()
+		j, err := checkpoint.Create(filepath.Join(t.TempDir(), "j"), "campaign", "fp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := j.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return j
+	}
+	ok := func(recs ...campaignCellRecord) bool {
+		_, valid := decodeCampaignJournal(mk(t, recs), isas, 2)
+		return valid
+	}
+	if !ok() {
+		t.Error("empty journal rejected")
+	}
+	if !ok(campaignCellRecord{ISA: "neon", Image: 0}, campaignCellRecord{ISA: "neon", Image: 1},
+		campaignCellRecord{ISA: "sse2", Image: 0}) {
+		t.Error("valid execution order rejected")
+	}
+	if ok(campaignCellRecord{ISA: "neon", Image: 1}) {
+		t.Error("gap at image 0 accepted")
+	}
+	if ok(campaignCellRecord{ISA: "sse2", Image: 0}) {
+		t.Error("second ISA before first accepted")
+	}
+	if ok(campaignCellRecord{ISA: "neon", Image: 0}, campaignCellRecord{ISA: "neon", Image: 0}) {
+		t.Error("duplicate image accepted")
+	}
+	if ok(campaignCellRecord{ISA: "scalar", Image: 0}) {
+		t.Error("unknown ISA accepted")
+	}
+}

@@ -9,12 +9,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"simdstudy/internal/checkpoint"
 	"simdstudy/internal/cv"
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/platform"
 	"simdstudy/internal/resilience"
+	"simdstudy/internal/super"
 	"simdstudy/internal/timing"
 	"simdstudy/internal/trace"
 )
@@ -126,6 +128,18 @@ type GridOptions struct {
 	// Concurrency is the number of cells evaluated in flight at once.
 	// Values below 2 run the grid sequentially.
 	Concurrency int
+	// CheckpointPath, when non-empty, journals every completed cell to this
+	// file (versioned, checksummed, atomically replaced — see
+	// internal/checkpoint) and replays already-journaled cells on a later
+	// run with the same configuration, so a killed grid resumes bit-
+	// identically instead of starting over. A corrupt journal falls back to
+	// a cold start; a journal written by a different (bench, platforms,
+	// sizes) configuration is a *checkpoint.MismatchError.
+	CheckpointPath string
+	// CheckpointHook, when non-nil, runs after every durable journal append
+	// with the journal's record count. The chaos CI job and the resume
+	// tests use it to interrupt a run at a deterministic cell boundary.
+	CheckpointHook func(records int)
 }
 
 // testCellStart, when non-nil, is invoked at the start of every grid cell
@@ -159,6 +173,44 @@ func RunGridCtx(ctx context.Context, bench string, platforms []platform.Platform
 	gridSpan := opt.Obs.StartSpan("grid." + bench)
 	defer gridSpan.End()
 
+	// Checkpointed resume: replay journaled cells into the grid and skip
+	// recomputing them; every newly completed cell is appended durably
+	// before the next one may finish the run.
+	var journal *checkpoint.Journal
+	var done map[[2]int]bool
+	replayed := 0
+	if opt.CheckpointPath != "" {
+		j, err := openJournal(opt.CheckpointPath, "grid",
+			gridFingerprint(bench, platforms, sizes), opt.Obs)
+		if err != nil {
+			return nil, err
+		}
+		recs, ok := decodeGridJournal(j, len(sizes), len(platforms))
+		if !ok {
+			// Checksummed but semantically invalid (tampering past the CRCs):
+			// same policy as corruption — discard and start cold.
+			if opt.Obs != nil {
+				opt.Obs.Emit("checkpoint.corrupt", map[string]any{
+					"path": opt.CheckpointPath, "error": "grid journal records inconsistent",
+				})
+			}
+			if j, err = checkpoint.Create(opt.CheckpointPath, "grid",
+				gridFingerprint(bench, platforms, sizes)); err != nil {
+				return nil, err
+			}
+			recs = nil
+		}
+		done = make(map[[2]int]bool, len(recs))
+		for _, r := range recs {
+			g.Cells[r.Size][r.Plat] = Cell{
+				AutoSeconds: r.Auto, HandSeconds: r.Hand, Metrics: r.Metrics,
+			}
+			done[[2]int{r.Size, r.Plat}] = true
+		}
+		replayed = len(recs)
+		journal = j
+	}
+
 	conc := opt.Concurrency
 	if conc < 1 {
 		conc = 1
@@ -180,11 +232,15 @@ func RunGridCtx(ctx context.Context, bench string, platforms []platform.Platform
 		errMu.Unlock()
 		cancel()
 	}
+	completed.Add(int64(replayed))
 	track := 1
 launch:
 	for si := range sizes {
 		for pi := range platforms {
 			track++
+			if done != nil && done[[2]int{si, pi}] {
+				continue
+			}
 			select {
 			case <-cctx.Done():
 				break launch
@@ -201,6 +257,20 @@ launch:
 				}
 				g.Cells[si][pi] = cell
 				completed.Add(1)
+				if journal != nil {
+					if err := journal.Append(gridCellRecord{
+						Size: si, Plat: pi,
+						SizeName: sizes[si].Name, PlatName: platforms[pi].Name,
+						Auto: cell.AutoSeconds, Hand: cell.HandSeconds,
+						Metrics: cell.Metrics,
+					}); err != nil {
+						fail(fmt.Errorf("harness: grid checkpoint: %w", err))
+						return
+					}
+					if opt.CheckpointHook != nil {
+						opt.CheckpointHook(journal.Len())
+					}
+				}
 			}(si, pi, track)
 		}
 	}
@@ -345,6 +415,21 @@ type CampaignConfig struct {
 	// fault_classified_total{isa,outcome} counters, and a "fault.masked"
 	// event per image whose injected faults never reached a sampled pixel.
 	Obs *obs.Registry
+	// CheckpointPath, when non-empty, journals every completed image's
+	// classification deltas and resume state, so a killed campaign
+	// restarted with the same configuration replays the journaled prefix
+	// and recomputes only the remaining images — bit-identically, at any
+	// worker count (the injection schedule is per-(pass, row), not
+	// per-goroutine). A corrupt journal cold-starts; one written by a
+	// different configuration is a *checkpoint.MismatchError.
+	CheckpointPath string
+	// CheckpointHook, when non-nil, runs after every durable journal
+	// append with the journal's record count; chaos tests interrupt here.
+	CheckpointHook func(records int)
+	// StallDeadline, when positive, runs the campaign under a stall
+	// watchdog: a kernel band silent for longer than this cancels its
+	// siblings and fails the campaign with a typed *super.StallError.
+	StallDeadline time.Duration
 }
 
 // ISAFaultReport is the per-ISA outcome of a fault campaign.
@@ -387,11 +472,44 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 	if burst <= 0 {
 		burst = 5
 	}
+	isas := []cv.ISA{cv.ISANEON, cv.ISASSE2}
+
+	// Checkpointed resume: load (or create) the journal and split each
+	// ISA's burst into a replayed prefix and a live remainder.
+	var journal *checkpoint.Journal
+	groups := map[string][]campaignCellRecord{}
+	if cfg.CheckpointPath != "" {
+		fp := campaignFingerprint(bench, res, cfg, burst)
+		j, err := openJournal(cfg.CheckpointPath, "campaign", fp, cfg.Obs)
+		if err != nil {
+			return nil, err
+		}
+		g, ok := decodeCampaignJournal(j, isas, burst)
+		if !ok {
+			if cfg.Obs != nil {
+				cfg.Obs.Emit("checkpoint.corrupt", map[string]any{
+					"path": cfg.CheckpointPath, "error": "campaign journal records inconsistent",
+				})
+			}
+			if j, err = checkpoint.Create(cfg.CheckpointPath, "campaign", fp); err != nil {
+				return nil, err
+			}
+			g = map[string][]campaignCellRecord{}
+		}
+		journal, groups = j, g
+	}
+
+	var wd *super.Watchdog
+	if cfg.StallDeadline > 0 {
+		wd = super.NewWatchdog(super.WatchdogConfig{Deadline: cfg.StallDeadline}, cfg.Obs)
+		defer wd.Stop()
+	}
+
 	rep := &FaultReport{Bench: bench, Res: res, Rate: cfg.Rate, Seed: cfg.Seed}
 	campSpan := cfg.Obs.StartSpan("campaign."+bench, obs.L("size", res.Name))
 	defer campSpan.End()
 	imagesDone := 0
-	for _, isa := range []cv.ISA{cv.ISANEON, cv.ISASSE2} {
+	for _, isa := range isas {
 		plan := faults.NewPlan(faults.Config{
 			Rate: cfg.Rate, Seed: cfg.Seed, Sites: cfg.Sites, Kinds: cfg.Kinds,
 		})
@@ -404,13 +522,23 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 		o.SetParallel(cfg.Parallel)
 		o.SetFaultInjector(plan)
 		o.SetObserver(cfg.Obs)
+		if wd != nil {
+			o.SetWatchdog(wd)
+		}
 		lISA := obs.L("isa", isa.String())
 		isaSpan := campSpan.Child("campaign.isa", lISA)
 
 		ir := ISAFaultReport{ISA: isa, Images: burst}
-		var prevInjected uint64
+		done := groups[isa.String()]
+		for _, rec := range done {
+			replayCampaignRecord(rec, &ir, cfg.Obs, bench, lISA)
+			imagesDone++
+		}
+		prevInjected := restoreCampaignState(done, plan, o)
 		prevFaults := 0
-		for imgIdx, src := range spec.burst(res, burst) {
+		images := spec.burst(res, burst)
+		for imgIdx := len(done); imgIdx < burst; imgIdx++ {
+			src := images[imgIdx]
 			if err := ctx.Err(); err != nil {
 				isaSpan.End()
 				return nil, &resilience.DeadlineError{
@@ -432,6 +560,7 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 			delta := plan.Injected() - prevInjected
 			prevInjected = plan.Injected()
 			cfg.Obs.Counter("fault_injected_total", lISA).Add(delta)
+			d0, r0, f0, k0 := ir.Detected, ir.RetryRecovered, ir.Fallbacks, ir.KillSwitch
 			detectedThisImage := false
 			for _, f := range o.Faults()[prevFaults:] {
 				switch f.Action {
@@ -449,7 +578,9 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 					obs.L("outcome", f.Action.String())).Inc()
 			}
 			prevFaults = len(o.Faults())
+			var maskedDelta uint64
 			if !detectedThisImage {
+				maskedDelta = delta
 				ir.Masked += delta
 				if delta > 0 {
 					cfg.Obs.Counter("fault_classified_total", lISA,
@@ -462,6 +593,26 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 			}
 			imgSpan.End()
 			imagesDone++
+			if journal != nil {
+				if err := journal.Append(campaignCellRecord{
+					ISA: isa.String(), Image: imgIdx,
+					Detected:       ir.Detected - d0,
+					RetryRecovered: ir.RetryRecovered - r0,
+					Fallbacks:      ir.Fallbacks - f0,
+					KillSwitch:     ir.KillSwitch - k0,
+					InjectedDelta:  delta,
+					MaskedDelta:    maskedDelta,
+					PlanCalls:      plan.Calls(),
+					PlanInjected:   plan.Injected(),
+					Resume:         o.ResumeState(),
+				}); err != nil {
+					isaSpan.End()
+					return nil, fmt.Errorf("harness: campaign checkpoint: %w", err)
+				}
+				if cfg.CheckpointHook != nil {
+					cfg.CheckpointHook(journal.Len())
+				}
+			}
 		}
 		isaSpan.End()
 		st := plan.Snapshot()

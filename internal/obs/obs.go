@@ -247,6 +247,19 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Filter returns the subset of the snapshot whose series names start with
+// prefix. Determinism checks use it to compare the replay-stable families
+// (fault_*, guard_*) of two runs while ignoring wall-clock series.
+func (s Snapshot) Filter(prefix string) Snapshot {
+	out := make(Snapshot)
+	for k, v := range s {
+		if strings.HasPrefix(k, prefix) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
 // renderSeries prints name{k="v",...} with Prometheus escaping.
 func renderSeries(name string, labels []Label) string {
 	if len(labels) == 0 {

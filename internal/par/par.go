@@ -205,6 +205,25 @@ func Run(n int, fn func(band int)) []any {
 	return st.panics
 }
 
+// FirstPanic returns the first non-nil panic value from a Run result in
+// band order, skipping values the sentinel filter reports as scheduler
+// tokens (a nil filter skips nothing). It is the shared triage step of
+// every caller's repanic policy: the kernel library filters its
+// stop-sentinel here before handing the survivor to the supervisor, and
+// the loop executor wraps the survivor in a typed error.
+func FirstPanic(panics []any, sentinel func(any) bool) any {
+	for _, p := range panics {
+		if p == nil {
+			continue
+		}
+		if sentinel != nil && sentinel(p) {
+			continue
+		}
+		return p
+	}
+	return nil
+}
+
 // --- Pooled scratch images ---
 
 // matPools buckets recycled Mats by pixel kind. Capacity is checked on Get;

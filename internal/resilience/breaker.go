@@ -306,6 +306,17 @@ func (b *Breaker) setStateGauge() {
 	}
 }
 
+// ForceStuckOpen latches the breaker terminally open regardless of its
+// window state — the supervisor's quarantine enforcement. Unlike a trip
+// reached through GiveUpAfter, it can land in any state; only a fresh
+// breaker (process restart with a clean quarantine journal) re-arms the
+// pair.
+func (b *Breaker) ForceStuckOpen() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.transition(StateStuckOpen, b.cfg.Clock())
+}
+
 // BreakerSet is a lazily populated family of breakers keyed by
 // (kernel, ISA), sharing one config and registry. It is what cv.Ops
 // dispatch consults and what the serving front-end reports from /readyz.
@@ -349,6 +360,9 @@ func (s *BreakerSet) Release(kernel, isa string) { s.For(kernel, isa).Release() 
 
 // State is For(kernel, isa).State().
 func (s *BreakerSet) State(kernel, isa string) State { return s.For(kernel, isa).State() }
+
+// ForceStuckOpen is For(kernel, isa).ForceStuckOpen().
+func (s *BreakerSet) ForceStuckOpen(kernel, isa string) { s.For(kernel, isa).ForceStuckOpen() }
 
 // Snapshot returns every breaker's state keyed "kernel/isa", for readiness
 // endpoints and logs. Iteration order of the returned map is undefined;

@@ -1,0 +1,62 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestForceStuckOpen: the supervisor's quarantine enforcement latches a
+// breaker terminally from any state, and no cooldown or verdict re-arms it.
+func TestForceStuckOpen(t *testing.T) {
+	now := time.Unix(0, 0)
+	cfg := BreakerConfig{OpenFor: time.Second, Clock: func() time.Time { return now }}
+
+	t.Run("from closed", func(t *testing.T) {
+		b := NewBreaker("k", "neon", cfg, nil)
+		b.ForceStuckOpen()
+		if st := b.State(); st != StateStuckOpen {
+			t.Fatalf("state = %v", st)
+		}
+		if b.Allow() {
+			t.Fatal("stuck-open breaker allowed a call")
+		}
+		// Neither cooldown nor a success verdict re-arms it.
+		now = now.Add(time.Hour)
+		b.Record(true)
+		if st := b.State(); st != StateStuckOpen {
+			t.Fatalf("state after cooldown+success = %v", st)
+		}
+	})
+
+	t.Run("from half-open with probe out", func(t *testing.T) {
+		b := NewBreaker("k", "neon", BreakerConfig{
+			MinSamples: 1, FailureRate: 1, OpenFor: time.Second,
+			Clock: func() time.Time { return now },
+		}, nil)
+		b.Record(false)
+		now = now.Add(2 * time.Second)
+		if !b.Allow() {
+			t.Fatal("half-open breaker refused the probe")
+		}
+		b.ForceStuckOpen()
+		if st := b.State(); st != StateStuckOpen {
+			t.Fatalf("state = %v", st)
+		}
+		// The outstanding probe's late verdict is ignored.
+		b.Record(true)
+		if st := b.State(); st != StateStuckOpen {
+			t.Fatalf("state after late probe verdict = %v", st)
+		}
+	})
+
+	t.Run("set-level", func(t *testing.T) {
+		s := NewBreakerSet(BreakerConfig{}, nil)
+		s.ForceStuckOpen("GaussianBlur", "neon")
+		if st := s.State("GaussianBlur", "neon"); st != StateStuckOpen {
+			t.Fatalf("state = %v", st)
+		}
+		if st := s.State("GaussianBlur", "sse2"); st != StateClosed {
+			t.Fatalf("sibling pair state = %v", st)
+		}
+	})
+}

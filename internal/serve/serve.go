@@ -13,11 +13,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"simdstudy/internal/checkpoint"
 	"simdstudy/internal/cv"
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/resilience"
+	"simdstudy/internal/super"
 	"simdstudy/internal/vec"
 )
 
@@ -55,6 +57,23 @@ type Config struct {
 	// Registry receives all metrics, spans, and events; nil allocates a
 	// private one.
 	Registry *obs.Registry
+	// StallDeadline, when positive, runs every worker Ops under a stall
+	// watchdog: a kernel band silent for longer than this cancels its
+	// siblings and the request fails with a typed stall response instead of
+	// holding its admission slot until the client deadline.
+	StallDeadline time.Duration
+	// Quarantine tunes the panic supervisor shared by every worker Ops: a
+	// (kernel, ISA) pair whose SIMD path panics MaxPanics times is demoted
+	// to the scalar, serial path permanently (its breaker latches
+	// stuck-open). The zero value selects the supervisor defaults.
+	Quarantine super.QuarantinePolicy
+	// QuarantineJournal, when non-empty, persists quarantine decisions to
+	// this checkpoint journal and replays them at startup, so a restarted
+	// simdserved does not re-probe a known-poisonous (kernel, ISA) pair. A
+	// corrupt journal is discarded (cold start, warning event); a journal
+	// of the wrong kind disables persistence with a
+	// quarantine.journal_error event rather than failing startup.
+	QuarantineJournal string
 }
 
 func (c Config) normalized() Config {
@@ -114,6 +133,21 @@ type Server struct {
 	pools    map[cv.ISA]*sync.Pool
 	inj      atomic.Value // injCell
 	draining atomic.Bool
+
+	sup *super.Supervisor
+	wd  *super.Watchdog
+
+	reqSeq   atomic.Uint64
+	flightMu sync.Mutex
+	flight   map[string]*inflight
+}
+
+// inflight is one admitted /process request's live entry for /livez.
+type inflight struct {
+	id     string
+	kernel string
+	isa    string
+	start  time.Time
 }
 
 // testProcessStart, when non-nil, runs after a request clears admission
@@ -125,10 +159,18 @@ var testProcessStart func()
 func NewServer(cfg Config) *Server {
 	cfg = cfg.normalized()
 	s := &Server{
-		cfg: cfg,
-		reg: cfg.Registry,
-		brk: resilience.NewBreakerSet(cfg.Breaker, cfg.Registry),
-		adm: newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.Registry),
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		brk:    resilience.NewBreakerSet(cfg.Breaker, cfg.Registry),
+		adm:    newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.Registry),
+		sup:    super.NewSupervisor(cfg.Quarantine, cfg.Registry),
+		flight: map[string]*inflight{},
+	}
+	if cfg.QuarantineJournal != "" {
+		s.openQuarantineJournal(cfg.QuarantineJournal)
+	}
+	if cfg.StallDeadline > 0 {
+		s.wd = super.NewWatchdog(super.WatchdogConfig{Deadline: cfg.StallDeadline}, cfg.Registry)
 	}
 	s.inj.Store(injCell{})
 	s.pools = make(map[cv.ISA]*sync.Pool, 3)
@@ -141,10 +183,64 @@ func NewServer(cfg Config) *Server {
 			o.SetBreakers(s.brk)
 			o.SetObserver(s.reg)
 			o.SetParallel(cfg.Parallel)
+			o.SetSupervisor(s.sup)
+			if s.wd != nil {
+				o.SetWatchdog(s.wd)
+			}
 			return o
 		}}
 	}
 	return s
+}
+
+// openQuarantineJournal applies the serve-layer resume policy for the
+// quarantine journal: replay a matching journal (latching the replayed
+// pairs' breakers stuck-open), cold-start over a missing or corrupt one,
+// and — uniquely here — degrade to no persistence on a mismatched file
+// rather than failing startup: serving traffic beats remembering
+// quarantines.
+func (s *Server) openQuarantineJournal(path string) {
+	j, resumed, warn, err := checkpoint.OpenOrCreate(path, "quarantine", quarantineFingerprint)
+	if warn != nil {
+		s.reg.Emit("checkpoint.corrupt", map[string]any{
+			"path": path, "error": warn.Error(),
+		})
+	}
+	if err != nil {
+		s.reg.Emit("quarantine.journal_error", map[string]any{
+			"path": path, "error": err.Error(),
+		})
+		return
+	}
+	replayed, err := s.sup.AttachJournal(j)
+	if err != nil {
+		s.reg.Emit("quarantine.journal_error", map[string]any{
+			"path": path, "error": err.Error(),
+		})
+		return
+	}
+	for _, qr := range replayed {
+		s.brk.ForceStuckOpen(qr.Kernel, qr.ISA)
+	}
+	s.reg.Emit("quarantine.journal_open", map[string]any{
+		"path": path, "resumed": resumed, "quarantines": len(replayed),
+	})
+}
+
+// quarantineFingerprint pins the quarantine journal to the serve layer's
+// record schema; quarantine decisions are configuration-independent, so no
+// run parameters participate.
+const quarantineFingerprint = "serve-quarantine-v1"
+
+// Supervisor returns the server's panic supervisor.
+func (s *Server) Supervisor() *super.Supervisor { return s.sup }
+
+// Close releases background resources (the stall watchdog's monitor
+// goroutine). The HTTP side is unaffected; pair with http.Server.Shutdown.
+func (s *Server) Close() {
+	if s.wd != nil {
+		s.wd.Stop()
+	}
 }
 
 // Registry returns the server's observability registry.
@@ -174,26 +270,93 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/process", s.handleProcess)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
+	mux.HandleFunc("/livez", s.handleLive)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return s.recoverWrap(mux)
 }
 
-// recoverWrap turns handler panics into 500s and a panics_total sample —
-// one bad request must not take down the process.
+// reqIDKey carries the request's ID through its context.
+type reqIDKey struct{}
+
+// requestID returns the ID recoverWrap assigned to this request, or "".
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// recoverWrap assigns every request an ID (echoed in the X-Request-ID
+// header) and turns handler panics into 500s and a panics_total sample —
+// one bad request must not take down the process. The ID ties the 500 the
+// client sees to the serve.panic event in the operator's event stream.
 func (s *Server) recoverWrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := "r" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.reg.Counter("panics_total").Inc()
 				s.reg.Emit("serve.panic", map[string]any{
-					"path": r.URL.Path, "panic": fmt.Sprint(rec),
+					"path": r.URL.Path, "panic": fmt.Sprint(rec), "request_id": id,
 				})
 				s.writeJSON(w, http.StatusInternalServerError,
-					map[string]any{"error": "internal error"})
+					map[string]any{"error": "internal error", "request_id": id})
 			}
 		}()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// flightStart registers one admitted request for the /livez view.
+func (s *Server) flightStart(id, kernel, isa string) *inflight {
+	f := &inflight{id: id, kernel: kernel, isa: isa, start: time.Now()}
+	s.flightMu.Lock()
+	s.flight[id] = f
+	s.flightMu.Unlock()
+	return f
+}
+
+// flightEnd removes a completed request from the /livez view.
+func (s *Server) flightEnd(f *inflight) {
+	s.flightMu.Lock()
+	delete(s.flight, f.id)
+	s.flightMu.Unlock()
+}
+
+// handleLive is the supervision view: always 200 (the process is alive to
+// answer), reporting in-flight requests with their ages, live watchdog
+// sections, total stalls declared, and the quarantined (kernel, ISA)
+// pairs. Status "degraded" means at least one pair is quarantined.
+func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	s.flightMu.Lock()
+	inFlight := make([]map[string]any, 0, len(s.flight))
+	for _, f := range s.flight {
+		inFlight = append(inFlight, map[string]any{
+			"id": f.id, "kernel": f.kernel, "isa": f.isa,
+			"age_ms": now.Sub(f.start).Milliseconds(),
+		})
+	}
+	s.flightMu.Unlock()
+	sort.Slice(inFlight, func(i, j int) bool {
+		return inFlight[i]["id"].(string) < inFlight[j]["id"].(string)
+	})
+
+	quarantines := s.sup.Quarantines()
+	status := "ok"
+	if len(quarantines) > 0 {
+		status = "degraded"
+	}
+	body := map[string]any{
+		"status":      status,
+		"in_flight":   inFlight,
+		"quarantined": quarantines,
+	}
+	if s.wd != nil {
+		body["stalls_total"] = s.wd.Stalls()
+		body["watch_sections"] = s.wd.Snapshot(now)
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 // writeJSON emits one JSON response and counts it under requests_total.
@@ -270,11 +433,15 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.adm.release()
+
+	// Admitted: visible on /livez from here until the handler returns.
+	spec := kernels[req.Kernel]
+	fl := s.flightStart(requestID(r.Context()), spec.name, req.ISA.String())
+	defer s.flightEnd(fl)
 	if testProcessStart != nil {
 		testProcessStart()
 	}
 
-	spec := kernels[req.Kernel]
 	src := synthesize(spec.srcKind, req.Width, req.Height, req.Seed)
 	dst, err := spec.dst(req.Width, req.Height)
 	if err != nil {
@@ -299,6 +466,20 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 			// Mid-kernel deadline expiry is shed like queue overflow: the
 			// client's budget is spent, and backing off is the remedy.
 			s.shed(w, "deadline", de.Error())
+			return
+		}
+		var se *super.StallError
+		if errors.As(err, &se) {
+			// A wedged kernel band: the watchdog cancelled the pass and the
+			// verdict already reached the pair's breaker. 500, not 429 — the
+			// fault is ours, and the client may retry immediately (the retry
+			// will run scalar if the breaker opened).
+			s.reg.Counter("request_stalls_total",
+				obs.L("kernel", spec.name), obs.L("isa", req.ISA.String())).Inc()
+			s.writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"error": se.Error(), "stall": true, "band": se.Band,
+				"request_id": fl.id,
+			})
 			return
 		}
 		// Kernels only fail on invalid geometry (faults are absorbed by

@@ -1,0 +1,236 @@
+package super
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"simdstudy/internal/checkpoint"
+	"simdstudy/internal/obs"
+)
+
+func TestProtect(t *testing.T) {
+	if err := Protect("ok", func() error { return nil }); err != nil {
+		t.Fatalf("Protect(nil-returning fn) = %v", err)
+	}
+	sentinel := errors.New("boom")
+	if err := Protect("err", func() error { return sentinel }); err != sentinel {
+		t.Fatalf("Protect(erroring fn) = %v, want passthrough", err)
+	}
+	err := Protect("panics", func() error { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Protect(panicking fn) = %v, want *PanicError", err)
+	}
+	if pe.Op != "panics" || pe.Value != "kaboom" || pe.Stack == "" {
+		t.Errorf("PanicError = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "kaboom") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestSupervisorQuarantine(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewSupervisor(QuarantinePolicy{MaxPanics: 3}, reg)
+
+	for i := 1; i <= 2; i++ {
+		if s.RecordPanic("Canny", "neon", "bad") {
+			t.Fatalf("panic %d should not quarantine", i)
+		}
+		if s.Quarantined("Canny", "neon") {
+			t.Fatalf("quarantined after %d panics", i)
+		}
+	}
+	if !s.RecordPanic("Canny", "neon", "bad") {
+		t.Fatal("third panic must newly quarantine")
+	}
+	if !s.Quarantined("Canny", "neon") {
+		t.Fatal("pair not quarantined")
+	}
+	// Only the quarantining record returns true.
+	if s.RecordPanic("Canny", "neon", "bad") {
+		t.Fatal("already-quarantined pair must not report newly")
+	}
+	if s.PanicCount("Canny", "neon") != 4 {
+		t.Fatalf("PanicCount = %d, want 4", s.PanicCount("Canny", "neon"))
+	}
+	// Other pairs are unaffected.
+	if s.Quarantined("Canny", "sse2") || s.Quarantined("SobelFilter", "neon") {
+		t.Fatal("quarantine leaked to other pairs")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap[`quarantine_total{isa="neon",kernel="Canny"}`]; got != 1 {
+		t.Errorf("quarantine_total = %v, want 1", got)
+	}
+	if got := snap[`worker_panics_total{isa="neon",kernel="Canny"}`]; got != 4 {
+		t.Errorf("worker_panics_total = %v, want 4", got)
+	}
+	if got := snap[`quarantined{isa="neon",kernel="Canny"}`]; got != 1 {
+		t.Errorf("quarantined gauge = %v, want 1", got)
+	}
+
+	qs := s.Quarantines()
+	if len(qs) != 1 || qs[0].Kernel != "Canny" || qs[0].ISA != "neon" || qs[0].Panics != 3 {
+		t.Errorf("Quarantines = %+v", qs)
+	}
+}
+
+func TestQuarantineJournalPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "quarantine.journal")
+	j, err := checkpoint.Create(path, "quarantine", "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSupervisor(QuarantinePolicy{MaxPanics: 1}, nil)
+	s.SetClock(func() time.Time { return time.Unix(100, 0) })
+	if _, err := s.AttachJournal(j); err != nil {
+		t.Fatalf("AttachJournal(empty) = %v", err)
+	}
+	if !s.RecordPanic("MedianBlur3x3", "sse2", "index out of range") {
+		t.Fatal("MaxPanics=1 must quarantine on first panic")
+	}
+
+	// A "restarted process": fresh supervisor, reopened journal.
+	j2, err := checkpoint.Open(path, "quarantine", "fp")
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	s2 := NewSupervisor(QuarantinePolicy{}, nil)
+	replayed, err := s2.AttachJournal(j2)
+	if err != nil {
+		t.Fatalf("AttachJournal(replay) = %v", err)
+	}
+	if len(replayed) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(replayed))
+	}
+	qr := replayed[0]
+	if qr.Kernel != "MedianBlur3x3" || qr.ISA != "sse2" || qr.Panics != 1 ||
+		qr.UnixNano != time.Unix(100, 0).UnixNano() {
+		t.Errorf("replayed record = %+v", qr)
+	}
+	if !strings.Contains(qr.Reason, "index out of range") {
+		t.Errorf("Reason = %q", qr.Reason)
+	}
+	if !s2.Quarantined("MedianBlur3x3", "sse2") {
+		t.Fatal("restarted supervisor lost the quarantine")
+	}
+}
+
+func TestWatchdogDetectsStall(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := NewWatchdog(WatchdogConfig{Deadline: time.Hour}, reg)
+	defer w.Stop()
+
+	stopped := false
+	sec := w.Section("GaussianBlur", "neon", 3, func() { stopped = true })
+	defer sec.Close()
+
+	// All hearts fresh: no stall.
+	w.Check(time.Now())
+	if sec.Stalled() != nil || stopped {
+		t.Fatal("fresh section declared stalled")
+	}
+
+	// Bands 0 and 2 keep beating; band 1 goes silent past the deadline.
+	future := time.Now().Add(2 * time.Hour)
+	sec.Heart(0).last.Store(future.UnixNano())
+	sec.Heart(2).last.Store(future.UnixNano())
+	w.Check(future)
+	se := sec.Stalled()
+	if se == nil {
+		t.Fatal("stall not detected")
+	}
+	if !stopped {
+		t.Fatal("onStall not fired")
+	}
+	if se.Band != 1 || se.Op != "GaussianBlur" || se.ISA != "neon" || se.Deadline != time.Hour {
+		t.Errorf("StallError = %+v", se)
+	}
+	if w.Stalls() != 1 {
+		t.Errorf("Stalls = %d, want 1", w.Stalls())
+	}
+
+	// A second scan must not re-declare.
+	w.Check(future.Add(time.Hour))
+	if w.Stalls() != 1 {
+		t.Errorf("stall re-declared; Stalls = %d", w.Stalls())
+	}
+
+	snap := reg.Snapshot()
+	if got := snap[`stall_total{isa="neon",kernel="GaussianBlur"}`]; got != 1 {
+		t.Errorf("stall_total = %v, want 1", got)
+	}
+}
+
+func TestWatchdogBeatsPreventStall(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Deadline: 50 * time.Millisecond, Poll: time.Millisecond}, nil)
+	defer w.Stop()
+	sec := w.Section("ResizeHalf", "sse2", 1, nil)
+	defer sec.Close()
+	// Keep beating for several deadlines; the live monitor must stay quiet.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		sec.Heart(0).Beat()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if se := sec.Stalled(); se != nil {
+		t.Fatalf("beating section declared stalled: %v", se)
+	}
+}
+
+func TestWatchdogClosedSectionNotScanned(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Deadline: time.Hour}, nil)
+	defer w.Stop()
+	sec := w.Section("Threshold", "neon", 1, nil)
+	sec.Close()
+	w.Check(time.Now().Add(48 * time.Hour))
+	if sec.Stalled() != nil {
+		t.Fatal("closed section declared stalled")
+	}
+	if w.Stalls() != 0 {
+		t.Errorf("Stalls = %d, want 0", w.Stalls())
+	}
+}
+
+func TestWatchdogSnapshot(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{Deadline: time.Hour}, nil)
+	defer w.Stop()
+	s1 := w.Section("Canny", "neon", 2, nil)
+	defer s1.Close()
+	s2 := w.Section("Canny", "sse2", 4, nil)
+	defer s2.Close()
+	st := w.Snapshot(time.Now())
+	if len(st) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(st))
+	}
+	if st[0].ISA != "neon" || st[1].ISA != "sse2" {
+		t.Errorf("Snapshot order = %s, %s", st[0].ISA, st[1].ISA)
+	}
+	if st[0].Bands != 2 || st[1].Bands != 4 {
+		t.Errorf("Bands = %d, %d", st[0].Bands, st[1].Bands)
+	}
+}
+
+func TestWatchdogConfigDefaults(t *testing.T) {
+	c := WatchdogConfig{}.normalized()
+	if c.Deadline != time.Second {
+		t.Errorf("default Deadline = %v", c.Deadline)
+	}
+	if c.Poll != c.Deadline/8 {
+		t.Errorf("default Poll = %v", c.Poll)
+	}
+	if p := (WatchdogConfig{Deadline: time.Microsecond}).normalized().Poll; p != time.Millisecond {
+		t.Errorf("Poll floor = %v, want 1ms", p)
+	}
+	if p := (WatchdogConfig{Deadline: time.Hour}).normalized().Poll; p != 250*time.Millisecond {
+		t.Errorf("Poll ceiling = %v, want 250ms", p)
+	}
+	if q := (QuarantinePolicy{}).normalized(); q.MaxPanics != 3 {
+		t.Errorf("default MaxPanics = %d", q.MaxPanics)
+	}
+}
