@@ -29,6 +29,7 @@ import (
 	"simdstudy/internal/image"
 	"simdstudy/internal/neon"
 	"simdstudy/internal/obs"
+	"simdstudy/internal/obs/tsdb"
 	"simdstudy/internal/platform"
 	"simdstudy/internal/resilience"
 	"simdstudy/internal/serve"
@@ -383,6 +384,40 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Label constructs a metric label.
 func Label(key, value string) MetricLabel { return obs.L(key, value) }
+
+// MetricExemplar ties one histogram observation to the trace that produced
+// it, exported in the OpenMetrics rendering
+// (MetricsRegistry.WriteOpenMetrics).
+type MetricExemplar = obs.Exemplar
+
+// WithTrace binds a request trace ID to a context; the Ctx kernel entry
+// points pick it up and stamp their spans and latency-histogram exemplars
+// with it. An empty ID returns ctx unchanged.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return obs.WithTrace(ctx, id)
+}
+
+// TraceID returns the trace ID bound with WithTrace, or "". Nil-safe.
+func TraceID(ctx context.Context) string { return obs.TraceID(ctx) }
+
+// TimeSeriesStore is an in-process ring of registry samples serving
+// windowed rollups: per-series rates and histogram-derived latency
+// quantiles. See NewTimeSeriesStore.
+type TimeSeriesStore = tsdb.Store
+
+// TimeSeriesConfig sizes a TimeSeriesStore (sampling cadence, ring
+// capacity, optional Go-runtime health collection).
+type TimeSeriesConfig = tsdb.Config
+
+// TimeSeriesRollup is the windowed view between two samples: rates,
+// deltas, quantiles and the newest gauge values.
+type TimeSeriesRollup = tsdb.Rollup
+
+// NewTimeSeriesStore builds a time-series store over a registry. Call
+// Start for background sampling or Sample to drive it explicitly.
+func NewTimeSeriesStore(reg *MetricsRegistry, cfg TimeSeriesConfig) *TimeSeriesStore {
+	return tsdb.New(reg, cfg)
+}
 
 // SectionVComparison renders the paper's Section V assembly analysis for
 // an ISA.

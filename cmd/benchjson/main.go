@@ -4,10 +4,18 @@
 // contract for the hot kernel paths: with -fail-allocs, any matching
 // benchmark that reports a non-zero allocs/op fails the run.
 //
+// With -compare it additionally gates on performance history: for every
+// benchmark present both in this run and in prior BENCH_*.json documents,
+// the new ns/op must not exceed the best (lowest) prior ns/op by more than
+// -max-regression (default 10%). Benchmarks new to this run pass trivially;
+// a prior benchmark that vanished is reported but does not fail (suites
+// grow and get renamed).
+//
 // Usage:
 //
 //	go test -run '^$' -bench Host -benchmem . | benchjson -out BENCH.json
 //	benchjson -in bench.txt -out BENCH.json -fail-allocs '^BenchmarkHostConvert'
+//	benchjson -in bench.txt -out BENCH_7.json -compare 'bench-history/BENCH_*.json'
 package main
 
 import (
@@ -17,7 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -128,10 +138,83 @@ func checkAllocs(doc *Document, pat *regexp.Regexp) []string {
 	return bad
 }
 
+// loadDoc reads one previously emitted benchjson document.
+func loadDoc(path string) (*Document, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &doc, nil
+}
+
+// checkRegression compares doc against every document matching the glob:
+// the baseline per benchmark is the best (lowest) prior ns/op — comparing
+// against the best rather than the latest stops a slow creep where each
+// run regresses just under the threshold against its predecessor. Returns
+// failures and a count of benchmarks actually compared.
+func checkRegression(doc *Document, glob string, maxRegression float64) (bad []string, compared int, err error) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad -compare pattern: %v", err)
+	}
+	sort.Strings(paths)
+	best := map[string]struct {
+		ns   float64
+		path string
+	}{}
+	for _, p := range paths {
+		prior, err := loadDoc(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, b := range prior.Benchmarks {
+			if b.NsPerOp <= 0 {
+				continue
+			}
+			if cur, ok := best[b.Name]; !ok || b.NsPerOp < cur.ns {
+				best[b.Name] = struct {
+					ns   float64
+					path string
+				}{b.NsPerOp, p}
+			}
+		}
+	}
+	if len(best) == 0 {
+		// No history yet (first run populating the cache) — nothing to gate.
+		return nil, 0, nil
+	}
+	seen := map[string]bool{}
+	for _, b := range doc.Benchmarks {
+		seen[b.Name] = true
+		base, ok := best[b.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		if b.NsPerOp > base.ns*(1+maxRegression) {
+			bad = append(bad, fmt.Sprintf("%s: %.1f ns/op vs best %.1f ns/op in %s (+%.1f%%, limit %.0f%%)",
+				b.Name, b.NsPerOp, base.ns, base.path,
+				100*(b.NsPerOp/base.ns-1), 100*maxRegression))
+		}
+	}
+	for name := range best {
+		if !seen[name] {
+			fmt.Fprintf(os.Stderr, "benchjson: note: benchmark %s in history but not in this run\n", name)
+		}
+	}
+	return bad, compared, nil
+}
+
 func main() {
 	in := flag.String("in", "-", "benchmark text input file (- for stdin)")
 	out := flag.String("out", "-", "JSON output file (- for stdout)")
 	failAllocs := flag.String("fail-allocs", "", "regexp of benchmark names that must report 0 allocs/op")
+	compare := flag.String("compare", "", "glob of prior BENCH_*.json documents; fail if ns/op regresses past -max-regression vs the best prior run")
+	maxRegression := flag.Float64("max-regression", 0.10, "allowed fractional ns/op slowdown vs the best prior run")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -180,5 +263,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: allocation gate passed for %s\n", *failAllocs)
+	}
+
+	if *compare != "" {
+		bad, compared, err := checkRegression(doc, *compare, *maxRegression)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintln(os.Stderr, "benchjson: regression gate failed:", b)
+			}
+			os.Exit(1)
+		}
+		if compared == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: regression gate: no prior history, nothing to compare")
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: regression gate passed (%d benchmarks vs %s)\n",
+				compared, *compare)
+		}
 	}
 }

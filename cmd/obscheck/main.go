@@ -6,6 +6,16 @@
 //
 //	obscheck -metrics m.prom -events e.jsonl -trace t.json
 //	obscheck -metrics m.prom -require simd_instructions_total -require guard_actions_total
+//	obscheck -metrics later.prom -monotonic earlier.prom
+//	obscheck -openmetrics m.om -require-exemplar request_seconds
+//
+// -monotonic cross-checks two scrapes of the same process: every counter
+// series (_total/_count/_sum/_bucket) present in the earlier scrape must
+// still be present, no smaller, in the later one — the invariant Prometheus
+// rate() depends on. -openmetrics validates the OpenMetrics rendering:
+// exemplar syntax on histogram buckets and the mandatory # EOF terminator;
+// -require-exemplar additionally demands at least one bucket of the named
+// family carries a trace_id exemplar.
 //
 // Every given file is checked; any malformed content exits non-zero.
 package main
@@ -30,8 +40,12 @@ func main() {
 	metrics := flag.String("metrics", "", "Prometheus text exposition file to validate")
 	events := flag.String("events", "", "JSONL event stream file to validate")
 	trace := flag.String("trace", "", "Chrome trace_event JSON file to validate")
+	openmetrics := flag.String("openmetrics", "", "OpenMetrics exposition file to validate (exemplar syntax, # EOF)")
+	monotonic := flag.String("monotonic", "", "earlier scrape of the same process; counters in -metrics must not have decreased (implies -metrics)")
 	var require requireList
 	flag.Var(&require, "require", "metric family that must appear with a non-zero sample (repeatable; implies -metrics)")
+	var requireExemplar requireList
+	flag.Var(&requireExemplar, "require-exemplar", "histogram family that must carry a trace_id exemplar (repeatable; implies -openmetrics)")
 	flag.Parse()
 
 	ok := true
@@ -41,13 +55,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "obscheck: -require needs -metrics")
 		ok = false
 	}
+	if *monotonic != "" {
+		if *metrics == "" {
+			fmt.Fprintln(os.Stderr, "obscheck: -monotonic needs -metrics")
+			ok = false
+		} else {
+			ok = checkMonotonic(*metrics, *monotonic) && ok
+		}
+	}
+	if *openmetrics != "" {
+		ok = checkOpenMetrics(*openmetrics, requireExemplar) && ok
+	} else if len(requireExemplar) > 0 {
+		fmt.Fprintln(os.Stderr, "obscheck: -require-exemplar needs -openmetrics")
+		ok = false
+	}
 	if *events != "" {
 		ok = checkEvents(*events) && ok
 	}
 	if *trace != "" {
 		ok = checkTrace(*trace) && ok
 	}
-	if *metrics == "" && *events == "" && *trace == "" {
+	if *metrics == "" && *events == "" && *trace == "" && *openmetrics == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -116,6 +144,183 @@ func checkMetrics(path string, require []string) bool {
 	}
 	if ok {
 		fmt.Printf("obscheck: %s: %d samples, %d non-zero families ok\n", path, samples, len(nonzero))
+	}
+	return ok
+}
+
+// parseProm loads a classic exposition file into series -> value.
+func parseProm(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(text, ' ')
+		if sp < 1 {
+			return nil, fmt.Errorf("line %d: no value field: %q", line, text)
+		}
+		val, err := parseValue(text[sp+1:])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		out[text[:sp]] = val
+	}
+	return out, sc.Err()
+}
+
+// monotoneSeries reports whether a series is a counter by exposition
+// convention: its family name ends in _total, _count, _sum or _bucket.
+func monotoneSeries(series string) bool {
+	family := series
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		family = series[:i]
+	}
+	for _, suf := range []string{"_total", "_count", "_sum", "_bucket"} {
+		if strings.HasSuffix(family, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMonotonic asserts the counter invariant between two scrapes of one
+// process: every monotone series in the earlier scrape is present in the
+// later one with a value no smaller. A violated invariant means either a
+// counter went backward (a bug) or the process restarted mid-run (a CI
+// harness bug); both should fail the check.
+func checkMonotonic(curPath, priorPath string) bool {
+	cur, err := parseProm(curPath)
+	if err != nil {
+		return complain(curPath, "%v", err)
+	}
+	prior, err := parseProm(priorPath)
+	if err != nil {
+		return complain(priorPath, "%v", err)
+	}
+	ok := true
+	checked := 0
+	for series, pv := range prior {
+		if !monotoneSeries(series) {
+			continue
+		}
+		checked++
+		cv, present := cur[series]
+		if !present {
+			ok = complain(curPath, "counter series %q vanished since %s", series, priorPath)
+			continue
+		}
+		if cv < pv {
+			ok = complain(curPath, "counter %q went backward: %g -> %g", series, pv, cv)
+		}
+	}
+	if checked == 0 {
+		return complain(priorPath, "no counter series to compare")
+	}
+	if ok {
+		fmt.Printf("obscheck: %s vs %s: %d counter series monotone ok\n", curPath, priorPath, checked)
+	}
+	return ok
+}
+
+// checkOpenMetrics validates the OpenMetrics rendering: data lines are
+// `series value` optionally followed by ` # {labels} value [timestamp]`
+// (an exemplar), and the last line must be the mandatory `# EOF`.
+func checkOpenMetrics(path string, requireExemplar []string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return complain(path, "%v", err)
+	}
+	defer f.Close()
+	exemplars := map[string]bool{} // family (without _bucket) -> has trace_id exemplar
+	samples, nExemplars := 0, 0
+	sawEOF := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if sawEOF {
+			return complain(path, "line %d: content after # EOF", line)
+		}
+		if strings.HasPrefix(text, "#") {
+			if text == "# EOF" {
+				sawEOF = true
+			}
+			continue
+		}
+		body, exemplar := text, ""
+		if i := strings.Index(text, " # "); i >= 0 {
+			body, exemplar = text[:i], text[i+3:]
+		}
+		sp := strings.LastIndexByte(body, ' ')
+		if sp < 1 {
+			return complain(path, "line %d: no value field: %q", line, body)
+		}
+		series := body[:sp]
+		if _, err := parseValue(body[sp+1:]); err != nil {
+			return complain(path, "line %d: bad value: %v", line, err)
+		}
+		samples++
+		if exemplar == "" {
+			continue
+		}
+		// Exemplar grammar: {label="value",...} value [timestamp]
+		if !strings.HasPrefix(exemplar, "{") {
+			return complain(path, "line %d: exemplar without label set: %q", line, exemplar)
+		}
+		close := strings.IndexByte(exemplar, '}')
+		if close < 0 {
+			return complain(path, "line %d: unterminated exemplar labels: %q", line, exemplar)
+		}
+		fields := strings.Fields(exemplar[close+1:])
+		if len(fields) < 1 || len(fields) > 2 {
+			return complain(path, "line %d: exemplar needs value [timestamp]: %q", line, exemplar)
+		}
+		for _, fv := range fields {
+			if _, err := strconv.ParseFloat(fv, 64); err != nil {
+				return complain(path, "line %d: bad exemplar number %q", line, fv)
+			}
+		}
+		nExemplars++
+		if strings.Contains(exemplar[:close], `trace_id="`) {
+			family := series
+			if i := strings.IndexByte(series, '{'); i >= 0 {
+				family = series[:i]
+			}
+			exemplars[strings.TrimSuffix(family, "_bucket")] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return complain(path, "%v", err)
+	}
+	if !sawEOF {
+		return complain(path, "missing # EOF terminator")
+	}
+	if samples == 0 {
+		return complain(path, "no samples")
+	}
+	ok := true
+	for _, fam := range requireExemplar {
+		if !exemplars[fam] {
+			ok = complain(path, "family %q has no trace_id exemplar", fam)
+		}
+	}
+	if ok {
+		fmt.Printf("obscheck: %s: %d samples, %d exemplars, # EOF ok\n", path, samples, nExemplars)
 	}
 	return ok
 }

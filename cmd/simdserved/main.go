@@ -16,7 +16,14 @@
 //	GET /healthz   liveness
 //	GET /readyz    readiness + per-(kernel, ISA) breaker states
 //	GET /livez     supervision view: in-flight requests, stalls, quarantines
-//	GET /metrics   Prometheus text exposition
+//	GET /metrics   Prometheus text exposition (?format=openmetrics adds
+//	               trace-ID exemplars on histogram buckets and # EOF)
+//	GET /metrics/stream   live telemetry frames over Server-Sent Events
+//	                      (per-kernel QPS and latency quantiles, SLO burn
+//	                      rates, breaker and quarantine state) — the feed
+//	                      cmd/simdtop renders
+//	GET /debug/pprof/...  runtime profiles; CPU samples carry
+//	                      (kernel, isa, band) labels from kernel dispatch
 //
 // Supervision: -stall-deadline arms a watchdog that cancels a request whose
 // kernel band goes silent; -quarantine-after N demotes a (kernel, ISA) pair
@@ -65,6 +72,12 @@ func main() {
 	stallDeadline := flag.Duration("stall-deadline", 0, "cancel a request whose kernel band is silent this long (0 = no watchdog)")
 	quarantineAfter := flag.Int("quarantine-after", 0, "panics before a (kernel, ISA) pair is demoted to scalar permanently (0 = default 3)")
 	quarantineJournal := flag.String("quarantine-journal", "", "persist quarantine decisions here and replay them at startup")
+	sampleInterval := flag.Duration("sample-interval", time.Second, "time-series sampler cadence for /metrics/stream rollups (0 = sample only per stream frame)")
+	telemetryRing := flag.Int("telemetry-ring", 300, "samples held in the time-series ring")
+	sloLatencyMS := flag.Int("slo-latency-ms", 250, "latency objective per request, queue wait included")
+	sloLatencyTarget := flag.Float64("slo-latency-target", 0.99, "fraction of requests that must meet the latency objective")
+	sloAvailTarget := flag.Float64("slo-availability-target", 0.999, "fraction of requests that must not be shed or fail")
+	sloDisabled := flag.Bool("slo-disabled", false, "turn off SLO burn-rate tracking")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget after SIGTERM")
 	flag.Parse()
 
@@ -91,6 +104,14 @@ func main() {
 		StallDeadline:     *stallDeadline,
 		Quarantine:        super.QuarantinePolicy{MaxPanics: *quarantineAfter},
 		QuarantineJournal: *quarantineJournal,
+		SampleInterval:    *sampleInterval,
+		TelemetryRing:     *telemetryRing,
+		SLO: serve.SLOConfig{
+			Disabled:           *sloDisabled,
+			LatencyObjective:   time.Duration(*sloLatencyMS) * time.Millisecond,
+			LatencyTarget:      *sloLatencyTarget,
+			AvailabilityTarget: *sloAvailTarget,
+		},
 	})
 	defer s.Close()
 	if *faultRate > 0 {

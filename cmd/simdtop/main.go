@@ -1,0 +1,177 @@
+// Command simdtop is a terminal dashboard over a running simdserved: it
+// consumes the /metrics/stream Server-Sent Events feed and renders one
+// screen per frame — per-kernel QPS and latency quantiles over the rollup
+// window, SLO burn rates per window, breaker states, quarantined pairs,
+// in-flight count and process health.
+//
+// Usage:
+//
+//	simdtop -url http://localhost:8080            # live, ^C to quit
+//	simdtop -url http://localhost:8080 -frames 3  # capture 3 frames, exit
+//	simdtop -plain                                # no ANSI (logs, CI)
+//
+// With -frames N the exit status is 0 only if all N frames arrived —
+// which makes a short -frames -plain session a usable smoke test of the
+// whole telemetry path in CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// frame mirrors serve.StreamFrame; decoded structurally so simdtop stays
+// a pure HTTP client of the documented protocol.
+type frame struct {
+	Time      string  `json:"time"`
+	UptimeSec float64 `json:"uptime_sec"`
+	WindowSec float64 `json:"window_sec"`
+	Kernels   []struct {
+		Kernel string  `json:"kernel"`
+		QPS    float64 `json:"qps"`
+		P50Ms  float64 `json:"p50_ms"`
+		P95Ms  float64 `json:"p95_ms"`
+		P99Ms  float64 `json:"p99_ms"`
+	} `json:"kernels"`
+	SLO []struct {
+		Window           string  `json:"window"`
+		LatencyBurn      float64 `json:"latency_burn"`
+		AvailabilityBurn float64 `json:"availability_burn"`
+		Requests         uint64  `json:"requests"`
+	} `json:"slo"`
+	Breakers       map[string]string `json:"breakers"`
+	Quarantined    []string          `json:"quarantined"`
+	InFlight       int               `json:"in_flight"`
+	Goroutines     int               `json:"goroutines"`
+	HeapAllocBytes float64           `json:"heap_alloc_bytes"`
+	ShedPerSec     float64           `json:"shed_per_sec"`
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "simdserved base URL")
+	frames := flag.Int("frames", 0, "exit after this many frames (0 = run until interrupted)")
+	intervalMS := flag.Int("interval", 1000, "frame cadence in milliseconds")
+	windowMS := flag.Int("window", 60000, "rollup window in milliseconds")
+	plain := flag.Bool("plain", false, "plain text, one block per frame (no ANSI clear)")
+	flag.Parse()
+
+	stream := fmt.Sprintf("%s/metrics/stream?interval_ms=%d&window_ms=%d",
+		strings.TrimRight(*url, "/"), *intervalMS, *windowMS)
+	if *frames > 0 {
+		stream += fmt.Sprintf("&frames=%d", *frames)
+	}
+
+	resp, err := http.Get(stream)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simdtop: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "simdtop: %s: HTTP %d\n", stream, resp.StatusCode)
+		os.Exit(1)
+	}
+
+	got := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var f frame
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &f); err != nil {
+			fmt.Fprintf(os.Stderr, "simdtop: bad frame: %v\n", err)
+			continue
+		}
+		got++
+		render(os.Stdout, f, *plain)
+		if *frames > 0 && got >= *frames {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "simdtop: stream: %v\n", err)
+	}
+	if *frames > 0 && got < *frames {
+		fmt.Fprintf(os.Stderr, "simdtop: wanted %d frames, got %d\n", *frames, got)
+		os.Exit(1)
+	}
+	if got == 0 {
+		fmt.Fprintln(os.Stderr, "simdtop: no frames received")
+		os.Exit(1)
+	}
+}
+
+func render(w *os.File, f frame, plain bool) {
+	var b strings.Builder
+	if !plain {
+		b.WriteString("\x1b[H\x1b[2J") // home + clear
+	}
+	ts, _ := time.Parse(time.RFC3339Nano, f.Time)
+	fmt.Fprintf(&b, "simdtop  %s  up %s  window %.0fs  in-flight %d  goroutines %d  heap %.1f MiB\n",
+		ts.Format("15:04:05"), (time.Duration(f.UptimeSec)*time.Second).String(),
+		f.WindowSec, f.InFlight, f.Goroutines, f.HeapAllocBytes/(1<<20))
+	fmt.Fprintf(&b, "%-12s %9s %9s %9s %9s\n", "KERNEL", "QPS", "P50ms", "P95ms", "P99ms")
+	if len(f.Kernels) == 0 {
+		b.WriteString("  (no traffic in window)\n")
+	}
+	for _, k := range f.Kernels {
+		fmt.Fprintf(&b, "%-12s %9.1f %9.2f %9.2f %9.2f\n",
+			k.Kernel, k.QPS, k.P50Ms, k.P95Ms, k.P99Ms)
+	}
+	if f.ShedPerSec > 0 {
+		fmt.Fprintf(&b, "shedding %.1f req/s\n", f.ShedPerSec)
+	}
+	if len(f.SLO) > 0 {
+		fmt.Fprintf(&b, "%-8s %12s %12s %10s\n", "SLO", "latency-burn", "avail-burn", "requests")
+		for _, s := range f.SLO {
+			mark := ""
+			if s.LatencyBurn >= 1 || s.AvailabilityBurn >= 1 {
+				mark = "  ** BURNING **"
+			}
+			fmt.Fprintf(&b, "%-8s %12.2f %12.2f %10d%s\n",
+				s.Window, s.LatencyBurn, s.AvailabilityBurn, s.Requests, mark)
+		}
+	}
+	if len(f.Breakers) > 0 {
+		keys := make([]string, 0, len(f.Breakers))
+		for k := range f.Breakers {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("breakers:")
+		for _, k := range keys {
+			st := f.Breakers[k]
+			if st == "closed" {
+				continue
+			}
+			fmt.Fprintf(&b, "  %s=%s", k, st)
+		}
+		open := false
+		for _, st := range f.Breakers {
+			if st != "closed" {
+				open = true
+			}
+		}
+		if !open {
+			fmt.Fprintf(&b, "  all %d closed", len(f.Breakers))
+		}
+		b.WriteString("\n")
+	}
+	if len(f.Quarantined) > 0 {
+		fmt.Fprintf(&b, "quarantined: %s\n", strings.Join(f.Quarantined, ", "))
+	}
+	if plain {
+		b.WriteString("---\n")
+	}
+	w.WriteString(b.String())
+}

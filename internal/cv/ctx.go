@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"simdstudy/internal/image"
+	"simdstudy/internal/obs"
 	"simdstudy/internal/resilience"
 )
 
@@ -84,9 +85,11 @@ func (o *Ops) runCtx(ctx context.Context, op string, totalRows int, fn func() er
 		return fn()
 	}
 	o.ctx, o.ctxRows = ctx, 0
+	o.traceID = obs.TraceID(ctx)
 	defer func() {
 		rows := o.ctxRows
 		o.ctx, o.ctxRows = nil, 0
+		o.traceID = ""
 		if r := recover(); r != nil {
 			c, ok := r.(ctxCanceled)
 			if !ok {

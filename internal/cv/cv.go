@@ -113,10 +113,13 @@ type Ops struct {
 	serialOnly bool
 	heart      *super.Heart
 
-	// Context plumbing for the Ctx kernel variants: the bound context and
-	// the rows completed under it (partial-progress accounting).
+	// Context plumbing for the Ctx kernel variants: the bound context, the
+	// rows completed under it (partial-progress accounting), and the trace
+	// ID the context carries (request tracing: kernel spans and wall-clock
+	// histogram exemplars are stamped with it).
 	ctx     context.Context
 	ctxRows int
+	traceID string
 
 	// Observability state (see observe.go). Obs is optional; when nil all
 	// span and metric instrumentation is a no-op.

@@ -106,6 +106,9 @@ func (o *Ops) beginKernel(name string) *obs.Span {
 	} else {
 		sp = o.Obs.StartSpan("kernel."+name, isa)
 	}
+	if o.traceID != "" {
+		sp.SetAttr("trace_id", o.traceID)
+	}
 	o.Obs.Counter("kernel_runs_total", obs.L("kernel", name), isa).Inc()
 	f := kernelFrame{sp: sp}
 	if o.T != nil {
@@ -171,8 +174,15 @@ func (o *Ops) endKernel(name string, err error) {
 		f.sp.SetAttr("error", err.Error())
 	}
 	dur := f.sp.End()
-	o.Obs.Histogram("kernel_wall_seconds", nil,
-		obs.L("kernel", name), isa).Observe(dur.Seconds())
+	h := o.Obs.Histogram("kernel_wall_seconds", nil, obs.L("kernel", name), isa)
+	if o.traceID != "" {
+		// The wall-clock observation carries the request's trace ID as an
+		// OpenMetrics exemplar: a bad latency bucket points straight at a
+		// request whose span tree explains it.
+		h.ObserveExemplar(dur.Seconds(), o.traceID, o.Obs.Now())
+	} else {
+		h.Observe(dur.Seconds())
+	}
 }
 
 // instrumentFree reports that no per-call state (depth, frames, breaker,

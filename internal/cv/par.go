@@ -1,6 +1,9 @@
 package cv
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync/atomic"
 
 	"simdstudy/internal/faults"
@@ -176,6 +179,25 @@ type stallUnwind struct{ err *super.StallError }
 // isBandStopped is the sentinel filter for par.FirstPanic.
 func isBandStopped(v any) bool { _, ok := v.(bandStopped); return ok }
 
+// bandProf runs fn with (kernel, isa, band) pprof labels on the executing
+// goroutine, so CPU profiles of a loaded server attribute samples to the
+// kernel and band doing the work rather than to an anonymous pool worker.
+// Labels are only applied on instrumented Ops (curKernel is set exactly
+// when begin/endKernel track the call tree): the plain fast path keeps its
+// zero-overhead property, and the parallel path already allocates per
+// section so the label set is noise there.
+func (o *Ops) bandProf(band int, fn func()) {
+	if o.curKernel == "" {
+		fn()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels(
+		"kernel", o.curKernel,
+		"isa", o.isa.String(),
+		"band", strconv.Itoa(band),
+	), func(context.Context) { fn() })
+}
+
 // rethrow repanics the first real (non-sentinel) band panic, in band order,
 // so cancellation unwinds and genuine bugs surface exactly as they would
 // serially.
@@ -282,15 +304,17 @@ func parRows[A any](o *Ops, rows int, a A, body func(b *Ops, a A, y int)) {
 				panic(r)
 			}
 		}()
-		b := bands[i]
-		lo, hi := par.Span(i, nb, rows)
-		for y := lo; y < hi; y++ {
-			if b.reseed != nil {
-				b.reseed.Reseed(stripeSalt(salt, y))
+		o.bandProf(i, func() {
+			b := bands[i]
+			lo, hi := par.Span(i, nb, rows)
+			for y := lo; y < hi; y++ {
+				if b.reseed != nil {
+					b.reseed.Reseed(stripeSalt(salt, y))
+				}
+				body(b, aa, y)
+				b.rowTick()
 			}
-			body(b, aa, y)
-			b.rowTick()
-		}
+		})
 	})
 	for _, b := range bands {
 		o.putBand(b)
@@ -353,16 +377,18 @@ func parFlat[A any](o *Ops, n int, a A, body func(b *Ops, a A, lo, hi int)) {
 				panic(r)
 			}
 		}()
-		b := bands[i]
-		lo, hi := par.AlignedSpan(i, nb, n, flatQuantum)
-		for c := lo; c < hi; c += flatQuantum {
-			ce := min(c+flatQuantum, hi)
-			if b.reseed != nil {
-				b.reseed.Reseed(stripeSalt(salt, c/flatQuantum))
+		o.bandProf(i, func() {
+			b := bands[i]
+			lo, hi := par.AlignedSpan(i, nb, n, flatQuantum)
+			for c := lo; c < hi; c += flatQuantum {
+				ce := min(c+flatQuantum, hi)
+				if b.reseed != nil {
+					b.reseed.Reseed(stripeSalt(salt, c/flatQuantum))
+				}
+				body(b, aa, c, ce)
+				b.flatTick()
 			}
-			body(b, aa, c, ce)
-			b.flatTick()
-		}
+		})
 	})
 	for _, b := range bands {
 		o.putBand(b)

@@ -126,6 +126,9 @@ func RunObservedCtx(ctx context.Context, reg *obs.Registry, parent *obs.Span,
 			sp = reg.StartSpan("ir." + l.Name)
 		}
 		sp.SetAttr("trips", n)
+		if id := obs.TraceID(ctx); id != "" {
+			sp.SetAttr("trace_id", id)
+		}
 		reg.Counter("ir_loop_runs_total", obs.L("loop", l.Name)).Inc()
 		reg.Counter("ir_loop_trips_total", obs.L("loop", l.Name)).Add(uint64(n))
 		defer func() {
@@ -150,6 +153,9 @@ func RunObservedCtxPar(ctx context.Context, reg *obs.Registry, parent *obs.Span,
 		}
 		sp.SetAttr("trips", n)
 		sp.SetAttr("workers", cfg.Normalized().Workers)
+		if id := obs.TraceID(ctx); id != "" {
+			sp.SetAttr("trace_id", id)
+		}
 		reg.Counter("ir_loop_runs_total", obs.L("loop", l.Name)).Inc()
 		reg.Counter("ir_loop_trips_total", obs.L("loop", l.Name)).Add(uint64(n))
 		defer func() {

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObserveExemplarBuckets checks exemplars land in the bucket their
+// observation does, latest-wins within a bucket, and that an empty trace ID
+// degrades to a plain observation.
+func TestObserveExemplarBuckets(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1})
+	base := time.Unix(100, 0)
+
+	h.ObserveExemplar(0.005, "fast-1", base)
+	h.ObserveExemplar(0.5, "slow-1", base.Add(time.Second))
+	h.ObserveExemplar(0.5, "slow-2", base.Add(2*time.Second))
+	h.ObserveExemplar(99, "inf-1", base.Add(3*time.Second))
+	h.ObserveExemplar(0.005, "", base.Add(4*time.Second)) // no trace: plain
+
+	ex := h.Exemplars()
+	if len(ex) != 4 {
+		t.Fatalf("len(Exemplars) = %d, want 4 (3 finite + Inf)", len(ex))
+	}
+	if ex[0].TraceID != "fast-1" {
+		t.Errorf("bucket 0 exemplar = %q, want fast-1", ex[0].TraceID)
+	}
+	if ex[1].TraceID != "" {
+		t.Errorf("bucket 1 exemplar = %q, want empty", ex[1].TraceID)
+	}
+	if ex[2].TraceID != "slow-2" {
+		t.Errorf("bucket 2 exemplar = %q, want slow-2 (latest wins)", ex[2].TraceID)
+	}
+	if ex[3].TraceID != "inf-1" {
+		t.Errorf("+Inf exemplar = %q, want inf-1", ex[3].TraceID)
+	}
+	if count, _ := h.CountSum(); count != 5 {
+		t.Errorf("count = %d, want 5 (exemplar path must still count)", count)
+	}
+}
+
+// TestExemplarConcurrency hammers one histogram from writers (with and
+// without trace IDs) while readers snapshot exemplars and render
+// OpenMetrics; run under -race this is the data-race proof for the
+// exemplar path.
+func TestExemplarConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	const writers, perWriter = 8, 500
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				v := float64(i%3) * 0.05
+				if i%2 == 0 {
+					h.ObserveExemplar(v, fmt.Sprintf("t-%d-%d", g, i), reg.Now())
+				} else {
+					h.Observe(v)
+				}
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Exemplars()
+				reg.WriteOpenMetrics(&bytes.Buffer{})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if count, _ := h.CountSum(); count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", count, writers*perWriter)
+	}
+	ex := h.Exemplars()
+	if ex == nil {
+		t.Fatal("no exemplars recorded")
+	}
+	seen := false
+	for _, e := range ex {
+		if e.TraceID != "" {
+			seen = true
+			if !strings.HasPrefix(e.TraceID, "t-") {
+				t.Errorf("unexpected exemplar trace ID %q", e.TraceID)
+			}
+		}
+	}
+	if !seen {
+		t.Error("no bucket retained an exemplar")
+	}
+}
+
+// TestWriteOpenMetrics pins the exposition: exemplars appear on the bucket
+// rows that hold one, plain rows are untouched, and the output ends with
+// the mandatory # EOF.
+func TestWriteOpenMetrics(t *testing.T) {
+	reg := NewRegistry()
+	clock := time.Unix(1700000000, 500000000)
+	reg.SetClock(func() time.Time { return clock })
+
+	reg.Counter("requests_total", L("code", "200")).Add(3)
+	h := reg.Histogram("lat_seconds", []float64{0.01, 0.1}, L("kernel", "sobel"))
+	h.ObserveExemplar(0.05, "abc123", reg.Now())
+	h.Observe(0.002)
+
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("output does not end with # EOF:\n%s", out)
+	}
+	wantRow := `lat_seconds_bucket{kernel="sobel",le="0.1"} 2 # {trace_id="abc123"} 0.05 1700000000.500000000`
+	if !strings.Contains(out, wantRow+"\n") {
+		t.Errorf("missing exemplar row %q in:\n%s", wantRow, out)
+	}
+	if !strings.Contains(out, `requests_total{code="200"} 3`+"\n") {
+		t.Errorf("missing counter row in:\n%s", out)
+	}
+	// The fast bucket got no exemplar, so its row must be bare.
+	if !strings.Contains(out, `lat_seconds_bucket{kernel="sobel",le="0.01"} 1`+"\n") {
+		t.Errorf("fast bucket row malformed in:\n%s", out)
+	}
+	// The classic exposition must stay exemplar-free (golden compatibility).
+	var classic bytes.Buffer
+	reg.WritePrometheus(&classic)
+	if strings.Contains(classic.String(), "trace_id") {
+		t.Error("WritePrometheus leaked exemplars into the 0.0.4 format")
+	}
+}
+
+// TestMergeKeepsNewestExemplar: registry fan-in keeps the newest exemplar
+// per bucket, matching the latest-wins policy of ObserveExemplar.
+func TestMergeKeepsNewestExemplar(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	base := time.Unix(200, 0)
+	a.Histogram("lat_seconds", []float64{1}).ObserveExemplar(0.5, "old", base)
+	b.Histogram("lat_seconds", []float64{1}).ObserveExemplar(0.5, "new", base.Add(time.Minute))
+
+	a.Merge(b)
+	ex := a.Histogram("lat_seconds", []float64{1}).Exemplars()
+	if len(ex) == 0 || ex[0].TraceID != "new" {
+		t.Fatalf("merged exemplar = %+v, want trace new", ex)
+	}
+
+	// And the reverse: merging an older exemplar must not clobber a newer.
+	c := NewRegistry()
+	c.Histogram("lat_seconds", []float64{1}).ObserveExemplar(0.5, "older", base.Add(-time.Minute))
+	a.Merge(c)
+	ex = a.Histogram("lat_seconds", []float64{1}).Exemplars()
+	if ex[0].TraceID != "new" {
+		t.Fatalf("merge regressed exemplar to %q, want new", ex[0].TraceID)
+	}
+}
+
+// TestTraceContext pins the context helpers: round-trip, nil-safety, and
+// the empty-ID no-op.
+func TestTraceContext(t *testing.T) {
+	if got := TraceID(nil); got != "" {
+		t.Errorf("TraceID(nil) = %q", got)
+	}
+	ctx := WithTrace(context.Background(), "req-9")
+	if got := TraceID(ctx); got != "req-9" {
+		t.Errorf("TraceID = %q, want req-9", got)
+	}
+	if ctx2 := WithTrace(ctx, ""); TraceID(ctx2) != "req-9" {
+		t.Error("WithTrace with empty ID must leave the context unchanged")
+	}
+}

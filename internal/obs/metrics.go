@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing count. All methods are safe for
@@ -73,6 +74,17 @@ func (g *Gauge) Value() float64 {
 // microsecond kernels to multi-second grid runs.
 var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
 
+// Exemplar ties one concrete observation to the trace that produced it, in
+// the OpenMetrics sense: a histogram bucket can carry the trace ID of a
+// recent sample that landed in it, so an operator can go from a bad latency
+// bucket straight to the offending request's span tree. The zero value
+// means "no exemplar recorded".
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
+}
+
 // Histogram is a fixed-bucket histogram with Prometheus cumulative-export
 // semantics: a sample lands in the first bucket whose upper bound is >= v
 // (bounds are inclusive, matching the `le` label). Safe for concurrent
@@ -83,6 +95,9 @@ type Histogram struct {
 	counts []uint64  // len(upper)+1, the last one is the +Inf bucket
 	sum    float64
 	count  uint64
+	// exemplars is lazily allocated (len(counts)) on the first
+	// ObserveExemplar; each slot keeps the latest exemplar for its bucket.
+	exemplars []Exemplar
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -106,6 +121,47 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.count++
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// stamps the sample's bucket with an exemplar carrying the trace ID and
+// observation time. The latest exemplar per bucket wins — exemplars are a
+// sampling aid, not a log, and OpenMetrics exposes at most one per bucket.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, at time.Time) {
+	if h == nil {
+		return
+	}
+	if traceID == "" {
+		h.Observe(v)
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.counts))
+	}
+	h.exemplars[i] = Exemplar{TraceID: traceID, Value: v, Time: at}
+}
+
+// Exemplars returns a copy of the per-bucket exemplars (the final element
+// is the +Inf bucket), or nil when none were ever recorded. Slots with an
+// empty TraceID have no exemplar.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	out := make([]Exemplar, len(h.exemplars))
+	copy(out, h.exemplars)
+	return out
 }
 
 // Bounds returns a copy of the bucket upper bounds (excluding +Inf).
@@ -155,6 +211,11 @@ func (h *Histogram) merge(other *Histogram) {
 	upper := make([]float64, len(other.upper))
 	copy(upper, other.upper)
 	count, sum := other.count, other.sum
+	var ex []Exemplar
+	if other.exemplars != nil {
+		ex = make([]Exemplar, len(other.exemplars))
+		copy(ex, other.exemplars)
+	}
 	other.mu.Unlock()
 
 	h.mu.Lock()
@@ -166,6 +227,18 @@ func (h *Histogram) merge(other *Histogram) {
 	if same {
 		for i := range counts {
 			h.counts[i] += counts[i]
+		}
+		// Newest exemplar per bucket wins across the merge, matching the
+		// latest-wins policy of ObserveExemplar itself.
+		if ex != nil {
+			if h.exemplars == nil {
+				h.exemplars = make([]Exemplar, len(h.counts))
+			}
+			for i, e := range ex {
+				if e.TraceID != "" && e.Time.After(h.exemplars[i].Time) {
+					h.exemplars[i] = e
+				}
+			}
 		}
 	} else {
 		h.counts[len(h.counts)-1] += count

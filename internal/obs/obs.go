@@ -131,6 +131,17 @@ func (r *Registry) now() time.Time {
 	return r.clock()
 }
 
+// Now returns the registry clock's current time: wall clock by default,
+// the injected clock under SetClock. Exemplar timestamps and time-series
+// samples read it so everything timestamped against one registry is
+// mutually consistent — and deterministic in tests.
+func (r *Registry) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.now()
+}
+
 // Counter returns (creating on first use) the counter for name and labels.
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
@@ -247,6 +258,21 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Delta returns the per-series difference s - prev: the amount every
+// series advanced between two snapshots. Series missing from prev are
+// treated as starting at zero (they were created inside the window);
+// series present only in prev are dropped (registries never delete
+// series, so that can only mean prev came from a different registry).
+// Counter deltas divided by the wall-clock gap between the snapshots are
+// the windowed rates the time-series store serves.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := make(Snapshot, len(s))
+	for k, v := range s {
+		out[k] = v - prev[k]
+	}
+	return out
+}
+
 // Filter returns the subset of the snapshot whose series names start with
 // prefix. Determinism checks use it to compare the replay-stable families
 // (fault_*, guard_*) of two runs while ignoring wall-clock series.
@@ -258,6 +284,63 @@ func (s Snapshot) Filter(prefix string) Snapshot {
 		}
 	}
 	return out
+}
+
+// HistSample is a point-in-time copy of one histogram: per-bucket counts
+// (non-cumulative, final element the +Inf bucket), the bucket upper
+// bounds, and the count/sum aggregates. The time-series store diffs two of
+// these to derive windowed quantiles.
+type HistSample struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Sample is one clock-stamped structured snapshot of a registry, the unit
+// the time-series store rings: monotone series (counters plus histogram
+// _count/_sum) separated from gauges so rate computation never sees a
+// value that may legally decrease, and full per-bucket histogram state for
+// quantile derivation.
+type Sample struct {
+	Time     time.Time
+	Counters Snapshot
+	Gauges   Snapshot
+	Hists    map[string]HistSample
+}
+
+// Sample captures a structured snapshot stamped with the registry clock.
+func (r *Registry) Sample() Sample {
+	if r == nil {
+		return Sample{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Sample{
+		Time:     r.clock(),
+		Counters: make(Snapshot, len(r.counters)+2*len(r.hists)),
+		Gauges:   make(Snapshot, len(r.gauges)),
+		Hists:    make(map[string]HistSample, len(r.hists)),
+	}
+	for _, e := range r.counters {
+		s.Counters[renderSeries(e.name, e.labels)] = float64(e.c.Value())
+	}
+	for _, e := range r.gauges {
+		s.Gauges[renderSeries(e.name, e.labels)] = e.g.Value()
+	}
+	for _, e := range r.hists {
+		key := renderSeries(e.name, e.labels)
+		count, sum := e.h.CountSum()
+		s.Counters[renderSeries(e.name+"_count", e.labels)] = float64(count)
+		s.Counters[renderSeries(e.name+"_sum", e.labels)] = sum
+		s.Hists[key] = HistSample{
+			Bounds: e.h.Bounds(),
+			Counts: e.h.Buckets(),
+			Count:  count,
+			Sum:    sum,
+		}
+	}
+	return s
 }
 
 // renderSeries prints name{k="v",...} with Prometheus escaping.

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteOpenMetrics renders every metric family in the OpenMetrics text
+// format: the same families, series and ordering as WritePrometheus, plus
+// per-bucket exemplars on histogram series that carry one
+// (`# {trace_id="..."} value timestamp` after the bucket sample) and the
+// mandatory `# EOF` terminator. Exemplars are the one thing the classic
+// 0.0.4 exposition cannot express, and the reason this exporter exists:
+// they are the pointer from a bad latency bucket to the request trace that
+// landed there.
+//
+// Like WritePrometheus, the output is deterministic for a given registry
+// state (exemplar timestamps come from the registry clock at observation
+// time), so it is golden-testable.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make([]counterEntry, 0, len(r.counters))
+	for _, e := range r.counters {
+		counters = append(counters, *e)
+	}
+	gauges := make([]gaugeEntry, 0, len(r.gauges))
+	for _, e := range r.gauges {
+		gauges = append(gauges, *e)
+	}
+	hists := make([]histEntry, 0, len(r.hists))
+	for _, e := range r.hists {
+		hists = append(hists, *e)
+	}
+	r.mu.Unlock()
+
+	type family struct {
+		name string
+		typ  string
+		rows []string
+	}
+	fams := map[string]*family{}
+	get := func(name, typ string) *family {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{name: name, typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+
+	for _, e := range counters {
+		f := get(e.name, "counter")
+		f.rows = append(f.rows, fmt.Sprintf("%s %s",
+			renderSeries(e.name, e.labels), strconv.FormatUint(e.c.Value(), 10)))
+	}
+	for _, e := range gauges {
+		f := get(e.name, "gauge")
+		f.rows = append(f.rows, fmt.Sprintf("%s %s",
+			renderSeries(e.name, e.labels), formatFloat(e.g.Value())))
+	}
+	for _, e := range hists {
+		f := get(e.name, "histogram")
+		bounds := e.h.Bounds()
+		buckets := e.h.Buckets()
+		count, sum := e.h.CountSum()
+		ex := e.h.Exemplars()
+		var cum uint64
+		for i, b := range bounds {
+			cum += buckets[i]
+			le := append(append([]Label{}, e.labels...), L("le", formatFloat(b)))
+			row := fmt.Sprintf("%s %d",
+				renderSeries(e.name+"_bucket", sortLabels(le)), cum)
+			if i < len(ex) {
+				row += renderExemplar(ex[i])
+			}
+			f.rows = append(f.rows, row)
+		}
+		inf := append(append([]Label{}, e.labels...), L("le", "+Inf"))
+		row := fmt.Sprintf("%s %d",
+			renderSeries(e.name+"_bucket", sortLabels(inf)), count)
+		if len(ex) == len(buckets) && len(ex) > 0 {
+			row += renderExemplar(ex[len(ex)-1])
+		}
+		f.rows = append(f.rows, row)
+		f.rows = append(f.rows, fmt.Sprintf("%s %s",
+			renderSeries(e.name+"_sum", e.labels), formatFloat(sum)))
+		f.rows = append(f.rows, fmt.Sprintf("%s %d",
+			renderSeries(e.name+"_count", e.labels), count))
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		sort.Strings(f.rows)
+		for _, row := range f.rows {
+			if _, err := fmt.Fprintln(w, row); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "# EOF")
+	return err
+}
+
+// renderExemplar prints one OpenMetrics exemplar suffix, or "" for an
+// empty slot. Timestamps are seconds since the epoch with nanosecond
+// precision, per the OpenMetrics ABNF; they are assembled from the integer
+// second and nanosecond parts because epoch nanoseconds overflow float64
+// precision.
+func renderExemplar(e Exemplar) string {
+	if e.TraceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %d.%09d",
+		e.TraceID, formatFloat(e.Value), e.Time.Unix(), e.Time.Nanosecond())
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// GCPauseBuckets are the gc_pause_seconds histogram bounds: GC pauses on
+// the paper's low-powered targets run tens of microseconds to low
+// milliseconds; anything beyond 100ms is a pathology worth its own bucket.
+var GCPauseBuckets = []float64{1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1}
+
+// RuntimeCollector scrapes Go runtime health — goroutine count, heap
+// stats, GC activity — into a registry, so the process's own dynamics sit
+// next to the kernel metrics in one export. The time-series sampler calls
+// Collect once per tick; it is also safe to call ad hoc (e.g. on scrape).
+//
+// Families written:
+//
+//	go_goroutines                 gauge    runtime.NumGoroutine
+//	go_heap_alloc_bytes           gauge    live heap
+//	go_heap_sys_bytes             gauge    heap from the OS
+//	go_heap_objects               gauge    live objects
+//	go_next_gc_bytes              gauge    GC target
+//	go_gc_cycles_total            counter  completed GC cycles
+//	gc_pause_seconds              histogram of individual GC pauses
+type RuntimeCollector struct {
+	reg *Registry
+
+	mu       sync.Mutex
+	lastGC   uint32 // NumGC at the previous Collect
+	lastCyc  uint32 // cycles already added to go_gc_cycles_total
+	memStats runtime.MemStats
+}
+
+// NewRuntimeCollector builds a collector reporting into reg (nil yields a
+// collector whose Collect is a no-op).
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	return &RuntimeCollector{reg: reg}
+}
+
+// Collect takes one runtime sample. ReadMemStats stops the world for on
+// the order of tens of microseconds; at the sampler's 1 Hz default cadence
+// that is noise, but Collect should not be called from a kernel hot path.
+func (c *RuntimeCollector) Collect() {
+	if c == nil || c.reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ms := &c.memStats
+	runtime.ReadMemStats(ms)
+
+	c.reg.Gauge("go_goroutines").Set(float64(runtime.NumGoroutine()))
+	c.reg.Gauge("go_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	c.reg.Gauge("go_heap_sys_bytes").Set(float64(ms.HeapSys))
+	c.reg.Gauge("go_heap_objects").Set(float64(ms.HeapObjects))
+	c.reg.Gauge("go_next_gc_bytes").Set(float64(ms.NextGC))
+
+	if d := ms.NumGC - c.lastCyc; d > 0 {
+		c.reg.Counter("go_gc_cycles_total").Add(uint64(d))
+		c.lastCyc = ms.NumGC
+	}
+
+	// PauseNs is a ring of the last 256 pause durations indexed by cycle
+	// number; observe each cycle completed since the previous Collect
+	// exactly once (capped at the ring size if we fell far behind).
+	h := c.reg.Histogram("gc_pause_seconds", GCPauseBuckets)
+	since := ms.NumGC - c.lastGC
+	if since > uint32(len(ms.PauseNs)) {
+		since = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < since; i++ {
+		cycle := ms.NumGC - i
+		h.Observe(float64(ms.PauseNs[(cycle+255)%256]) / 1e9)
+	}
+	c.lastGC = ms.NumGC
+}

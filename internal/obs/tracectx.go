@@ -1,0 +1,33 @@
+package obs
+
+import "context"
+
+// This file is the trace-ID plumbing shared by every layer that touches a
+// request: the serve front-end mints one ID per request (echoed in the
+// X-Request-ID header), binds it to the request context with WithTrace,
+// and everything downstream — kernel spans, the IR executor, histogram
+// exemplars, panic events — reads it back with TraceID. One ID, one
+// format, end to end: the string in a 500 body is the same string an
+// operator finds on the latency histogram's exemplar and in the span
+// tree's trace_id attribute.
+
+// traceKey is the context key carrying the request's trace ID.
+type traceKey struct{}
+
+// WithTrace returns a context carrying id as the trace ID. An empty id
+// returns ctx unchanged.
+func WithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the trace ID bound to ctx, or "". A nil ctx is allowed.
+func TraceID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

@@ -1,0 +1,264 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"simdstudy/internal/obs"
+)
+
+// clockAt builds a registry pinned to an adjustable fake clock, so every
+// sample timestamp — and therefore every rollup — is exactly reproducible.
+func clockAt(start time.Time) (*obs.Registry, *time.Time) {
+	reg := obs.NewRegistry()
+	now := start
+	reg.SetClock(func() time.Time { return now })
+	return reg, &now
+}
+
+func almost(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// TestRollupRates hand-computes counter rates over a deterministic window.
+func TestRollupRates(t *testing.T) {
+	reg, now := clockAt(time.Unix(1000, 0))
+	st := New(reg, Config{Capacity: 16})
+
+	c := reg.Counter("requests_total", obs.L("code", "200"))
+	st.Sample()
+
+	c.Add(50)
+	*now = now.Add(10 * time.Second)
+	st.Sample()
+
+	ru, ok := st.Rollup(time.Minute)
+	if !ok {
+		t.Fatal("Rollup not ok with two samples")
+	}
+	if ru.Window != 10*time.Second {
+		t.Fatalf("Window = %v, want 10s", ru.Window)
+	}
+	key := `requests_total{code="200"}`
+	almost(t, "rate", ru.Rates[key], 5.0)
+	almost(t, "delta", ru.Deltas[key], 50)
+}
+
+// TestRollupWindowSelection checks the window picks the oldest sample still
+// inside it, not simply the oldest held: three samples 10s apart must give
+// different rates for a 10s window (last segment only) and a 60s window
+// (the whole span).
+func TestRollupWindowSelection(t *testing.T) {
+	reg, now := clockAt(time.Unix(2000, 0))
+	st := New(reg, Config{Capacity: 16})
+	c := reg.Counter("ticks_total")
+
+	st.Sample() // t=0, v=0
+	c.Add(10)
+	*now = now.Add(10 * time.Second)
+	st.Sample() // t=10, v=10
+	c.Add(30)
+	*now = now.Add(10 * time.Second)
+	st.Sample() // t=20, v=40
+
+	ru, ok := st.Rollup(10 * time.Second)
+	if !ok {
+		t.Fatal("short rollup not ok")
+	}
+	almost(t, "short-window rate", ru.Rates["ticks_total"], 3.0)
+
+	ru, ok = st.Rollup(time.Minute)
+	if !ok {
+		t.Fatal("long rollup not ok")
+	}
+	almost(t, "long-window rate", ru.Rates["ticks_total"], 2.0)
+}
+
+// TestRollupQuantiles hand-computes the interpolated percentiles of a known
+// bucket distribution: 100 observations split 40/40/20 across bounds
+// {0.01, 0.1, 1}. The expected values follow the Prometheus
+// histogram_quantile linear interpolation exactly.
+func TestRollupQuantiles(t *testing.T) {
+	reg, now := clockAt(time.Unix(3000, 0))
+	st := New(reg, Config{Capacity: 16})
+	h := reg.Histogram("lat_seconds", []float64{0.01, 0.1, 1}, obs.L("kernel", "sobel"))
+
+	st.Sample()
+	for i := 0; i < 40; i++ {
+		h.Observe(0.005) // bucket le=0.01
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0.05) // bucket le=0.1
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(0.5) // bucket le=1
+	}
+	*now = now.Add(10 * time.Second)
+	st.Sample()
+
+	ru, ok := st.Rollup(time.Minute)
+	if !ok {
+		t.Fatal("Rollup not ok")
+	}
+	key := `lat_seconds{kernel="sobel"}`
+	q, ok := ru.Quantiles[key]
+	if !ok {
+		t.Fatalf("no quantiles for %s; have %v", key, ru.Quantiles)
+	}
+	// p50: rank 50 lands in the second bucket (cumulative 40 then 80):
+	// 0.01 + (0.1-0.01) * (50-40)/40 = 0.0325
+	almost(t, "P50", q.P50, 0.0325)
+	// p95: rank 95 in the third bucket (cumulative 80 then 100):
+	// 0.1 + (1-0.1) * (95-80)/20 = 0.775
+	almost(t, "P95", q.P95, 0.775)
+	// p99: 0.1 + 0.9 * (99-80)/20 = 0.955
+	almost(t, "P99", q.P99, 0.955)
+
+	// The histogram's derived _count series must roll up as a rate too.
+	almost(t, "count rate", ru.Rates[`lat_seconds_count{kernel="sobel"}`], 10.0)
+}
+
+// TestRollupQuantileWindowIsolation checks quantiles come from the window's
+// bucket deltas, not lifetime counts: a first window full of fast samples
+// must not drag down the p99 of a later window full of slow ones.
+func TestRollupQuantileWindowIsolation(t *testing.T) {
+	reg, now := clockAt(time.Unix(4000, 0))
+	st := New(reg, Config{Capacity: 16})
+	h := reg.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001) // ancient fast history
+	}
+	st.Sample()
+	*now = now.Add(5 * time.Second)
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // the window only has slow samples
+	}
+	*now = now.Add(5 * time.Second)
+	st.Sample()
+
+	ru, ok := st.Rollup(5 * time.Second)
+	if !ok {
+		t.Fatal("Rollup not ok")
+	}
+	q := ru.Quantiles["lat_seconds"]
+	if q.P50 <= 0.1 {
+		t.Errorf("P50 = %v: lifetime counts leaked into the window", q.P50)
+	}
+}
+
+// TestRollupNeedsTwoSamples: a fresh or single-sample store has no window.
+func TestRollupNeedsTwoSamples(t *testing.T) {
+	reg, _ := clockAt(time.Unix(5000, 0))
+	st := New(reg, Config{Capacity: 4})
+	if _, ok := st.Rollup(time.Minute); ok {
+		t.Error("Rollup ok with zero samples")
+	}
+	st.Sample()
+	if _, ok := st.Rollup(time.Minute); ok {
+		t.Error("Rollup ok with one sample")
+	}
+}
+
+// TestRollupFrozenClock: two samples with the same timestamp (an injected
+// clock that never advanced) must refuse to divide by zero.
+func TestRollupFrozenClock(t *testing.T) {
+	reg, _ := clockAt(time.Unix(6000, 0))
+	st := New(reg, Config{Capacity: 4})
+	st.Sample()
+	st.Sample()
+	if _, ok := st.Rollup(time.Minute); ok {
+		t.Error("Rollup ok across a zero-width window")
+	}
+}
+
+// TestRingEviction: a full ring drops the oldest samples but keeps rolling.
+func TestRingEviction(t *testing.T) {
+	reg, now := clockAt(time.Unix(7000, 0))
+	st := New(reg, Config{Capacity: 3})
+	c := reg.Counter("ticks_total")
+	for i := 0; i < 10; i++ {
+		c.Inc()
+		*now = now.Add(time.Second)
+		st.Sample()
+	}
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", st.Len())
+	}
+	ru, ok := st.Rollup(time.Hour)
+	if !ok {
+		t.Fatal("Rollup not ok")
+	}
+	// Oldest held sample is #8 (v=8), newest #10 (v=10), 2s apart.
+	almost(t, "rate", ru.Rates["ticks_total"], 1.0)
+	almost(t, "delta", ru.Deltas["ticks_total"], 2)
+}
+
+// TestQuantileEdges pins the Quantile helper's boundary behavior.
+func TestQuantileEdges(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	if got := Quantile(0.5, bounds, []uint64{0, 0, 0, 0}); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// All mass in the +Inf bucket: nothing to interpolate toward, so the
+	// highest finite bound is the answer.
+	if got := Quantile(0.99, bounds, []uint64{0, 0, 0, 5}); got != 4 {
+		t.Errorf("+Inf-bucket quantile = %v, want 4", got)
+	}
+	// All mass in the first bucket interpolates from zero.
+	almost(t, "first-bucket median", Quantile(0.5, bounds, []uint64{10, 0, 0, 0}), 0.5)
+}
+
+// TestSampleDeterminism: with a pinned clock and identical registry
+// mutations, two stores produce identical rollups — the property that makes
+// telemetry assertions in CI stable.
+func TestSampleDeterminism(t *testing.T) {
+	run := func() Rollup {
+		reg, now := clockAt(time.Unix(8000, 0))
+		st := New(reg, Config{Capacity: 8})
+		h := reg.Histogram("lat_seconds", []float64{0.01, 0.1})
+		c := reg.Counter("requests_total")
+		st.Sample()
+		for i := 0; i < 7; i++ {
+			h.Observe(float64(i) * 0.02)
+			c.Inc()
+		}
+		*now = now.Add(3 * time.Second)
+		st.Sample()
+		ru, ok := st.Rollup(time.Minute)
+		if !ok {
+			t.Fatal("Rollup not ok")
+		}
+		return ru
+	}
+	a, b := run(), run()
+	if a.Window != b.Window || a.Rates["requests_total"] != b.Rates["requests_total"] {
+		t.Fatalf("rollups differ: %+v vs %+v", a, b)
+	}
+	if a.Quantiles["lat_seconds"] != b.Quantiles["lat_seconds"] {
+		t.Fatalf("quantiles differ: %+v vs %+v",
+			a.Quantiles["lat_seconds"], b.Quantiles["lat_seconds"])
+	}
+}
+
+// TestSnapshotDelta pins the Delta semantics the rollups are built on:
+// missing keys in the earlier snapshot count from zero, and keys only in
+// the earlier snapshot are dropped (the newer view drives).
+func TestSnapshotDelta(t *testing.T) {
+	prev := obs.Snapshot{"a": 10, "gone": 5}
+	cur := obs.Snapshot{"a": 25, "born": 3}
+	d := cur.Delta(prev)
+	if d["a"] != 15 {
+		t.Errorf(`d["a"] = %v, want 15`, d["a"])
+	}
+	if d["born"] != 3 {
+		t.Errorf(`d["born"] = %v, want 3`, d["born"])
+	}
+	if _, ok := d["gone"]; ok {
+		t.Error(`d["gone"] present; keys absent from the newer snapshot must drop`)
+	}
+}

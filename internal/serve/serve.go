@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +21,7 @@ import (
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
 	"simdstudy/internal/obs"
+	"simdstudy/internal/obs/tsdb"
 	"simdstudy/internal/resilience"
 	"simdstudy/internal/super"
 	"simdstudy/internal/vec"
@@ -74,6 +78,20 @@ type Config struct {
 	// of the wrong kind disables persistence with a
 	// quarantine.journal_error event rather than failing startup.
 	QuarantineJournal string
+	// SLO declares the latency and availability objectives the server
+	// tracks burn rates against (exported as slo_burn_rate gauges and on
+	// /metrics/stream). The zero value enables tracking with defaults;
+	// set SLO.Disabled to turn it off.
+	SLO SLOConfig
+	// SampleInterval, when positive, runs a background time-series sampler
+	// at this cadence so windowed rollups (per-kernel QPS, p99) have
+	// history even between /metrics/stream consumers. Zero samples only
+	// when a stream frame is built — no background goroutine, which keeps
+	// short-lived embedded servers (tests) free of tickers.
+	SampleInterval time.Duration
+	// TelemetryRing is how many samples the time-series ring holds.
+	// Default 300 (five minutes at a 1s cadence).
+	TelemetryRing int
 }
 
 func (c Config) normalized() Config {
@@ -106,6 +124,9 @@ func (c Config) normalized() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.TelemetryRing <= 0 {
+		c.TelemetryRing = 300
+	}
 	return c
 }
 
@@ -137,9 +158,17 @@ type Server struct {
 	sup *super.Supervisor
 	wd  *super.Watchdog
 
-	reqSeq   atomic.Uint64
-	flightMu sync.Mutex
-	flight   map[string]*inflight
+	ts    *tsdb.Store
+	slo   *sloTracker
+	start time.Time
+
+	// traceBase salts generated trace IDs with the process start time, so
+	// IDs from two incarnations of the server never collide in a shared
+	// trace store; reqSeq makes them unique within one.
+	traceBase uint32
+	reqSeq    atomic.Uint64
+	flightMu  sync.Mutex
+	flight    map[string]*inflight
 }
 
 // inflight is one admitted /process request's live entry for /livez.
@@ -159,12 +188,25 @@ var testProcessStart func()
 func NewServer(cfg Config) *Server {
 	cfg = cfg.normalized()
 	s := &Server{
-		cfg:    cfg,
-		reg:    cfg.Registry,
-		brk:    resilience.NewBreakerSet(cfg.Breaker, cfg.Registry),
-		adm:    newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.Registry),
-		sup:    super.NewSupervisor(cfg.Quarantine, cfg.Registry),
-		flight: map[string]*inflight{},
+		cfg:       cfg,
+		reg:       cfg.Registry,
+		brk:       resilience.NewBreakerSet(cfg.Breaker, cfg.Registry),
+		adm:       newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.Registry),
+		sup:       super.NewSupervisor(cfg.Quarantine, cfg.Registry),
+		flight:    map[string]*inflight{},
+		start:     time.Now(),
+		traceBase: uint32(time.Now().UnixNano()),
+	}
+	s.ts = tsdb.New(s.reg, tsdb.Config{
+		Interval: cfg.SampleInterval,
+		Capacity: cfg.TelemetryRing,
+		Runtime:  true,
+	})
+	if cfg.SampleInterval > 0 {
+		s.ts.Start()
+	}
+	if !cfg.SLO.Disabled {
+		s.slo = newSLOTracker(cfg.SLO, time.Now)
 	}
 	if cfg.QuarantineJournal != "" {
 		s.openQuarantineJournal(cfg.QuarantineJournal)
@@ -236,12 +278,18 @@ const quarantineFingerprint = "serve-quarantine-v1"
 func (s *Server) Supervisor() *super.Supervisor { return s.sup }
 
 // Close releases background resources (the stall watchdog's monitor
-// goroutine). The HTTP side is unaffected; pair with http.Server.Shutdown.
+// goroutine, the time-series sampler). The HTTP side is unaffected; pair
+// with http.Server.Shutdown.
 func (s *Server) Close() {
 	if s.wd != nil {
 		s.wd.Stop()
 	}
+	s.ts.Stop()
 }
+
+// Telemetry returns the server's time-series store (live rollups over the
+// registry: rates, quantiles).
+func (s *Server) Telemetry() *tsdb.Store { return s.ts }
 
 // Registry returns the server's observability registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
@@ -264,7 +312,10 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Handler returns the route table wrapped in panic recovery.
+// Handler returns the route table wrapped in panic recovery. The
+// /debug/pprof endpoints expose the runtime profiles whose CPU samples
+// carry the (kernel, isa, band) labels applied around kernel dispatch —
+// continuous profiling is a curl away on any running server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/process", s.handleProcess)
@@ -272,27 +323,56 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/livez", s.handleLive)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics/stream", s.handleMetricsStream)
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	return s.recoverWrap(mux)
 }
 
-// reqIDKey carries the request's ID through its context.
-type reqIDKey struct{}
-
-// requestID returns the ID recoverWrap assigned to this request, or "".
+// requestID returns the trace ID recoverWrap assigned to this request, or
+// "". It is the one ID of the request: the X-Request-ID header, the
+// request_id of serve.panic events and error bodies, the trace_id of
+// kernel spans and histogram exemplars are all this string.
 func requestID(ctx context.Context) string {
-	id, _ := ctx.Value(reqIDKey{}).(string)
-	return id
+	return obs.TraceID(ctx)
 }
 
-// recoverWrap assigns every request an ID (echoed in the X-Request-ID
-// header) and turns handler panics into 500s and a panics_total sample —
-// one bad request must not take down the process. The ID ties the 500 the
-// client sees to the serve.panic event in the operator's event stream.
+// traceIDPattern is what an inbound X-Request-ID must look like to be
+// adopted as the request's trace ID; anything else (too long, spoofable
+// syntax) is replaced with a generated one.
+func validTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' ||
+			'0' <= c && c <= '9' || c == '-' || c == '_' || c == '.') {
+			return false
+		}
+	}
+	return true
+}
+
+// recoverWrap assigns every request one trace ID — an inbound
+// X-Request-ID when the client sent a well-formed one (propagation from
+// an upstream caller), else a generated process-unique hex ID — echoes it
+// in the X-Request-ID response header, binds it to the request context
+// for the kernel/exemplar layers, and turns handler panics into 500s and
+// a panics_total sample — one bad request must not take down the process.
+// The same ID ties the 500 the client sees to the serve.panic event in
+// the operator's event stream and to any exemplars the request left on
+// the latency histograms.
 func (s *Server) recoverWrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := "r" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+		id := r.Header.Get("X-Request-ID")
+		if !validTraceID(id) {
+			id = fmt.Sprintf("%08x%08x", s.traceBase, s.reqSeq.Add(1))
+		}
 		w.Header().Set("X-Request-ID", id)
-		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
+		r = r.WithContext(obs.WithTrace(r.Context(), id))
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.reg.Counter("panics_total").Inc()
@@ -401,16 +481,58 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{"status": status, "breakers": states})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the registry in classic Prometheus text by
+// default; `?format=openmetrics` or an Accept header naming
+// application/openmetrics-text selects the OpenMetrics rendering, which
+// is the one that carries trace-ID exemplars on histogram buckets. SLO
+// burn gauges are recomputed on every scrape so they are never stale.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.slo.publish(s.reg)
+	format := r.URL.Query().Get("format")
+	if format == "openmetrics" ||
+		(format == "" && strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")) {
+		w.Header().Set("Content-Type",
+			"application/openmetrics-text; version=1.0.0; charset=utf-8")
+		s.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.reg.WritePrometheus(w)
 }
 
-// handleProcess runs one kernel dispatch: decode, admit (or shed),
+// statusWriter captures the response status so the SLO tracker can judge
+// the request after the handler body has written it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handleProcess times the request from arrival (queue wait included) and
+// feeds its verdict — response code plus full latency — to the SLO
+// tracker; the dispatch itself lives in processRequest.
+func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
+	entry := time.Now()
+	sw := &statusWriter{ResponseWriter: w}
+	s.processRequest(sw, r)
+	code := sw.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	s.slo.record(code, time.Since(entry))
+}
+
+// processRequest runs one kernel dispatch: decode, admit (or shed),
 // synthesize the source frame, run the guarded Ctx kernel under the
 // request deadline, and report the outcome with the breaker's view of the
 // (kernel, ISA) pair.
-func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
+func (s *Server) processRequest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		s.writeJSON(w, http.StatusMethodNotAllowed,
 			map[string]any{"error": "use GET or POST"})
@@ -454,11 +576,18 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	o.ResetFaults()
 	o.SetFaultInjector(s.injectorFor(req.ISA))
 
+	// The pprof labels make CPU profiles attributable: every sample taken
+	// inside the dispatch carries (kernel, isa), so `go tool pprof -tags`
+	// splits hot CPU by kernel without any symbol spelunking. Band workers
+	// add their own band label on top (see cv.bandProf).
 	start := time.Now()
-	err = spec.run(ctx, o, src, dst)
+	pprof.Do(ctx, pprof.Labels("kernel", spec.name, "isa", req.ISA.String()),
+		func(ctx context.Context) {
+			err = spec.run(ctx, o, src, dst)
+		})
 	elapsed := time.Since(start)
 	s.reg.Histogram("request_seconds", requestBuckets,
-		obs.L("kernel", spec.name)).Observe(elapsed.Seconds())
+		obs.L("kernel", spec.name)).ObserveExemplar(elapsed.Seconds(), fl.id, s.reg.Now())
 
 	if err != nil {
 		var de *resilience.DeadlineError
