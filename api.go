@@ -27,6 +27,7 @@ import (
 	"simdstudy/internal/faults"
 	"simdstudy/internal/harness"
 	"simdstudy/internal/image"
+	"simdstudy/internal/integrity"
 	"simdstudy/internal/neon"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/obs/tsdb"
@@ -545,6 +546,66 @@ func NewSupervisor(policy QuarantinePolicy, reg *MetricsRegistry) *Supervisor {
 func NewWatchdog(cfg WatchdogConfig, reg *MetricsRegistry) *Watchdog {
 	return super.NewWatchdog(cfg, reg)
 }
+
+// --- Integrity (silent-data-corruption defense) ---
+
+// AuditConfig configures the redundant-execution auditor: the fraction of
+// SIMD kernel calls re-run on the scalar reference path and byte-compared,
+// and the deterministic sampler seed.
+type AuditConfig = integrity.AuditConfig
+
+// Auditor is the sampled redundant-execution audit engine. Attach it with
+// Ops.SetAuditor (or ServeConfig.AuditRate for the serving front-end); a
+// sampled call is re-executed on the scalar reference and any byte
+// divergence becomes a CorruptionError, a corruption_detected_total
+// increment, and a scoreboard verdict.
+type Auditor = integrity.Auditor
+
+// CorruptionError describes one silent corruption caught by an audit: the
+// kernel and ISA, the audited row window, and the first diverging element.
+type CorruptionError = integrity.CorruptionError
+
+// AuditRegion is the row window of an audit re-execution.
+type AuditRegion = integrity.Region
+
+// AuditResume is an Auditor's checkpointable sampler position, used by the
+// campaign journal so a resumed run replays the identical audit schedule.
+type AuditResume = integrity.AuditResume
+
+// IntegrityScoreboard tracks a decayed mismatch rate per (kernel, ISA)
+// pair; a pair whose rate crosses the configured threshold trips once,
+// invoking the OnTrip callback (the serving front-end latches the pair's
+// breaker stuck-open, demoting its traffic to scalar).
+type IntegrityScoreboard = integrity.Scoreboard
+
+// IntegrityScoreboardConfig tunes the scoreboard's decay, trip threshold
+// and minimum sample count; the zero value uses the documented defaults.
+type IntegrityScoreboardConfig = integrity.ScoreboardConfig
+
+// IntegrityPairScore is one (kernel, ISA) row of a scoreboard snapshot.
+type IntegrityPairScore = integrity.PairScore
+
+// PlaneChecksum is a blockwise FNV-1a fingerprint of an image plane; the
+// pipeline executor stamps and re-verifies these at stage boundaries, and
+// the plane pool's scrubber uses them to catch corruption of parked planes.
+type PlaneChecksum = integrity.PlaneSum
+
+// ChecksumError reports a plane whose bytes no longer match their
+// fingerprint, naming the damaged block and its element range.
+type ChecksumError = integrity.ChecksumError
+
+// NewAuditor builds an auditor from cfg.
+func NewAuditor(cfg AuditConfig) *Auditor { return integrity.NewAuditor(cfg) }
+
+// NewIntegrityScoreboard builds a corruption scoreboard reporting into reg
+// (which may be nil).
+func NewIntegrityScoreboard(cfg IntegrityScoreboardConfig, reg *MetricsRegistry) *IntegrityScoreboard {
+	return integrity.NewScoreboard(cfg, reg)
+}
+
+// ChecksumMat fingerprints an image in blocks of blockRows rows (0 uses
+// the default block size); verify later with PlaneChecksum.VerifyMat.
+func ChecksumMat(m *Mat, blockRows int) PlaneChecksum { return integrity.SumMat(m, blockRows) }
 
 // --- Serving ---
 

@@ -184,6 +184,25 @@ func BenchmarkHostConvertSSE2Emu(b *testing.B) {
 	}
 }
 
+// BenchmarkHostConvertAuditedOff measures the emulated NEON kernel with a
+// redundant-execution auditor attached but sampling nothing (rate 0) — the
+// configuration production code pays when auditing is compiled in and
+// switched off. The CI alloc gate (benchjson -fail-allocs
+// '^BenchmarkHostConvert') holds this at 0 allocs/op: the skip path of the
+// audit chokepoint must not allocate.
+func BenchmarkHostConvertAuditedOff(b *testing.B) {
+	src, dst := hostKernelSrc()
+	o := NewOps(ISANEON, nil)
+	o.SetAuditor(NewAuditor(AuditConfig{Rate: 0, Seed: 1}))
+	b.SetBytes(int64(src.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := o.ConvertF32ToS16(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHostGaussianNEONEmu measures the heaviest kernel end to end.
 func BenchmarkHostGaussianNEONEmu(b *testing.B) {
 	res := Resolution{Width: 640, Height: 480}

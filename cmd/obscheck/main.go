@@ -7,6 +7,7 @@
 //	obscheck -metrics m.prom -events e.jsonl -trace t.json
 //	obscheck -metrics m.prom -require simd_instructions_total -require guard_actions_total
 //	obscheck -metrics later.prom -monotonic earlier.prom
+//	obscheck -metrics m.prom -integrity
 //	obscheck -openmetrics m.om -require-exemplar request_seconds
 //
 // -monotonic cross-checks two scrapes of the same process: every counter
@@ -15,7 +16,12 @@
 // rate() depends on. -openmetrics validates the OpenMetrics rendering:
 // exemplar syntax on histogram buckets and the mandatory # EOF terminator;
 // -require-exemplar additionally demands at least one bucket of the named
-// family carries a trace_id exemplar.
+// family carries a trace_id exemplar. -integrity cross-checks the
+// corruption-audit families against each other: per (kernel, ISA) pair,
+// corruption_detected_total must equal audit_total{outcome="mismatch"} and
+// audit_seconds_count must equal audit_total summed across outcomes —
+// every audit lands exactly one histogram sample and every mismatch
+// exactly one detection.
 //
 // Every given file is checked; any malformed content exits non-zero.
 package main
@@ -42,6 +48,7 @@ func main() {
 	trace := flag.String("trace", "", "Chrome trace_event JSON file to validate")
 	openmetrics := flag.String("openmetrics", "", "OpenMetrics exposition file to validate (exemplar syntax, # EOF)")
 	monotonic := flag.String("monotonic", "", "earlier scrape of the same process; counters in -metrics must not have decreased (implies -metrics)")
+	integrity := flag.Bool("integrity", false, "cross-check the corruption-audit metric families in -metrics for internal consistency (implies -metrics)")
 	var require requireList
 	flag.Var(&require, "require", "metric family that must appear with a non-zero sample (repeatable; implies -metrics)")
 	var requireExemplar requireList
@@ -61,6 +68,14 @@ func main() {
 			ok = false
 		} else {
 			ok = checkMonotonic(*metrics, *monotonic) && ok
+		}
+	}
+	if *integrity {
+		if *metrics == "" {
+			fmt.Fprintln(os.Stderr, "obscheck: -integrity needs -metrics")
+			ok = false
+		} else {
+			ok = checkIntegrity(*metrics) && ok
 		}
 	}
 	if *openmetrics != "" {
@@ -228,6 +243,89 @@ func checkMonotonic(curPath, priorPath string) bool {
 	}
 	if ok {
 		fmt.Printf("obscheck: %s vs %s: %d counter series monotone ok\n", curPath, priorPath, checked)
+	}
+	return ok
+}
+
+// splitSeries breaks a rendered series key (`name{k="v",k2="v2"}`) into
+// its family name and label map. Registry label values (kernel names, ISA
+// names, outcomes) never contain quotes or commas, so a plain split is
+// exact; a malformed label set yields an empty map.
+func splitSeries(series string) (string, map[string]string) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return series, nil
+	}
+	family := series[:i]
+	labels := map[string]string{}
+	body := strings.TrimSuffix(series[i+1:], "}")
+	for _, kv := range strings.Split(body, ",") {
+		eq := strings.Index(kv, `="`)
+		if eq < 0 || !strings.HasSuffix(kv, `"`) {
+			continue
+		}
+		labels[kv[:eq]] = kv[eq+2 : len(kv)-1]
+	}
+	return family, labels
+}
+
+// checkIntegrity cross-checks the corruption-audit families within one
+// scrape. The auditor's contract is one histogram sample per audit and one
+// detection per mismatch, so for every (kernel, ISA) pair:
+//
+//	corruption_detected_total == audit_total{outcome="mismatch"}
+//	audit_seconds_count       == sum of audit_total across outcomes
+//
+// A scrape with no audit_total series at all fails — the point of the
+// check is to prove the instrumentation ran, not to vacuously pass.
+func checkIntegrity(path string) bool {
+	series, err := parseProm(path)
+	if err != nil {
+		return complain(path, "%v", err)
+	}
+	type pair struct{ kernel, isa string }
+	audits := map[pair]float64{}   // audit_total, all outcomes
+	mismatch := map[pair]float64{} // audit_total{outcome="mismatch"}
+	detected := map[pair]float64{} // corruption_detected_total
+	secCount := map[pair]float64{} // audit_seconds_count
+	for key, val := range series {
+		family, labels := splitSeries(key)
+		p := pair{labels["kernel"], labels["isa"]}
+		switch family {
+		case "audit_total":
+			audits[p] += val
+			if labels["outcome"] == "mismatch" {
+				mismatch[p] += val
+			}
+		case "corruption_detected_total":
+			detected[p] += val
+		case "audit_seconds_count":
+			secCount[p] += val
+		}
+	}
+	if len(audits) == 0 {
+		return complain(path, "no audit_total series: integrity instrumentation absent")
+	}
+	ok := true
+	for p, n := range audits {
+		if detected[p] != mismatch[p] {
+			ok = complain(path, "pair %s/%s: corruption_detected_total %g != audit_total{outcome=\"mismatch\"} %g",
+				p.kernel, p.isa, detected[p], mismatch[p])
+		}
+		if secCount[p] != n {
+			ok = complain(path, "pair %s/%s: audit_seconds_count %g != audit_total across outcomes %g",
+				p.kernel, p.isa, secCount[p], n)
+		}
+	}
+	// A detection on a pair that was never audited is equally inconsistent.
+	for p, d := range detected {
+		if _, audited := audits[p]; !audited && d != 0 {
+			ok = complain(path, "pair %s/%s: corruption_detected_total %g without any audit_total",
+				p.kernel, p.isa, d)
+		}
+	}
+	if ok {
+		fmt.Printf("obscheck: %s: %d audited (kernel, isa) pairs consistent ok\n", path, len(audits))
 	}
 	return ok
 }

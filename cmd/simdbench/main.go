@@ -47,6 +47,9 @@ func main() {
 	faultsOn := flag.Bool("faults", false, "run a fault-injection campaign through the guarded kernels")
 	faultRate := flag.Float64("fault-rate", 1e-5, "per-opportunity fault probability for -faults")
 	faultSeed := flag.Uint64("fault-seed", 7, "deterministic seed for the -faults plan")
+	auditRate := flag.Float64("audit-rate", 0, "fraction of campaign kernel calls re-run on the scalar reference and byte-compared (0 = off)")
+	auditSeed := flag.Uint64("audit-seed", 3, "deterministic seed for the -audit-rate sampler")
+	auditFloor := flag.Float64("audit-floor", -1, "measure the audit detection rate against a guard-free rate-1.0 reference campaign and exit 1 below this fraction; requires -faults and -audit-rate > 0 (negative = no gate)")
 	energy := flag.Bool("energy", false, "also print the energy-per-image extension")
 	grid := flag.Bool("grid", false, "emit the full platforms x sizes grid as CSV instead of the single-size table")
 	resumeDir := flag.String("resume", "", "journal completed work to this directory and resume from it after a crash")
@@ -113,9 +116,16 @@ func main() {
 	}
 
 	if *faultsOn {
+		if *auditFloor >= 0 && *auditRate <= 0 {
+			fail(fmt.Errorf("-audit-floor requires -audit-rate > 0"))
+		}
 		ccfg := harness.CampaignConfig{
 			Rate: *faultRate, Seed: *faultSeed, Obs: reg,
 			StallDeadline: *stallDeadline,
+			AuditRate:     *auditRate, AuditSeed: *auditSeed,
+			// Detection-rate measurement needs corruption to actually reach
+			// outputs, so the gate runs guard-free.
+			GuardDisabled: *auditFloor >= 0,
 		}
 		if *resumeDir != "" {
 			ccfg.CheckpointPath = filepath.Join(*resumeDir,
@@ -126,6 +136,9 @@ func main() {
 		rep, err := harness.RunFaultCampaign(context.Background(), *benchName, vres, ccfg)
 		fail(err)
 		rep.Render(os.Stdout)
+		if *auditFloor >= 0 {
+			fail(gateDetectionRate(reg, rep, *benchName, vres, ccfg, *auditFloor))
+		}
 		fmt.Println()
 	}
 
@@ -189,6 +202,43 @@ func main() {
 
 	reg.Emit("run.finish", map[string]any{"bench": *benchName})
 	fail(obsFlags.Export(reg))
+}
+
+// gateDetectionRate measures the audited campaign against ground truth: a
+// guard-free reference campaign with the same fault plan audited at rate
+// 1.0 catches every corrupted output (the injection schedule is independent
+// of the audit rate), so measured/reference is the detection rate. It
+// returns an error when that rate falls below floor.
+func gateDetectionRate(reg *obs.Registry, rep *harness.FaultReport,
+	bench string, res image.Resolution, cfg harness.CampaignConfig, floor float64) error {
+	refCfg := harness.CampaignConfig{
+		Rate: cfg.Rate, Seed: cfg.Seed, Obs: reg,
+		StallDeadline: cfg.StallDeadline,
+		AuditRate:     1.0, AuditSeed: cfg.AuditSeed,
+		GuardDisabled: true,
+	}
+	ref, err := harness.RunFaultCampaign(context.Background(), bench, res, refCfg)
+	if err != nil {
+		return fmt.Errorf("detection-rate reference campaign: %w", err)
+	}
+	var caught, corrupted uint64
+	for _, ir := range rep.PerISA {
+		caught += ir.AuditCaught
+	}
+	for _, ir := range ref.PerISA {
+		corrupted += ir.AuditCaught
+	}
+	if corrupted == 0 {
+		fmt.Printf("audit detection rate: no corrupted outputs at fault rate %g — gate not applicable\n", cfg.Rate)
+		return nil
+	}
+	rate := float64(caught) / float64(corrupted)
+	fmt.Printf("audit detection rate: %d/%d corrupted outputs caught (%.1f%% at sampling rate %g)\n",
+		caught, corrupted, 100*rate, cfg.AuditRate)
+	if rate < floor {
+		return fmt.Errorf("audit detection rate %.3f below floor %.3f", rate, floor)
+	}
+	return nil
 }
 
 // chaosHook returns a CheckpointHook that SIGKILLs this process once the

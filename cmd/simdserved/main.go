@@ -16,6 +16,8 @@
 //	GET /healthz   liveness
 //	GET /readyz    readiness + per-(kernel, ISA) breaker states
 //	GET /livez     supervision view: in-flight requests, stalls, quarantines
+//	GET /integrity corruption-defense view: audit sampler rates and tallies,
+//	               per-(kernel, ISA) corruption scores, quarantined pairs
 //	GET /metrics   Prometheus text exposition (?format=openmetrics adds
 //	               trace-ID exemplars on histogram buckets and # EOF)
 //	GET /metrics/stream   live telemetry frames over Server-Sent Events
@@ -29,6 +31,15 @@
 // kernel band goes silent; -quarantine-after N demotes a (kernel, ISA) pair
 // whose SIMD path panics N times to scalar permanently; -quarantine-journal
 // persists those demotions so a restarted process does not re-probe them.
+//
+// Integrity: -audit-rate R re-runs a deterministic sample of SIMD dispatches
+// on the scalar reference path and byte-compares the outputs. The sampling
+// rate adapts to load — it is scaled by admission-queue headroom, so a
+// filling queue sheds audits before it delays requests, down to zero at a
+// full queue — and a pair whose decayed mismatch rate crosses the scoreboard
+// threshold is quarantined to scalar via its breaker. -fault-rate plus
+// -audit-rate is the self-soak: injected corruption should surface on
+// /integrity and in corruption_detected_total.
 //
 // SIGINT/SIGTERM starts a graceful drain: /readyz flips to 503, in-flight
 // requests finish, then the listener closes.
@@ -72,6 +83,8 @@ func main() {
 	stallDeadline := flag.Duration("stall-deadline", 0, "cancel a request whose kernel band is silent this long (0 = no watchdog)")
 	quarantineAfter := flag.Int("quarantine-after", 0, "panics before a (kernel, ISA) pair is demoted to scalar permanently (0 = default 3)")
 	quarantineJournal := flag.String("quarantine-journal", "", "persist quarantine decisions here and replay them at startup")
+	auditRate := flag.Float64("audit-rate", 0, "fraction of SIMD dispatches re-run on the scalar reference and byte-compared for silent corruption (0 = off); the effective rate scales down with admission-queue fill — a full queue suspends auditing — and persistent mismatches quarantine the (kernel, ISA) pair to scalar")
+	auditSeed := flag.Uint64("audit-seed", 1, "deterministic seed for the audit sampler")
 	sampleInterval := flag.Duration("sample-interval", time.Second, "time-series sampler cadence for /metrics/stream rollups (0 = sample only per stream frame)")
 	telemetryRing := flag.Int("telemetry-ring", 300, "samples held in the time-series ring")
 	sloLatencyMS := flag.Int("slo-latency-ms", 250, "latency objective per request, queue wait included")
@@ -104,6 +117,8 @@ func main() {
 		StallDeadline:     *stallDeadline,
 		Quarantine:        super.QuarantinePolicy{MaxPanics: *quarantineAfter},
 		QuarantineJournal: *quarantineJournal,
+		AuditRate:         *auditRate,
+		AuditSeed:         *auditSeed,
 		SampleInterval:    *sampleInterval,
 		TelemetryRing:     *telemetryRing,
 		SLO: serve.SLOConfig{

@@ -2,7 +2,10 @@
 // consumes the /metrics/stream Server-Sent Events feed and renders one
 // screen per frame — per-kernel QPS and latency quantiles over the rollup
 // window, SLO burn rates per window, breaker states, quarantined pairs,
-// in-flight count and process health.
+// in-flight count and process health. When the server audits for silent
+// corruption (-audit-rate) an INTEGRITY line shows the load-scaled
+// sampling rate, audit tallies, and pairs the corruption scoreboard has
+// quarantined.
 //
 // Usage:
 //
@@ -52,6 +55,12 @@ type frame struct {
 	Goroutines     int               `json:"goroutines"`
 	HeapAllocBytes float64           `json:"heap_alloc_bytes"`
 	ShedPerSec     float64           `json:"shed_per_sec"`
+	Audit          *struct {
+		EffectiveRate float64  `json:"effective_rate"`
+		Sampled       uint64   `json:"sampled"`
+		Mismatches    uint64   `json:"mismatches"`
+		Quarantined   []string `json:"quarantined"`
+	} `json:"audit"`
 }
 
 func main() {
@@ -118,7 +127,7 @@ func render(w *os.File, f frame, plain bool) {
 	}
 	ts, _ := time.Parse(time.RFC3339Nano, f.Time)
 	fmt.Fprintf(&b, "simdtop  %s  up %s  window %.0fs  in-flight %d  goroutines %d  heap %.1f MiB\n",
-		ts.Format("15:04:05"), (time.Duration(f.UptimeSec)*time.Second).String(),
+		ts.Format("15:04:05"), (time.Duration(f.UptimeSec) * time.Second).String(),
 		f.WindowSec, f.InFlight, f.Goroutines, f.HeapAllocBytes/(1<<20))
 	fmt.Fprintf(&b, "%-12s %9s %9s %9s %9s\n", "KERNEL", "QPS", "P50ms", "P95ms", "P99ms")
 	if len(f.Kernels) == 0 {
@@ -169,6 +178,14 @@ func render(w *os.File, f frame, plain bool) {
 	}
 	if len(f.Quarantined) > 0 {
 		fmt.Fprintf(&b, "quarantined: %s\n", strings.Join(f.Quarantined, ", "))
+	}
+	if a := f.Audit; a != nil {
+		fmt.Fprintf(&b, "INTEGRITY  audit-rate %.3f  sampled %d  mismatches %d",
+			a.EffectiveRate, a.Sampled, a.Mismatches)
+		if len(a.Quarantined) > 0 {
+			fmt.Fprintf(&b, "  ** CORRUPT: %s **", strings.Join(a.Quarantined, ", "))
+		}
+		b.WriteString("\n")
 	}
 	if plain {
 		b.WriteString("---\n")

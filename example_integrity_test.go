@@ -1,0 +1,51 @@
+package simdstudy_test
+
+import (
+	"fmt"
+
+	"simdstudy"
+)
+
+// ExampleAuditConfig demonstrates the silent-data-corruption defense: a
+// SIMD unit that silently flips bits (injected here with a deterministic
+// fault plan) produces wrong bytes with no error — until a sampled
+// redundant-execution audit re-runs the call on the scalar reference,
+// catches the divergence, and repairs the output in place.
+func ExampleAuditConfig() {
+	res := simdstudy.Resolution{Width: 64, Height: 48}
+	src := simdstudy.Synthetic(res, 1)
+
+	// The scalar reference output every audited call is compared against.
+	ref := simdstudy.NewOps(simdstudy.ISAScalar, nil)
+	want := simdstudy.NewMat(res.Width, res.Height, simdstudy.U8)
+	if err := ref.Threshold(src, want, 100, 255, simdstudy.ThreshTrunc); err != nil {
+		panic(err)
+	}
+
+	// A NEON unit with silent bit flips: no guard, no error returns — the
+	// only defense is the auditor, here at rate 1.0 so every call is checked.
+	aud := simdstudy.NewAuditor(simdstudy.AuditConfig{Rate: 1, Seed: 1})
+	o := simdstudy.NewOps(simdstudy.ISANEON, nil)
+	o.SetAuditor(aud)
+	o.SetFaultInjector(simdstudy.NewFaultPlan(simdstudy.FaultConfig{
+		Rate: 5e-4, Seed: 11, Kinds: []simdstudy.FaultKind{simdstudy.FaultKindBitFlip},
+	}))
+
+	const calls = 20
+	repaired := true
+	dst := simdstudy.NewMat(res.Width, res.Height, simdstudy.U8)
+	for i := 0; i < calls; i++ {
+		if err := o.Threshold(src, dst, 100, 255, simdstudy.ThreshTrunc); err != nil {
+			panic(err)
+		}
+		repaired = repaired && want.EqualTo(dst)
+	}
+
+	fmt.Println("every call audited:", aud.Sampled() == calls)
+	fmt.Println("corruption caught:", aud.Mismatches() > 0)
+	fmt.Println("every output repaired:", repaired)
+	// Output:
+	// every call audited: true
+	// corruption caught: true
+	// every output repaired: true
+}

@@ -23,6 +23,7 @@ import (
 
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
+	"simdstudy/internal/integrity"
 	"simdstudy/internal/neon"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/resilience"
@@ -90,6 +91,12 @@ type Ops struct {
 	kernelFaults []KernelFault
 	fallbacks    int
 
+	// Integrity audit state (see audit.go). aud, when set, samples SIMD
+	// kernel calls for redundant scalar re-execution; a sampled call that
+	// diverges is repaired from the reference and recorded as silent
+	// corruption.
+	aud *integrity.Auditor
+
 	// Resilience state (see guard.go and ctx.go). brk, when set, is
 	// consulted once per outermost kernel call: an open breaker demotes
 	// that call to the scalar path via denySIMD without touching the
@@ -156,8 +163,9 @@ func (o *Ops) UseOptimized() bool {
 // guarded kernel call: a per-(kernel, ISA) breaker that is open demotes that
 // call to the scalar path, and guard verdicts feed back into it so a flaky
 // unit re-arms via half-open probes instead of staying dead forever. nil
-// detaches. The breaker only sees traffic in guarded mode — without the
-// referee there is no success/failure signal to drive it.
+// detaches. The breaker only sees traffic in guarded or audited mode
+// (SetGuarded / SetAuditor) — without a referee or sampled audit there is
+// no success/failure signal to drive it.
 func (o *Ops) SetBreakers(b *resilience.BreakerSet) { o.brk = b }
 
 // Breakers returns the attached breaker set, or nil.

@@ -2,9 +2,11 @@ package cv
 
 import (
 	"fmt"
+	"time"
 
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
+	"simdstudy/internal/integrity"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/par"
 	"simdstudy/internal/resilience"
@@ -272,11 +274,22 @@ func copyPixels(dst, src *image.Mat) {
 // KillAfter fallbacks flip useOptimized off (ActionKillSwitch).
 func (o *Ops) guardedRun(kernel string, dst *image.Mat, tol int,
 	simd func() error, rerun func(ref *Ops, d *image.Mat) error) error {
-	if !o.guarded || o.inGuard {
-		// Unguarded, or a nested kernel call (DetectEdges → SobelFilter)
-		// already covered by the outer guard.
+	if o.inGuard {
+		// A nested kernel call (DetectEdges → SobelFilter) already covered
+		// by the outer guard or audit.
 		return simd()
 	}
+	if !o.guarded {
+		if o.aud != nil && o.aud.Sample() {
+			return o.auditedRun(kernel, dst, tol, simd, rerun)
+		}
+		return simd()
+	}
+	// In guarded mode a sampled audit piggybacks on the guard's referee (see
+	// audit.go): the sampling decision is drawn here, up front, so the
+	// sampler stream is positioned identically whether or not the guard
+	// later intervenes.
+	audit := o.aud != nil && o.aud.Sample()
 	o.inGuard = true
 	defer func() { o.inGuard = false }()
 
@@ -302,7 +315,24 @@ func (o *Ops) guardedRun(kernel string, dst *image.Mat, tol int,
 	rows := o.sampleRows(dst.Height)
 	bad, diffs := diffRows(dst, want, rows, tol)
 	refSpan.End()
+
+	// Piggyback audit: compare the first SIMD output against the referee
+	// over the audit window (the referee is already paid for, so the audit
+	// costs only the compare). The guard keeps sole ownership of the breaker
+	// verdict below; the audit contributes the corruption record and, on the
+	// guard-clean path, a repair when the spot-check's rows missed a
+	// divergence the full-window compare caught.
+	var auditCE *integrity.CorruptionError
+	if audit {
+		cmpStart := time.Now()
+		auditCE = o.auditCompare(kernel, dst, want, tol)
+		o.aud.Observe(o.Obs, kernel, o.isa.String(), time.Since(cmpStart), o.traceID, auditCE)
+	}
+
 	if len(bad) == 0 {
+		if auditCE != nil {
+			copyPixels(dst, want)
+		}
 		o.recordBreaker(kernel, true)
 		return nil
 	}

@@ -84,11 +84,14 @@ func (o *Ops) beginKernel(name string) *obs.Span {
 			// consulted.
 			o.denySIMD = true
 			o.serialOnly = true
-		} else if o.brk != nil && o.guarded && o.useOptimized && o.isa != ISAScalar {
+		} else if o.brk != nil && (o.guarded || o.aud != nil) && o.useOptimized && o.isa != ISAScalar {
 			// Only consult the breaker when the SIMD path is actually
-			// eligible; in half-open state Allow consumes a probe that must
-			// be resolved by a guard verdict, so asking on behalf of a call
-			// that would run scalar anyway would leak probes.
+			// eligible AND something can produce a verdict (the guard referee
+			// or a sampled audit); in half-open state Allow consumes a probe
+			// that must be resolved by a verdict, so asking on behalf of a
+			// call that would run scalar anyway would leak probes. An
+			// admitted call whose audit sampling skips resolves the probe via
+			// endKernel's Release, leaving the half-open budget intact.
 			if o.brk.Allow(name, o.isa.String()) {
 				o.brkPending = name
 			} else {

@@ -1,0 +1,198 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"simdstudy/internal/integrity"
+	"simdstudy/internal/ir"
+	"simdstudy/internal/obs"
+)
+
+// This file adds plane checksums at pipeline stage boundaries. A
+// multi-stage IR pipeline (convert → blur → threshold …) hands every
+// intermediate plane from one stage to the next on trust; a wild write, a
+// bad stride in later IR, or bit rot in a long-lived buffer silently
+// poisons every downstream stage. RunStagesChecked closes that: every
+// environment array is fingerprinted before the pipeline starts, and after
+// each stage every array that stage did NOT declare a store to is
+// re-verified — so corruption is detected at the first boundary after it
+// happens and attributed to the stage that just ran, instead of surfacing
+// as inexplicably wrong output three stages later. Arrays a stage
+// legitimately wrote are re-stamped for the next boundary.
+
+// Stage couples one IR loop with its trip count, since pipeline stages
+// commonly iterate different element spaces (per-pixel vs per-row).
+type Stage struct {
+	Loop *ir.Loop
+	N    int
+}
+
+// ErrPlaneCorruption is the sentinel wrapped by every
+// *PlaneCorruptionError.
+var ErrPlaneCorruption = errors.New("exec: plane corruption at stage boundary")
+
+// PlaneCorruptionError reports an environment array that changed across a
+// stage that never declared a store to it — a silent wild write (or
+// corruption at rest) attributed to the stage that just executed.
+type PlaneCorruptionError struct {
+	Stage string // loop name of the stage the corruption is attributed to
+	Array string // environment array (with its type namespace, e.g. "u8:dst")
+	Block int    // first mismatching fingerprint block, -1 for length skew
+	Lo    int    // first corrupt element bound, inclusive
+	Hi    int    // first corrupt element bound, exclusive
+}
+
+// Error implements error.
+func (e *PlaneCorruptionError) Error() string {
+	if e.Block < 0 {
+		return fmt.Sprintf("exec: stage %q changed the length of untouched array %q", e.Stage, e.Array)
+	}
+	return fmt.Sprintf("exec: stage %q corrupted untouched array %q (elements [%d,%d))",
+		e.Stage, e.Array, e.Lo, e.Hi)
+}
+
+// Unwrap ties the error to ErrPlaneCorruption.
+func (e *PlaneCorruptionError) Unwrap() error { return ErrPlaneCorruption }
+
+// testAfterStage, when set by a test, runs after stage i executes and
+// before its boundary verification — the injection point for simulated
+// wild writes (same pattern as harness.testCellStart).
+var testAfterStage func(stage int, env *Env)
+
+// envArray is one typed environment array flattened into hashable form.
+type envArray struct {
+	key  string // type-namespaced name, e.g. "s16:tmp"
+	n    int
+	hash func(h uint32, i int) uint32
+}
+
+// envArrays enumerates every array in env in a stable order.
+func envArrays(env *Env) []envArray {
+	var out []envArray
+	for name, b := range env.U8 {
+		b := b
+		out = append(out, envArray{key: "u8:" + name, n: len(b), hash: func(h uint32, i int) uint32 {
+			return integrity.HashByte(h, b[i])
+		}})
+	}
+	for name, b := range env.S16 {
+		b := b
+		out = append(out, envArray{key: "s16:" + name, n: len(b), hash: func(h uint32, i int) uint32 {
+			return integrity.HashU16(h, uint16(b[i]))
+		}})
+	}
+	for name, b := range env.U16 {
+		b := b
+		out = append(out, envArray{key: "u16:" + name, n: len(b), hash: func(h uint32, i int) uint32 {
+			return integrity.HashU16(h, b[i])
+		}})
+	}
+	for name, b := range env.S32 {
+		b := b
+		out = append(out, envArray{key: "s32:" + name, n: len(b), hash: func(h uint32, i int) uint32 {
+			return integrity.HashU32(h, uint32(b[i]))
+		}})
+	}
+	for name, b := range env.F32 {
+		b := b
+		out = append(out, envArray{key: "f32:" + name, n: len(b), hash: func(h uint32, i int) uint32 {
+			return integrity.HashU32(h, math.Float32bits(b[i]))
+		}})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// storeSet returns the type-namespaced arrays a loop declares stores to.
+func storeSet(l *ir.Loop) map[string]bool {
+	out := map[string]bool{}
+	for _, ins := range l.Body {
+		if ins.Op != ir.OpStore {
+			continue
+		}
+		switch ins.Type {
+		case ir.U8:
+			out["u8:"+ins.Array] = true
+		case ir.I16:
+			out["s16:"+ins.Array] = true
+		case ir.U16:
+			out["u16:"+ins.Array] = true
+		case ir.I32:
+			out["s32:"+ins.Array] = true
+		case ir.F32:
+			out["f32:"+ins.Array] = true
+		}
+	}
+	return out
+}
+
+// checksumBlock is the fingerprint granularity in elements.
+const checksumBlock = 4096
+
+// RunStagesChecked executes the pipeline stages in order with plane
+// checksums at every stage boundary. Each stage runs through the observed,
+// cancellable executor (ctx, reg and parent may all be nil); after stage i,
+// every environment array outside stage i's store set is verified against
+// its fingerprint, and a divergence aborts the pipeline with a
+// *PlaneCorruptionError naming stage i — the stage that introduced it.
+// The registry gains
+//
+//	plane_checksum_verified_total{stage} — arrays verified clean at the
+//	    stage's exit boundary
+//	plane_checksum_failed_total{stage,array} — boundary failures
+//
+// alongside an integrity.stage_corruption event per failure.
+func RunStagesChecked(ctx context.Context, reg *obs.Registry, parent *obs.Span,
+	stages []Stage, env *Env, mode RoundMode) error {
+	sums := map[string]integrity.PlaneSum{}
+	for _, a := range envArrays(env) {
+		sums[a.key] = integrity.SumElems(a.n, checksumBlock, a.hash)
+	}
+	for i, st := range stages {
+		if err := RunObservedCtx(ctx, reg, parent, st.Loop, env, st.N, mode); err != nil {
+			return err
+		}
+		if testAfterStage != nil {
+			testAfterStage(i, env)
+		}
+		wrote := storeSet(st.Loop)
+		lstage := obs.L("stage", st.Loop.Name)
+		var verified uint64
+		for _, a := range envArrays(env) {
+			if wrote[a.key] {
+				// Legitimately written: refresh the fingerprint for the next
+				// boundary rather than verifying stale sums.
+				sums[a.key] = integrity.SumElems(a.n, checksumBlock, a.hash)
+				continue
+			}
+			ps, ok := sums[a.key]
+			if !ok {
+				// An array added to the environment mid-pipeline (unusual but
+				// legal): start tracking it here.
+				sums[a.key] = integrity.SumElems(a.n, checksumBlock, a.hash)
+				continue
+			}
+			if err := ps.VerifyElems(a.n, a.hash); err != nil {
+				pce := &PlaneCorruptionError{Stage: st.Loop.Name, Array: a.key, Block: -1}
+				if ce, isCE := err.(*integrity.ChecksumError); isCE {
+					pce.Block, pce.Lo, pce.Hi = ce.Block, ce.Lo, ce.Hi
+				}
+				reg.Counter("plane_checksum_failed_total", lstage, obs.L("array", a.key)).Inc()
+				reg.Emit("integrity.stage_corruption", map[string]any{
+					"stage": st.Loop.Name, "array": a.key,
+					"lo": pce.Lo, "hi": pce.Hi,
+				})
+				return pce
+			}
+			verified++
+		}
+		if verified > 0 {
+			reg.Counter("plane_checksum_verified_total", lstage).Add(verified)
+		}
+	}
+	return nil
+}

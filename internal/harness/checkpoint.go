@@ -11,6 +11,7 @@ import (
 	"simdstudy/internal/cv"
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
+	"simdstudy/internal/integrity"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/platform"
 )
@@ -52,6 +53,12 @@ type campaignCellRecord struct {
 	PlanCalls      uint64         `json:"plan_calls"`
 	PlanInjected   uint64         `json:"plan_injected"`
 	Resume         cv.ResumeState `json:"resume"`
+	// Audit fields are present only when the campaign runs with AuditRate >
+	// 0, so journals written before (or without) auditing keep their exact
+	// byte encoding.
+	AuditsDelta uint64                 `json:"audits_delta,omitempty"`
+	AuditCaught uint64                 `json:"audit_caught_delta,omitempty"`
+	AuditResume *integrity.AuditResume `json:"audit_resume,omitempty"`
 }
 
 // fingerprint hashes the canonical description of a run's result-affecting
@@ -81,7 +88,7 @@ func campaignFingerprint(bench string, res image.Resolution, cfg CampaignConfig,
 	if pol == (cv.GuardPolicy{}) {
 		pol = cv.DefaultGuardPolicy()
 	}
-	return fingerprint(
+	parts := []string{
 		"campaign", bench,
 		fmt.Sprintf("%s=%dx%d", res.Name, res.Width, res.Height),
 		fmt.Sprintf("rate=%g", cfg.Rate),
@@ -90,7 +97,16 @@ func campaignFingerprint(bench string, res image.Resolution, cfg CampaignConfig,
 		fmt.Sprintf("kinds=%v", cfg.Kinds),
 		fmt.Sprintf("burst=%d", burst),
 		fmt.Sprintf("policy=%+v", pol),
-	)
+	}
+	// Audit and guard-disable parts are appended only when set, so journals
+	// from pre-audit builds keep their fingerprints.
+	if cfg.AuditRate > 0 || cfg.GuardDisabled {
+		parts = append(parts,
+			fmt.Sprintf("audit=%g/%d", cfg.AuditRate, cfg.AuditSeed),
+			fmt.Sprintf("noguard=%t", cfg.GuardDisabled),
+		)
+	}
+	return fingerprint(parts...)
 }
 
 // openJournal applies the resume policy shared by both runners: resume a
@@ -180,6 +196,8 @@ func replayCampaignRecord(rec campaignCellRecord, ir *ISAFaultReport,
 	ir.Fallbacks += rec.Fallbacks
 	ir.KillSwitch += rec.KillSwitch
 	ir.Masked += rec.MaskedDelta
+	ir.Audits += rec.AuditsDelta
+	ir.AuditCaught += rec.AuditCaught
 	reg.Counter("fault_injected_total", lISA).Add(rec.InjectedDelta)
 	for _, oc := range []struct {
 		name string
@@ -208,13 +226,28 @@ func replayCampaignRecord(rec campaignCellRecord, ir *ISAFaultReport,
 // restoreCampaignState positions a fresh plan and Ops where the journaled
 // prefix left them: cumulative plan counters (the decision stream needs no
 // restoration — it is reseeded per (pass, row)), the pass sequence that
-// derives those salts, and the guard's fallback/kill-switch state.
-func restoreCampaignState(done []campaignCellRecord, plan *faults.Plan, o *cv.Ops) (prevInjected uint64) {
+// derives those salts, the guard's fallback/kill-switch state, and — when
+// both the caller and the journal carry one — the auditor's sampler stream
+// position and tallies.
+func restoreCampaignState(done []campaignCellRecord, plan *faults.Plan, o *cv.Ops, aud *integrity.Auditor) (prevInjected uint64) {
 	if len(done) == 0 {
 		return 0
 	}
 	last := done[len(done)-1]
 	plan.RestoreCounters(last.PlanCalls, last.PlanInjected)
 	o.SetResumeState(last.Resume)
+	if aud != nil && last.AuditResume != nil {
+		aud.SetResume(*last.AuditResume)
+	}
 	return last.PlanInjected
+}
+
+// auditResumePtr snapshots an auditor's resume state for journaling, nil
+// when auditing is off so pre-audit journal bytes are unchanged.
+func auditResumePtr(aud *integrity.Auditor) *integrity.AuditResume {
+	if aud == nil {
+		return nil
+	}
+	r := aud.Resume()
+	return &r
 }

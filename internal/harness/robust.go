@@ -13,6 +13,7 @@ import (
 	"simdstudy/internal/cv"
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
+	"simdstudy/internal/integrity"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/platform"
 	"simdstudy/internal/resilience"
@@ -430,6 +431,20 @@ type CampaignConfig struct {
 	// watchdog: a kernel band silent for longer than this cancels its
 	// siblings and fails the campaign with a typed *super.StallError.
 	StallDeadline time.Duration
+	// AuditRate, when positive, attaches a sampled redundant-execution
+	// auditor (internal/integrity) to each campaign Ops at this rate, with
+	// AuditSeed driving the deterministic sampler. Audited calls re-run on
+	// the scalar reference; mismatches count as caught corruption in the
+	// report and land in the audit_* metric families.
+	AuditRate float64
+	AuditSeed uint64
+	// GuardDisabled runs the campaign without the guard referee, so
+	// injected corruption reaches outputs silently except where an audit
+	// samples the call — the configuration that turns the injection plan
+	// into ground truth for measured audit detection rates (at rate 1.0
+	// every corrupted output is caught; at rate r the caught count is a
+	// Bernoulli(r) thinning of that set).
+	GuardDisabled bool
 }
 
 // ISAFaultReport is the per-ISA outcome of a fault campaign.
@@ -442,7 +457,9 @@ type ISAFaultReport struct {
 	RetryRecovered int    // detections resolved by re-running the SIMD path
 	Fallbacks      int    // images resolved by substituting the scalar result
 	KillSwitch     int    // kill-switch trips (optimized paths disabled)
-	Masked         uint64 // faults injected into images the guard saw clean
+	Masked         uint64 // faults injected into images neither guard nor audit flagged
+	Audits         uint64 // sampled redundant-execution audits performed
+	AuditCaught    uint64 // audits that observed silent corruption
 }
 
 // FaultReport summarizes a reproducible fault campaign.
@@ -514,10 +531,22 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 			Rate: cfg.Rate, Seed: cfg.Seed, Sites: cfg.Sites, Kinds: cfg.Kinds,
 		})
 		o := cv.NewOps(isa, &trace.Counter{})
-		if cfg.Policy == (cv.GuardPolicy{}) {
+		switch {
+		case cfg.GuardDisabled:
+			// No referee: wrong bytes flow downstream unless audited.
+		case cfg.Policy == (cv.GuardPolicy{}):
 			o.SetGuarded(true)
-		} else {
+		default:
 			o.SetGuardPolicy(cfg.Policy)
+		}
+		var aud *integrity.Auditor
+		if cfg.AuditRate > 0 {
+			// A fresh auditor per ISA so the sampler stream and tallies are
+			// per-ISA deterministic, plus a scoreboard so campaign corruption
+			// shows up in the corruption_score gauges.
+			aud = integrity.NewAuditor(integrity.AuditConfig{Rate: cfg.AuditRate, Seed: cfg.AuditSeed})
+			aud.SetScoreboard(integrity.NewScoreboard(integrity.ScoreboardConfig{}, cfg.Obs))
+			o.SetAuditor(aud)
 		}
 		o.SetParallel(cfg.Parallel)
 		o.SetFaultInjector(plan)
@@ -534,8 +563,13 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 			replayCampaignRecord(rec, &ir, cfg.Obs, bench, lISA)
 			imagesDone++
 		}
-		prevInjected := restoreCampaignState(done, plan, o)
+		prevInjected := restoreCampaignState(done, plan, o, aud)
 		prevFaults := 0
+		var prevAudits, prevCaught uint64
+		if aud != nil {
+			prevAudits, prevCaught = aud.Sampled(), aud.Mismatches()
+			ir.Audits, ir.AuditCaught = prevAudits, prevCaught
+		}
 		images := spec.burst(res, burst)
 		for imgIdx := len(done); imgIdx < burst; imgIdx++ {
 			src := images[imgIdx]
@@ -561,7 +595,17 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 			prevInjected = plan.Injected()
 			cfg.Obs.Counter("fault_injected_total", lISA).Add(delta)
 			d0, r0, f0, k0 := ir.Detected, ir.RetryRecovered, ir.Fallbacks, ir.KillSwitch
-			detectedThisImage := false
+			var auditsDelta, caughtDelta uint64
+			if aud != nil {
+				auditsDelta = aud.Sampled() - prevAudits
+				caughtDelta = aud.Mismatches() - prevCaught
+				prevAudits, prevCaught = aud.Sampled(), aud.Mismatches()
+				ir.Audits += auditsDelta
+				ir.AuditCaught += caughtDelta
+			}
+			// An audit catch counts as detection for masking purposes: the
+			// corruption was flagged even if no guard ran.
+			detectedThisImage := caughtDelta > 0
 			for _, f := range o.Faults()[prevFaults:] {
 				switch f.Action {
 				case cv.ActionDetected:
@@ -605,6 +649,9 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 					PlanCalls:      plan.Calls(),
 					PlanInjected:   plan.Injected(),
 					Resume:         o.ResumeState(),
+					AuditsDelta:    auditsDelta,
+					AuditCaught:    caughtDelta,
+					AuditResume:    auditResumePtr(aud),
 				}); err != nil {
 					isaSpan.End()
 					return nil, fmt.Errorf("harness: campaign checkpoint: %w", err)
@@ -646,6 +693,12 @@ func (r *FaultReport) Render(w io.Writer) {
 			100*float64(masked)/float64(inj))
 	} else {
 		fmt.Fprintf(w, "\nno faults injected (rate=%g over %d opportunities)\n", r.Rate, r.totalOpportunities())
+	}
+	for _, ir := range r.PerISA {
+		if ir.Audits > 0 {
+			fmt.Fprintf(w, "audit[%s]: sampled %d calls, caught %d corrupted outputs\n",
+				ir.ISA, ir.Audits, ir.AuditCaught)
+		}
 	}
 }
 

@@ -1,0 +1,302 @@
+package integrity
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"simdstudy/internal/image"
+)
+
+// This file is the pipeline-checksum half of the integrity layer: cheap
+// per-plane block checksums so corruption acquired between two points —
+// across an exec stage boundary, or while a plane sat parked in the
+// internal/par scratch pool — is caught at the next boundary and localized
+// to the block (and therefore the rows, or the stage) that introduced it.
+//
+// The hash is FNV-1a over each element's little-endian bytes: not
+// cryptographic (the threat model is bit rot and wild writes, not an
+// adversary), but any single flipped bit changes its block's sum, which is
+// the property the fuzz target and the scrubber tests pin down.
+
+const (
+	fnvOffset uint32 = 2166136261
+	fnvPrime  uint32 = 16777619
+)
+
+// PlaneSum is a block-checksummed fingerprint of one plane: Total elements
+// hashed in blocks of Block elements (the final block may be short). A
+// later Verify recomputes the sums and reports the first mismatching
+// block, bounding corruption to Block elements instead of "somewhere in
+// the plane".
+type PlaneSum struct {
+	Block int      // elements per block (> 0)
+	Total int      // total elements summed
+	Sums  []uint32 // one FNV-1a sum per block, ceil(Total/Block) entries
+}
+
+// ChecksumError reports a failed Verify.
+type ChecksumError struct {
+	// Block is the first mismatching block index, or -1 when the data's
+	// length no longer matches the fingerprint (truncation or growth).
+	Block int
+	// Lo and Hi bound the corrupt region in elements ([Lo, Hi)); for a
+	// length mismatch they hold the fingerprinted and actual lengths.
+	Lo, Hi int
+}
+
+// Error renders the mismatch.
+func (e *ChecksumError) Error() string {
+	if e.Block < 0 {
+		return fmt.Sprintf("integrity: plane length changed: summed %d elements, have %d", e.Lo, e.Hi)
+	}
+	return fmt.Sprintf("integrity: plane checksum mismatch in block %d (elements [%d,%d))", e.Block, e.Lo, e.Hi)
+}
+
+// ErrBadSumEncoding rejects a malformed PlaneSum encoding.
+var ErrBadSumEncoding = errors.New("integrity: malformed plane-sum encoding")
+
+func hashU8(h uint32, v uint8) uint32 {
+	return (h ^ uint32(v)) * fnvPrime
+}
+
+func hashU16(h uint32, v uint16) uint32 {
+	h = (h ^ uint32(v&0xff)) * fnvPrime
+	return (h ^ uint32(v>>8)) * fnvPrime
+}
+
+func hashU32(h uint32, v uint32) uint32 {
+	h = (h ^ (v & 0xff)) * fnvPrime
+	h = (h ^ (v >> 8 & 0xff)) * fnvPrime
+	h = (h ^ (v >> 16 & 0xff)) * fnvPrime
+	return (h ^ (v >> 24)) * fnvPrime
+}
+
+// HashByte folds one byte into a running FNV-1a block hash. Exported with
+// HashU16/HashU32 for callers fingerprinting element streams through
+// SumElems — the exec pipeline checksums its typed environment arrays this
+// way without copying them into byte form.
+func HashByte(h uint32, v uint8) uint32 { return hashU8(h, v) }
+
+// HashU16 folds one 16-bit element (little-endian bytes) into a running
+// block hash.
+func HashU16(h uint32, v uint16) uint32 { return hashU16(h, v) }
+
+// HashU32 folds one 32-bit element (little-endian bytes) into a running
+// block hash.
+func HashU32(h uint32, v uint32) uint32 { return hashU32(h, v) }
+
+// SumElems fingerprints n elements in blocks of block elements (block <= 0
+// selects 4096); hash folds element i into the running block hash, seeded
+// with the FNV offset basis.
+func SumElems(n, block int, hash func(h uint32, i int) uint32) PlaneSum {
+	if block <= 0 {
+		block = 4096
+	}
+	ps := PlaneSum{Block: block, Total: n}
+	for lo := 0; lo < n; lo += block {
+		hi := min(lo+block, n)
+		h := fnvOffset
+		for i := lo; i < hi; i++ {
+			h = hash(h, i)
+		}
+		ps.Sums = append(ps.Sums, h)
+	}
+	return ps
+}
+
+// VerifyElems recomputes a SumElems fingerprint over n elements and returns
+// nil on a match or a *ChecksumError locating the first divergence.
+func (p PlaneSum) VerifyElems(n int, hash func(h uint32, i int) uint32) error {
+	if n != p.Total {
+		return &ChecksumError{Block: -1, Lo: p.Total, Hi: n}
+	}
+	for bi, want := range p.Sums {
+		lo := bi * p.Block
+		hi := min(lo+p.Block, n)
+		h := fnvOffset
+		for i := lo; i < hi; i++ {
+			h = hash(h, i)
+		}
+		if h != want {
+			return &ChecksumError{Block: bi, Lo: lo, Hi: hi}
+		}
+	}
+	return nil
+}
+
+// SumBytes fingerprints data in blocks of block bytes. block <= 0 selects
+// 4096.
+func SumBytes(data []byte, block int) PlaneSum {
+	if block <= 0 {
+		block = 4096
+	}
+	ps := PlaneSum{Block: block, Total: len(data)}
+	for lo := 0; lo < len(data); lo += block {
+		hi := min(lo+block, len(data))
+		h := fnvOffset
+		for _, b := range data[lo:hi] {
+			h = hashU8(h, b)
+		}
+		ps.Sums = append(ps.Sums, h)
+	}
+	return ps
+}
+
+// VerifyBytes recomputes the fingerprint over data and returns nil when it
+// matches, or a *ChecksumError locating the first divergence.
+func (p PlaneSum) VerifyBytes(data []byte) error {
+	if len(data) != p.Total {
+		return &ChecksumError{Block: -1, Lo: p.Total, Hi: len(data)}
+	}
+	for i, want := range p.Sums {
+		lo := i * p.Block
+		hi := min(lo+p.Block, len(data))
+		h := fnvOffset
+		for _, b := range data[lo:hi] {
+			h = hashU8(h, b)
+		}
+		if h != want {
+			return &ChecksumError{Block: i, Lo: lo, Hi: hi}
+		}
+	}
+	return nil
+}
+
+// matBlockSum hashes elements [lo, hi) of m's active plane.
+func matBlockSum(m *image.Mat, lo, hi int) uint32 {
+	h := fnvOffset
+	switch m.Kind {
+	case image.U8:
+		for _, v := range m.U8Pix[lo:hi] {
+			h = hashU8(h, v)
+		}
+	case image.S16:
+		for _, v := range m.S16Pix[lo:hi] {
+			h = hashU16(h, uint16(v))
+		}
+	case image.F32:
+		for _, v := range m.F32Pix[lo:hi] {
+			h = hashU32(h, math.Float32bits(v))
+		}
+	}
+	return h
+}
+
+func matLen(m *image.Mat) int {
+	switch m.Kind {
+	case image.U8:
+		return len(m.U8Pix)
+	case image.S16:
+		return len(m.S16Pix)
+	case image.F32:
+		return len(m.F32Pix)
+	}
+	return 0
+}
+
+// SumMat fingerprints m's active plane with blocks of blockRows rows
+// (blockRows <= 0 selects 16), so a later VerifyMat mismatch names a row
+// range. The plane length, not Width*Height, bounds the sum: pooled Mats
+// are fingerprinted exactly as parked.
+func SumMat(m *image.Mat, blockRows int) PlaneSum {
+	if blockRows <= 0 {
+		blockRows = 16
+	}
+	block := blockRows * m.Width
+	if block <= 0 {
+		block = 4096
+	}
+	n := matLen(m)
+	ps := PlaneSum{Block: block, Total: n}
+	for lo := 0; lo < n; lo += block {
+		ps.Sums = append(ps.Sums, matBlockSum(m, lo, min(lo+block, n)))
+	}
+	return ps
+}
+
+// VerifyMat recomputes the fingerprint over m's active plane; nil means it
+// matches, a *ChecksumError locates the first corrupt block.
+func (p PlaneSum) VerifyMat(m *image.Mat) error {
+	if matLen(m) != p.Total {
+		return &ChecksumError{Block: -1, Lo: p.Total, Hi: matLen(m)}
+	}
+	for i, want := range p.Sums {
+		lo := i * p.Block
+		hi := min(lo+p.Block, p.Total)
+		if matBlockSum(m, lo, hi) != want {
+			return &ChecksumError{Block: i, Lo: lo, Hi: hi}
+		}
+	}
+	return nil
+}
+
+// Encoding layout, little-endian u32s: magic, version, block, total, count,
+// count sums, then a trailing FNV-1a sum of every preceding byte so a
+// corrupted fingerprint is itself detected rather than trusted.
+const (
+	sumMagic   uint32 = 0x4d555350 // "PSUM"
+	sumVersion uint32 = 1
+	sumHeader         = 5 * 4
+)
+
+// Encode serializes the fingerprint for storage alongside checkpoints or
+// cached planes. Decode validates structure and a trailing self-checksum.
+func (p PlaneSum) Encode() []byte {
+	buf := make([]byte, sumHeader+4*len(p.Sums)+4)
+	binary.LittleEndian.PutUint32(buf[0:], sumMagic)
+	binary.LittleEndian.PutUint32(buf[4:], sumVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(p.Block))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(p.Total))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(len(p.Sums)))
+	for i, s := range p.Sums {
+		binary.LittleEndian.PutUint32(buf[sumHeader+4*i:], s)
+	}
+	h := fnvOffset
+	for _, b := range buf[:len(buf)-4] {
+		h = hashU8(h, b)
+	}
+	binary.LittleEndian.PutUint32(buf[len(buf)-4:], h)
+	return buf
+}
+
+// DecodePlaneSum parses an Encode result. Truncated, oversized, bit-flipped
+// or structurally inconsistent input returns ErrBadSumEncoding (wrapped
+// with the specific defect); it never panics.
+func DecodePlaneSum(b []byte) (PlaneSum, error) {
+	if len(b) < sumHeader+4 {
+		return PlaneSum{}, fmt.Errorf("%w: %d bytes, need at least %d", ErrBadSumEncoding, len(b), sumHeader+4)
+	}
+	h := fnvOffset
+	for _, v := range b[:len(b)-4] {
+		h = hashU8(h, v)
+	}
+	if got := binary.LittleEndian.Uint32(b[len(b)-4:]); got != h {
+		return PlaneSum{}, fmt.Errorf("%w: trailing checksum mismatch", ErrBadSumEncoding)
+	}
+	if m := binary.LittleEndian.Uint32(b[0:]); m != sumMagic {
+		return PlaneSum{}, fmt.Errorf("%w: bad magic %#x", ErrBadSumEncoding, m)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != sumVersion {
+		return PlaneSum{}, fmt.Errorf("%w: unsupported version %d", ErrBadSumEncoding, v)
+	}
+	block := int(int32(binary.LittleEndian.Uint32(b[8:])))
+	total := int(int32(binary.LittleEndian.Uint32(b[12:])))
+	count := int(int32(binary.LittleEndian.Uint32(b[16:])))
+	if block <= 0 || total < 0 || count < 0 {
+		return PlaneSum{}, fmt.Errorf("%w: non-positive geometry", ErrBadSumEncoding)
+	}
+	if want := (total + block - 1) / block; count != want {
+		return PlaneSum{}, fmt.Errorf("%w: %d sums for %d elements in blocks of %d (want %d)",
+			ErrBadSumEncoding, count, total, block, want)
+	}
+	if len(b) != sumHeader+4*count+4 {
+		return PlaneSum{}, fmt.Errorf("%w: length %d does not match %d sums", ErrBadSumEncoding, len(b), count)
+	}
+	ps := PlaneSum{Block: block, Total: total, Sums: make([]uint32, count)}
+	for i := range ps.Sums {
+		ps.Sums[i] = binary.LittleEndian.Uint32(b[sumHeader+4*i:])
+	}
+	return ps, nil
+}

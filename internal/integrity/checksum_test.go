@@ -1,0 +1,184 @@
+package integrity
+
+import (
+	"bytes"
+	"testing"
+
+	"simdstudy/internal/image"
+)
+
+func fill(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + 3)
+	}
+	return b
+}
+
+func TestSumBytesRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 17, 4096, 4097, 3 * 4096} {
+		data := fill(n)
+		ps := SumBytes(data, 0)
+		if err := ps.VerifyBytes(data); err != nil {
+			t.Fatalf("n=%d: clean verify failed: %v", n, err)
+		}
+	}
+}
+
+func TestVerifyBytesDetectsFlip(t *testing.T) {
+	data := fill(10000)
+	ps := SumBytes(data, 1024)
+	for _, pos := range []int{0, 1023, 1024, 9999} {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x40
+		err := ps.VerifyBytes(mut)
+		if err == nil {
+			t.Fatalf("flip at %d not detected", pos)
+		}
+		ce, ok := err.(*ChecksumError)
+		if !ok {
+			t.Fatalf("flip at %d: got %T, want *ChecksumError", pos, err)
+		}
+		if pos < ce.Lo || pos >= ce.Hi {
+			t.Fatalf("flip at %d localized to [%d,%d)", pos, ce.Lo, ce.Hi)
+		}
+	}
+}
+
+func TestVerifyBytesDetectsLengthSkew(t *testing.T) {
+	data := fill(5000)
+	ps := SumBytes(data, 1024)
+	if err := ps.VerifyBytes(data[:4999]); err == nil {
+		t.Fatal("truncation not detected")
+	}
+	if err := ps.VerifyBytes(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatal("extension not detected")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	data := fill(12345)
+	ps := SumBytes(data, 512)
+	enc := ps.Encode()
+	dec, err := DecodePlaneSum(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.Block != ps.Block || dec.Total != ps.Total || len(dec.Sums) != len(ps.Sums) {
+		t.Fatalf("decode mismatch: %+v vs %+v", dec, ps)
+	}
+	for i := range ps.Sums {
+		if dec.Sums[i] != ps.Sums[i] {
+			t.Fatalf("sum %d mismatch", i)
+		}
+	}
+	if !bytes.Equal(dec.Encode(), enc) {
+		t.Fatal("re-encode differs")
+	}
+}
+
+func TestDecodeRejectsCorruptEncoding(t *testing.T) {
+	enc := SumBytes(fill(8192), 1024).Encode()
+	for pos := 0; pos < len(enc); pos++ {
+		mut := append([]byte(nil), enc...)
+		mut[pos] ^= 0x01
+		if _, err := DecodePlaneSum(mut); err == nil {
+			t.Fatalf("bit flip at encoded byte %d accepted", pos)
+		}
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodePlaneSum(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestSumMatAllKinds(t *testing.T) {
+	for _, kind := range []image.Type{image.U8, image.S16, image.F32} {
+		m := image.NewMat(64, 48, kind)
+		switch kind {
+		case image.U8:
+			for i := range m.U8Pix {
+				m.U8Pix[i] = byte(i)
+			}
+		case image.S16:
+			for i := range m.S16Pix {
+				m.S16Pix[i] = int16(i * 31)
+			}
+		case image.F32:
+			for i := range m.F32Pix {
+				m.F32Pix[i] = float32(i) * 0.25
+			}
+		}
+		ps := SumMat(m, 16)
+		if err := ps.VerifyMat(m); err != nil {
+			t.Fatalf("kind %v: clean verify failed: %v", kind, err)
+		}
+		switch kind {
+		case image.U8:
+			m.U8Pix[100] ^= 1
+		case image.S16:
+			m.S16Pix[100] ^= 1
+		case image.F32:
+			m.F32Pix[100] += 1
+		}
+		err := ps.VerifyMat(m)
+		if err == nil {
+			t.Fatalf("kind %v: corruption not detected", kind)
+		}
+		ce, ok := err.(*ChecksumError)
+		if !ok {
+			t.Fatalf("kind %v: got %T", kind, err)
+		}
+		if 100 < ce.Lo || 100 >= ce.Hi {
+			t.Fatalf("kind %v: element 100 localized to [%d,%d)", kind, ce.Lo, ce.Hi)
+		}
+	}
+}
+
+func TestPoolScrubberDetectsParkedCorruption(t *testing.T) {
+	s := NewPoolScrubber(nil)
+	m := image.NewMat(32, 32, image.U8)
+	for i := range m.U8Pix {
+		m.U8Pix[i] = byte(i)
+	}
+	s.Stamp(m)
+	if s.Parked() != 1 {
+		t.Fatalf("parked = %d, want 1", s.Parked())
+	}
+	m.U8Pix[500] ^= 0x80 // corruption at rest
+	if s.Check(m) {
+		t.Fatal("parked corruption not detected")
+	}
+	if s.Parked() != 0 {
+		t.Fatal("stamp not consumed")
+	}
+	// A clean park/reuse cycle passes.
+	s.Stamp(m)
+	if !s.Check(m) {
+		t.Fatal("clean plane rejected")
+	}
+	// An unstamped Mat passes unverified.
+	if !s.Check(image.NewMat(8, 8, image.U8)) {
+		t.Fatal("unstamped plane rejected")
+	}
+}
+
+func TestPoolScrubberBoundedEviction(t *testing.T) {
+	s := NewPoolScrubber(nil)
+	var mats []*image.Mat
+	for i := 0; i < 100; i++ {
+		m := image.NewMat(4, 4, image.U8)
+		mats = append(mats, m)
+		s.Stamp(m)
+	}
+	if got := s.Parked(); got != 64 {
+		t.Fatalf("parked = %d, want capacity 64", got)
+	}
+	// The earliest stamps were evicted; their Mats pass unverified even if
+	// corrupted — degraded to sampling, never a false alarm.
+	mats[0].U8Pix[0] ^= 0xFF
+	if !s.Check(mats[0]) {
+		t.Fatal("evicted stamp still verified")
+	}
+}

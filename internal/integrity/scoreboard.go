@@ -1,0 +1,194 @@
+package integrity
+
+import (
+	"sort"
+	"sync"
+
+	"simdstudy/internal/obs"
+)
+
+// ScoreboardConfig tunes the corruption scoreboard.
+type ScoreboardConfig struct {
+	// Decay is the EWMA weight a new audit verdict carries: score becomes
+	// (1-Decay)*score + Decay*verdict (verdict 1 on mismatch, 0 on clean).
+	// Zero selects the default 0.25; a pure mismatch burst therefore
+	// reaches score 1-(0.75)^n after n audits.
+	Decay float64
+	// Threshold is the decayed mismatch rate that quarantines a pair.
+	// Zero selects the default 0.5.
+	Threshold float64
+	// MinSamples is how many audits a pair needs before it may trip, so a
+	// single early mismatch on a cold pair cannot quarantine it. Zero
+	// selects the default 8; negative means no minimum.
+	MinSamples int
+}
+
+func (c ScoreboardConfig) normalized() ScoreboardConfig {
+	if c.Decay <= 0 || c.Decay > 1 {
+		c.Decay = 0.25
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 8
+	}
+	return c
+}
+
+// PairScore is one (kernel, ISA) row of a scoreboard snapshot.
+type PairScore struct {
+	Kernel     string  `json:"kernel"`
+	ISA        string  `json:"isa"`
+	Score      float64 `json:"score"` // decayed mismatch rate in [0,1]
+	Audits     uint64  `json:"audits"`
+	Mismatches uint64  `json:"mismatches"`
+	Tripped    bool    `json:"tripped"`
+}
+
+type scoreCell struct {
+	score      float64
+	audits     uint64
+	mismatches uint64
+	tripped    bool
+}
+
+// Scoreboard tracks a decayed corruption (audit-mismatch) rate per
+// (kernel, ISA) pair and latches a quarantine trip when a pair's rate
+// crosses the threshold with enough samples behind it. The trip callback
+// is where the resilience layer plugs in: the serving front-end points it
+// at BreakerSet.ForceStuckOpen, so a corrupting unit is terminally demoted
+// to the scalar path while sibling pairs keep their closed breakers.
+//
+// Sub-threshold mismatches never reach the callback — they feed the
+// breaker as ordinary failure verdicts at the audit site, so a transiently
+// flaky unit recovers through the existing half-open probe protocol
+// instead of being latched out. Safe for concurrent use.
+type Scoreboard struct {
+	cfg ScoreboardConfig
+	reg *obs.Registry
+
+	mu     sync.Mutex
+	cells  map[string]*scoreCell
+	onTrip func(kernel, isa string)
+}
+
+// NewScoreboard builds a scoreboard reporting to reg (which may be nil):
+// corruption_score{kernel,isa} gauges on every verdict and an
+// integrity_trips_total{kernel,isa} counter plus integrity.quarantine
+// event when a pair trips.
+func NewScoreboard(cfg ScoreboardConfig, reg *obs.Registry) *Scoreboard {
+	return &Scoreboard{
+		cfg:   cfg.normalized(),
+		reg:   reg,
+		cells: map[string]*scoreCell{},
+	}
+}
+
+// OnTrip installs the callback invoked (outside the scoreboard lock,
+// exactly once per pair) when a pair's decayed rate crosses the threshold.
+func (b *Scoreboard) OnTrip(fn func(kernel, isa string)) {
+	b.mu.Lock()
+	b.onTrip = fn
+	b.mu.Unlock()
+}
+
+// Record folds one audit verdict into the pair's decayed rate and reports
+// the updated score and whether this verdict tripped quarantine.
+func (b *Scoreboard) Record(kernel, isa string, mismatch bool) (score float64, tripped bool) {
+	if b == nil {
+		return 0, false
+	}
+	key := kernel + "/" + isa
+	b.mu.Lock()
+	c := b.cells[key]
+	if c == nil {
+		c = &scoreCell{}
+		b.cells[key] = c
+	}
+	v := 0.0
+	if mismatch {
+		v = 1.0
+		c.mismatches++
+	}
+	c.audits++
+	c.score = (1-b.cfg.Decay)*c.score + b.cfg.Decay*v
+	score = c.score
+	enough := b.cfg.MinSamples < 0 || c.audits >= uint64(b.cfg.MinSamples)
+	if !c.tripped && enough && c.score >= b.cfg.Threshold {
+		c.tripped = true
+		tripped = true
+	}
+	fn := b.onTrip
+	b.mu.Unlock()
+
+	lk, li := obs.L("kernel", kernel), obs.L("isa", isa)
+	b.reg.Gauge("corruption_score", lk, li).Set(score)
+	if tripped {
+		b.reg.Counter("integrity_trips_total", lk, li).Inc()
+		b.reg.Emit("integrity.quarantine", map[string]any{
+			"kernel": kernel, "isa": isa, "score": score,
+		})
+		if fn != nil {
+			fn(kernel, isa)
+		}
+	}
+	return score, tripped
+}
+
+// Score returns the pair's current decayed mismatch rate (0 for a pair
+// never audited).
+func (b *Scoreboard) Score(kernel, isa string) float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c := b.cells[kernel+"/"+isa]; c != nil {
+		return c.score
+	}
+	return 0
+}
+
+// Tripped reports whether the pair has latched quarantine.
+func (b *Scoreboard) Tripped(kernel, isa string) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cells[kernel+"/"+isa]
+	return c != nil && c.tripped
+}
+
+// Snapshot returns every pair's state, sorted by kernel then ISA — a
+// stable order for the /integrity view and for logs.
+func (b *Scoreboard) Snapshot() []PairScore {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	out := make([]PairScore, 0, len(b.cells))
+	for key, c := range b.cells {
+		kernel, isa := key, ""
+		for i := len(key) - 1; i >= 0; i-- {
+			if key[i] == '/' {
+				kernel, isa = key[:i], key[i+1:]
+				break
+			}
+		}
+		out = append(out, PairScore{
+			Kernel: kernel, ISA: isa,
+			Score: c.score, Audits: c.audits,
+			Mismatches: c.mismatches, Tripped: c.tripped,
+		})
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kernel != out[j].Kernel {
+			return out[i].Kernel < out[j].Kernel
+		}
+		return out[i].ISA < out[j].ISA
+	})
+	return out
+}

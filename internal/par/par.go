@@ -34,6 +34,7 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"simdstudy/internal/image"
 )
@@ -230,6 +231,33 @@ func FirstPanic(panics []any, sentinel func(any) bool) any {
 // undersized pooled Mats are simply dropped for the garbage collector.
 var matPools [3]sync.Pool
 
+// Scrubber is the integrity hook around the scratch pool: Stamp
+// fingerprints a plane as it is parked, Check re-verifies it at the reuse
+// boundary — before GetMat reslices or clears anything — and a false
+// return means the plane changed while parked, so the Mat is discarded
+// instead of reused. internal/integrity.PoolScrubber implements it; the
+// indirection keeps par free of a dependency on the integrity layer.
+type Scrubber interface {
+	Stamp(m *image.Mat)
+	Check(m *image.Mat) bool
+}
+
+// scrubCell wraps the hook for atomic.Value's consistent-type requirement.
+type scrubCell struct{ s Scrubber }
+
+var scrubHook atomic.Value // scrubCell
+
+// SetScrubber installs (or, with nil, removes) the process-wide pool
+// scrubber. Off by default: fingerprinting every parked plane costs a
+// hash pass per Put and Get, which the serving and campaign layers opt
+// into alongside audits.
+func SetScrubber(s Scrubber) { scrubHook.Store(scrubCell{s: s}) }
+
+func scrubber() Scrubber {
+	c, _ := scrubHook.Load().(scrubCell)
+	return c.s
+}
+
 // GetMat returns a w x h scratch Mat of the given kind with zeroed planes
 // (kernels such as Canny's non-maximum suppression rely on zero
 // initialization exactly like image.NewMat provides). Return it with PutMat
@@ -238,6 +266,11 @@ func GetMat(w, h int, kind image.Type) *image.Mat {
 	n := w * h
 	m, _ := matPools[kind].Get().(*image.Mat)
 	if m == nil {
+		return image.NewMat(w, h, kind)
+	}
+	if sc := scrubber(); sc != nil && !sc.Check(m) {
+		// The plane changed while parked: silent corruption at rest. Never
+		// reuse it — the replacement is allocated fresh and zeroed.
 		return image.NewMat(w, h, kind)
 	}
 	m.Width, m.Height = w, h
@@ -272,6 +305,9 @@ func PutMat(m *image.Mat) {
 	}
 	if int(m.Kind) < 0 || int(m.Kind) >= len(matPools) {
 		return
+	}
+	if sc := scrubber(); sc != nil {
+		sc.Stamp(m)
 	}
 	matPools[m.Kind].Put(m)
 }

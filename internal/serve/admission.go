@@ -60,3 +60,19 @@ func (a *admission) acquire(ctx context.Context) error {
 
 // release frees a slot taken by a successful acquire.
 func (a *admission) release() { <-a.sem }
+
+// fill reports wait-queue occupancy in [0, 1] — the load signal the audit
+// sampler scales against.
+func (a *admission) fill() float64 {
+	if a.queue <= 0 {
+		return 0
+	}
+	f := float64(a.waiting.Load()) / float64(a.queue)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

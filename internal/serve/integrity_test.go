@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"simdstudy/internal/resilience"
+)
+
+// TestAuditQuarantineServesScalarByteIdentical is the serving-layer
+// acceptance check: a (kernel, ISA) pair whose SIMD unit silently corrupts
+// every call must keep answering 200 with scalar-identical bytes the whole
+// way — guard repairs before quarantine, breaker-enforced scalar dispatch
+// after the corruption scoreboard latches the pair stuck-open.
+func TestAuditQuarantineServesScalarByteIdentical(t *testing.T) {
+	s := NewServer(Config{
+		AuditRate: 1.0, AuditSeed: 5,
+		FaultISA: "neon",
+		// The natural breaker is configured to never open on its own
+		// (window and minimum far beyond the test), so the stuck-open latch
+		// below is attributable to the scoreboard alone.
+		Breaker: resilience.BreakerConfig{Window: 256, MinSamples: 256, FailureRate: 1.0},
+	})
+	s.SetFaultInjector(saboteur{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	q := "/process?kernel=gaussian&width=64&height=48&seed=3"
+	_, scalar := get(t, ts.URL+q+"&isa=scalar")
+
+	// Every neon dispatch is corrupted and, at rate 1.0, every one audited:
+	// the scoreboard's decayed mismatch rate crosses its threshold at the
+	// MinSamples-th audit (default 8) and quarantines the pair.
+	var last map[string]any
+	for i := 0; i < 8; i++ {
+		code, body := get(t, ts.URL+q+"&isa=neon")
+		if code != http.StatusOK {
+			t.Fatalf("request %d = %d body %v", i, code, body)
+		}
+		if body["checksum"] != scalar["checksum"] {
+			t.Fatalf("request %d checksum %v != scalar %v", i, body["checksum"], scalar["checksum"])
+		}
+		last = body
+	}
+	if last["breaker"] != "stuck-open" {
+		t.Fatalf("after 8 audited corruptions breaker = %v, want stuck-open", last["breaker"])
+	}
+
+	// Quarantined: requests keep flowing, served by the scalar path.
+	for i := 0; i < 3; i++ {
+		code, body := get(t, ts.URL+q+"&isa=neon")
+		if code != http.StatusOK || body["checksum"] != scalar["checksum"] {
+			t.Fatalf("post-quarantine request = %d %v, want 200 with scalar checksum %v",
+				code, body, scalar["checksum"])
+		}
+		if body["breaker"] != "stuck-open" {
+			t.Fatalf("post-quarantine breaker = %v", body["breaker"])
+		}
+	}
+
+	// The sibling pair is untouched: sse2 has its own injector-free breaker.
+	if code, body := get(t, ts.URL+q+"&isa=sse2"); code != http.StatusOK ||
+		body["checksum"] != scalar["checksum"] || body["breaker"] != "closed" {
+		t.Fatalf("sibling sse2 = %d %v", code, body)
+	}
+
+	// /integrity names the quarantined pair; /readyz degrades but serves.
+	if _, body := get(t, ts.URL+"/integrity"); body["enabled"] != true {
+		t.Fatalf("/integrity = %v", body)
+	} else {
+		qs, _ := body["quarantined"].([]any)
+		found := false
+		for _, v := range qs {
+			if v == "GaussianBlur/neon" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("/integrity quarantined = %v, want GaussianBlur/neon", body["quarantined"])
+		}
+	}
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusOK || body["status"] != "degraded" {
+		t.Fatalf("/readyz = %d %v, want 200 degraded", code, body)
+	}
+
+	// The metric trail: exactly one trip, mismatches on every audited call.
+	snap := s.reg.Snapshot()
+	if n := snap[`integrity_trips_total{isa="neon",kernel="GaussianBlur"}`]; n != 1 {
+		t.Errorf("integrity_trips_total = %v, want 1", n)
+	}
+	if n := snap[`corruption_detected_total{isa="neon",kernel="GaussianBlur"}`]; n != 8 {
+		t.Errorf("corruption_detected_total = %v, want 8", n)
+	}
+}
+
+// TestIntegrityEndpointDisabled: with auditing off the endpoint still
+// answers, so dashboards can probe it unconditionally.
+func TestIntegrityEndpointDisabled(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Config{}).Handler())
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/integrity")
+	if code != http.StatusOK || body["enabled"] != false {
+		t.Fatalf("/integrity = %d %v, want 200 enabled=false", code, body)
+	}
+}
+
+// TestAuditAdaptiveDownsampleUnderQueuePressure: the effective audit rate
+// must scale with admission-queue headroom — half-full queue halves it —
+// and surface on /integrity and the stream frame.
+func TestAuditAdaptiveDownsampleUnderQueuePressure(t *testing.T) {
+	s := NewServer(Config{AuditRate: 0.8, AuditSeed: 2, QueueDepth: 10})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Fake five queued waiters, then serve one request so the dispatch path
+	// recomputes the load factor.
+	s.adm.waiting.Store(5)
+	if code, _ := get(t, ts.URL+"/process?kernel=threshold&width=64&height=48&isa=neon"); code != http.StatusOK {
+		t.Fatalf("request under pressure = %d", code)
+	}
+	_, body := get(t, ts.URL+"/integrity")
+	eff, _ := body["effective_rate"].(float64)
+	if math.Abs(eff-0.4) > 1e-9 {
+		t.Errorf("effective_rate = %v, want 0.8 x (1 - 5/10) = 0.4", eff)
+	}
+	if cfgRate, _ := body["configured_rate"].(float64); cfgRate != 0.8 {
+		t.Errorf("configured_rate = %v, want 0.8", cfgRate)
+	}
+
+	frame := s.buildFrame(time.Minute)
+	if frame.Audit == nil || math.Abs(frame.Audit.EffectiveRate-0.4) > 1e-9 {
+		t.Errorf("stream frame audit = %+v, want effective rate 0.4", frame.Audit)
+	}
+
+	// Queue drained: the next dispatch restores the configured rate.
+	s.adm.waiting.Store(0)
+	if code, _ := get(t, ts.URL+"/process?kernel=threshold&width=64&height=48&isa=neon"); code != http.StatusOK {
+		t.Fatalf("request after drain = %d", code)
+	}
+	_, body = get(t, ts.URL+"/integrity")
+	if eff, _ := body["effective_rate"].(float64); math.Abs(eff-0.8) > 1e-9 {
+		t.Errorf("drained effective_rate = %v, want 0.8", eff)
+	}
+}

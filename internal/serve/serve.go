@@ -20,8 +20,10 @@ import (
 	"simdstudy/internal/cv"
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
+	"simdstudy/internal/integrity"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/obs/tsdb"
+	"simdstudy/internal/par"
 	"simdstudy/internal/resilience"
 	"simdstudy/internal/super"
 	"simdstudy/internal/vec"
@@ -92,6 +94,19 @@ type Config struct {
 	// TelemetryRing is how many samples the time-series ring holds.
 	// Default 300 (five minutes at a 1s cadence).
 	TelemetryRing int
+	// AuditRate, when positive, re-runs this fraction of SIMD kernel
+	// dispatches on the scalar reference path and byte-compares the outputs
+	// (internal/integrity): a mismatch is silent corruption — it is counted,
+	// repaired from the reference, and fed to a corruption scoreboard whose
+	// threshold crossing latches the (kernel, ISA) breaker stuck-open, so a
+	// corrupting unit transparently demotes to scalar. The effective rate is
+	// scaled by admission-queue headroom: as the wait queue fills, audits
+	// shed first (down to zero at a full queue) so redundant recomputation
+	// never spends the latency SLO budget. Auditing also installs the pool
+	// scrubber that re-verifies parked scratch planes at reuse.
+	AuditRate float64
+	// AuditSeed drives the deterministic audit sampler; zero means 1.
+	AuditSeed uint64
 }
 
 func (c Config) normalized() Config {
@@ -142,6 +157,11 @@ func (c Config) limits() Limits {
 // concrete type across stores).
 type injCell struct{ inj faults.Injector }
 
+// scrubOnce guards installation of the process-wide pool scrubber; the
+// scratch pool in internal/par is shared across servers, so the scrubber
+// is too.
+var scrubOnce sync.Once
+
 // Server is the serving front-end: bounded admission, per-request
 // deadlines, breaker-mediated SIMD dispatch, and the observability
 // endpoints. Create with NewServer; serve via Handler.
@@ -157,6 +177,9 @@ type Server struct {
 
 	sup *super.Supervisor
 	wd  *super.Watchdog
+
+	aud   *integrity.Auditor
+	board *integrity.Scoreboard
 
 	ts    *tsdb.Store
 	slo   *sloTracker
@@ -214,6 +237,22 @@ func NewServer(cfg Config) *Server {
 	if cfg.StallDeadline > 0 {
 		s.wd = super.NewWatchdog(super.WatchdogConfig{Deadline: cfg.StallDeadline}, cfg.Registry)
 	}
+	if cfg.AuditRate > 0 {
+		s.aud = integrity.NewAuditor(integrity.AuditConfig{Rate: cfg.AuditRate, Seed: cfg.AuditSeed})
+		s.board = integrity.NewScoreboard(integrity.ScoreboardConfig{}, s.reg)
+		// A scoreboard trip is the quarantine handoff: latch the pair's
+		// breaker stuck-open so every subsequent dispatch demotes to the
+		// scalar path. Siblings keep their own (closed) breakers.
+		s.board.OnTrip(func(kernel, isa string) {
+			s.brk.ForceStuckOpen(kernel, isa)
+		})
+		s.aud.SetScoreboard(s.board)
+		// The pool scrubber is process-wide (the scratch pool is shared);
+		// the first audited server installs it.
+		scrubOnce.Do(func() {
+			par.SetScrubber(integrity.NewPoolScrubber(s.reg))
+		})
+	}
 	s.inj.Store(injCell{})
 	s.pools = make(map[cv.ISA]*sync.Pool, 3)
 	for _, isa := range []cv.ISA{cv.ISAScalar, cv.ISANEON, cv.ISASSE2} {
@@ -228,6 +267,9 @@ func NewServer(cfg Config) *Server {
 			o.SetSupervisor(s.sup)
 			if s.wd != nil {
 				o.SetWatchdog(s.wd)
+			}
+			if s.aud != nil && isa != cv.ISAScalar {
+				o.SetAuditor(s.aud)
 			}
 			return o
 		}}
@@ -324,6 +366,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/livez", s.handleLive)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics/stream", s.handleMetricsStream)
+	mux.HandleFunc("/integrity", s.handleIntegrity)
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
@@ -437,6 +480,34 @@ func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
 		body["watch_sections"] = s.wd.Snapshot(now)
 	}
 	s.writeJSON(w, http.StatusOK, body)
+}
+
+// handleIntegrity is the corruption-defense status view: the audit
+// sampler's configured and load-scaled effective rates with its lifetime
+// tallies, the scoreboard's per-(kernel, ISA) decayed mismatch scores, and
+// which pairs have latched quarantine. With auditing disabled it reports
+// {"enabled": false} so dashboards can probe the endpoint unconditionally.
+func (s *Server) handleIntegrity(w http.ResponseWriter, _ *http.Request) {
+	if s.aud == nil {
+		s.writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	quarantined := []string{}
+	for _, p := range s.board.Snapshot() {
+		if p.Tripped {
+			quarantined = append(quarantined, p.Kernel+"/"+p.ISA)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":         true,
+		"configured_rate": s.aud.Config().Rate,
+		"effective_rate":  s.aud.EffectiveRate(),
+		"sampled":         s.aud.Sampled(),
+		"skipped":         s.aud.Skipped(),
+		"mismatches":      s.aud.Mismatches(),
+		"pairs":           s.board.Snapshot(),
+		"quarantined":     quarantined,
+	})
 }
 
 // writeJSON emits one JSON response and counts it under requests_total.
@@ -555,6 +626,12 @@ func (s *Server) processRequest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.adm.release()
+
+	// Queue headroom drives the effective audit rate: a filling queue
+	// down-samples audits before it delays requests.
+	if s.aud != nil {
+		s.aud.SetLoadFactor(1 - s.adm.fill())
+	}
 
 	// Admitted: visible on /livez from here until the handler returns.
 	spec := kernels[req.Kernel]

@@ -46,6 +46,21 @@ type StreamFrame struct {
 	HeapAllocBytes float64 `json:"heap_alloc_bytes"`
 	// ShedPerSec is the load-shedding rate (all reasons) over the window.
 	ShedPerSec float64 `json:"shed_per_sec"`
+	// Audit is the integrity view — sampler rates, lifetime tallies, and
+	// tripped pairs; absent when auditing is disabled.
+	Audit *AuditStats `json:"audit,omitempty"`
+}
+
+// AuditStats is the /metrics/stream integrity summary.
+type AuditStats struct {
+	// EffectiveRate is the load-scaled sampling rate right now (configured
+	// rate x admission-queue headroom).
+	EffectiveRate float64 `json:"effective_rate"`
+	Sampled       uint64  `json:"sampled"`
+	Mismatches    uint64  `json:"mismatches"`
+	// Quarantined lists "kernel/isa" pairs the corruption scoreboard has
+	// latched stuck-open.
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // KernelStats is one kernel's windowed view.
@@ -135,6 +150,19 @@ func (s *Server) buildFrame(window time.Duration) StreamFrame {
 	}
 	for _, qr := range s.sup.Quarantines() {
 		f.Quarantined = append(f.Quarantined, qr.Kernel+"/"+qr.ISA)
+	}
+	if s.aud != nil {
+		a := &AuditStats{
+			EffectiveRate: s.aud.EffectiveRate(),
+			Sampled:       s.aud.Sampled(),
+			Mismatches:    s.aud.Mismatches(),
+		}
+		for _, p := range s.board.Snapshot() {
+			if p.Tripped {
+				a.Quarantined = append(a.Quarantined, p.Kernel+"/"+p.ISA)
+			}
+		}
+		f.Audit = a
 	}
 	return f
 }
