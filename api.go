@@ -152,6 +152,15 @@ const (
 // schedules for every worker count.
 type ParallelConfig = cv.ParallelConfig
 
+// FuseConfig enables cache-blocked stage fusion for multi-stage kernels
+// (Canny, DetectEdges); attach it with Ops.SetFuse, ServeConfig.Fuse or
+// CampaignConfig.Fuse. Fused sweeps stream every stage through strip-sized
+// rolling windows instead of materializing full intermediate planes, with
+// byte-identical outputs and count-identical instruction traces. StripRows
+// forces a strip height; zero sizes strips from Caches (or a 256 KiB
+// budget when Caches is empty).
+type FuseConfig = cv.FuseConfig
+
 // NewOps returns the kernel library for an ISA, recording dynamic
 // instructions into t (which may be nil).
 func NewOps(isa ISA, t *trace.Counter) *Ops { return cv.NewOps(isa, t) }

@@ -218,6 +218,55 @@ func BenchmarkHostGaussianNEONEmu(b *testing.B) {
 	}
 }
 
+// benchHostPipeline measures a multi-stage kernel end to end, staged or
+// fused, at 0.3 Mpx and at the paper's 5 Mpx class. One warmup call per
+// size outside the timer fills the strip-window pools and the cached strip
+// geometry, so the timed loop exposes the steady-state allocation behavior
+// the CI gate holds at zero.
+func benchHostPipeline(b *testing.B, fuse bool, run func(o *Ops, src, dst *Mat) error) {
+	for _, res := range []Resolution{
+		{Width: 640, Height: 480},
+		{Width: 2592, Height: 1920},
+	} {
+		b.Run(fmt.Sprintf("%dx%d", res.Width, res.Height), func(b *testing.B) {
+			src := Synthetic(res, 1)
+			dst := NewMat(res.Width, res.Height, U8)
+			o := NewOps(ISANEON, nil)
+			if fuse {
+				o.SetFuse(FuseConfig{Enabled: true})
+			}
+			if err := run(o, src, dst); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(src.Bytes()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(o, src, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func hostCanny(o *Ops, src, dst *Mat) error { return o.Canny(src, dst, 60, 200) }
+func hostEdges(o *Ops, src, dst *Mat) error { return o.DetectEdges(src, dst, 100) }
+
+// BenchmarkHostCannyStaged / BenchmarkHostCannyFused compare the staged
+// and cache-blocked fused execution of the 6-stage Canny pipeline on the
+// emulated NEON path. Outputs are byte-identical (TestFusedMatchesStaged);
+// the fused sweep trades full intermediate planes for pooled strip
+// windows, so both must hold 0 allocs/op under the CI gate.
+func BenchmarkHostCannyStaged(b *testing.B) { benchHostPipeline(b, false, hostCanny) }
+
+func BenchmarkHostCannyFused(b *testing.B) { benchHostPipeline(b, true, hostCanny) }
+
+// BenchmarkHostDetectEdgesStaged / Fused do the same for the 5-stage
+// Sobel-magnitude-threshold pipeline.
+func BenchmarkHostDetectEdgesStaged(b *testing.B) { benchHostPipeline(b, false, hostEdges) }
+
+func BenchmarkHostDetectEdgesFused(b *testing.B) { benchHostPipeline(b, true, hostEdges) }
+
 // BenchmarkHostTraceOverhead quantifies instruction-accounting cost by
 // running the same kernel with and without a trace attached.
 func BenchmarkHostTraceOverhead(b *testing.B) {

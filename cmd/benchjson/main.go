@@ -169,7 +169,12 @@ func checkRegression(doc *Document, glob string, maxRegression float64) (bad []s
 	for _, p := range paths {
 		prior, err := loadDoc(p)
 		if err != nil {
-			return nil, 0, err
+			// An empty or truncated history document (an interrupted cache
+			// save, a cold cache seeded with a zero-byte placeholder) is not
+			// a regression — this run becomes the baseline that replaces it.
+			// Only gate-worthy history gates.
+			fmt.Fprintf(os.Stderr, "benchjson: note: skipping unreadable history %s: %v\n", p, err)
+			continue
 		}
 		for _, b := range prior.Benchmarks {
 			if b.NsPerOp <= 0 {

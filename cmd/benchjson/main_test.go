@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -59,5 +61,40 @@ func TestCheckAllocs(t *testing.T) {
 	}
 	if bad := checkAllocs(doc, regexp.MustCompile(`^BenchmarkNothingMatches`)); len(bad) != 1 {
 		t.Fatalf("an unmatched pattern must fail the gate: %v", bad)
+	}
+}
+
+// TestCheckRegressionSkipsUnreadableHistory: an empty or corrupt history
+// document (interrupted cache save, zero-byte placeholder) must not fail
+// the gate — it is skipped and this run seeds the baseline. Readable
+// history alongside it still gates.
+func TestCheckRegressionSkipsUnreadableHistory(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("BENCH_1.json", "") // zero-byte placeholder
+	writeFile("BENCH_2.json", "{not json")
+	doc := &Document{Benchmarks: []Result{{Name: "BenchmarkX", NsPerOp: 100}}}
+
+	bad, compared, err := checkRegression(doc, filepath.Join(dir, "BENCH_*.json"), 0.10)
+	if err != nil {
+		t.Fatalf("unreadable-only history errored: %v", err)
+	}
+	if len(bad) != 0 || compared != 0 {
+		t.Fatalf("bad=%v compared=%d, want clean no-history pass", bad, compared)
+	}
+
+	// A readable document beside the corrupt ones still gates.
+	writeFile("BENCH_3.json", `{"benchmarks":[{"name":"BenchmarkX","ns_per_op":50}]}`)
+	bad, compared, err = checkRegression(doc, filepath.Join(dir, "BENCH_*.json"), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 1 || len(bad) != 1 {
+		t.Fatalf("bad=%v compared=%d, want the 2x regression flagged against the readable doc", bad, compared)
 	}
 }

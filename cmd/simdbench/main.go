@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"simdstudy/cmd/internal/cliobs"
+	"simdstudy/internal/cv"
 	"simdstudy/internal/harness"
 	"simdstudy/internal/image"
 	"simdstudy/internal/obs"
@@ -50,6 +51,8 @@ func main() {
 	auditRate := flag.Float64("audit-rate", 0, "fraction of campaign kernel calls re-run on the scalar reference and byte-compared (0 = off)")
 	auditSeed := flag.Uint64("audit-seed", 3, "deterministic seed for the -audit-rate sampler")
 	auditFloor := flag.Float64("audit-floor", -1, "measure the audit detection rate against a guard-free rate-1.0 reference campaign and exit 1 below this fraction; requires -faults and -audit-rate > 0 (negative = no gate)")
+	fuseOn := flag.Bool("fuse", false, "run multi-stage kernels (Canny, EdgDet) as cache-blocked fused sweeps; also prints the fused DRAM bytes/pixel model")
+	stripRows := flag.Int("strip-rows", 0, "strip height for -fuse (0 = size from the platform's modeled caches)")
 	energy := flag.Bool("energy", false, "also print the energy-per-image extension")
 	grid := flag.Bool("grid", false, "emit the full platforms x sizes grid as CSV instead of the single-size table")
 	resumeDir := flag.String("resume", "", "journal completed work to this directory and resume from it after a crash")
@@ -81,7 +84,12 @@ func main() {
 	if *resumeDir != "" {
 		fail(os.MkdirAll(*resumeDir, 0o755))
 	}
-	ok := false
+	// Canny is the fusion demonstration pipeline: it has hand profiles and
+	// the traffic models but no auto-vectorization model (it is not one of
+	// the paper's five benchmarks), so the AUTO column and the vectorizer
+	// decisions are skipped for it.
+	hasAuto := *benchName != "Canny"
+	ok := !hasAuto
 	for _, b := range timing.BenchNames {
 		if b == *benchName {
 			ok = true
@@ -122,6 +130,7 @@ func main() {
 		ccfg := harness.CampaignConfig{
 			Rate: *faultRate, Seed: *faultSeed, Obs: reg,
 			StallDeadline: *stallDeadline,
+			Fuse:          fuseConfig(*fuseOn, *stripRows, plats),
 			AuditRate:     *auditRate, AuditSeed: *auditSeed,
 			// Detection-rate measurement needs corruption to actually reach
 			// outputs, so the gate runs guard-free.
@@ -165,22 +174,41 @@ func main() {
 	for _, p := range plats {
 		eSpan := reg.StartSpan("estimate."+*benchName,
 			obs.L("platform", p.Name), obs.L("size", res.Name))
-		auto, err := timing.EstimateRun(p, *benchName, res, timing.Auto)
-		fail(err)
 		hand, err := timing.EstimateRun(p, *benchName, res, timing.Hand)
 		fail(err)
-		eSpan.SetAttr("auto_seconds", auto.Seconds)
 		eSpan.SetAttr("hand_seconds", hand.Seconds)
 		eSpan.SetCycles(hand.CyclesPerPixel * float64(res.Width) * float64(res.Height))
+		if hasAuto {
+			auto, err := timing.EstimateRun(p, *benchName, res, timing.Auto)
+			fail(err)
+			eSpan.SetAttr("auto_seconds", auto.Seconds)
+			reg.Gauge("estimate_speedup",
+				obs.L("bench", *benchName), obs.L("platform", p.Name),
+				obs.L("size", res.Name)).Set(auto.Seconds / hand.Seconds)
+			fmt.Printf("%-26s %-6s %10.5f %9.2f %9.2f %9.2f %8s\n",
+				p.Name, "AUTO", auto.Seconds, auto.InstrPerPixel, auto.BytesPerPixel, auto.CyclesPerPixel, "")
+			fmt.Printf("%-26s %-6s %10.5f %9.2f %9.2f %9.2f %7.2fx\n",
+				"", "HAND", hand.Seconds, hand.InstrPerPixel, hand.BytesPerPixel, hand.CyclesPerPixel,
+				auto.Seconds/hand.Seconds)
+		} else {
+			fmt.Printf("%-26s %-6s %10.5f %9.2f %9.2f %9.2f %8s\n",
+				p.Name, "HAND", hand.Seconds, hand.InstrPerPixel, hand.BytesPerPixel, hand.CyclesPerPixel, "")
+		}
 		eSpan.End()
-		reg.Gauge("estimate_speedup",
-			obs.L("bench", *benchName), obs.L("platform", p.Name),
-			obs.L("size", res.Name)).Set(auto.Seconds / hand.Seconds)
-		fmt.Printf("%-26s %-6s %10.5f %9.2f %9.2f %9.2f %8s\n",
-			p.Name, "AUTO", auto.Seconds, auto.InstrPerPixel, auto.BytesPerPixel, auto.CyclesPerPixel, "")
-		fmt.Printf("%-26s %-6s %10.5f %9.2f %9.2f %9.2f %7.2fx\n",
-			"", "HAND", hand.Seconds, hand.InstrPerPixel, hand.BytesPerPixel, hand.CyclesPerPixel,
-			auto.Seconds/hand.Seconds)
+	}
+
+	if *fuseOn {
+		fmt.Println("\nFused-sweep DRAM traffic model (staged vs strip-streamed):")
+		for _, p := range plats {
+			staged, err := timing.TrafficPerPixel(*benchName, p, res.Width)
+			fail(err)
+			fused, err := timing.FusedTrafficPerPixel(*benchName, p, res.Width, *stripRows)
+			if err != nil {
+				fail(fmt.Errorf("%v (use -bench Canny or EdgDet with -fuse)", err))
+			}
+			fmt.Printf("  %-26s staged %6.2f B/px   fused %6.2f B/px   (%.0f%% less)\n",
+				p.Name, staged, fused, 100*(1-fused/staged))
+		}
 	}
 
 	if *energy {
@@ -190,18 +218,34 @@ func main() {
 		timing.RenderEnergyTable(os.Stdout, *benchName, res, rows)
 	}
 
-	// Per-pass vectorizer decisions for the chosen benchmark.
-	fmt.Println("\nAuto-vectorizer decisions (gcc 4.6 model):")
-	for _, target := range []vectorizer.Target{vectorizer.TargetNEON, vectorizer.TargetSSE2} {
-		ds, err := timing.Decisions(*benchName, target)
-		fail(err)
-		for _, d := range ds {
-			fmt.Print("  " + d.Explain())
+	if hasAuto {
+		// Per-pass vectorizer decisions for the chosen benchmark.
+		fmt.Println("\nAuto-vectorizer decisions (gcc 4.6 model):")
+		for _, target := range []vectorizer.Target{vectorizer.TargetNEON, vectorizer.TargetSSE2} {
+			ds, err := timing.Decisions(*benchName, target)
+			fail(err)
+			for _, d := range ds {
+				fmt.Print("  " + d.Explain())
+			}
 		}
 	}
 
 	reg.Emit("run.finish", map[string]any{"bench": *benchName})
 	fail(obsFlags.Export(reg))
+}
+
+// fuseConfig builds the campaign fusion config. Strips are sized from the
+// first selected platform's modeled caches so the campaign exercises the
+// same geometry the traffic model reports for it.
+func fuseConfig(on bool, stripRows int, plats []platform.Platform) cv.FuseConfig {
+	if !on {
+		return cv.FuseConfig{}
+	}
+	cfg := cv.FuseConfig{Enabled: true, StripRows: stripRows}
+	if len(plats) > 0 {
+		cfg.Caches = plats[0].M.Caches
+	}
+	return cfg
 }
 
 // gateDetectionRate measures the audited campaign against ground truth: a

@@ -91,6 +91,8 @@ func main() {
 	sloLatencyTarget := flag.Float64("slo-latency-target", 0.99, "fraction of requests that must meet the latency objective")
 	sloAvailTarget := flag.Float64("slo-availability-target", 0.999, "fraction of requests that must not be shed or fail")
 	sloDisabled := flag.Bool("slo-disabled", false, "turn off SLO burn-rate tracking")
+	fuseOn := flag.Bool("fuse", false, "run multi-stage kernels (canny, edges) as cache-blocked fused sweeps")
+	stripRows := flag.Int("strip-rows", 0, "strip height for -fuse (0 = automatic, sized to a 256 KiB window budget)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget after SIGTERM")
 	flag.Parse()
 
@@ -107,6 +109,7 @@ func main() {
 		MaxPixels:       *maxPixels,
 		FaultISA:        *faultISA,
 		Parallel:        cv.ParallelConfig{Workers: *workers},
+		Fuse:            cv.FuseConfig{Enabled: *fuseOn, StripRows: *stripRows},
 		Breaker: resilience.BreakerConfig{
 			Window:      *breakerWindow,
 			MinSamples:  *breakerMinSamples,

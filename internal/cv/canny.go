@@ -2,6 +2,7 @@ package cv
 
 import (
 	"fmt"
+	"sync"
 
 	"simdstudy/internal/image"
 	"simdstudy/internal/par"
@@ -37,6 +38,39 @@ func (o *Ops) Canny(src, dst *image.Mat, lowThresh, highThresh int16) (err error
 		return fmt.Errorf("cv: Canny thresholds must satisfy 0 <= low <= high, got %d/%d",
 			lowThresh, highThresh)
 	}
+	if o.fuse.Enabled {
+		if o.UseOptimized() && o.guarded {
+			// The guard referee is the staged scalar reference: a fresh
+			// scalar Ops re-runs the unfused pipeline and the fused output
+			// is spot-checked against it.
+			return o.guardedRun("Canny", dst, 0,
+				func() error { return o.cannyFused(src, dst, lowThresh, highThresh) },
+				func(ref *Ops, d *image.Mat) error {
+					return ref.cannyStaged(src, d, lowThresh, highThresh)
+				})
+		}
+		return o.cannyFused(src, dst, lowThresh, highThresh)
+	}
+	return o.cannyStaged(src, dst, lowThresh, highThresh)
+}
+
+// cannyStaged is the unfused pipeline: each stage materializes its full
+// intermediate plane before the next begins.
+func (o *Ops) cannyStaged(src, dst *image.Mat, lowThresh, highThresh int16) error {
+	nms := par.GetMat(src.Width, src.Height, image.U8)
+	defer par.PutMat(nms)
+	if err := o.cannyStagedNMS(src, nms, lowThresh, highThresh); err != nil {
+		return err
+	}
+	o.cannyHysteresis(nms.U8Pix, dst.U8Pix, src.Width, src.Height)
+	return nil
+}
+
+// cannyStagedNMS runs the staged pipeline up to the NMS marker plane
+// (0 none, 1 weak, 2 strong). Split out so the fused path's per-strip
+// audits can compare against the staged scalar markers directly, before
+// hysteresis mixes rows globally. nms must be zero-initialized.
+func (o *Ops) cannyStagedNMS(src, nms *image.Mat, lowThresh, highThresh int16) error {
 	w, h := src.Width, src.Height
 
 	// Stage 1: gradients (SIMD-accelerated when enabled). The scratch
@@ -66,23 +100,37 @@ func (o *Ops) Canny(src, dst *image.Mat, lowThresh, highThresh int16) (err error
 	// ratio with the classic tan(22.5 deg) ~ 13/32 fixed-point test.
 	// Each output row reads only its own and adjacent magnitude rows, all
 	// read-only by now, so the stage row-bands with one halo row each way.
-	nms := par.GetMat(w, h, image.U8) // 0 none, 1 weak, 2 strong
-	defer par.PutMat(nms)
 	parRows(o, h, cannyNMSArgs{
 		gx: gx.S16Pix, gy: gy.S16Pix, mag: mag.S16Pix, nms: nms.U8Pix,
 		w: w, h: h, low: lowThresh, high: highThresh,
 	}, cannyNMSRow)
+	return nil
+}
 
-	// Stage 4: hysteresis. BFS from strong pixels through 8-connected
-	// weak pixels.
-	for i := range dst.U8Pix {
-		dst.U8Pix[i] = 0
+// hystStackPool recycles the hysteresis BFS worklist across calls (staged
+// and fused alike): the stack grows to the image's edge population once,
+// then steady-state calls run allocation-free.
+var hystStackPool = sync.Pool{New: func() any {
+	s := make([]int, 0, 1024)
+	return &s
+}}
+
+// cannyHysteresis is the final Canny stage, shared by the staged and fused
+// paths: zero the output, seed the BFS from strong pixels, and link weak
+// pixels 8-connected to a strong component. It runs on the full nms plane
+// after the sweep — the traversal is global, so it is the one stage fusion
+// leaves unfused.
+func (o *Ops) cannyHysteresis(nms, dst []uint8, w, h int) {
+	n := w * h
+	for i := range dst[:n] {
+		dst[i] = 0
 	}
-	stack := make([]int, 0, n/16)
-	for i, v := range nms.U8Pix {
+	sp := hystStackPool.Get().(*[]int)
+	stack := (*sp)[:0]
+	for i, v := range nms[:n] {
 		if v == 2 {
 			stack = append(stack, i)
-			dst.U8Pix[i] = 255
+			dst[i] = 255
 		}
 	}
 	neighbors := [8]int{-w - 1, -w, -w + 1, -1, 1, w - 1, w, w + 1}
@@ -103,17 +151,18 @@ func (o *Ops) Canny(src, dst *image.Mat, lowThresh, highThresh int16) (err error
 				continue
 			}
 			visits++
-			if nms.U8Pix[j] == 1 && dst.U8Pix[j] == 0 {
-				dst.U8Pix[j] = 255
+			if nms[j] == 1 && dst[j] == 0 {
+				dst[j] = 255
 				stack = append(stack, j)
 			}
 		}
 	}
+	*sp = stack
+	hystStackPool.Put(sp)
 	if o.T != nil {
 		o.T.RecordN("hysteresis", trace.ScalarALU, uint64(3*visits), 0)
 		o.T.RecordN("hysteresis(br)", trace.Branch, uint64(visits), 0)
 	}
-	return nil
 }
 
 type cannyMagArgs struct {
@@ -131,24 +180,31 @@ func cannyMagChunk(b *Ops, a cannyMagArgs, lo, hi int) {
 	}
 }
 
+// cannyNMSArgs bundles the NMS stage. magLo and gLo are the plane rows at
+// which the mag and gx/gy slices begin (zero on the staged path, the
+// rolling windows' first live rows on the fused path); nms is always the
+// full marker plane.
 type cannyNMSArgs struct {
 	gx, gy, mag []int16
 	nms         []uint8
 	w, h        int
+	magLo, gLo  int
 	low, high   int16
 }
 
 func cannyNMSRow(b *Ops, a cannyNMSArgs, y int) {
 	w := a.w
 	if y >= 1 && y < a.h-1 {
+		mr := (y - a.magLo) * w
+		gr := (y - a.gLo) * w
 		for x := 1; x < w-1; x++ {
-			i := y*w + x
+			i := mr + x
 			m := a.mag[i]
 			if m < a.low {
 				continue
 			}
-			ax := int32(sat.AbsInt16(a.gx[i]))
-			ay := int32(sat.AbsInt16(a.gy[i]))
+			ax := int32(sat.AbsInt16(a.gx[gr+x]))
+			ay := int32(sat.AbsInt16(a.gy[gr+x]))
 			var m1, m2 int16
 			switch {
 			case ay*32 <= ax*13:
@@ -157,7 +213,7 @@ func cannyNMSRow(b *Ops, a cannyNMSArgs, y int) {
 			case ax*32 <= ay*13:
 				// Near-vertical gradient: compare up/down.
 				m1, m2 = a.mag[i-w], a.mag[i+w]
-			case (a.gx[i] > 0) == (a.gy[i] > 0):
+			case (a.gx[gr+x] > 0) == (a.gy[gr+x] > 0):
 				// 45-degree gradient.
 				m1, m2 = a.mag[i-w-1], a.mag[i+w+1]
 			default:
@@ -168,9 +224,9 @@ func cannyNMSRow(b *Ops, a cannyNMSArgs, y int) {
 			// (OpenCV's tie-break), so plateau edges stay one pixel wide.
 			if m > m1 && m >= m2 {
 				if m >= a.high {
-					a.nms[i] = 2
+					a.nms[y*w+x] = 2
 				} else {
-					a.nms[i] = 1
+					a.nms[y*w+x] = 1
 				}
 			}
 		}

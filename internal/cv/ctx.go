@@ -146,6 +146,16 @@ func (o *Ops) DetectEdgesCtx(ctx context.Context, src, dst *image.Mat, thresh in
 	})
 }
 
+// CannyCtx is Canny with row-granular cancellation through the four Sobel
+// passes and the NMS pass (the flat magnitude stage and the hysteresis
+// traversal check at block/entry granularity only). Staged and fused
+// execution tick the same 5 x height row budget.
+func (o *Ops) CannyCtx(ctx context.Context, src, dst *image.Mat, lowThresh, highThresh int16) error {
+	return o.runCtx(ctx, "cv.Canny", 5*dst.Height, func() error {
+		return o.Canny(src, dst, lowThresh, highThresh)
+	})
+}
+
 // MedianBlur3x3Ctx is MedianBlur3x3 with row-granular cancellation.
 func (o *Ops) MedianBlur3x3Ctx(ctx context.Context, src, dst *image.Mat) error {
 	return o.runCtx(ctx, "cv.MedianBlur3x3", dst.Height, func() error {

@@ -133,6 +133,13 @@ type Ops struct {
 	Obs       *obs.Registry
 	obsParent *obs.Span
 	frames    []kernelFrame
+
+	// Fusion state (see fused.go). fuse selects cache-blocked stage fusion
+	// for the multi-stage pipelines; fusedGeoms caches the planned strip
+	// geometry per (kernel, shape) so steady-state fused calls stay
+	// allocation-free.
+	fuse       FuseConfig
+	fusedGeoms []fusedGeom
 }
 
 // NewOps returns an Ops for the given ISA, recording dynamic instructions

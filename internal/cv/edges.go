@@ -24,37 +24,52 @@ func (o *Ops) DetectEdges(src, dst *image.Mat, thresh int16) (err error) {
 	if err := sameShape(src, dst); err != nil {
 		return err
 	}
-	run := func(op *Ops, d *image.Mat) error {
-		gx := par.GetMat(src.Width, src.Height, image.S16)
-		defer par.PutMat(gx)
-		gy := par.GetMat(src.Width, src.Height, image.S16)
-		defer par.PutMat(gy)
-		if err := op.SobelFilter(src, gx, 1, 0); err != nil {
-			return err
+	if o.fuse.Enabled {
+		if o.UseOptimized() && o.guarded {
+			// The guard referee is the staged scalar reference: a fresh
+			// scalar Ops re-runs the unfused pipeline and the fused output
+			// is spot-checked against it.
+			return o.guardedRun("DetectEdges", dst, 0,
+				func() error { return o.edgesFused(src, dst, thresh) },
+				func(ref *Ops, d *image.Mat) error { return ref.edgesStaged(src, d, thresh) })
 		}
-		if err := op.SobelFilter(src, gy, 0, 1); err != nil {
-			return err
-		}
-		if op.UseOptimized() {
-			switch op.isa {
-			case ISANEON:
-				op.magThreshNEON(gx, gy, d, thresh)
-				return nil
-			case ISASSE2:
-				op.magThreshSSE2(gx, gy, d, thresh)
-				return nil
-			}
-		}
-		op.magThreshScalar(gx, gy, d, thresh)
-		return nil
+		return o.edgesFused(src, dst, thresh)
 	}
 	if o.UseOptimized() {
 		// One guard covers the whole pipeline; the nested SobelFilter
 		// calls see inGuard and skip their own referees.
 		return o.guardedRun("DetectEdges", dst, 0,
-			func() error { return run(o, dst) }, run)
+			func() error { return o.edgesStaged(src, dst, thresh) },
+			func(ref *Ops, d *image.Mat) error { return ref.edgesStaged(src, d, thresh) })
 	}
-	return run(o, dst)
+	return o.edgesStaged(src, dst, thresh)
+}
+
+// edgesStaged is the unfused pipeline: full gradient planes, then the
+// combine pass over the whole plane.
+func (o *Ops) edgesStaged(src, dst *image.Mat, thresh int16) error {
+	gx := par.GetMat(src.Width, src.Height, image.S16)
+	defer par.PutMat(gx)
+	gy := par.GetMat(src.Width, src.Height, image.S16)
+	defer par.PutMat(gy)
+	if err := o.SobelFilter(src, gx, 1, 0); err != nil {
+		return err
+	}
+	if err := o.SobelFilter(src, gy, 0, 1); err != nil {
+		return err
+	}
+	if o.UseOptimized() {
+		switch o.isa {
+		case ISANEON:
+			o.magThreshNEON(gx, gy, dst, thresh)
+			return nil
+		case ISASSE2:
+			o.magThreshSSE2(gx, gy, dst, thresh)
+			return nil
+		}
+	}
+	o.magThreshScalar(gx, gy, dst, thresh)
+	return nil
 }
 
 // magThreshPixel is the scalar combine: saturating |gx|+|gy| compared with

@@ -1,0 +1,223 @@
+package cv
+
+import (
+	"testing"
+
+	"simdstudy/internal/faults"
+	"simdstudy/internal/image"
+	"simdstudy/internal/integrity"
+	"simdstudy/internal/obs"
+	"simdstudy/internal/trace"
+)
+
+// TestFusedMatchesStaged is the fusion acceptance core: for both fused
+// pipelines, across strip heights (including one-row strips and a strip
+// covering the whole image), band counts and all three ISAs, the fused
+// sweep must produce byte-identical output planes AND a bit-identical
+// merged instruction trace (classes, bytes, per-opcode counts) versus the
+// staged path. Odd widths exercise the vector/tail splits.
+func TestFusedMatchesStaged(t *testing.T) {
+	type kernelCase struct {
+		name string
+		run  func(o *Ops, src, dst *image.Mat) error
+	}
+	kernels := []kernelCase{
+		{"Canny", func(o *Ops, src, dst *image.Mat) error { return o.Canny(src, dst, 60, 200) }},
+		{"DetectEdges", func(o *Ops, src, dst *image.Mat) error { return o.DetectEdges(src, dst, 90) }},
+	}
+	sizes := []image.Resolution{{Width: 61, Height: 53}, {Width: 130, Height: 47}, {Width: 64, Height: 64}}
+	for _, kc := range kernels {
+		for _, res := range sizes {
+			src := image.Synthetic(res, 7)
+			for _, isa := range []ISA{ISAScalar, ISANEON, ISASSE2} {
+				for _, workers := range []int{1, 2, 4, 7} {
+					staged := NewOps(isa, &trace.Counter{})
+					staged.SetParallel(ParallelConfig{Workers: workers, MinRowsPerBand: 1})
+					want := image.NewMat(res.Width, res.Height, image.U8)
+					if err := kc.run(staged, src, want); err != nil {
+						t.Fatal(err)
+					}
+					wantSum := staged.T.Summary()
+					for _, strip := range []int{3, 8, 17, res.Height} {
+						fused := NewOps(isa, &trace.Counter{})
+						fused.SetParallel(ParallelConfig{Workers: workers, MinRowsPerBand: 1})
+						fused.SetFuse(FuseConfig{Enabled: true, StripRows: strip})
+						got := image.NewMat(res.Width, res.Height, image.U8)
+						if err := kc.run(fused, src, got); err != nil {
+							t.Fatal(err)
+						}
+						if !want.EqualTo(got) {
+							t.Fatalf("%s %dx%d %v workers=%d strip=%d: fused output diverges from staged",
+								kc.name, res.Width, res.Height, isa, workers, strip)
+						}
+						if gotSum := fused.T.Summary(); gotSum != wantSum {
+							t.Fatalf("%s %dx%d %v workers=%d strip=%d: trace counts diverge\nstaged:\n%s\nfused:\n%s",
+								kc.name, res.Width, res.Height, isa, workers, strip, wantSum, gotSum)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedAutoStripRows: with StripRows 0 the geometry is sized from the
+// configured cache model and the output must still match staged.
+func TestFusedAutoStripRows(t *testing.T) {
+	res := image.Resolution{Width: 320, Height: 240}
+	src := image.Synthetic(res, 3)
+	staged := NewOps(ISANEON, nil)
+	want := image.NewMat(res.Width, res.Height, image.U8)
+	if err := staged.Canny(src, want, 60, 200); err != nil {
+		t.Fatal(err)
+	}
+	fused := NewOps(ISANEON, nil)
+	fused.SetFuse(FuseConfig{Enabled: true})
+	got := image.NewMat(res.Width, res.Height, image.U8)
+	if err := fused.Canny(src, got, 60, 200); err != nil {
+		t.Fatal(err)
+	}
+	if !want.EqualTo(got) {
+		t.Fatal("auto-sized fused Canny diverges from staged")
+	}
+	g, err := fused.fusedGeometry("Canny", res.Width, res.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Strips < 2 {
+		t.Fatalf("auto sizing chose %d strips for %dx%d; expected a real sweep", g.Strips, res.Width, res.Height)
+	}
+}
+
+// TestFusedGuarded: guarded fused dispatch spot-checks the fused output
+// against the staged scalar referee and stays correct.
+func TestFusedGuarded(t *testing.T) {
+	res := image.Resolution{Width: 96, Height: 72}
+	src := image.Synthetic(res, 5)
+	for _, isa := range []ISA{ISANEON, ISASSE2} {
+		staged := NewOps(isa, nil)
+		want := image.NewMat(res.Width, res.Height, image.U8)
+		if err := staged.Canny(src, want, 60, 200); err != nil {
+			t.Fatal(err)
+		}
+		o := NewOps(isa, nil)
+		o.SetGuarded(true)
+		o.SetFuse(FuseConfig{Enabled: true, StripRows: 8})
+		got := image.NewMat(res.Width, res.Height, image.U8)
+		if err := o.Canny(src, got, 60, 200); err != nil {
+			t.Fatal(err)
+		}
+		if !want.EqualTo(got) {
+			t.Fatalf("%v: guarded fused Canny diverges", isa)
+		}
+		if err := o.DetectEdges(src, got, 90); err != nil {
+			t.Fatal(err)
+		}
+		if err := staged.DetectEdges(src, want, 90); err != nil {
+			t.Fatal(err)
+		}
+		if !want.EqualTo(got) {
+			t.Fatalf("%v: guarded fused DetectEdges diverges", isa)
+		}
+	}
+}
+
+// TestFusedAuditRepairsCorruption: with SIMD bit flips injected and the
+// auditor sampling every call, the per-strip audits must detect the
+// corrupted sweeps, repair the output from the staged scalar reference,
+// and report the corruption to the scoreboard.
+func TestFusedAuditRepairsCorruption(t *testing.T) {
+	const calls = 30
+	res := image.Resolution{Width: 64, Height: 48}
+	for _, isa := range []ISA{ISANEON, ISASSE2} {
+		srcs := make([]*image.Mat, calls)
+		refs := make([]*image.Mat, calls)
+		refOps := NewOps(isa, nil)
+		refOps.SetUseOptimized(false)
+		for i := range srcs {
+			srcs[i] = image.Synthetic(res, uint64(i+1))
+			refs[i] = image.NewMat(res.Width, res.Height, image.U8)
+			if err := refOps.Canny(srcs[i], refs[i], 60, 200); err != nil {
+				t.Fatal(err)
+			}
+		}
+		planCfg := faults.Config{Rate: 5e-4, Seed: 11, Kinds: []faults.Kind{faults.KindBitFlip}}
+
+		// Ground truth: same sequence, same plan, no auditor — which
+		// fused outputs actually come out corrupted?
+		truth := NewOps(isa, nil)
+		truth.SetFaultInjector(faults.NewPlan(planCfg))
+		truth.SetFuse(FuseConfig{Enabled: true, StripRows: 8})
+		corrupted := 0
+		for i, src := range srcs {
+			dst := image.NewMat(res.Width, res.Height, image.U8)
+			if err := truth.Canny(src, dst, 60, 200); err != nil {
+				t.Fatal(err)
+			}
+			if !refs[i].EqualTo(dst) {
+				corrupted++
+			}
+		}
+		if corrupted == 0 {
+			t.Fatalf("%v: injection produced no corrupted fused outputs; test is vacuous", isa)
+		}
+
+		aud := integrity.NewAuditor(integrity.AuditConfig{Rate: 1})
+		reg := obs.NewRegistry()
+		o := NewOps(isa, nil)
+		o.Obs = reg
+		o.SetAuditor(aud)
+		o.SetFaultInjector(faults.NewPlan(planCfg))
+		o.SetFuse(FuseConfig{Enabled: true, StripRows: 8})
+		for i, src := range srcs {
+			dst := image.NewMat(res.Width, res.Height, image.U8)
+			if err := o.Canny(src, dst, 60, 200); err != nil {
+				t.Fatal(err)
+			}
+			if !refs[i].EqualTo(dst) {
+				t.Fatalf("%v call %d: audited fused output not repaired", isa, i)
+			}
+		}
+		if aud.Mismatches() == 0 {
+			t.Fatalf("%v: auditor observed no mismatches despite %d corrupted sweeps", isa, corrupted)
+		}
+	}
+}
+
+// TestFusedBytesSavedMetric: the fused path must report intermediate-plane
+// bytes saved, and the counter must be monotonic across calls.
+func TestFusedBytesSavedMetric(t *testing.T) {
+	res := image.Resolution{Width: 320, Height: 240}
+	src := image.Synthetic(res, 3)
+	reg := obs.NewRegistry()
+	o := NewOps(ISANEON, nil)
+	o.Obs = reg
+	o.SetFuse(FuseConfig{Enabled: true, StripRows: 16})
+	dst := image.NewMat(res.Width, res.Height, image.U8)
+	if err := o.Canny(src, dst, 60, 200); err != nil {
+		t.Fatal(err)
+	}
+	c := reg.Counter("fused_plane_bytes_saved_total", obs.L("kernel", "Canny"), obs.L("isa", "neon"))
+	after1 := c.Value()
+	if after1 == 0 {
+		t.Fatal("fused Canny saved no intermediate-plane bytes")
+	}
+	// Well over half the staged planes' 10*w*h bytes must be saved with
+	// 16-row strips on a 240-row image.
+	if min := uint64(5 * res.Width * res.Height); after1 < min {
+		t.Fatalf("saved %d bytes, want at least %d", after1, min)
+	}
+	if err := o.DetectEdges(src, dst, 90); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Canny(src, dst, 60, 200); err != nil {
+		t.Fatal(err)
+	}
+	if v := c.Value(); v != 2*after1 {
+		t.Fatalf("counter not monotonic per call: %d then %d", after1, v)
+	}
+	e := reg.Counter("fused_plane_bytes_saved_total", obs.L("kernel", "DetectEdges"), obs.L("isa", "neon"))
+	if e.Value() == 0 {
+		t.Fatal("fused DetectEdges saved no intermediate-plane bytes")
+	}
+}

@@ -252,6 +252,19 @@ func (o *Ops) watchSerial(sec *super.Section, stop *atomic.Bool, loop func()) {
 // the configured workers. A is the pass's argument bundle; bodies are
 // package-level functions so the serial path allocates nothing.
 func parRows[A any](o *Ops, rows int, a A, body func(b *Ops, a A, y int)) {
+	parRowsRange(o, 0, rows, a, body)
+}
+
+// parRowsRange is parRows over the half-open row interval [y0, y1) — the
+// strip-granular form the fusion executor drives, one call per (stage,
+// strip). Rows keep their absolute plane indices, so the fault injector's
+// per-row reseed positions are a pure function of the row like the staged
+// path's, and the watchdog heart beats once per row exactly as before.
+func parRowsRange[A any](o *Ops, y0, y1 int, a A, body func(b *Ops, a A, y int)) {
+	rows := y1 - y0
+	if rows <= 0 {
+		return
+	}
 	nb := o.nBandsRows(rows)
 	rs := o.sectionReseeder()
 	var salt uint64
@@ -259,7 +272,7 @@ func parRows[A any](o *Ops, rows int, a A, body func(b *Ops, a A, y int)) {
 		salt = o.passSeq.Add(1)
 	}
 	if nb == 1 && o.wd == nil {
-		for y := 0; y < rows; y++ {
+		for y := y0; y < y1; y++ {
 			if rs != nil {
 				rs.Reseed(stripeSalt(salt, y))
 			}
@@ -280,7 +293,7 @@ func parRows[A any](o *Ops, rows int, a A, body func(b *Ops, a A, y int)) {
 	}
 	if nb == 1 {
 		o.watchSerial(sec, &stop, func() {
-			for y := 0; y < rows; y++ {
+			for y := y0; y < y1; y++ {
 				if rs != nil {
 					rs.Reseed(stripeSalt(salt, y))
 				}
@@ -307,7 +320,7 @@ func parRows[A any](o *Ops, rows int, a A, body func(b *Ops, a A, y int)) {
 		o.bandProf(i, func() {
 			b := bands[i]
 			lo, hi := par.Span(i, nb, rows)
-			for y := lo; y < hi; y++ {
+			for y := y0 + lo; y < y0+hi; y++ {
 				if b.reseed != nil {
 					b.reseed.Reseed(stripeSalt(salt, y))
 				}
@@ -326,6 +339,21 @@ func parRows[A any](o *Ops, rows int, a A, body func(b *Ops, a A, y int)) {
 // blocks, banded across the configured workers. Only the final block can be
 // a partial quantum, so the scalar tail lives in exactly one band.
 func parFlat[A any](o *Ops, n int, a A, body func(b *Ops, a A, lo, hi int)) {
+	parFlatRange(o, 0, n, a, body)
+}
+
+// parFlatRange is parFlat over the half-open element interval [e0, e1) —
+// the fusion executor's per-strip form of the flat combine stages. The
+// block grid is anchored at e0, so when the caller advances e0 in
+// flatQuantum multiples (as the fused sweep's absolute-aligned chunk
+// gating does) every block except the final one is a full quantum and the
+// vector/tail split — and with it the recorded instruction stream —
+// matches a single staged sweep exactly.
+func parFlatRange[A any](o *Ops, e0, e1 int, a A, body func(b *Ops, a A, lo, hi int)) {
+	n := e1 - e0
+	if n <= 0 {
+		return
+	}
 	nb := o.nBandsFlat(n)
 	rs := o.sectionReseeder()
 	var salt uint64
@@ -333,8 +361,8 @@ func parFlat[A any](o *Ops, n int, a A, body func(b *Ops, a A, lo, hi int)) {
 		salt = o.passSeq.Add(1)
 	}
 	if nb == 1 && o.wd == nil {
-		for c := 0; c < n; c += flatQuantum {
-			ce := min(c+flatQuantum, n)
+		for c := e0; c < e1; c += flatQuantum {
+			ce := min(c+flatQuantum, e1)
 			if rs != nil {
 				rs.Reseed(stripeSalt(salt, c/flatQuantum))
 			}
@@ -352,8 +380,8 @@ func parFlat[A any](o *Ops, n int, a A, body func(b *Ops, a A, lo, hi int)) {
 	}
 	if nb == 1 {
 		o.watchSerial(sec, &stop, func() {
-			for c := 0; c < n; c += flatQuantum {
-				ce := min(c+flatQuantum, n)
+			for c := e0; c < e1; c += flatQuantum {
+				ce := min(c+flatQuantum, e1)
 				if rs != nil {
 					rs.Reseed(stripeSalt(salt, c/flatQuantum))
 				}
@@ -380,8 +408,8 @@ func parFlat[A any](o *Ops, n int, a A, body func(b *Ops, a A, lo, hi int)) {
 		o.bandProf(i, func() {
 			b := bands[i]
 			lo, hi := par.AlignedSpan(i, nb, n, flatQuantum)
-			for c := lo; c < hi; c += flatQuantum {
-				ce := min(c+flatQuantum, hi)
+			for c := e0 + lo; c < e0+hi; c += flatQuantum {
+				ce := min(c+flatQuantum, e0+hi)
 				if b.reseed != nil {
 					b.reseed.Reseed(stripeSalt(salt, c/flatQuantum))
 				}

@@ -111,12 +111,19 @@ func (o *Ops) sobelRowCost(pixels uint64, taps int) {
 // sobelArgs bundles one Sobel pass for the banded row bodies. in8 is the
 // source plane of the U8->S16 horizontal passes; in16 the S16 plane of the
 // vertical passes; out is always the S16 destination of the pass.
+//
+// inLo and outLo are the plane rows at which in16 and out begin: zero on
+// the staged path (full planes), the rolling window's first live row on
+// the fused path. The bodies index through them, so the same row bodies —
+// and with them the recorded instruction streams — serve both paths.
 type sobelArgs struct {
-	in8  []uint8
-	in16 []int16
-	out  []int16
-	w, h int
-	zero vec.V128 // SSE2 unpack constant, hoisted on the parent
+	in8   []uint8
+	in16  []int16
+	out   []int16
+	w, h  int
+	inLo  int
+	outLo int
+	zero  vec.V128 // SSE2 unpack constant, hoisted on the parent
 }
 
 func (o *Ops) sobelDiffHScalar(src, tmp *image.Mat) {
@@ -127,7 +134,7 @@ func (o *Ops) sobelDiffHScalar(src, tmp *image.Mat) {
 func sobelDiffHScalarRow(b *Ops, a sobelArgs, y int) {
 	w := a.w
 	row := a.in8[y*w : (y+1)*w]
-	out := a.out[y*w : (y+1)*w]
+	out := a.out[(y-a.outLo)*w : (y-a.outLo+1)*w]
 	for x := 0; x < w; x++ {
 		out[x] = diffHPixel(row, w, x)
 	}
@@ -142,7 +149,7 @@ func (o *Ops) sobelSmoothHScalar(src, tmp *image.Mat) {
 func sobelSmoothHScalarRow(b *Ops, a sobelArgs, y int) {
 	w := a.w
 	row := a.in8[y*w : (y+1)*w]
-	out := a.out[y*w : (y+1)*w]
+	out := a.out[(y-a.outLo)*w : (y-a.outLo+1)*w]
 	for x := 0; x < w; x++ {
 		out[x] = smoothHPixel(row, w, x)
 	}
@@ -156,8 +163,12 @@ func (o *Ops) sobelSmoothVScalar(tmp, dst *image.Mat) {
 
 func sobelSmoothVScalarRow(b *Ops, a sobelArgs, y int) {
 	w, h := a.w, a.h
+	r0 := a.in16[(clampIdx(y-1, h)-a.inLo)*w:]
+	r1 := a.in16[(y-a.inLo)*w:]
+	r2 := a.in16[(clampIdx(y+1, h)-a.inLo)*w:]
+	out := a.out[(y-a.outLo)*w : (y-a.outLo+1)*w]
 	for x := 0; x < w; x++ {
-		a.out[y*w+x] = smoothVPixel(a.in16, w, h, x, y)
+		out[x] = r0[x] + 2*r1[x] + r2[x]
 	}
 	b.sobelRowCost(uint64(w), 3)
 }
@@ -169,8 +180,11 @@ func (o *Ops) sobelDiffVScalar(tmp, dst *image.Mat) {
 
 func sobelDiffVScalarRow(b *Ops, a sobelArgs, y int) {
 	w, h := a.w, a.h
+	r0 := a.in16[(clampIdx(y-1, h)-a.inLo)*w:]
+	r2 := a.in16[(clampIdx(y+1, h)-a.inLo)*w:]
+	out := a.out[(y-a.outLo)*w : (y-a.outLo+1)*w]
 	for x := 0; x < w; x++ {
-		a.out[y*w+x] = diffVPixel(a.in16, w, h, x, y)
+		out[x] = r2[x] - r0[x]
 	}
 	b.sobelRowCost(uint64(w), 2)
 }
@@ -196,7 +210,7 @@ func sobelDiffHNEONRow(b *Ops, a sobelArgs, y int) {
 	w := a.w
 	u := b.n
 	row := a.in8[y*w : (y+1)*w]
-	out := a.out[y*w : (y+1)*w]
+	out := a.out[(y-a.outLo)*w : (y-a.outLo+1)*w]
 	edge := 0
 	x := 0
 	for ; x < 1 && x < w; x++ {
@@ -227,7 +241,7 @@ func sobelSmoothHNEONRow(b *Ops, a sobelArgs, y int) {
 	w := a.w
 	u := b.n
 	row := a.in8[y*w : (y+1)*w]
-	out := a.out[y*w : (y+1)*w]
+	out := a.out[(y-a.outLo)*w : (y-a.outLo+1)*w]
 	edge := 0
 	x := 0
 	for ; x < 1 && x < w; x++ {
@@ -260,10 +274,10 @@ func (o *Ops) sobelSmoothVNEON(tmp, dst *image.Mat) {
 func sobelSmoothVNEONRow(b *Ops, a sobelArgs, y int) {
 	w, h := a.w, a.h
 	u := b.n
-	r0 := a.in16[clampIdx(y-1, h)*w:]
-	r1 := a.in16[y*w:]
-	r2 := a.in16[clampIdx(y+1, h)*w:]
-	out := a.out[y*w : (y+1)*w]
+	r0 := a.in16[(clampIdx(y-1, h)-a.inLo)*w:]
+	r1 := a.in16[(y-a.inLo)*w:]
+	r2 := a.in16[(clampIdx(y+1, h)-a.inLo)*w:]
+	out := a.out[(y-a.outLo)*w : (y-a.outLo+1)*w]
 	edge := 0
 	x := 0
 	for ; x+8 <= w; x += 8 {
@@ -273,7 +287,7 @@ func sobelSmoothVNEONRow(b *Ops, a sobelArgs, y int) {
 		u.Overhead(2, 1, 0)
 	}
 	for ; x < w; x++ {
-		out[x] = smoothVPixel(a.in16, w, h, x, y)
+		out[x] = r0[x] + 2*r1[x] + r2[x]
 		edge++
 	}
 	b.sobelTailCost(uint64(edge))
@@ -289,9 +303,9 @@ func (o *Ops) sobelDiffVNEON(tmp, dst *image.Mat) {
 func sobelDiffVNEONRow(b *Ops, a sobelArgs, y int) {
 	w, h := a.w, a.h
 	u := b.n
-	r0 := a.in16[clampIdx(y-1, h)*w:]
-	r2 := a.in16[clampIdx(y+1, h)*w:]
-	out := a.out[y*w : (y+1)*w]
+	r0 := a.in16[(clampIdx(y-1, h)-a.inLo)*w:]
+	r2 := a.in16[(clampIdx(y+1, h)-a.inLo)*w:]
+	out := a.out[(y-a.outLo)*w : (y-a.outLo+1)*w]
 	edge := 0
 	x := 0
 	for ; x+8 <= w; x += 8 {
@@ -300,7 +314,7 @@ func sobelDiffVNEONRow(b *Ops, a sobelArgs, y int) {
 		u.Overhead(2, 1, 0)
 	}
 	for ; x < w; x++ {
-		out[x] = diffVPixel(a.in16, w, h, x, y)
+		out[x] = r2[x] - r0[x]
 		edge++
 	}
 	b.sobelTailCost(uint64(edge))
@@ -320,7 +334,7 @@ func sobelDiffHSSE2Row(b *Ops, a sobelArgs, y int) {
 	w := a.w
 	u := b.s
 	row := a.in8[y*w : (y+1)*w]
-	out := a.out[y*w : (y+1)*w]
+	out := a.out[(y-a.outLo)*w : (y-a.outLo+1)*w]
 	edge := 0
 	x := 0
 	for ; x < 1 && x < w; x++ {
@@ -352,7 +366,7 @@ func sobelSmoothHSSE2Row(b *Ops, a sobelArgs, y int) {
 	w := a.w
 	u := b.s
 	row := a.in8[y*w : (y+1)*w]
-	out := a.out[y*w : (y+1)*w]
+	out := a.out[(y-a.outLo)*w : (y-a.outLo+1)*w]
 	edge := 0
 	x := 0
 	for ; x < 1 && x < w; x++ {
@@ -384,10 +398,10 @@ func (o *Ops) sobelSmoothVSSE2(tmp, dst *image.Mat) {
 func sobelSmoothVSSE2Row(b *Ops, a sobelArgs, y int) {
 	w, h := a.w, a.h
 	u := b.s
-	r0 := a.in16[clampIdx(y-1, h)*w:]
-	r1 := a.in16[y*w:]
-	r2 := a.in16[clampIdx(y+1, h)*w:]
-	out := a.out[y*w : (y+1)*w]
+	r0 := a.in16[(clampIdx(y-1, h)-a.inLo)*w:]
+	r1 := a.in16[(y-a.inLo)*w:]
+	r2 := a.in16[(clampIdx(y+1, h)-a.inLo)*w:]
+	out := a.out[(y-a.outLo)*w : (y-a.outLo+1)*w]
 	edge := 0
 	x := 0
 	for ; x+8 <= w; x += 8 {
@@ -397,7 +411,7 @@ func sobelSmoothVSSE2Row(b *Ops, a sobelArgs, y int) {
 		u.Overhead(2, 1, 0)
 	}
 	for ; x < w; x++ {
-		out[x] = smoothVPixel(a.in16, w, h, x, y)
+		out[x] = r0[x] + 2*r1[x] + r2[x]
 		edge++
 	}
 	b.sobelTailCost(uint64(edge))
@@ -413,9 +427,9 @@ func (o *Ops) sobelDiffVSSE2(tmp, dst *image.Mat) {
 func sobelDiffVSSE2Row(b *Ops, a sobelArgs, y int) {
 	w, h := a.w, a.h
 	u := b.s
-	r0 := a.in16[clampIdx(y-1, h)*w:]
-	r2 := a.in16[clampIdx(y+1, h)*w:]
-	out := a.out[y*w : (y+1)*w]
+	r0 := a.in16[(clampIdx(y-1, h)-a.inLo)*w:]
+	r2 := a.in16[(clampIdx(y+1, h)-a.inLo)*w:]
+	out := a.out[(y-a.outLo)*w : (y-a.outLo+1)*w]
 	edge := 0
 	x := 0
 	for ; x+8 <= w; x += 8 {
@@ -423,7 +437,7 @@ func sobelDiffVSSE2Row(b *Ops, a sobelArgs, y int) {
 		u.Overhead(2, 1, 0)
 	}
 	for ; x < w; x++ {
-		out[x] = diffVPixel(a.in16, w, h, x, y)
+		out[x] = r2[x] - r0[x]
 		edge++
 	}
 	b.sobelTailCost(uint64(edge))

@@ -41,6 +41,7 @@ var ErrPlaneCorruption = errors.New("exec: plane corruption at stage boundary")
 type PlaneCorruptionError struct {
 	Stage string // loop name of the stage the corruption is attributed to
 	Array string // environment array (with its type namespace, e.g. "u8:dst")
+	Strip int    // strip index (RunStagesFused), -1 on the staged path
 	Block int    // first mismatching fingerprint block, -1 for length skew
 	Lo    int    // first corrupt element bound, inclusive
 	Hi    int    // first corrupt element bound, exclusive
@@ -48,11 +49,15 @@ type PlaneCorruptionError struct {
 
 // Error implements error.
 func (e *PlaneCorruptionError) Error() string {
-	if e.Block < 0 {
-		return fmt.Sprintf("exec: stage %q changed the length of untouched array %q", e.Stage, e.Array)
+	where := fmt.Sprintf("stage %q", e.Stage)
+	if e.Strip >= 0 {
+		where = fmt.Sprintf("stage %q strip %d", e.Stage, e.Strip)
 	}
-	return fmt.Sprintf("exec: stage %q corrupted untouched array %q (elements [%d,%d))",
-		e.Stage, e.Array, e.Lo, e.Hi)
+	if e.Block < 0 {
+		return fmt.Sprintf("exec: %s changed the length of untouched array %q", where, e.Array)
+	}
+	return fmt.Sprintf("exec: %s corrupted array %q (elements [%d,%d))",
+		where, e.Array, e.Lo, e.Hi)
 }
 
 // Unwrap ties the error to ErrPlaneCorruption.
@@ -177,7 +182,7 @@ func RunStagesChecked(ctx context.Context, reg *obs.Registry, parent *obs.Span,
 				continue
 			}
 			if err := ps.VerifyElems(a.n, a.hash); err != nil {
-				pce := &PlaneCorruptionError{Stage: st.Loop.Name, Array: a.key, Block: -1}
+				pce := &PlaneCorruptionError{Stage: st.Loop.Name, Array: a.key, Strip: -1, Block: -1}
 				if ce, isCE := err.(*integrity.ChecksumError); isCE {
 					pce.Block, pce.Lo, pce.Hi = ce.Block, ce.Lo, ce.Hi
 				}

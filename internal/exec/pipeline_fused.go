@@ -1,0 +1,275 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"simdstudy/internal/integrity"
+	"simdstudy/internal/ir"
+	"simdstudy/internal/obs"
+	"simdstudy/internal/resilience"
+)
+
+// This file is the IR-pipeline counterpart of the cv package's fused
+// kernels: RunStagesFused executes a multi-stage pipeline as a single
+// strip-streamed sweep over the shared iteration space instead of running
+// each stage to completion over its full trip count. Stage leads are
+// derived from the loops' load/store element offsets the same way
+// internal/fuse derives row leads from vertical halos: stage s may run
+// iteration i only once every producer has written the elements s's loads
+// reach, so earlier stages run ahead by the accumulated offset reach.
+//
+// The plane-checksum discipline of RunStagesChecked carries over at strip
+// granularity: after stage s runs its iterations of strip k, every array
+// outside s's store set is re-verified in full, and s's own arrays are
+// verified in every fingerprint block outside the element range s
+// legitimately wrote this strip — then only the written blocks are
+// re-stamped (integrity.PlaneSum.RestampElems). A wild write is therefore
+// attributed to the (stage, strip) that introduced it, and even a wild
+// write into the writer's own array is caught when it lands outside the
+// strip's legitimate range. Verification cost scales with the strip
+// count; this runner is a correctness harness, not a throughput path.
+
+// testAfterStageStrip, when set by a test, runs after stage i executes its
+// iterations of strip k and before the strip's boundary verification — the
+// injection point for simulated wild writes.
+var testAfterStageStrip func(stage, strip int, env *Env)
+
+// stageAccess summarizes one stage's unit-stride memory footprint:
+// per-array store offset bounds and per-array load offset maxima, used for
+// lead planning and written-range computation.
+type stageAccess struct {
+	// minStore/maxStore bound the store offsets per array key.
+	minStore, maxStore map[string]int
+	// loads lists (array key, offset) pairs.
+	loads []loadRef
+}
+
+type loadRef struct {
+	key string
+	off int
+}
+
+func analyzeStage(l *ir.Loop) (stageAccess, error) {
+	sa := stageAccess{minStore: map[string]int{}, maxStore: map[string]int{}}
+	for _, ins := range l.Body {
+		if ins.Op != ir.OpLoad && ins.Op != ir.OpStore {
+			continue
+		}
+		if ins.Stride != 1 {
+			return sa, fmt.Errorf("exec: RunStagesFused requires unit stride; stage %q accesses %q with stride %d",
+				l.Name, ins.Array, ins.Stride)
+		}
+		key := typeKey(ins.Type, ins.Array)
+		if ins.Op == ir.OpStore {
+			if lo, ok := sa.minStore[key]; !ok || ins.Offset < lo {
+				sa.minStore[key] = ins.Offset
+			}
+			if hi, ok := sa.maxStore[key]; !ok || ins.Offset > hi {
+				sa.maxStore[key] = ins.Offset
+			}
+		} else {
+			sa.loads = append(sa.loads, loadRef{key: key, off: ins.Offset})
+		}
+	}
+	return sa, nil
+}
+
+func typeKey(t ir.Type, array string) string {
+	switch t {
+	case ir.U8:
+		return "u8:" + array
+	case ir.I16:
+		return "s16:" + array
+	case ir.U16:
+		return "u16:" + array
+	case ir.I32:
+		return "s32:" + array
+	case ir.F32:
+		return "f32:" + array
+	}
+	return "?:" + array
+}
+
+// fusedLeads derives per-stage iteration leads from the element offsets:
+// when stage c loads producer p's array at offset lc, and p's final write
+// of an element happens at store offset sp, stage p must stay
+// lead[c]+lc-sp iterations ahead of c. Leads propagate from the pipeline's
+// sinks backwards, exactly like fuse.Plan row leads.
+func fusedLeads(accs []stageAccess) []int {
+	lead := make([]int, len(accs))
+	// producerBefore[c] maps an array key to the last stage < c storing it.
+	producer := map[string]int{}
+	producerBefore := make([]map[string]int, len(accs))
+	for i, sa := range accs {
+		m := make(map[string]int, len(producer))
+		for k, v := range producer {
+			m[k] = v
+		}
+		producerBefore[i] = m
+		for k := range sa.minStore {
+			producer[k] = i
+		}
+	}
+	for c := len(accs) - 1; c >= 0; c-- {
+		for _, ld := range accs[c].loads {
+			p, ok := producerBefore[c][ld.key]
+			if !ok {
+				continue // external input
+			}
+			// The element is final once the producer's lowest-offset store
+			// (its last writer in iteration order) has passed it.
+			if need := lead[c] + ld.off - accs[p].minStore[ld.key]; need > lead[p] {
+				lead[p] = need
+			}
+		}
+	}
+	return lead
+}
+
+// RunStagesFused executes the pipeline stages as a strip-streamed sweep
+// with plane checksums at every (stage, strip) boundary. stripElems is the
+// per-strip iteration count of the most-downstream stage (values < 1
+// select 4096, the fingerprint block size); upstream stages run ahead by
+// their planned leads. Requires unit-stride loops. Results are identical
+// to RunStagesChecked — the same iterations run through the same bodies —
+// but corruption is detected at the first strip boundary after it happens
+// and the returned *PlaneCorruptionError carries the strip index. The
+// registry gains the same plane_checksum_* counters (accumulated per strip
+// boundary) plus an integrity.stage_corruption event with a strip field.
+func RunStagesFused(ctx context.Context, reg *obs.Registry, parent *obs.Span,
+	stages []Stage, env *Env, mode RoundMode, stripElems int) error {
+	if len(stages) == 0 {
+		return nil
+	}
+	if stripElems < 1 {
+		stripElems = checksumBlock
+	}
+	accs := make([]stageAccess, len(stages))
+	regfiles := make([][]value, len(stages))
+	for i, st := range stages {
+		if err := st.Loop.Validate(); err != nil {
+			return err
+		}
+		sa, err := analyzeStage(st.Loop)
+		if err != nil {
+			return err
+		}
+		accs[i] = sa
+		regfiles[i] = make([]value, len(st.Loop.Body))
+	}
+	lead := fusedLeads(accs)
+
+	var sp *obs.Span
+	if reg != nil {
+		if parent != nil {
+			sp = parent.Child("ir.fused_pipeline")
+		} else {
+			sp = reg.StartSpan("ir.fused_pipeline")
+		}
+		sp.SetAttr("stages", len(stages))
+		sp.SetAttr("strip_elems", stripElems)
+		defer sp.End()
+		for _, st := range stages {
+			reg.Counter("ir_loop_runs_total", obs.L("loop", st.Loop.Name)).Inc()
+			reg.Counter("ir_loop_trips_total", obs.L("loop", st.Loop.Name)).Add(uint64(st.N))
+		}
+	}
+
+	sums := map[string]integrity.PlaneSum{}
+	for _, a := range envArrays(env) {
+		sums[a.key] = integrity.SumElems(a.n, checksumBlock, a.hash)
+	}
+
+	// frontier(s, k): iterations of stage s completed after strip k.
+	frontier := func(s, k int) int {
+		if k < 0 {
+			return 0
+		}
+		f := (k+1)*stripElems + lead[s]
+		if f > stages[s].N {
+			f = stages[s].N
+		}
+		return f
+	}
+	strips := 1
+	for s := range stages {
+		if n := (stages[s].N - lead[s] + stripElems - 1) / stripElems; n > strips {
+			strips = n
+		}
+	}
+
+	for k := 0; k < strips; k++ {
+		for s, st := range stages {
+			i0, i1 := frontier(s, k-1), frontier(s, k)
+			for i := i0; i < i1; i++ {
+				if ctx != nil && (i-i0)%ctxStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return &resilience.DeadlineError{
+							Op: "exec." + st.Loop.Name, Cause: err, Completed: i, Total: st.N, Unit: "trips",
+						}
+					}
+				}
+				if err := runIter(st.Loop, env, i, mode, regfiles[s]); err != nil {
+					return err
+				}
+			}
+			if testAfterStageStrip != nil {
+				testAfterStageStrip(s, k, env)
+			}
+			if err := verifyStrip(reg, st.Loop.Name, accs[s], k, i0, i1, env, sums); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// verifyStrip is the (stage, strip) boundary check: untouched arrays are
+// verified in full; arrays the stage stores to are verified outside the
+// element range [i0+minOff, i1-1+maxOff] it legitimately wrote this strip,
+// then re-stamped over exactly that range.
+func verifyStrip(reg *obs.Registry, stage string, sa stageAccess, strip, i0, i1 int,
+	env *Env, sums map[string]integrity.PlaneSum) error {
+	lstage := obs.L("stage", stage)
+	var verified uint64
+	for _, a := range envArrays(env) {
+		ps, ok := sums[a.key]
+		if !ok {
+			sums[a.key] = integrity.SumElems(a.n, checksumBlock, a.hash)
+			continue
+		}
+		wlo, whi := 0, 0
+		if minOff, wrote := sa.minStore[a.key]; wrote && i1 > i0 {
+			wlo = i0 + minOff
+			whi = i1 + sa.maxStore[a.key]
+			if wlo < 0 {
+				wlo = 0
+			}
+			if whi > a.n {
+				whi = a.n
+			}
+		}
+		if err := ps.VerifyElemsExcept(a.n, wlo, whi, a.hash); err != nil {
+			pce := &PlaneCorruptionError{Stage: stage, Array: a.key, Strip: strip, Block: -1}
+			if ce, isCE := err.(*integrity.ChecksumError); isCE {
+				pce.Block, pce.Lo, pce.Hi = ce.Block, ce.Lo, ce.Hi
+			}
+			reg.Counter("plane_checksum_failed_total", lstage, obs.L("array", a.key)).Inc()
+			reg.Emit("integrity.stage_corruption", map[string]any{
+				"stage": stage, "array": a.key, "strip": strip,
+				"lo": pce.Lo, "hi": pce.Hi,
+			})
+			return pce
+		}
+		if whi > wlo {
+			ps.RestampElems(wlo, whi, a.hash)
+			sums[a.key] = ps
+		}
+		verified++
+	}
+	if verified > 0 {
+		reg.Counter("plane_checksum_verified_total", lstage).Add(verified)
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"simdstudy/internal/ir"
+	"simdstudy/internal/obs"
+)
+
+// offsetPipeline exercises nonzero element leads: stage "shift1" reads
+// src one element ahead, stage "shift2" reads mid two elements ahead, so
+// shift1 must run 2 iterations ahead of shift2 in a fused sweep.
+func offsetPipeline(n int) []Stage {
+	b1 := ir.NewBuilder("shift1")
+	v := b1.Load(ir.U8, "src", 1, 1)
+	one := b1.ConstInt(ir.U8, 1)
+	b1.Store(ir.U8, "mid", 1, 0, b1.Bin(ir.OpAdd, ir.U8, v, one))
+
+	b2 := ir.NewBuilder("shift2")
+	m := b2.Load(ir.U8, "mid", 1, 2)
+	two := b2.ConstInt(ir.U8, 2)
+	b2.Store(ir.U8, "dst", 1, 0, b2.Bin(ir.OpMul, ir.U8, m, two))
+
+	return []Stage{{Loop: b1.Done(), N: n - 1}, {Loop: b2.Done(), N: n - 3}}
+}
+
+func offsetEnv(n int) *Env {
+	env := NewEnv()
+	src := make([]uint8, n)
+	for i := range src {
+		src[i] = uint8(i)
+	}
+	env.U8["src"] = src
+	env.U8["mid"] = make([]uint8, n)
+	env.U8["dst"] = make([]uint8, n)
+	return env
+}
+
+func TestFusedLeadsFromOffsets(t *testing.T) {
+	stages := offsetPipeline(64)
+	accs := make([]stageAccess, len(stages))
+	for i, st := range stages {
+		sa, err := analyzeStage(st.Loop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs[i] = sa
+	}
+	lead := fusedLeads(accs)
+	if lead[0] != 2 || lead[1] != 0 {
+		t.Fatalf("leads %v, want [2 0]", lead)
+	}
+}
+
+// TestRunStagesFusedMatchesChecked: the fused sweep must produce results
+// identical to the staged checked runner across strip sizes, including
+// one-element strips and a strip covering everything.
+func TestRunStagesFusedMatchesChecked(t *testing.T) {
+	const n = 64
+	want := offsetEnv(n)
+	if err := RunStagesChecked(nil, nil, nil, offsetPipeline(n), want, RoundARM); err != nil {
+		t.Fatal(err)
+	}
+	for _, strip := range []int{1, 7, 16, n} {
+		env := offsetEnv(n)
+		if err := RunStagesFused(nil, nil, nil, offsetPipeline(n), env, RoundARM, strip); err != nil {
+			t.Fatalf("strip %d: %v", strip, err)
+		}
+		for i := range env.U8["dst"] {
+			if env.U8["dst"][i] != want.U8["dst"][i] {
+				t.Fatalf("strip %d: dst[%d] = %d, want %d", strip, i, env.U8["dst"][i], want.U8["dst"][i])
+			}
+		}
+	}
+}
+
+// TestRunStagesFusedRejectsNonUnitStride: strided access has no
+// well-defined strip frontier; the runner must refuse it up front.
+func TestRunStagesFusedRejectsNonUnitStride(t *testing.T) {
+	b := ir.NewBuilder("strided")
+	v := b.Load(ir.U8, "src", 2, 0)
+	b.Store(ir.U8, "dst", 1, 0, v)
+	env := NewEnv()
+	env.U8["src"] = make([]uint8, 64)
+	env.U8["dst"] = make([]uint8, 32)
+	err := RunStagesFused(nil, nil, nil, []Stage{{Loop: b.Done(), N: 32}}, env, RoundARM, 8)
+	if err == nil || !strings.Contains(err.Error(), "unit stride") {
+		t.Fatalf("got %v, want unit-stride rejection", err)
+	}
+}
+
+// TestRunStagesFusedAttributesWildWriteToStrip is the acceptance test for
+// strip-granular attribution: a wild write injected while stage "shift2"
+// runs strip 2 must surface as a *PlaneCorruptionError naming that stage
+// AND that strip, localized to the corrupt block.
+func TestRunStagesFusedAttributesWildWriteToStrip(t *testing.T) {
+	const n, strip = 64, 8
+	reg := obs.NewRegistry()
+	env := offsetEnv(n)
+	testAfterStageStrip = func(stage, k int, env *Env) {
+		if stage == 1 && k == 2 {
+			env.U8["src"][17] ^= 0x40
+		}
+	}
+	defer func() { testAfterStageStrip = nil }()
+
+	err := RunStagesFused(nil, reg, nil, offsetPipeline(n), env, RoundARM, strip)
+	if err == nil {
+		t.Fatal("wild write not detected")
+	}
+	if !errors.Is(err, ErrPlaneCorruption) {
+		t.Fatalf("error not tied to sentinel: %v", err)
+	}
+	var pce *PlaneCorruptionError
+	if !errors.As(err, &pce) {
+		t.Fatalf("got %T, want *PlaneCorruptionError", err)
+	}
+	if pce.Stage != "shift2" || pce.Strip != 2 || pce.Array != "u8:src" {
+		t.Fatalf("attributed to stage %q strip %d array %q, want shift2/2/u8:src", pce.Stage, pce.Strip, pce.Array)
+	}
+	if 17 < pce.Lo || 17 >= pce.Hi {
+		t.Fatalf("element 17 localized to [%d,%d)", pce.Lo, pce.Hi)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `plane_checksum_failed_total{array="u8:src",stage="shift2"} 1`) {
+		t.Fatalf("failure counter missing:\n%s", buf.String())
+	}
+}
+
+// TestRunStagesFusedCatchesWriterOwnArray: the partial restamp means a
+// wild write into the writer's OWN array is caught when it lands in a
+// fingerprint block outside the strip's legitimately-written range —
+// something the staged runner's whole-array restamp can never see.
+func TestRunStagesFusedCatchesWriterOwnArray(t *testing.T) {
+	const n = 10000 // several checksumBlock-sized fingerprint blocks
+	b := ir.NewBuilder("copy")
+	v := b.Load(ir.U8, "src", 1, 0)
+	b.Store(ir.U8, "dst", 1, 0, v)
+	stages := []Stage{{Loop: b.Done(), N: n}}
+	env := NewEnv()
+	env.U8["src"] = make([]uint8, n)
+	env.U8["dst"] = make([]uint8, n)
+
+	testAfterStageStrip = func(stage, k int, env *Env) {
+		if stage == 0 && k == 0 {
+			// Strip 0 legitimately writes dst[0:1000) — block 0. Scribble
+			// far ahead, in dst's block 2.
+			env.U8["dst"][9000] = 0xEE
+		}
+	}
+	defer func() { testAfterStageStrip = nil }()
+
+	err := RunStagesFused(nil, nil, nil, stages, env, RoundARM, 1000)
+	var pce *PlaneCorruptionError
+	if !errors.As(err, &pce) {
+		t.Fatalf("own-array wild write not detected: %v", err)
+	}
+	if pce.Stage != "copy" || pce.Strip != 0 || pce.Array != "u8:dst" {
+		t.Fatalf("attributed to %q/%d/%q, want copy/0/u8:dst", pce.Stage, pce.Strip, pce.Array)
+	}
+	if 9000 < pce.Lo || 9000 >= pce.Hi {
+		t.Fatalf("element 9000 localized to [%d,%d)", pce.Lo, pce.Hi)
+	}
+}
+
+// TestRunStagesFusedRestamp: a clean multi-strip run must end with
+// fingerprints consistent at every boundary (no false positives from the
+// partial restamp) and verified counters accumulated per strip.
+func TestRunStagesFusedRestamp(t *testing.T) {
+	const n = 9000
+	reg := obs.NewRegistry()
+	b1 := ir.NewBuilder("inc")
+	v := b1.Load(ir.U8, "src", 1, 0)
+	one := b1.ConstInt(ir.U8, 1)
+	b1.Store(ir.U8, "mid", 1, 0, b1.Bin(ir.OpAdd, ir.U8, v, one))
+	b2 := ir.NewBuilder("dbl")
+	m := b2.Load(ir.U8, "mid", 1, 0)
+	two := b2.ConstInt(ir.U8, 2)
+	b2.Store(ir.U8, "dst", 1, 0, b2.Bin(ir.OpMul, ir.U8, m, two))
+	stages := []Stage{{Loop: b1.Done(), N: n}, {Loop: b2.Done(), N: n}}
+	env := NewEnv()
+	src := make([]uint8, n)
+	for i := range src {
+		src[i] = uint8(i % 100)
+	}
+	env.U8["src"] = src
+	env.U8["mid"] = make([]uint8, n)
+	env.U8["dst"] = make([]uint8, n)
+
+	if err := RunStagesFused(nil, reg, nil, stages, env, RoundARM, 1000); err != nil {
+		t.Fatal(err)
+	}
+	for i := range env.U8["dst"] {
+		if want := uint8(i%100+1) * 2; env.U8["dst"][i] != want {
+			t.Fatalf("dst[%d] = %d, want %d", i, env.U8["dst"][i], want)
+		}
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `plane_checksum_verified_total{stage="inc"}`) {
+		t.Fatalf("verified counter missing:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "plane_checksum_failed_total") {
+		t.Fatalf("clean fused pipeline recorded failures:\n%s", buf.String())
+	}
+}

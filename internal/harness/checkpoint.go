@@ -106,6 +106,12 @@ func campaignFingerprint(bench string, res image.Resolution, cfg CampaignConfig,
 			fmt.Sprintf("noguard=%t", cfg.GuardDisabled),
 		)
 	}
+	// Appended only when fusion is on, for the same reason: the fused path
+	// is bit-identical, but a journal should still name the config that
+	// produced it.
+	if cfg.Fuse.Enabled {
+		parts = append(parts, fmt.Sprintf("fuse=%d", cfg.Fuse.StripRows))
+	}
 	return fingerprint(parts...)
 }
 

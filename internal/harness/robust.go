@@ -100,6 +100,14 @@ func benchSpecFor(bench string) (benchSpec, error) {
 				return o.DetectEdges(src, dst, 100)
 			},
 		}, nil
+	case "Canny":
+		return benchSpec{
+			dstKind: image.U8,
+			tol:     exactTol,
+			run: func(o *cv.Ops, src, dst *image.Mat) error {
+				return o.Canny(src, dst, 60, 200)
+			},
+		}, nil
 	}
 	return benchSpec{}, fmt.Errorf("harness: unknown benchmark %q", bench)
 }
@@ -438,6 +446,14 @@ type CampaignConfig struct {
 	// report and land in the audit_* metric families.
 	AuditRate float64
 	AuditSeed uint64
+	// Fuse, when enabled, runs multi-stage kernels (Canny, EdgDet) as
+	// cache-blocked fused sweeps instead of staged full-plane passes. Clean
+	// fused runs are byte- and count-identical to staged runs; under
+	// injection the per-(pass, row) fault schedule lands on the fused pass
+	// structure, so individual fault placements (not the mechanism) differ
+	// from a staged campaign. The fingerprint records the fusion config so
+	// staged and fused journals never mix.
+	Fuse cv.FuseConfig
 	// GuardDisabled runs the campaign without the guard referee, so
 	// injected corruption reaches outputs silently except where an audit
 	// samples the call — the configuration that turns the injection plan
@@ -549,6 +565,7 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 			o.SetAuditor(aud)
 		}
 		o.SetParallel(cfg.Parallel)
+		o.SetFuse(cfg.Fuse)
 		o.SetFaultInjector(plan)
 		o.SetObserver(cfg.Obs)
 		if wd != nil {

@@ -126,6 +126,58 @@ func (p PlaneSum) VerifyElems(n int, hash func(h uint32, i int) uint32) error {
 	return nil
 }
 
+// RestampElems recomputes the fingerprint blocks overlapping elements
+// [lo, hi), leaving all other blocks untouched. Valid because each block's
+// FNV-1a sum depends only on that block's own elements: a caller that
+// legitimately rewrote a bounded element range (a fused pipeline strip)
+// can refresh exactly the affected blocks instead of re-summing the whole
+// plane.
+func (p *PlaneSum) RestampElems(lo, hi int, hash func(h uint32, i int) uint32) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > p.Total {
+		hi = p.Total
+	}
+	if lo >= hi || p.Block <= 0 {
+		return
+	}
+	for bi := lo / p.Block; bi < len(p.Sums) && bi*p.Block < hi; bi++ {
+		b0 := bi * p.Block
+		b1 := min(b0+p.Block, p.Total)
+		h := fnvOffset
+		for i := b0; i < b1; i++ {
+			h = hash(h, i)
+		}
+		p.Sums[bi] = h
+	}
+}
+
+// VerifyElemsExcept is VerifyElems skipping every block that overlaps
+// elements [lo, hi) — the region a pipeline stage legitimately wrote this
+// strip. A wild write landing in the same array but outside the written
+// range is still caught; lo >= hi degrades to a full VerifyElems.
+func (p PlaneSum) VerifyElemsExcept(n, lo, hi int, hash func(h uint32, i int) uint32) error {
+	if n != p.Total {
+		return &ChecksumError{Block: -1, Lo: p.Total, Hi: n}
+	}
+	for bi, want := range p.Sums {
+		b0 := bi * p.Block
+		b1 := min(b0+p.Block, n)
+		if lo < hi && b0 < hi && lo < b1 {
+			continue
+		}
+		h := fnvOffset
+		for i := b0; i < b1; i++ {
+			h = hash(h, i)
+		}
+		if h != want {
+			return &ChecksumError{Block: bi, Lo: b0, Hi: b1}
+		}
+	}
+	return nil
+}
+
 // SumBytes fingerprints data in blocks of block bytes. block <= 0 selects
 // 4096.
 func SumBytes(data []byte, block int) PlaneSum {

@@ -72,6 +72,12 @@ var kernels = map[string]kernelSpec{
 			return o.DetectEdgesCtx(ctx, src, dst, 128)
 		},
 	},
+	"canny": {
+		name: "Canny", srcKind: image.U8, dst: sameDims(image.U8),
+		run: func(ctx context.Context, o *cv.Ops, src, dst *image.Mat) error {
+			return o.CannyCtx(ctx, src, dst, 60, 200)
+		},
+	},
 	"median": {
 		name: "MedianBlur3x3", srcKind: image.U8, dst: sameDims(image.U8),
 		run: func(ctx context.Context, o *cv.Ops, src, dst *image.Mat) error {

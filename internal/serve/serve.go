@@ -60,6 +60,12 @@ type Config struct {
 	// compose without oversubscribing cores (the shared band pool bounds
 	// true parallelism regardless; this only keeps queue sizing honest).
 	Parallel cv.ParallelConfig
+	// Fuse, when enabled, runs multi-stage kernels (canny, edges) as
+	// cache-blocked fused sweeps: intermediates live in rolling strip
+	// windows sized to Fuse.Caches (or StripRows) instead of full planes.
+	// Responses are byte-identical to staged execution; the server
+	// additionally exports fused_plane_bytes_saved_total.
+	Fuse cv.FuseConfig
 	// Registry receives all metrics, spans, and events; nil allocates a
 	// private one.
 	Registry *obs.Registry
@@ -264,6 +270,7 @@ func NewServer(cfg Config) *Server {
 			o.SetBreakers(s.brk)
 			o.SetObserver(s.reg)
 			o.SetParallel(cfg.Parallel)
+			o.SetFuse(cfg.Fuse)
 			o.SetSupervisor(s.sup)
 			if s.wd != nil {
 				o.SetWatchdog(s.wd)

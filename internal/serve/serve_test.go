@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"simdstudy/internal/cv"
 	"simdstudy/internal/faults"
 	"simdstudy/internal/vec"
 )
@@ -316,5 +317,50 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached within 2s")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFusedServing: with fusion enabled, the multi-stage kernels must
+// return the same checksums as a staged server — byte-identical responses
+// — and the /metrics endpoint must carry a growing
+// fused_plane_bytes_saved_total.
+func TestFusedServing(t *testing.T) {
+	staged := NewServer(Config{})
+	tsStaged := httptest.NewServer(staged.Handler())
+	defer tsStaged.Close()
+	fused := NewServer(Config{Fuse: cv.FuseConfig{Enabled: true, StripRows: 17}})
+	tsFused := httptest.NewServer(fused.Handler())
+	defer tsFused.Close()
+
+	for _, q := range []string{
+		"kernel=canny&width=130&height=97&isa=neon",
+		"kernel=canny&width=130&height=97&isa=sse2",
+		"kernel=edges&width=130&height=97&isa=neon",
+		"kernel=gaussian&width=64&height=48&isa=neon", // unfused kernel unaffected
+	} {
+		code, want := get(t, tsStaged.URL+"/process?"+q)
+		if code != http.StatusOK {
+			t.Fatalf("staged %s: status %d body %v", q, code, want)
+		}
+		code, got := get(t, tsFused.URL+"/process?"+q)
+		if code != http.StatusOK {
+			t.Fatalf("fused %s: status %d body %v", q, code, got)
+		}
+		if got["checksum"] != want["checksum"] {
+			t.Errorf("%s: fused checksum %v != staged %v", q, got["checksum"], want["checksum"])
+		}
+	}
+
+	resp, err := http.Get(tsFused.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "fused_plane_bytes_saved_total") {
+		t.Errorf("fused server metrics lack fused_plane_bytes_saved_total:\n%s", b)
+	}
+	if strings.Contains(string(b), `fused_plane_bytes_saved_total{isa="neon",kernel="Canny"} 0`) {
+		t.Errorf("fused Canny bytes-saved counter is zero")
 	}
 }

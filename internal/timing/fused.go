@@ -1,0 +1,179 @@
+package timing
+
+// Fused-pipeline memory-traffic model. TrafficPerPixel replays each pass
+// over the full image back to back — at the paper's resolutions every
+// intermediate plane is evicted between passes, so each stage boundary
+// costs a plane-sized round trip through DRAM. FusedTrafficPerPixel
+// replays the same accesses in the strip-interleaved order the cv
+// package's fused kernels execute: stages advance together one strip at a
+// time and intermediates are addressed inside rolling windows whose
+// footprint is the strip height plus the stage's lead — sized (by
+// fuse.Plan.AutoStripRows) to fit the platform's modeled caches. The
+// windows therefore stay resident across stages and the sweep's DRAM
+// traffic collapses to the external source, the full output plane(s), and
+// cold-line fills.
+//
+// The window model addresses element (y, x) of stage i at row y modulo
+// the window's planned capacity. The cv implementation carries halo rows
+// by copying instead of wrapping (vector loads cannot straddle a wrap
+// seam), but the cache footprint of both schemes is the same window, so
+// the modulo address stream models the same residency.
+
+import (
+	"fmt"
+
+	"simdstudy/internal/cache"
+	"simdstudy/internal/cv"
+	"simdstudy/internal/fuse"
+	"simdstudy/internal/platform"
+)
+
+// fusedStream is one input of a fused stage: elements of a producing
+// stage's window (or the external source plane, stage -1) touched per
+// output pixel.
+type fusedStream struct {
+	stage  int // producing stage index, or -1 for the external source
+	elem   int
+	rowOff []int
+	colOff []int
+}
+
+// fusedBench returns the fused stage graph and per-stage read streams for
+// a benchmark, mirroring internal/cv's fused plans. The boolean reports
+// whether a trailing full-plane pass (Canny's hysteresis: read the marker
+// plane, write dst) follows the sweep.
+func fusedBench(bench string, w int) (fuse.Plan, [][]fusedStream, bool, error) {
+	center := []int{0}
+	three := []int{-1, 0, 1}
+	outer := []int{-1, 1}
+	sobel := [][]fusedStream{
+		{{stage: -1, elem: 1, rowOff: center, colOff: outer}},
+		{{stage: 0, elem: 2, rowOff: three, colOff: center}},
+		{{stage: -1, elem: 1, rowOff: center, colOff: three}},
+		{{stage: 2, elem: 2, rowOff: outer, colOff: center}},
+	}
+	switch bench {
+	case "Canny":
+		reads := append(sobel, []fusedStream{
+			{stage: 1, elem: 2, rowOff: center, colOff: center},
+			{stage: 3, elem: 2, rowOff: center, colOff: center},
+		}, []fusedStream{
+			{stage: 4, elem: 2, rowOff: three, colOff: three},
+			{stage: 1, elem: 2, rowOff: center, colOff: center},
+			{stage: 3, elem: 2, rowOff: center, colOff: center},
+		})
+		return cv.CannyFusePlan(), reads, true, nil
+	case "EdgDet":
+		reads := append(sobel, []fusedStream{
+			{stage: 1, elem: 2, rowOff: center, colOff: center},
+			{stage: 3, elem: 2, rowOff: center, colOff: center},
+		})
+		return cv.EdgesFusePlan(w), reads, false, nil
+	}
+	return fuse.Plan{}, nil, false, fmt.Errorf("timing: no fused model for benchmark %q", bench)
+}
+
+// FusedTrafficPerPixel replays a benchmark's fused (strip-streamed)
+// access stream through the platform's cache hierarchy and returns
+// steady-state DRAM bytes per pixel. stripRows <= 0 sizes strips from the
+// platform's modeled caches, as the fused kernels do. Only pipelines with
+// a fused plan ("Canny", "EdgDet") are supported; compare against
+// TrafficPerPixel for the staged cost of the same pipeline.
+func FusedTrafficPerPixel(bench string, p platform.Platform, w, stripRows int) (float64, error) {
+	key := fmt.Sprintf("fused/%s/%s/%d/%d", bench, p.Name, w, stripRows)
+	trafficMu.Lock()
+	defer trafficMu.Unlock()
+	if v, ok := trafficCache[key]; ok {
+		return v, nil
+	}
+	plan, reads, tail, err := fusedBench(bench, w)
+	if err != nil {
+		return 0, err
+	}
+	const nominalH = 1920 // the 5 Mpx class's height; only strip sizing uses it
+	if stripRows <= 0 {
+		stripRows = plan.AutoStripRows(nominalH, w, p.M.Caches)
+	}
+	// Warm one strip, measure four more: enough rows that cold-fill
+	// transients amortize away like TrafficPerPixel's warm rows do.
+	const warmStrips, measureStrips = 1, 4
+	h := stripRows * (warmStrips + measureStrips)
+	g, err := plan.Geometry(h, stripRows)
+	if err != nil {
+		return 0, err
+	}
+	hier, err := cache.NewHierarchy(p.M.Caches...)
+	if err != nil {
+		return 0, err
+	}
+
+	// Address planes: the external source below the stage windows, each
+	// stage's plane (window capacity or full height) above.
+	planeBase := func(plane int) uint64 { return uint64(plane+1) << 28 }
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	addr := func(stage, y, x, elem int) uint64 {
+		row := y
+		if stage >= 0 && stage < len(plan.Stages) && !plan.Stages[stage].Full {
+			row = y % g.Cap[stage]
+		}
+		return planeBase(stage) + uint64((row*w+x)*elem)
+	}
+
+	var afterWarm uint64
+	for k := 0; k < g.Strips; k++ {
+		if k == warmStrips {
+			afterWarm = hier.DRAMBytes()
+		}
+		for i := range plan.Stages {
+			y0, y1 := g.StageRows(i, k)
+			elem := plan.Stages[i].Elem
+			for y := y0; y < y1; y++ {
+				for x := 0; x < w; x++ {
+					for _, s := range reads[i] {
+						for _, ro := range s.rowOff {
+							for _, co := range s.colOff {
+								yy, xx := clamp(y+ro, h-1), clamp(x+co, w-1)
+								hier.Access(addr(s.stage, yy, xx, s.elem), s.elem, false)
+							}
+						}
+					}
+					hier.Access(addr(i, y, x, elem), elem, true)
+				}
+			}
+		}
+	}
+	sweepBytes := float64(hier.DRAMBytes() - afterWarm)
+	measuredPx := float64((h - g.Frontier(len(plan.Stages)-1, warmStrips-1) - 1) * w)
+	perPixel := sweepBytes / measuredPx
+
+	if tail {
+		// Canny's hysteresis runs staged after the sweep: one linear read
+		// of the full marker plane, one linear write of dst. Measure it
+		// like a staged pass, on the same (un-reset) hierarchy.
+		const warmRows, measureRows = 6, 16
+		last := len(plan.Stages) - 1
+		dstPlane := len(plan.Stages)
+		var tailWarm uint64
+		for y := 0; y < warmRows+measureRows; y++ {
+			if y == warmRows {
+				tailWarm = hier.DRAMBytes()
+			}
+			for x := 0; x < w; x++ {
+				hier.Access(addr(last, y, x, 1), 1, false)
+				hier.Access(addr(dstPlane, y, x, 1), 1, true)
+			}
+		}
+		perPixel += float64(hier.DRAMBytes()-tailWarm) / float64(measureRows*w)
+	}
+
+	trafficCache[key] = perPixel
+	return perPixel, nil
+}

@@ -1,0 +1,55 @@
+package timing
+
+import (
+	"testing"
+
+	"simdstudy/internal/image"
+	"simdstudy/internal/platform"
+)
+
+// TestFusedTrafficBeatsStaged is the acceptance check for the fusion
+// memory model at the paper's 5 Mpx class: streaming the Canny pipeline
+// through cache-sized strips must cut modeled DRAM bytes per pixel by at
+// least 30% versus the staged replay, on both an ARM and an Intel
+// hierarchy. The same must hold for the two-stage-graph EdgDet pipeline.
+func TestFusedTrafficBeatsStaged(t *testing.T) {
+	w := image.Res5MP.Width
+	for _, p := range []platform.Platform{platform.OdroidX(), platform.CoreI53360M(), platform.AtomD510()} {
+		for _, bench := range []string{"Canny", "EdgDet"} {
+			staged, err := TrafficPerPixel(bench, p, w)
+			if err != nil {
+				t.Fatalf("%s/%s staged: %v", p.Name, bench, err)
+			}
+			fused, err := FusedTrafficPerPixel(bench, p, w, 0)
+			if err != nil {
+				t.Fatalf("%s/%s fused: %v", p.Name, bench, err)
+			}
+			t.Logf("%s %s: staged %.2f B/px, fused %.2f B/px (%.0f%% less)",
+				p.Name, bench, staged, fused, 100*(1-fused/staged))
+			if fused >= 0.7*staged {
+				t.Errorf("%s %s: fused %.2f B/px is not >=30%% below staged %.2f B/px",
+					p.Name, bench, fused, staged)
+			}
+			if fused <= 0 {
+				t.Errorf("%s %s: fused traffic %.2f not positive", p.Name, bench, fused)
+			}
+		}
+	}
+}
+
+// TestFusedTrafficExplicitStripRows: forcing a small explicit strip height
+// must still produce a finite, positive estimate (the kernels accept
+// -strip-rows overrides), and an unknown benchmark must error.
+func TestFusedTrafficExplicitStripRows(t *testing.T) {
+	p := platform.OdroidX()
+	v, err := FusedTrafficPerPixel("Canny", p, 640, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Fatalf("got %.3f, want positive traffic", v)
+	}
+	if _, err := FusedTrafficPerPixel("Mixer", p, 640, 0); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -120,6 +120,10 @@ func runBench(o *cv.Ops, bench string) error {
 		src := image.Synthetic(res, 1)
 		dst := image.NewMat(probeW, probeH, image.U8)
 		return o.DetectEdges(src, dst, 100)
+	case "Canny":
+		src := image.Synthetic(res, 1)
+		dst := image.NewMat(probeW, probeH, image.U8)
+		return o.Canny(src, dst, 60, 200)
 	}
 	return fmt.Errorf("timing: unknown benchmark %q", bench)
 }
@@ -189,6 +193,8 @@ func benchPasses(bench string) ([]pass, error) {
 		tmp2
 		gx
 		gy
+		mag
+		nms
 		dst
 	)
 	center := []int{0}
@@ -221,6 +227,18 @@ func benchPasses(bench string) ([]pass, error) {
 			{reads: []stream{{src, 1, center, []int{-1, 0, 1}}}, writes: []stream{{tmp2, 2, center, center}}},
 			{reads: []stream{{tmp2, 2, []int{-1, 1}, center}}, writes: []stream{{gy, 2, center, center}}},
 			{reads: []stream{{gx, 2, center, center}, {gy, 2, center, center}}, writes: []stream{{dst, 1, center, center}}},
+		}, nil
+	case "Canny":
+		three := []int{-1, 0, 1}
+		return []pass{
+			{reads: []stream{{src, 1, center, []int{-1, 1}}}, writes: []stream{{tmp, 2, center, center}}},
+			{reads: []stream{{tmp, 2, three, center}}, writes: []stream{{gx, 2, center, center}}},
+			{reads: []stream{{src, 1, center, three}}, writes: []stream{{tmp2, 2, center, center}}},
+			{reads: []stream{{tmp2, 2, []int{-1, 1}, center}}, writes: []stream{{gy, 2, center, center}}},
+			{reads: []stream{{gx, 2, center, center}, {gy, 2, center, center}}, writes: []stream{{mag, 2, center, center}}},
+			{reads: []stream{{mag, 2, three, three}, {gx, 2, center, center}, {gy, 2, center, center}},
+				writes: []stream{{nms, 1, center, center}}},
+			{reads: []stream{{nms, 1, center, center}}, writes: []stream{{dst, 1, center, center}}},
 		}, nil
 	}
 	return nil, fmt.Errorf("timing: unknown benchmark %q", bench)
