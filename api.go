@@ -28,6 +28,7 @@ import (
 	"simdstudy/internal/harness"
 	"simdstudy/internal/image"
 	"simdstudy/internal/integrity"
+	"simdstudy/internal/memo"
 	"simdstudy/internal/neon"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/obs/tsdb"
@@ -616,11 +617,68 @@ func NewIntegrityScoreboard(cfg IntegrityScoreboardConfig, reg *MetricsRegistry)
 // the default block size); verify later with PlaneChecksum.VerifyMat.
 func ChecksumMat(m *Mat, blockRows int) PlaneChecksum { return integrity.SumMat(m, blockRows) }
 
+// --- Result memoization ---
+
+// MemoConfig sizes the content-addressed result cache: the total byte
+// budget (MaxBytes <= 0 disables memoization), the shard count, an
+// optional kernel enable-list, and the metrics registry the cache reports
+// into. Attach it with ServeConfig.Memo, or build a standalone cache with
+// NewMemoCache for CampaignConfig.Memo.
+type MemoConfig = memo.Config
+
+// MemoCache is a sharded, byte-budgeted LRU over kernel results, keyed by
+// the content of (kernel, ISA, parameters, input plane). Lookups verify
+// the stored plane's checksum before serving it — a corrupt entry is
+// evicted and recomputed, never served — and concurrent identical misses
+// coalesce into a single execution.
+type MemoCache = memo.Cache
+
+// MemoStats is a point-in-time cache summary: occupancy against budget
+// and the lifetime hit/miss/coalesce/eviction tallies.
+type MemoStats = memo.Stats
+
+// MemoKey identifies one cacheable result by content, not by request
+// identity; derive it with MemoKeyFor.
+type MemoKey = memo.Key
+
+// MemoOutcome classifies one MemoCache.Do call.
+type MemoOutcome = memo.Outcome
+
+// Memoization outcomes.
+const (
+	MemoBypass    = memo.Bypass
+	MemoHit       = memo.Hit
+	MemoMiss      = memo.Miss
+	MemoCoalesced = memo.Coalesced
+)
+
+// NewMemoCache builds a result cache from cfg; it returns nil (a valid,
+// always-miss cache) when cfg disables memoization.
+func NewMemoCache(cfg MemoConfig) *MemoCache { return memo.New(cfg) }
+
+// MemoKeyFor derives the content key for one kernel execution: the kernel
+// and ISA names (the ISA is part of the key because hand-SIMD rounding may
+// legitimately differ from scalar), the fixed-parameter signature, and a
+// fingerprint of the input plane.
+func MemoKeyFor(kernel, isa, params string, src *Mat) MemoKey {
+	return memo.KeyFor(kernel, isa, params, src)
+}
+
+// MemoBenchResult compares verified-cache-hit latency against direct
+// kernel execution for one benchmark and size.
+type MemoBenchResult = harness.MemoBenchResult
+
+// RunMemoBench measures a benchmark's hit-versus-compute latency on the
+// NEON path (see cmd/simdbench -memo).
+func RunMemoBench(bench string, res Resolution) (MemoBenchResult, error) {
+	return harness.RunMemoBench(bench, res)
+}
+
 // --- Serving ---
 
 // ServeConfig tunes the HTTP serving front-end: admission bounds,
 // deadlines, guard policy, breaker policy, stall deadline and quarantine
-// policy.
+// policy, and result memoization (ServeConfig.Memo).
 type ServeConfig = serve.Config
 
 // Server is the hardened HTTP front-end over the kernel pipeline; see

@@ -9,6 +9,7 @@ package simdstudy
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -199,6 +200,55 @@ func BenchmarkHostConvertAuditedOff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := o.ConvertF32ToS16(src, dst); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchMemoConvert builds the 5 Mpx conversion workload the memoization
+// benchmarks share: the acceptance floor is a verified cache hit at least
+// 5x faster than recomputing this kernel at 2592x1920.
+func benchMemoConvert() (src, dst *Mat, o *Ops) {
+	src = SyntheticF32(Res5MP, 1)
+	dst = NewMat(Res5MP.Width, Res5MP.Height, S16)
+	o = NewOps(ISANEON, nil)
+	return src, dst, o
+}
+
+// BenchmarkHostConvertMemoCompute is the memoization baseline: direct
+// kernel execution of the 5 Mpx conversion, the cost a cache miss pays.
+func BenchmarkHostConvertMemoCompute(b *testing.B) {
+	src, dst, o := benchMemoConvert()
+	b.SetBytes(int64(src.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := o.ConvertF32ToS16(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostConvertMemoHit measures a verified cache hit on the same
+// workload: checksum the stored plane, copy it into dst. The CI alloc
+// gate (benchjson -fail-allocs '^BenchmarkHostConvert') holds this at
+// 0 allocs/op — the hit path must not allocate.
+func BenchmarkHostConvertMemoHit(b *testing.B) {
+	src, dst, o := benchMemoConvert()
+	cache := NewMemoCache(MemoConfig{MaxBytes: 256 << 20, Shards: 1})
+	key := MemoKeyFor("ConvertF32ToS16", "neon", "f32s16", src)
+	ctx := context.Background()
+	compute := func(context.Context) error { return o.ConvertF32ToS16(src, dst) }
+	if _, err := cache.Do(ctx, key, dst, compute); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(dst.Bytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outcome, err := cache.Do(ctx, key, dst, compute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if outcome != MemoHit {
+			b.Fatalf("outcome = %v; want hit", outcome)
 		}
 	}
 }

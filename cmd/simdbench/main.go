@@ -12,6 +12,7 @@
 //	simdbench -faults -metrics-out m.prom -events-out e.jsonl -chrome-trace t.json
 //	simdbench -bench GauBlu -faults -resume /var/tmp/ckpt     # crash-safe campaign
 //	simdbench -bench GauBlu -grid -resume /var/tmp/ckpt       # crash-safe CSV grid
+//	simdbench -bench ConvertFloatShort -memo -size 2592x1920  # cache hit vs compute
 //	simdbench -list
 //
 // With -resume DIR, the fault campaign and the grid journal every completed
@@ -53,6 +54,7 @@ func main() {
 	auditFloor := flag.Float64("audit-floor", -1, "measure the audit detection rate against a guard-free rate-1.0 reference campaign and exit 1 below this fraction; requires -faults and -audit-rate > 0 (negative = no gate)")
 	fuseOn := flag.Bool("fuse", false, "run multi-stage kernels (Canny, EdgDet) as cache-blocked fused sweeps; also prints the fused DRAM bytes/pixel model")
 	stripRows := flag.Int("strip-rows", 0, "strip height for -fuse (0 = size from the platform's modeled caches)")
+	memoOn := flag.Bool("memo", false, "measure the result cache: verified-hit latency vs direct kernel execution at -size")
 	energy := flag.Bool("energy", false, "also print the energy-per-image extension")
 	grid := flag.Bool("grid", false, "emit the full platforms x sizes grid as CSV instead of the single-size table")
 	resumeDir := flag.String("resume", "", "journal completed work to this directory and resume from it after a crash")
@@ -149,6 +151,21 @@ func main() {
 			fail(gateDetectionRate(reg, rep, *benchName, vres, ccfg, *auditFloor))
 		}
 		fmt.Println()
+	}
+
+	if *memoOn {
+		mSpan := reg.StartSpan("memo."+*benchName, obs.L("size", res.Name))
+		r, err := harness.RunMemoBench(*benchName, res)
+		mSpan.End()
+		fail(err)
+		fmt.Printf("Result cache, %s at %s (NEON, best-of-N):\n", *benchName, res.Name)
+		fmt.Printf("  %-18s %10.3f ms\n", "compute (cold)", r.ColdSeconds*1e3)
+		fmt.Printf("  %-18s %10.3f ms  (checksum-verified copy)\n", "cache hit", r.HitSeconds*1e3)
+		fmt.Printf("  %-18s %9.1fx\n", "speedup", r.Speedup)
+		fmt.Println()
+		if !r.Identical {
+			fail(fmt.Errorf("memo: cache hit served a plane that differs from direct computation"))
+		}
 	}
 
 	if *grid {

@@ -6,15 +6,25 @@
 // 429 (deliberately shed) — or if the transport fails, so CI can use it
 // as a pass/fail oracle.
 //
+// Duplicate-traffic mode (-dup-keys N) exercises the server's result
+// cache: instead of a rotating unique mix, requests draw from a fixed
+// population of N distinct (kernel, ISA, seed) tuples under a Zipf
+// popularity law (-zipf), the deterministic shape of real repeated
+// traffic. The report then includes the memo outcome breakdown from the
+// X-Memo response headers, and -dup-hit-floor F fails the run (exit 1)
+// when the hit+coalesce rate over memoized responses falls below F.
+//
 // Usage:
 //
 //	simdload -url http://127.0.0.1:8080 -duration 30s -concurrency 8 -deadline-ms 100
+//	simdload -dup-keys 40 -zipf 1.3 -dup-seed 11 -dup-hit-floor 0.5
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strings"
@@ -31,7 +41,16 @@ func main() {
 	kernelList := flag.String("kernels", "gaussian,sobel,edges,median,resize,threshold,convert",
 		"comma-separated kernels to exercise")
 	isaList := flag.String("isas", "neon,sse2,scalar", "comma-separated ISAs to exercise")
+	dupKeys := flag.Int("dup-keys", 0, "duplicate-traffic mode: draw requests from this many distinct (kernel, isa, seed) tuples (0 = unique rotating mix)")
+	zipfS := flag.Float64("zipf", 1.2, "Zipf exponent for -dup-keys popularity (must be > 1; larger = more skewed)")
+	dupSeed := flag.Uint64("dup-seed", 1, "deterministic seed for the -dup-keys draw")
+	dupHitFloor := flag.Float64("dup-hit-floor", 0, "fail (exit 1) when the memo hit+coalesce rate falls below this fraction (0 = no floor)")
 	flag.Parse()
+
+	if *dupKeys > 0 && *zipfS <= 1 {
+		fmt.Fprintf(os.Stderr, "simdload: -zipf %g: want > 1\n", *zipfS)
+		os.Exit(2)
+	}
 
 	var w, h int
 	if _, err := fmt.Sscanf(*size, "%dx%d", &w, &h); err != nil || w < 1 || h < 1 {
@@ -50,6 +69,7 @@ func main() {
 	var (
 		mu       sync.Mutex
 		byStatus = map[int]int{}
+		byMemo   = map[string]int{}
 		errs     int
 		firstErr string
 	)
@@ -60,9 +80,26 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker generator: the draw sequence is deterministic for a
+			// given (-dup-seed, worker) pair, independent of scheduling.
+			var zipf *rand.Zipf
+			if *dupKeys > 0 {
+				rng := rand.New(rand.NewSource(int64(*dupSeed) + int64(wkr)))
+				zipf = rand.NewZipf(rng, *zipfS, 1, uint64(*dupKeys-1))
+			}
 			for i := wkr; time.Now().Before(stop); i++ {
+				kernel, isa, seed := kernels[i%len(kernels)], isas[i%len(isas)], uint64(i%16+1)
+				if zipf != nil {
+					// Map the drawn tuple index to (kernel, isa, seed). The
+					// seed alone makes each index a distinct content key, so
+					// the population is exactly -dup-keys keys.
+					idx := zipf.Uint64()
+					kernel = kernels[idx%uint64(len(kernels))]
+					isa = isas[idx%uint64(len(isas))]
+					seed = idx + 1
+				}
 				url := fmt.Sprintf("%s/process?kernel=%s&isa=%s&width=%d&height=%d&seed=%d&deadline_ms=%d",
-					*base, kernels[i%len(kernels)], isas[i%len(isas)], w, h, i%16+1, *deadlineMS)
+					*base, kernel, isa, w, h, seed, *deadlineMS)
 				resp, err := client.Get(url)
 				mu.Lock()
 				if err != nil {
@@ -72,6 +109,9 @@ func main() {
 					}
 				} else {
 					byStatus[resp.StatusCode]++
+					if m := resp.Header.Get("X-Memo"); m != "" {
+						byMemo[m]++
+					}
 				}
 				mu.Unlock()
 				if err == nil {
@@ -100,11 +140,28 @@ func main() {
 	if firstErr != "" {
 		fmt.Printf("simdload: first transport error: %s\n", firstErr)
 	}
+	belowFloor := false
+	if *dupKeys > 0 {
+		served := byMemo["hit"] + byMemo["coalesced"] + byMemo["miss"]
+		rate := 0.0
+		if served > 0 {
+			rate = float64(byMemo["hit"]+byMemo["coalesced"]) / float64(served)
+		}
+		fmt.Printf("simdload: memo traffic: keys=%d zipf=%g hit=%d coalesced=%d miss=%d hit-rate=%.1f%%\n",
+			*dupKeys, *zipfS, byMemo["hit"], byMemo["coalesced"], byMemo["miss"], 100*rate)
+		if served == 0 {
+			fmt.Println("simdload: no memoized responses (is the server running with -memo-bytes?)")
+			belowFloor = *dupHitFloor > 0
+		} else if rate < *dupHitFloor {
+			fmt.Printf("simdload: hit rate %.3f below floor %.3f\n", rate, *dupHitFloor)
+			belowFloor = true
+		}
+	}
 	if total == 0 {
 		fmt.Println("simdload: no requests completed")
 		os.Exit(1)
 	}
-	if bad > 0 || errs > 0 {
+	if bad > 0 || errs > 0 || belowFloor {
 		os.Exit(1)
 	}
 }

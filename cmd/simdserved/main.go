@@ -18,6 +18,8 @@
 //	GET /livez     supervision view: in-flight requests, stalls, quarantines
 //	GET /integrity corruption-defense view: audit sampler rates and tallies,
 //	               per-(kernel, ISA) corruption scores, quarantined pairs
+//	GET /memo      result-cache view: occupancy, hit/miss/coalesce tallies,
+//	               per-(kernel, ISA) entry breakdown, in-flight coalescing
 //	GET /metrics   Prometheus text exposition (?format=openmetrics adds
 //	               trace-ID exemplars on histogram buckets and # EOF)
 //	GET /metrics/stream   live telemetry frames over Server-Sent Events
@@ -41,6 +43,14 @@
 // -audit-rate is the self-soak: injected corruption should surface on
 // /integrity and in corruption_detected_total.
 //
+// Memoization: -memo-bytes B caches kernel results keyed by the content of
+// (kernel, ISA, parameters, input plane), serving repeated identical
+// requests from a checksum-verified copy (X-Memo: hit) and coalescing
+// concurrent identical misses into one execution (X-Memo: coalesced).
+// Quarantining a (kernel, ISA) pair drops its cached entries, so a cache
+// never replays results from a unit later judged corrupt. -memo-kernels
+// restricts memoization to a comma-separated kernel subset.
+//
 // SIGINT/SIGTERM starts a graceful drain: /readyz flips to 503, in-flight
 // requests finish, then the listener closes.
 package main
@@ -59,6 +69,7 @@ import (
 
 	"simdstudy/internal/cv"
 	"simdstudy/internal/faults"
+	"simdstudy/internal/memo"
 	"simdstudy/internal/resilience"
 	"simdstudy/internal/serve"
 	"simdstudy/internal/super"
@@ -91,6 +102,8 @@ func main() {
 	sloLatencyTarget := flag.Float64("slo-latency-target", 0.99, "fraction of requests that must meet the latency objective")
 	sloAvailTarget := flag.Float64("slo-availability-target", 0.999, "fraction of requests that must not be shed or fail")
 	sloDisabled := flag.Bool("slo-disabled", false, "turn off SLO burn-rate tracking")
+	memoBytes := flag.Int64("memo-bytes", 0, "result-cache byte budget (0 = memoization off)")
+	memoKernels := flag.String("memo-kernels", "", "comma-separated kernels to memoize (empty = all, with -memo-bytes > 0)")
 	fuseOn := flag.Bool("fuse", false, "run multi-stage kernels (canny, edges) as cache-blocked fused sweeps")
 	stripRows := flag.Int("strip-rows", 0, "strip height for -fuse (0 = automatic, sized to a 256 KiB window budget)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget after SIGTERM")
@@ -101,7 +114,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	memoCfg := memo.Config{MaxBytes: *memoBytes}
+	if *memoKernels != "" {
+		memoCfg.Kernels = strings.Split(*memoKernels, ",")
+	}
+
 	s := serve.NewServer(serve.Config{
+		Memo:            memoCfg,
 		MaxConcurrent:   *maxConcurrent,
 		QueueDepth:      *queue,
 		DefaultDeadline: time.Duration(*deadlineMS) * time.Millisecond,

@@ -5,7 +5,9 @@
 // in-flight count and process health. When the server audits for silent
 // corruption (-audit-rate) an INTEGRITY line shows the load-scaled
 // sampling rate, audit tallies, and pairs the corruption scoreboard has
-// quarantined.
+// quarantined. When the server memoizes results (-memo-bytes) a MEMO line
+// shows cache occupancy against budget, the windowed hit rate, and the
+// coalescing and eviction tallies.
 //
 // Usage:
 //
@@ -61,6 +63,18 @@ type frame struct {
 		Mismatches    uint64   `json:"mismatches"`
 		Quarantined   []string `json:"quarantined"`
 	} `json:"audit"`
+	Memo *struct {
+		Entries      int     `json:"entries"`
+		Bytes        int64   `json:"bytes"`
+		BudgetBytes  int64   `json:"budget_bytes"`
+		Hits         uint64  `json:"hits"`
+		Misses       uint64  `json:"misses"`
+		Coalesced    uint64  `json:"coalesced"`
+		Evictions    uint64  `json:"evictions"`
+		HitsPerSec   float64 `json:"hits_per_sec"`
+		MissesPerSec float64 `json:"misses_per_sec"`
+		HitRatePct   float64 `json:"hit_rate_pct"`
+	} `json:"memo"`
 }
 
 func main() {
@@ -186,6 +200,11 @@ func render(w *os.File, f frame, plain bool) {
 			fmt.Fprintf(&b, "  ** CORRUPT: %s **", strings.Join(a.Quarantined, ", "))
 		}
 		b.WriteString("\n")
+	}
+	if m := f.Memo; m != nil {
+		fmt.Fprintf(&b, "MEMO  %d entries  %.1f/%.1f MiB  hit-rate %.1f%%  hit %.1f/s miss %.1f/s  coalesced %d  evictions %d\n",
+			m.Entries, float64(m.Bytes)/(1<<20), float64(m.BudgetBytes)/(1<<20),
+			m.HitRatePct, m.HitsPerSec, m.MissesPerSec, m.Coalesced, m.Evictions)
 	}
 	if plain {
 		b.WriteString("---\n")

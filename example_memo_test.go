@@ -1,0 +1,49 @@
+package simdstudy_test
+
+import (
+	"context"
+	"fmt"
+
+	"simdstudy"
+)
+
+// ExampleMemoConfig demonstrates content-addressed result memoization:
+// the first execution of a (kernel, ISA, parameters, input) combination
+// computes and stores the output plane; every identical repeat is served
+// a checksum-verified copy without running the kernel again. The key is
+// derived from the input's content, so two different source images never
+// share an entry even if the request parameters match.
+func ExampleMemoConfig() {
+	cache := simdstudy.NewMemoCache(simdstudy.MemoConfig{MaxBytes: 8 << 20})
+	o := simdstudy.NewOps(simdstudy.ISANEON, nil)
+
+	res := simdstudy.Resolution{Width: 96, Height: 64}
+	src := simdstudy.Synthetic(res, 1)
+	key := simdstudy.MemoKeyFor("GaussianBlur", "neon", "g5x5", src)
+
+	executions := 0
+	for i := 0; i < 3; i++ {
+		dst := simdstudy.NewMat(res.Width, res.Height, simdstudy.U8)
+		outcome, err := cache.Do(context.Background(), key, dst,
+			func(context.Context) error {
+				executions++
+				return o.GaussianBlur(src, dst)
+			})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(outcome)
+	}
+
+	// A different input is a different content key: no false sharing.
+	other := simdstudy.Synthetic(res, 2)
+	fmt.Println("same key for different input:",
+		key == simdstudy.MemoKeyFor("GaussianBlur", "neon", "g5x5", other))
+	fmt.Println("kernel executions:", executions)
+	// Output:
+	// miss
+	// hit
+	// hit
+	// same key for different input: false
+	// kernel executions: 1
+}

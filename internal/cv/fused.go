@@ -25,6 +25,7 @@ package cv
 // parFlat walks.
 
 import (
+	"fmt"
 	"time"
 
 	"simdstudy/internal/cache"
@@ -48,6 +49,22 @@ type FuseConfig struct {
 	// typically a platform descriptor's Caches (Table I). nil falls back
 	// to a 256 KiB budget.
 	Caches []cache.Config
+}
+
+// Signature renders the configuration as a stable string for content
+// keys. Fused and staged execution are byte-identical by construction
+// (the fusion tests assert it), but the memoization layer still keys on
+// the full parameter set — a signature mismatch costing a recompute is
+// cheap; a stale assumption serving wrong bytes is not.
+func (f FuseConfig) Signature() string {
+	if !f.Enabled {
+		return "fuse=off"
+	}
+	s := fmt.Sprintf("fuse=on,strip=%d", f.StripRows)
+	for _, c := range f.Caches {
+		s += fmt.Sprintf(",%s:%d/%d/%d", c.Name, c.SizeBytes, c.LineBytes, c.Ways)
+	}
+	return s
 }
 
 // SetFuse configures stage fusion and invalidates the cached strip

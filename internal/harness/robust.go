@@ -14,6 +14,7 @@ import (
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
 	"simdstudy/internal/integrity"
+	"simdstudy/internal/memo"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/platform"
 	"simdstudy/internal/resilience"
@@ -39,12 +40,14 @@ func validateResolution(res image.Resolution) error {
 }
 
 // benchSpec describes how to execute one benchmark's kernel directly: the
-// source/destination pixel kinds, the per-ISA comparison tolerance, and the
-// entry point. Verify and RunFaultCampaign share it so both exercise the
-// exact same code paths.
+// source/destination pixel kinds, the per-ISA comparison tolerance, the
+// fixed-parameter signature the memoization key folds in, and the entry
+// point. Verify and RunFaultCampaign share it so both exercise the exact
+// same code paths.
 type benchSpec struct {
 	f32Src  bool
 	dstKind image.Type
+	sig     string // parameters baked into run; part of the memo content key
 	tol     func(isa cv.ISA) int
 	run     func(o *cv.Ops, src, dst *image.Mat) error
 }
@@ -57,6 +60,7 @@ func benchSpecFor(bench string) (benchSpec, error) {
 		return benchSpec{
 			f32Src:  true,
 			dstKind: image.S16,
+			sig:     "f32s16",
 			// vcvt truncates where the ARM scalar referee rounds: 1 LSB.
 			tol: func(isa cv.ISA) int {
 				if isa == cv.ISANEON {
@@ -71,6 +75,7 @@ func benchSpecFor(bench string) (benchSpec, error) {
 	case "BinThr":
 		return benchSpec{
 			dstKind: image.U8,
+			sig:     "t128m255trunc",
 			tol:     exactTol,
 			run: func(o *cv.Ops, src, dst *image.Mat) error {
 				return o.Threshold(src, dst, 128, 255, cv.ThreshTrunc)
@@ -79,6 +84,7 @@ func benchSpecFor(bench string) (benchSpec, error) {
 	case "GauBlu":
 		return benchSpec{
 			dstKind: image.U8,
+			sig:     "g5x5",
 			tol:     exactTol,
 			run: func(o *cv.Ops, src, dst *image.Mat) error {
 				return o.GaussianBlur(src, dst)
@@ -87,6 +93,7 @@ func benchSpecFor(bench string) (benchSpec, error) {
 	case "SobFil":
 		return benchSpec{
 			dstKind: image.S16,
+			sig:     "dx1dy0",
 			tol:     exactTol,
 			run: func(o *cv.Ops, src, dst *image.Mat) error {
 				return o.SobelFilter(src, dst, 1, 0)
@@ -95,6 +102,7 @@ func benchSpecFor(bench string) (benchSpec, error) {
 	case "EdgDet":
 		return benchSpec{
 			dstKind: image.U8,
+			sig:     "t100",
 			tol:     exactTol,
 			run: func(o *cv.Ops, src, dst *image.Mat) error {
 				return o.DetectEdges(src, dst, 100)
@@ -103,6 +111,7 @@ func benchSpecFor(bench string) (benchSpec, error) {
 	case "Canny":
 		return benchSpec{
 			dstKind: image.U8,
+			sig:     "lo60hi200",
 			tol:     exactTol,
 			run: func(o *cv.Ops, src, dst *image.Mat) error {
 				return o.Canny(src, dst, 60, 200)
@@ -461,6 +470,17 @@ type CampaignConfig struct {
 	// every corrupted output is caught; at rate r the caught count is a
 	// Bernoulli(r) thinning of that set).
 	GuardDisabled bool
+	// Memo, when non-nil, serves repeated identical (bench, ISA, input)
+	// images from the content-addressed result cache instead of executing
+	// the kernel. Memoization is mutually exclusive with fault injection
+	// (Rate must be 0: a cached plane would silently replay a pre-fault
+	// result and falsify the masking statistics) and with checkpointed
+	// resume (CheckpointPath must be empty: replay accounting assumes every
+	// image actually executed). With Memo set each ISA report carries
+	// MemoHits/MemoMisses and OutputSum — a chained fold of every output
+	// plane's checksum — so a warm rerun is provably byte-identical to the
+	// cold run that populated the cache.
+	Memo *memo.Cache
 }
 
 // ISAFaultReport is the per-ISA outcome of a fault campaign.
@@ -476,6 +496,12 @@ type ISAFaultReport struct {
 	Masked         uint64 // faults injected into images neither guard nor audit flagged
 	Audits         uint64 // sampled redundant-execution audits performed
 	AuditCaught    uint64 // audits that observed silent corruption
+	MemoHits       uint64 // images served from the result cache (memo campaigns)
+	MemoMisses     uint64 // images executed and stored (memo campaigns)
+	// OutputSum chains every output plane's integrity checksum in image
+	// order (memo campaigns only). Two campaigns with equal OutputSum
+	// produced byte-identical outputs, whether computed or cache-served.
+	OutputSum uint64
 }
 
 // FaultReport summarizes a reproducible fault campaign.
@@ -496,6 +522,14 @@ type FaultReport struct {
 func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, cfg CampaignConfig) (*FaultReport, error) {
 	if err := validateResolution(res); err != nil {
 		return nil, err
+	}
+	if cfg.Memo != nil {
+		if cfg.Rate != 0 {
+			return nil, errors.New("harness: memoization is incompatible with fault injection (Rate must be 0)")
+		}
+		if cfg.CheckpointPath != "" {
+			return nil, errors.New("harness: memoization is incompatible with checkpointed resume (CheckpointPath must be empty)")
+		}
 	}
 	spec, err := benchSpecFor(bench)
 	if err != nil {
@@ -601,7 +635,26 @@ func RunFaultCampaign(ctx context.Context, bench string, res image.Resolution, c
 			imgSpan.SetAttr("image", imgIdx)
 			o.SetSpanParent(imgSpan)
 			dst := image.NewMat(res.Width, res.Height, spec.dstKind)
-			if err := spec.run(o, src, dst); err != nil {
+			runImage := func() error { return spec.run(o, src, dst) }
+			if cfg.Memo != nil {
+				runImage = func() error {
+					key := memo.KeyFor(bench, isa.String(), spec.sig+","+cfg.Fuse.Signature(), src)
+					outcome, err := cfg.Memo.Do(ctx, key, dst, func(context.Context) error {
+						return spec.run(o, src, dst)
+					})
+					if err != nil {
+						return err
+					}
+					if outcome == memo.Miss {
+						ir.MemoMisses++
+					} else {
+						ir.MemoHits++
+					}
+					ir.OutputSum = (ir.OutputSum ^ integrity.SumMat(dst, 0).Fold64()) * 1099511628211
+					return nil
+				}
+			}
+			if err := runImage(); err != nil {
 				o.SetSpanParent(nil)
 				imgSpan.End()
 				isaSpan.End()
@@ -715,6 +768,12 @@ func (r *FaultReport) Render(w io.Writer) {
 		if ir.Audits > 0 {
 			fmt.Fprintf(w, "audit[%s]: sampled %d calls, caught %d corrupted outputs\n",
 				ir.ISA, ir.Audits, ir.AuditCaught)
+		}
+	}
+	for _, ir := range r.PerISA {
+		if ir.MemoHits+ir.MemoMisses > 0 {
+			fmt.Fprintf(w, "memo[%s]: %d hits, %d misses, output sum %016x\n",
+				ir.ISA, ir.MemoHits, ir.MemoMisses, ir.OutputSum)
 		}
 	}
 }

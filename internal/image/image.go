@@ -172,6 +172,16 @@ func (m *Mat) Bytes() int { return m.Pixels() * m.Kind.Size() }
 // Row returns the index of the first element of row y.
 func (m *Mat) Row(y int) int { return y * m.Width }
 
+// Clear zeroes every plane in place, restoring the state NewMat
+// guarantees. Callers that took a Mat on the overwrite-only fast path
+// (par.GetMatForOverwrite) use it before handing the Mat to a kernel
+// that assumes zero initialization.
+func (m *Mat) Clear() {
+	clear(m.U8Pix)
+	clear(m.S16Pix)
+	clear(m.F32Pix)
+}
+
 // Clone returns a deep copy.
 func (m *Mat) Clone() *Mat {
 	c := NewMat(m.Width, m.Height, m.Kind)

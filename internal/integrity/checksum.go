@@ -284,6 +284,30 @@ func (p PlaneSum) VerifyMat(m *image.Mat) error {
 	return nil
 }
 
+// Fold64 collapses the fingerprint into a single 64-bit FNV-1a value
+// covering the block geometry and every block sum. Two planes with equal
+// Fold64 under the same blocking are byte-identical up to 32-bit-per-block
+// collision odds — the content-address the memoization layer keys on,
+// derived without a second pass over the plane.
+func (p PlaneSum) Fold64() uint64 {
+	const (
+		offset uint64 = 14695981039346656037
+		prime  uint64 = 1099511628211
+	)
+	fold := func(h, v uint64) uint64 {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime
+			v >>= 8
+		}
+		return h
+	}
+	h := fold(fold(offset, uint64(p.Block)), uint64(p.Total))
+	for _, s := range p.Sums {
+		h = fold(h, uint64(s))
+	}
+	return h
+}
+
 // Encoding layout, little-endian u32s: magic, version, block, total, count,
 // count sums, then a trailing FNV-1a sum of every preceding byte so a
 // corrupted fingerprint is itself detected rather than trusted.

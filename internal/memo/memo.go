@@ -1,0 +1,575 @@
+// Package memo is the content-addressed result cache for kernel outputs:
+// a sharded, byte-budgeted LRU keyed by a fingerprint of (kernel name,
+// full parameter set, input plane bytes) with singleflight request
+// coalescing, so repeated work costs one plane copy instead of a kernel
+// run and N concurrent identical requests execute the kernel exactly
+// once.
+//
+// The cache is paranoid about what it serves. Every stored plane carries
+// its internal/integrity block checksum and is re-verified on every hit —
+// a plane that rotted in memory is evicted and recomputed, never served
+// (memo_corrupt_evictions_total counts those). Entries are keyed by ISA
+// because emulated units are not bit-identical across lanes everywhere
+// (NEON's float→short convert rounds one LSB differently from scalar),
+// and Invalidate drops every entry for a (kernel, ISA) pair the moment
+// the integrity scoreboard quarantines it or a breaker force-opens: a
+// unit caught corrupting forfeits its cached history along with its
+// dispatch rights.
+//
+// Coalescing is cancellation-safe by construction. Leadership of an
+// in-flight computation is a token in a 1-buffered channel: the first
+// caller takes it and computes; waiters select on {result, own ctx,
+// token}. A leader whose context dies returns the token instead of
+// publishing an error, so a surviving waiter promotes itself and
+// recomputes under its own deadline — a cancelled leader never poisons
+// the flight for the requests coalesced behind it.
+package memo
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simdstudy/internal/image"
+	"simdstudy/internal/integrity"
+	"simdstudy/internal/obs"
+)
+
+// Key identifies one memoizable result: the kernel and ISA by name (kept
+// out of the hash so Invalidate can match them) plus a 64-bit content
+// fingerprint covering the parameter set and the input plane bytes.
+type Key struct {
+	Kernel string
+	ISA    string
+	Hash   uint64
+}
+
+// 64-bit FNV-1a, used to fold the parameter string, geometry and the
+// 32-bit block sums of the input plane into Key.Hash.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
+func fold64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnv64Prime
+		v >>= 8
+	}
+	return h
+}
+
+func foldString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnv64Prime
+	}
+	// Terminate so ("ab","c") and ("a","bc") hash differently.
+	return (h ^ 0xff) * fnv64Prime
+}
+
+// KeyFor derives the content key for running kernel on src under isa with
+// the given parameter signature. params must capture every knob that can
+// change the output bytes (kernel thresholds, fuse/strip configuration);
+// the input plane itself is folded in via its blockwise FNV PlaneSum, so
+// two byte-identical inputs share a key regardless of how they were
+// produced.
+func KeyFor(kernel, isa, params string, src *image.Mat) Key {
+	h := fnv64Offset
+	h = foldString(h, params)
+	h = fold64(h, uint64(src.Width))
+	h = fold64(h, uint64(src.Height))
+	h = fold64(h, uint64(src.Kind))
+	h = fold64(h, integrity.SumMat(src, 0).Fold64())
+	return Key{Kernel: kernel, ISA: isa, Hash: h}
+}
+
+// Outcome classifies how Do satisfied a request.
+type Outcome int
+
+// Do outcomes. Bypass means memoization was disabled for the kernel and
+// compute ran directly.
+const (
+	Bypass    Outcome = iota
+	Hit               // copied from the cache, checksum verified
+	Miss              // this caller led the computation
+	Coalesced         // waited on another caller's computation and copied its result
+)
+
+// String names the outcome as exposed in the X-Memo response header.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "bypass"
+}
+
+// Config sizes the cache.
+type Config struct {
+	// MaxBytes is the total plane-byte budget across all shards.
+	// <= 0 disables the cache (New returns nil).
+	MaxBytes int64
+	// Shards is the number of independent LRU shards (key → shard by
+	// Hash). 0 selects 8. More shards cut lock contention on the hit
+	// path; eviction order is deterministic per shard.
+	Shards int
+	// Kernels restricts memoization to the named kernels. Empty enables
+	// every kernel.
+	Kernels []string
+	// Registry mirrors the cache counters as memo_* metrics. Optional.
+	Registry *obs.Registry
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness, exposed on
+// the /memo debug view and the /metrics/stream frame.
+type Stats struct {
+	Entries          int    `json:"entries"`
+	Bytes            int64  `json:"bytes"`
+	BudgetBytes      int64  `json:"budget_bytes"`
+	Hits             uint64 `json:"hits"`
+	Misses           uint64 `json:"misses"`
+	Coalesced        uint64 `json:"coalesced"`
+	Evictions        uint64 `json:"evictions"`
+	CorruptEvictions uint64 `json:"corrupt_evictions"`
+	Invalidations    uint64 `json:"invalidations"`
+}
+
+// entry is one cached result. The plane is owned by the cache and never
+// mutated after insertion, so readers copy from it without holding the
+// shard lock; eviction just drops the reference (no pooling of cache
+// planes — a waiter may still be copying from an entry evicted under it).
+type entry struct {
+	key   Key
+	plane *image.Mat
+	sum   integrity.PlaneSum
+	bytes int64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+// flight is one in-progress computation. token is the leadership baton
+// (1-buffered, holds exactly one token over the flight's lifetime); done
+// is closed when a result or terminal error is published.
+type flight struct {
+	token  chan struct{}
+	done   chan struct{}
+	result *entry // non-nil after done when the computation succeeded
+	err    error  // non-nil after done on a terminal (non-cancellation) error
+	refs   int    // callers joined; guarded by Cache.flightMu
+}
+
+// Cache is the memoization layer. A nil *Cache is valid and disabled:
+// Get reports a miss and Do runs compute directly.
+type Cache struct {
+	cfg     Config
+	enabled map[string]bool // nil = all kernels
+	shards  []*shard
+
+	flightMu sync.Mutex
+	flights  map[Key]*flight
+
+	// Authoritative tallies (registry counters mirror them so the cache
+	// works without a registry).
+	hits, misses, coalesced       atomic.Uint64
+	evictions, corrupt, invalided atomic.Uint64
+
+	// Pre-resolved metrics: the hit path must not pay the registry's
+	// name→metric map lookup, let alone allocate.
+	mHits, mMisses, mCoalesced     *obs.Counter
+	mEvictions, mCorrupt, mInvalid *obs.Counter
+	mBytes                         *obs.Gauge
+	mHitSeconds                    *obs.Histogram
+	reg                            *obs.Registry
+}
+
+// HitBuckets are the memo_hit_seconds histogram bounds: hits are plane
+// copies, so the buckets run finer than request_seconds.
+var HitBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1}
+
+// New builds a cache from cfg, or returns nil (a valid, disabled cache)
+// when the byte budget is zero.
+func New(cfg Config) *Cache {
+	if cfg.MaxBytes <= 0 {
+		return nil
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	c := &Cache{
+		cfg:     cfg,
+		shards:  make([]*shard, cfg.Shards),
+		flights: make(map[Key]*flight),
+		reg:     cfg.Registry,
+	}
+	per := cfg.MaxBytes / int64(cfg.Shards)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			budget:  per,
+			entries: make(map[Key]*list.Element),
+			lru:     list.New(),
+		}
+	}
+	if len(cfg.Kernels) > 0 {
+		c.enabled = make(map[string]bool, len(cfg.Kernels))
+		for _, k := range cfg.Kernels {
+			c.enabled[k] = true
+		}
+	}
+	if r := cfg.Registry; r != nil {
+		c.mHits = r.Counter("memo_hits_total")
+		c.mMisses = r.Counter("memo_misses_total")
+		c.mCoalesced = r.Counter("memo_coalesced_total")
+		c.mEvictions = r.Counter("memo_evictions_total")
+		c.mCorrupt = r.Counter("memo_corrupt_evictions_total")
+		c.mInvalid = r.Counter("memo_invalidations_total")
+		c.mBytes = r.Gauge("memo_bytes")
+		c.mHitSeconds = r.Histogram("memo_hit_seconds", HitBuckets)
+	}
+	return c
+}
+
+// Enabled reports whether results for kernel are memoized.
+func (c *Cache) Enabled(kernel string) bool {
+	if c == nil {
+		return false
+	}
+	return c.enabled == nil || c.enabled[kernel]
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	return c.shards[int(k.Hash%uint64(len(c.shards)))]
+}
+
+func (c *Cache) now() time.Time {
+	if c.reg != nil {
+		return c.reg.Now()
+	}
+	return time.Now()
+}
+
+// copyInto copies src's plane into dst, which must already have matching
+// geometry and kind (guaranteed when both derive from the same Key).
+func copyInto(dst, src *image.Mat) bool {
+	if dst.Width != src.Width || dst.Height != src.Height || dst.Kind != src.Kind {
+		return false
+	}
+	switch src.Kind {
+	case image.U8:
+		copy(dst.U8Pix, src.U8Pix)
+	case image.S16:
+		copy(dst.S16Pix, src.S16Pix)
+	case image.F32:
+		copy(dst.F32Pix, src.F32Pix)
+	default:
+		return false
+	}
+	return true
+}
+
+// Get serves key from the cache into dst if present: the stored plane is
+// re-verified against its block checksum and copied out. A checksum
+// mismatch — the plane rotted while cached — evicts the entry and reports
+// a miss so the caller recomputes. Get does not count misses (Do owns
+// that tally); the hit path performs no allocation.
+func (c *Cache) Get(ctx context.Context, key Key, dst *image.Mat) bool {
+	if c == nil {
+		return false
+	}
+	start := c.now()
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	el, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		return false
+	}
+	e := el.Value.(*entry)
+	sh.lru.MoveToFront(el)
+	sh.mu.Unlock()
+
+	// Verify and copy outside the lock: the plane is immutable once
+	// stored and eviction only drops references, so concurrent evict or
+	// re-store cannot race this read.
+	if e.sum.VerifyMat(e.plane) != nil || !copyInto(dst, e.plane) {
+		c.evictCorrupt(key, el)
+		return false
+	}
+	c.hits.Add(1)
+	c.mHits.Inc()
+	c.mHitSeconds.ObserveExemplar(time.Since(start).Seconds(), obs.TraceID(ctx), c.now())
+	return true
+}
+
+// evictCorrupt removes an entry that failed its on-hit verification, if
+// it is still the resident entry for its key.
+func (c *Cache) evictCorrupt(key Key, el *list.Element) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if cur, ok := sh.entries[key]; ok && cur == el {
+		e := cur.Value.(*entry)
+		sh.lru.Remove(cur)
+		delete(sh.entries, key)
+		sh.bytes -= e.bytes
+		c.corrupt.Add(1)
+		c.mCorrupt.Inc()
+		c.mBytes.Add(-float64(e.bytes))
+	}
+	sh.mu.Unlock()
+}
+
+// store copies dst into a cache-owned plane, checksums it and inserts it,
+// evicting least-recently-used entries until the shard fits its budget.
+// A result bigger than the whole shard budget is not cached.
+func (c *Cache) store(key Key, dst *image.Mat) *entry {
+	e := &entry{
+		key:   key,
+		plane: dst.Clone(),
+		sum:   integrity.SumMat(dst, 0),
+		bytes: int64(dst.Bytes()),
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e.bytes > sh.budget {
+		return e // serve to waiters, too big to keep
+	}
+	if old, ok := sh.entries[key]; ok {
+		oe := old.Value.(*entry)
+		sh.lru.Remove(old)
+		delete(sh.entries, key)
+		sh.bytes -= oe.bytes
+	}
+	for sh.bytes+e.bytes > sh.budget {
+		back := sh.lru.Back()
+		if back == nil {
+			break
+		}
+		be := back.Value.(*entry)
+		sh.lru.Remove(back)
+		delete(sh.entries, be.key)
+		sh.bytes -= be.bytes
+		c.evictions.Add(1)
+		c.mEvictions.Inc()
+		c.mBytes.Add(-float64(be.bytes))
+	}
+	sh.entries[key] = sh.lru.PushFront(e)
+	sh.bytes += e.bytes
+	c.mBytes.Add(float64(e.bytes))
+	return e
+}
+
+// Do satisfies key into dst: from the cache (Hit), by waiting on an
+// identical in-flight computation (Coalesced), or by running compute
+// itself (Miss). compute must fill dst; on success Do copies dst into the
+// cache for future hits and hands copies to every coalesced waiter.
+//
+// Error semantics: a terminal compute error (kernel fault, stall, shed)
+// is broadcast to all coalesced waiters — they would fail identically.
+// A cancellation error (compute's context died) is returned only to the
+// cancelled leader; leadership passes to a surviving waiter, which
+// recomputes under its own context.
+func (c *Cache) Do(ctx context.Context, key Key, dst *image.Mat, compute func(context.Context) error) (Outcome, error) {
+	if c == nil || !c.Enabled(key.Kernel) {
+		return Bypass, compute(ctx)
+	}
+	if c.Get(ctx, key, dst) {
+		return Hit, nil
+	}
+
+	c.flightMu.Lock()
+	f, ok := c.flights[key]
+	if !ok {
+		f = &flight{token: make(chan struct{}, 1), done: make(chan struct{})}
+		f.token <- struct{}{}
+		c.flights[key] = f
+	}
+	f.refs++
+	c.flightMu.Unlock()
+
+	for {
+		select {
+		case <-f.done:
+			c.leave(key, f)
+			if f.err != nil {
+				return Coalesced, f.err
+			}
+			if f.result.sum.VerifyMat(f.result.plane) != nil || !copyInto(dst, f.result.plane) {
+				// The freshly published plane rotted before this waiter
+				// copied it. Do not serve it; recompute directly.
+				c.corrupt.Add(1)
+				c.mCorrupt.Inc()
+				if err := compute(ctx); err != nil {
+					return Coalesced, err
+				}
+				return Miss, nil
+			}
+			c.coalesced.Add(1)
+			c.mCoalesced.Inc()
+			return Coalesced, nil
+
+		case <-ctx.Done():
+			c.leave(key, f)
+			return Coalesced, ctx.Err()
+
+		case <-f.token:
+			err := compute(ctx)
+			if err != nil {
+				if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					// Cancelled leader: hand the token back so a waiter
+					// can promote itself, and fail only this caller.
+					f.token <- struct{}{}
+					c.leave(key, f)
+					return Miss, err
+				}
+				f.err = err
+				c.unmap(key, f) // later callers start a fresh flight
+				close(f.done)
+				c.leave(key, f)
+				return Miss, err
+			}
+			f.result = c.store(key, dst)
+			c.unmap(key, f)
+			close(f.done)
+			c.leave(key, f)
+			c.misses.Add(1)
+			c.mMisses.Inc()
+			return Miss, nil
+		}
+	}
+}
+
+// leave drops one flight reference; the last participant out unmaps the
+// flight (if a publish has not already done so).
+func (c *Cache) leave(key Key, f *flight) {
+	c.flightMu.Lock()
+	f.refs--
+	if f.refs == 0 && c.flights[key] == f {
+		delete(c.flights, key)
+	}
+	c.flightMu.Unlock()
+}
+
+// unmap removes f from the flight table so callers arriving after a
+// publish consult the cache (or start a fresh flight) instead of joining
+// a finished one.
+func (c *Cache) unmap(key Key, f *flight) {
+	c.flightMu.Lock()
+	if c.flights[key] == f {
+		delete(c.flights, key)
+	}
+	c.flightMu.Unlock()
+}
+
+// InFlight reports the live coalescing state: how many computations are
+// currently in flight and how many callers (leaders plus waiters) are
+// participating in them. Transient by nature — exposed for the /memo
+// debug view and deterministic coalescing tests, not for accounting.
+func (c *Cache) InFlight() (flights, participants int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.flightMu.Lock()
+	defer c.flightMu.Unlock()
+	for _, f := range c.flights {
+		flights++
+		participants += f.refs
+	}
+	return flights, participants
+}
+
+// Invalidate drops every cached entry for the (kernel, isa) pair and
+// returns how many were removed. Wired to breaker force-open and
+// integrity-scoreboard quarantine: a unit caught corrupting loses its
+// cached results along with its dispatch rights.
+func (c *Cache) Invalidate(kernel, isa string) int {
+	if c == nil {
+		return 0
+	}
+	removed := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for key, el := range sh.entries {
+			if key.Kernel != kernel || key.ISA != isa {
+				continue
+			}
+			e := el.Value.(*entry)
+			sh.lru.Remove(el)
+			delete(sh.entries, key)
+			sh.bytes -= e.bytes
+			removed++
+			c.mBytes.Add(-float64(e.bytes))
+		}
+		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		c.invalided.Add(uint64(removed))
+		c.mInvalid.Add(uint64(removed))
+	}
+	return removed
+}
+
+// Stats snapshots the cache tallies and current occupancy.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		BudgetBytes:      c.cfg.MaxBytes,
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Coalesced:        c.coalesced.Load(),
+		Evictions:        c.evictions.Load(),
+		CorruptEvictions: c.corrupt.Load(),
+		Invalidations:    c.invalided.Load(),
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st.Entries += len(sh.entries)
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Kernels reports the per-kernel entry and byte occupancy, keyed
+// "kernel/isa" — the /memo debug view's breakdown.
+func (c *Cache) Kernels() map[string]struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+} {
+	out := make(map[string]struct {
+		Entries int   `json:"entries"`
+		Bytes   int64 `json:"bytes"`
+	})
+	if c == nil {
+		return out
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for key, el := range sh.entries {
+			e := el.Value.(*entry)
+			v := out[key.Kernel+"/"+key.ISA]
+			v.Entries++
+			v.Bytes += e.bytes
+			out[key.Kernel+"/"+key.ISA] = v
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

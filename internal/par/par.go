@@ -263,6 +263,20 @@ func scrubber() Scrubber {
 // initialization exactly like image.NewMat provides). Return it with PutMat
 // when done; steady-state reuse allocates nothing.
 func GetMat(w, h int, kind image.Type) *image.Mat {
+	return getMat(w, h, kind, true)
+}
+
+// GetMatForOverwrite is GetMat without the zeroing pass. Only for callers
+// that fully overwrite every element before reading any — the memo hit
+// path copies a complete cached plane over the Mat — where the clear
+// would be a wasted write sweep. Stale pool contents are visible until
+// the overwrite lands, so never hand such a Mat to a kernel that assumes
+// zero initialization (Canny's NMS does).
+func GetMatForOverwrite(w, h int, kind image.Type) *image.Mat {
+	return getMat(w, h, kind, false)
+}
+
+func getMat(w, h int, kind image.Type, zero bool) *image.Mat {
 	n := w * h
 	m, _ := matPools[kind].Get().(*image.Mat)
 	if m == nil {
@@ -280,19 +294,25 @@ func GetMat(w, h int, kind image.Type) *image.Mat {
 			return image.NewMat(w, h, kind)
 		}
 		m.U8Pix = m.U8Pix[:n]
-		clear(m.U8Pix)
+		if zero {
+			clear(m.U8Pix)
+		}
 	case image.S16:
 		if cap(m.S16Pix) < n {
 			return image.NewMat(w, h, kind)
 		}
 		m.S16Pix = m.S16Pix[:n]
-		clear(m.S16Pix)
+		if zero {
+			clear(m.S16Pix)
+		}
 	case image.F32:
 		if cap(m.F32Pix) < n {
 			return image.NewMat(w, h, kind)
 		}
 		m.F32Pix = m.F32Pix[:n]
-		clear(m.F32Pix)
+		if zero {
+			clear(m.F32Pix)
+		}
 	}
 	return m
 }

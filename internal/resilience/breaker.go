@@ -321,10 +321,11 @@ func (b *Breaker) ForceStuckOpen() {
 // (kernel, ISA), sharing one config and registry. It is what cv.Ops
 // dispatch consults and what the serving front-end reports from /readyz.
 type BreakerSet struct {
-	mu  sync.Mutex
-	cfg BreakerConfig
-	reg *obs.Registry
-	m   map[string]*Breaker
+	mu      sync.Mutex
+	cfg     BreakerConfig
+	reg     *obs.Registry
+	m       map[string]*Breaker
+	onForce func(kernel, isa string)
 }
 
 // NewBreakerSet builds an empty set; reg may be nil.
@@ -361,8 +362,30 @@ func (s *BreakerSet) Release(kernel, isa string) { s.For(kernel, isa).Release() 
 // State is For(kernel, isa).State().
 func (s *BreakerSet) State(kernel, isa string) State { return s.For(kernel, isa).State() }
 
-// ForceStuckOpen is For(kernel, isa).ForceStuckOpen().
-func (s *BreakerSet) ForceStuckOpen(kernel, isa string) { s.For(kernel, isa).ForceStuckOpen() }
+// ForceStuckOpen is For(kernel, isa).ForceStuckOpen(), then fires the
+// OnForceStuckOpen hook. Every quarantine path in the tree — integrity
+// scoreboard trips, panic-quarantine enforcement, journal replay — lands
+// here, so the hook is the one place to observe "this pair is terminally
+// demoted".
+func (s *BreakerSet) ForceStuckOpen(kernel, isa string) {
+	s.For(kernel, isa).ForceStuckOpen()
+	s.mu.Lock()
+	fn := s.onForce
+	s.mu.Unlock()
+	if fn != nil {
+		fn(kernel, isa)
+	}
+}
+
+// OnForceStuckOpen registers fn to run after every set-level
+// ForceStuckOpen. The result-memoization layer hangs cache invalidation
+// off it: a (kernel, ISA) pair caught corrupting must not keep serving
+// its cached history. fn must not call back into the set's ForceStuckOpen.
+func (s *BreakerSet) OnForceStuckOpen(fn func(kernel, isa string)) {
+	s.mu.Lock()
+	s.onForce = fn
+	s.mu.Unlock()
+}
 
 // Snapshot returns every breaker's state keyed "kernel/isa", for readiness
 // endpoints and logs. Iteration order of the returned map is undefined;

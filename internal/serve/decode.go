@@ -40,65 +40,81 @@ type Request struct {
 	Deadline time.Duration
 }
 
-// kernelSpec wires a request kernel name to the pipeline: source plane
-// type, destination allocation, and the context-aware entry point.
+// kernelSpec wires a request kernel name to the pipeline: source and
+// destination plane types, destination geometry, the fixed-parameter
+// signature the memoization key folds in, and the context-aware entry
+// point.
 type kernelSpec struct {
 	name    string // canonical name; must match the cv beginKernel name
 	srcKind image.Type
-	dst     func(w, h int) (*image.Mat, error)
-	run     func(ctx context.Context, o *cv.Ops, src, dst *image.Mat) error
+	dstKind image.Type
+	halfDst bool // destination is w/2 x h/2 (ResizeHalf)
+	// sig names the parameters baked into run below. It participates in
+	// the memo content key, so if a threshold here ever changes, old
+	// cached results become unreachable instead of wrong.
+	sig string
+	run func(ctx context.Context, o *cv.Ops, src, dst *image.Mat) error
 }
 
-func sameDims(kind image.Type) func(w, h int) (*image.Mat, error) {
-	return func(w, h int) (*image.Mat, error) { return image.TryNewMat(w, h, kind) }
+// dstDims returns the destination geometry for a w x h source.
+func (k kernelSpec) dstDims(w, h int) (int, int) {
+	if k.halfDst {
+		return w / 2, h / 2
+	}
+	return w, h
+}
+
+// dst allocates the destination plane, rejecting degenerate geometry.
+func (k kernelSpec) dst(w, h int) (*image.Mat, error) {
+	dw, dh := k.dstDims(w, h)
+	return image.TryNewMat(dw, dh, k.dstKind)
 }
 
 var kernels = map[string]kernelSpec{
 	"gaussian": {
-		name: "GaussianBlur", srcKind: image.U8, dst: sameDims(image.U8),
+		name: "GaussianBlur", srcKind: image.U8, dstKind: image.U8, sig: "g5x5",
 		run: func(ctx context.Context, o *cv.Ops, src, dst *image.Mat) error {
 			return o.GaussianBlurCtx(ctx, src, dst)
 		},
 	},
 	"sobel": {
-		name: "SobelFilter", srcKind: image.U8, dst: sameDims(image.S16),
+		name: "SobelFilter", srcKind: image.U8, dstKind: image.S16, sig: "dx1dy0",
 		run: func(ctx context.Context, o *cv.Ops, src, dst *image.Mat) error {
 			return o.SobelFilterCtx(ctx, src, dst, 1, 0)
 		},
 	},
 	"edges": {
-		name: "DetectEdges", srcKind: image.U8, dst: sameDims(image.U8),
+		name: "DetectEdges", srcKind: image.U8, dstKind: image.U8, sig: "t128",
 		run: func(ctx context.Context, o *cv.Ops, src, dst *image.Mat) error {
 			return o.DetectEdgesCtx(ctx, src, dst, 128)
 		},
 	},
 	"canny": {
-		name: "Canny", srcKind: image.U8, dst: sameDims(image.U8),
+		name: "Canny", srcKind: image.U8, dstKind: image.U8, sig: "lo60hi200",
 		run: func(ctx context.Context, o *cv.Ops, src, dst *image.Mat) error {
 			return o.CannyCtx(ctx, src, dst, 60, 200)
 		},
 	},
 	"median": {
-		name: "MedianBlur3x3", srcKind: image.U8, dst: sameDims(image.U8),
+		name: "MedianBlur3x3", srcKind: image.U8, dstKind: image.U8, sig: "3x3",
 		run: func(ctx context.Context, o *cv.Ops, src, dst *image.Mat) error {
 			return o.MedianBlur3x3Ctx(ctx, src, dst)
 		},
 	},
 	"resize": {
-		name: "ResizeHalf", srcKind: image.U8,
-		dst: func(w, h int) (*image.Mat, error) { return image.TryNewMat(w/2, h/2, image.U8) },
+		name: "ResizeHalf", srcKind: image.U8, dstKind: image.U8, halfDst: true, sig: "half",
 		run: func(ctx context.Context, o *cv.Ops, src, dst *image.Mat) error {
 			return o.ResizeHalfCtx(ctx, src, dst)
 		},
 	},
 	"threshold": {
-		name: "Threshold", srcKind: image.U8, dst: sameDims(image.U8),
+		name: "Threshold", srcKind: image.U8, dstKind: image.U8, sig: "t128m255bin",
 		run: func(ctx context.Context, o *cv.Ops, src, dst *image.Mat) error {
 			return o.ThresholdCtx(ctx, src, dst, 128, 255, cv.ThreshBinary)
 		},
 	},
 	"convert": {
-		name: "ConvertF32ToS16", srcKind: image.F32, dst: sameDims(image.S16),
+		name: "ConvertF32ToS16", srcKind: image.F32, dstKind: image.S16, sig: "f32s16",
 		run: func(ctx context.Context, o *cv.Ops, src, dst *image.Mat) error {
 			return o.ConvertF32ToS16Ctx(ctx, src, dst)
 		},

@@ -21,6 +21,7 @@ import (
 	"simdstudy/internal/faults"
 	"simdstudy/internal/image"
 	"simdstudy/internal/integrity"
+	"simdstudy/internal/memo"
 	"simdstudy/internal/obs"
 	"simdstudy/internal/obs/tsdb"
 	"simdstudy/internal/par"
@@ -113,6 +114,17 @@ type Config struct {
 	AuditRate float64
 	// AuditSeed drives the deterministic audit sampler; zero means 1.
 	AuditSeed uint64
+	// Memo configures content-addressed result memoization
+	// (internal/memo): requests whose (kernel, parameters, input plane)
+	// fingerprint matches a cached result are answered with a verified
+	// copy instead of a kernel dispatch, and concurrent identical
+	// requests coalesce into one execution. The lookup happens after
+	// decode and before admission, so hits and coalesced waiters never
+	// consume admission slots; responses carry X-Memo: hit|miss|coalesced
+	// and /memo exposes the cache view. Zero MaxBytes disables
+	// memoization entirely. Memo.Registry is overridden with the server's
+	// registry.
+	Memo memo.Config
 }
 
 func (c Config) normalized() Config {
@@ -187,6 +199,9 @@ type Server struct {
 	aud   *integrity.Auditor
 	board *integrity.Scoreboard
 
+	memo    *memo.Cache
+	fuseSig string
+
 	ts    *tsdb.Store
 	slo   *sloTracker
 	start time.Time
@@ -225,6 +240,34 @@ func NewServer(cfg Config) *Server {
 		flight:    map[string]*inflight{},
 		start:     time.Now(),
 		traceBase: uint32(time.Now().UnixNano()),
+	}
+	s.fuseSig = cfg.Fuse.Signature()
+	mcfg := cfg.Memo
+	mcfg.Registry = cfg.Registry
+	// The enable list accepts request names ("gaussian") as operators
+	// type them; the cache keys on canonical kernel names. Copied, not
+	// rewritten in place — the caller owns its slice.
+	if len(mcfg.Kernels) > 0 {
+		names := make([]string, len(mcfg.Kernels))
+		for i, name := range mcfg.Kernels {
+			if spec, ok := kernels[name]; ok {
+				name = spec.name
+			}
+			names[i] = name
+		}
+		mcfg.Kernels = names
+	}
+	s.memo = memo.New(mcfg)
+	if s.memo != nil {
+		// Every quarantine path — scoreboard trip, panic quarantine,
+		// journal replay — funnels through the set-level ForceStuckOpen,
+		// so this one hook keeps the cache honest: a (kernel, ISA) pair
+		// caught corrupting loses its cached results along with its
+		// dispatch rights. Registered before the quarantine journal is
+		// replayed below so replay invalidations are not missed.
+		s.brk.OnForceStuckOpen(func(kernel, isa string) {
+			s.memo.Invalidate(kernel, isa)
+		})
 	}
 	s.ts = tsdb.New(s.reg, tsdb.Config{
 		Interval: cfg.SampleInterval,
@@ -346,6 +389,10 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // Breakers returns the server's circuit-breaker set.
 func (s *Server) Breakers() *resilience.BreakerSet { return s.brk }
 
+// Memo returns the server's result-memoization cache, or nil when
+// Config.Memo left memoization disabled.
+func (s *Server) Memo() *memo.Cache { return s.memo }
+
 // SetFaultInjector attaches (or, with nil, detaches) a fault injector
 // handed to worker Ops whose ISA matches Config.FaultISA. The injector
 // must be safe for concurrent use; wrap single-threaded plans with
@@ -374,6 +421,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics/stream", s.handleMetricsStream)
 	mux.HandleFunc("/integrity", s.handleIntegrity)
+	mux.HandleFunc("/memo", s.handleMemo)
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
@@ -624,6 +672,12 @@ func (s *Server) processRequest(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), req.Deadline)
 	defer cancel()
 
+	spec := kernels[req.Kernel]
+	if s.memo.Enabled(spec.name) {
+		s.processMemo(ctx, w, req, spec)
+		return
+	}
+
 	if err := s.adm.acquire(ctx); err != nil {
 		if errors.Is(err, errShed) {
 			s.shed(w, "queue", "admission queue full")
@@ -634,25 +688,38 @@ func (s *Server) processRequest(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.adm.release()
 
+	src := synthesize(spec.srcKind, req.Width, req.Height, req.Seed)
+	dst, err := spec.dst(req.Width, req.Height)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+
+	faults, elapsed, err := s.dispatch(ctx, req, spec, src, dst)
+	if err != nil {
+		s.writeDispatchError(ctx, w, req, spec, err)
+		return
+	}
+	s.writeResult(w, req, spec, dst, elapsed, faults, "")
+}
+
+// dispatch runs one admitted kernel execution end to end: /livez flight
+// registration, audit load scaling, worker Ops checkout, the pprof-labeled
+// kernel run, and the request_seconds observation. The caller holds an
+// admission slot (non-memo path) or acquires one inside compute (memo
+// path).
+func (s *Server) dispatch(ctx context.Context, req Request, spec kernelSpec, src, dst *image.Mat) (int, time.Duration, error) {
 	// Queue headroom drives the effective audit rate: a filling queue
 	// down-samples audits before it delays requests.
 	if s.aud != nil {
 		s.aud.SetLoadFactor(1 - s.adm.fill())
 	}
 
-	// Admitted: visible on /livez from here until the handler returns.
-	spec := kernels[req.Kernel]
-	fl := s.flightStart(requestID(r.Context()), spec.name, req.ISA.String())
+	// Admitted: visible on /livez from here until the dispatch returns.
+	fl := s.flightStart(requestID(ctx), spec.name, req.ISA.String())
 	defer s.flightEnd(fl)
 	if testProcessStart != nil {
 		testProcessStart()
-	}
-
-	src := synthesize(spec.srcKind, req.Width, req.Height, req.Seed)
-	dst, err := spec.dst(req.Width, req.Height)
-	if err != nil {
-		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
-		return
 	}
 
 	o := s.pools[req.ISA].Get().(*cv.Ops)
@@ -664,6 +731,7 @@ func (s *Server) processRequest(w http.ResponseWriter, r *http.Request) {
 	// inside the dispatch carries (kernel, isa), so `go tool pprof -tags`
 	// splits hot CPU by kernel without any symbol spelunking. Band workers
 	// add their own band label on top (see cv.bandProf).
+	var err error
 	start := time.Now()
 	pprof.Do(ctx, pprof.Labels("kernel", spec.name, "isa", req.ISA.String()),
 		func(ctx context.Context) {
@@ -672,36 +740,105 @@ func (s *Server) processRequest(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.reg.Histogram("request_seconds", requestBuckets,
 		obs.L("kernel", spec.name)).ObserveExemplar(elapsed.Seconds(), fl.id, s.reg.Now())
+	return len(o.Faults()), elapsed, err
+}
 
-	if err != nil {
-		var de *resilience.DeadlineError
-		if errors.As(err, &de) {
-			// Mid-kernel deadline expiry is shed like queue overflow: the
-			// client's budget is spent, and backing off is the remedy.
-			s.shed(w, "deadline", de.Error())
-			return
-		}
-		var se *super.StallError
-		if errors.As(err, &se) {
-			// A wedged kernel band: the watchdog cancelled the pass and the
-			// verdict already reached the pair's breaker. 500, not 429 — the
-			// fault is ours, and the client may retry immediately (the retry
-			// will run scalar if the breaker opened).
-			s.reg.Counter("request_stalls_total",
-				obs.L("kernel", spec.name), obs.L("isa", req.ISA.String())).Inc()
-			s.writeJSON(w, http.StatusInternalServerError, map[string]any{
-				"error": se.Error(), "stall": true, "band": se.Band,
-				"request_id": fl.id,
-			})
-			return
-		}
-		// Kernels only fail on invalid geometry (faults are absorbed by
-		// the guard); report it as the client error it is.
-		s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+// processMemo serves one request through the memoization layer. The
+// content key is derived after decode and before admission, so hits and
+// coalesced waiters never consume admission slots — only the flight
+// leader's compute closure acquires one. Hit responses flow through the
+// same writeJSON/statusWriter path as compute responses, so they count
+// toward the availability and latency SLOs like any other request.
+func (s *Server) processMemo(ctx context.Context, w http.ResponseWriter, req Request, spec kernelSpec) {
+	dw, dh := spec.dstDims(req.Width, req.Height)
+	if dw < 1 || dh < 1 {
+		s.writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": fmt.Sprintf("destination %dx%d has no pixels", dw, dh)})
 		return
 	}
+	src := synthesize(spec.srcKind, req.Width, req.Height, req.Seed)
+	key := memo.KeyFor(spec.name, req.ISA.String(), spec.sig+","+s.fuseSig, src)
 
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	// The response plane comes from the scratch pool on the overwrite-only
+	// fast path: a hit copies a full cached plane over it, so the zeroing
+	// sweep GetMat performs would be pure waste. The compute closure
+	// restores zero initialization explicitly before running the kernel.
+	dst := par.GetMatForOverwrite(dw, dh, spec.dstKind)
+	defer par.PutMat(dst)
+
+	var faults int
+	start := time.Now()
+	outcome, err := s.memo.Do(ctx, key, dst, func(ctx context.Context) error {
+		if err := s.adm.acquire(ctx); err != nil {
+			return err
+		}
+		defer s.adm.release()
+		dst.Clear()
+		f, _, err := s.dispatch(ctx, req, spec, src, dst)
+		faults = f
+		return err
+	})
+	elapsed := time.Since(start)
+	w.Header().Set("X-Memo", outcome.String())
+
+	if err != nil {
+		if errors.Is(err, errShed) {
+			s.shed(w, "queue", "admission queue full")
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.shed(w, "deadline", "deadline expired while queued")
+			return
+		}
+		s.writeDispatchError(ctx, w, req, spec, err)
+		return
+	}
+	// Hits and coalesced copies count in request_seconds too: the
+	// histogram is the per-kernel traffic view, and these are requests the
+	// server answered (their sub-millisecond latency is exactly the point;
+	// memo_hit_seconds holds the fine-grained copy-path distribution).
+	if outcome != memo.Miss {
+		s.reg.Histogram("request_seconds", requestBuckets,
+			obs.L("kernel", spec.name)).ObserveExemplar(elapsed.Seconds(), requestID(ctx), s.reg.Now())
+	}
+	s.writeResult(w, req, spec, dst, elapsed, faults, outcome.String())
+}
+
+// writeDispatchError maps a kernel-dispatch error to its response: typed
+// deadline errors shed, stalls are server faults, anything else is the
+// client geometry error it can only be.
+func (s *Server) writeDispatchError(ctx context.Context, w http.ResponseWriter, req Request, spec kernelSpec, err error) {
+	var de *resilience.DeadlineError
+	if errors.As(err, &de) {
+		// Mid-kernel deadline expiry is shed like queue overflow: the
+		// client's budget is spent, and backing off is the remedy.
+		s.shed(w, "deadline", de.Error())
+		return
+	}
+	var se *super.StallError
+	if errors.As(err, &se) {
+		// A wedged kernel band: the watchdog cancelled the pass and the
+		// verdict already reached the pair's breaker. 500, not 429 — the
+		// fault is ours, and the client may retry immediately (the retry
+		// will run scalar if the breaker opened).
+		s.reg.Counter("request_stalls_total",
+			obs.L("kernel", spec.name), obs.L("isa", req.ISA.String())).Inc()
+		s.writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": se.Error(), "stall": true, "band": se.Band,
+			"request_id": requestID(ctx),
+		})
+		return
+	}
+	// Kernels only fail on invalid geometry (faults are absorbed by
+	// the guard); report it as the client error it is.
+	s.writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+}
+
+// writeResult emits the 200 response for a completed request. memo names
+// how the memoization layer satisfied it ("" when memoization is off for
+// the kernel).
+func (s *Server) writeResult(w http.ResponseWriter, req Request, spec kernelSpec, dst *image.Mat, elapsed time.Duration, faults int, memoOutcome string) {
+	body := map[string]any{
 		"kernel":     spec.name,
 		"isa":        req.ISA.String(),
 		"width":      req.Width,
@@ -709,8 +846,31 @@ func (s *Server) processRequest(w http.ResponseWriter, r *http.Request) {
 		"seed":       req.Seed,
 		"checksum":   strconv.FormatUint(checksum(dst), 16),
 		"elapsed_us": elapsed.Microseconds(),
-		"faults":     len(o.Faults()),
+		"faults":     faults,
 		"breaker":    s.brk.State(spec.name, req.ISA.String()).String(),
+	}
+	if memoOutcome != "" {
+		body["memo"] = memoOutcome
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+// handleMemo is the result-cache status view: occupancy against budget,
+// hit/miss/coalesce tallies, and the per-(kernel, ISA) entry breakdown.
+// With memoization disabled it reports {"enabled": false} so dashboards
+// can probe the endpoint unconditionally.
+func (s *Server) handleMemo(w http.ResponseWriter, _ *http.Request) {
+	if s.memo == nil {
+		s.writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	flights, participants := s.memo.InFlight()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":      true,
+		"stats":        s.memo.Stats(),
+		"kernels":      s.memo.Kernels(),
+		"flights":      flights,
+		"participants": participants,
 	})
 }
 

@@ -49,6 +49,27 @@ type StreamFrame struct {
 	// Audit is the integrity view — sampler rates, lifetime tallies, and
 	// tripped pairs; absent when auditing is disabled.
 	Audit *AuditStats `json:"audit,omitempty"`
+	// Memo is the result-cache view — occupancy, lifetime tallies, and
+	// the windowed hit rate; absent when memoization is disabled.
+	Memo *MemoStats `json:"memo,omitempty"`
+}
+
+// MemoStats is the /metrics/stream result-cache summary. The lifetime
+// tallies come from the cache itself; HitsPerSec and MissesPerSec are
+// windowed rates from the rollup ring.
+type MemoStats struct {
+	Entries      int     `json:"entries"`
+	Bytes        int64   `json:"bytes"`
+	BudgetBytes  int64   `json:"budget_bytes"`
+	Hits         uint64  `json:"hits"`
+	Misses       uint64  `json:"misses"`
+	Coalesced    uint64  `json:"coalesced"`
+	Evictions    uint64  `json:"evictions"`
+	HitsPerSec   float64 `json:"hits_per_sec"`
+	MissesPerSec float64 `json:"misses_per_sec"`
+	// HitRatePct is the windowed hit+coalesce share of lookups, percent;
+	// falls back to the lifetime ratio while the ring is young.
+	HitRatePct float64 `json:"hit_rate_pct"`
 }
 
 // AuditStats is the /metrics/stream integrity summary.
@@ -163,6 +184,28 @@ func (s *Server) buildFrame(window time.Duration) StreamFrame {
 			}
 		}
 		f.Audit = a
+	}
+	if s.memo != nil {
+		st := s.memo.Stats()
+		m := &MemoStats{
+			Entries:     st.Entries,
+			Bytes:       st.Bytes,
+			BudgetBytes: st.BudgetBytes,
+			Hits:        st.Hits,
+			Misses:      st.Misses,
+			Coalesced:   st.Coalesced,
+			Evictions:   st.Evictions,
+		}
+		if ru, ok := s.ts.Rollup(window); ok {
+			m.HitsPerSec = ru.Rates["memo_hits_total"] + ru.Rates["memo_coalesced_total"]
+			m.MissesPerSec = ru.Rates["memo_misses_total"]
+		}
+		if total := m.HitsPerSec + m.MissesPerSec; total > 0 {
+			m.HitRatePct = 100 * m.HitsPerSec / total
+		} else if lt := st.Hits + st.Coalesced + st.Misses; lt > 0 {
+			m.HitRatePct = 100 * float64(st.Hits+st.Coalesced) / float64(lt)
+		}
+		f.Memo = m
 	}
 	return f
 }
